@@ -1,0 +1,292 @@
+// uavres — command-line front end for the drone-resilience library.
+//
+//   uavres fly [mission] [--seed N]
+//   uavres inject [mission] [target] [type] [duration] [--seed N]
+//   uavres campaign [--missions N] [--durations 2,5,10,30] [--threads N]
+//   uavres convoy [--spacing M] [--drones N]
+//   uavres export [mission] [file.csv] [--rate HZ]
+//   uavres record [mission] [file.uvrl] [--rate HZ] [--target acc|gyro|imu
+//                 --type <fault> --duration S]
+//   uavres replay [file.uvrl]
+//   uavres list
+//   uavres help
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "app/command_line.h"
+#include "core/campaign.h"
+#include "core/scenario.h"
+#include "core/tables.h"
+#include "telemetry/csv_writer.h"
+#include "telemetry/flight_recorder.h"
+#include "uav/simulation_runner.h"
+#include "uspace/multi_runner.h"
+
+namespace {
+
+using namespace uavres;
+
+int Usage() {
+  std::puts(
+      "uavres — drone resilience under IMU faults (DSN'24 reproduction)\n"
+      "\n"
+      "commands:\n"
+      "  list                               show the ten-mission scenario\n"
+      "  fly [mission] [--seed N]           fly one fault-free mission\n"
+      "  inject [mission] [acc|gyro|imu] [fixed|zeros|freeze|random|min|max|noise]\n"
+      "         [duration_s] [--seed N]     inject one fault\n"
+      "  campaign [--missions N] [--durations 2,5,10,30] [--threads N]\n"
+      "                                     run the grid, print Tables II-IV\n"
+      "  convoy [--spacing M] [--drones N]  multi-UAV U-space conflict demo\n"
+      "  export [mission] [file.csv] [--rate HZ]\n"
+      "                                     dump a gold trajectory as CSV\n"
+      "  record [mission] [file.uvrl] [--target acc|gyro|imu --type random\n"
+      "         --duration S] [--rate HZ]   record a flight (binary log)\n"
+      "  replay [file.uvrl]                 summarize a recorded flight\n");
+  return 1;
+}
+
+core::FaultTarget ParseTarget(const std::string& s) {
+  if (s == "acc") return core::FaultTarget::kAccelerometer;
+  if (s == "gyro") return core::FaultTarget::kGyrometer;
+  return core::FaultTarget::kImu;
+}
+
+core::FaultType ParseType(const std::string& s) {
+  using core::FaultType;
+  if (s == "fixed") return FaultType::kFixed;
+  if (s == "zeros") return FaultType::kZeros;
+  if (s == "freeze") return FaultType::kFreeze;
+  if (s == "random") return FaultType::kRandom;
+  if (s == "min") return FaultType::kMin;
+  if (s == "max") return FaultType::kMax;
+  if (s == "scale") return FaultType::kScale;
+  if (s == "stuck-axis") return FaultType::kStuckAxis;
+  if (s == "intermittent") return FaultType::kIntermittent;
+  if (s == "drift") return FaultType::kDrift;
+  return FaultType::kNoise;
+}
+
+int MissionIndex(const app::CommandLine& cl, std::size_t pos) {
+  const int m = std::atoi(cl.Positional(pos, "0").c_str());
+  return (m >= 0 && m < 10) ? m : 0;
+}
+
+void PrintResult(const core::MissionResult& r) {
+  std::printf("outcome    : %s\n", core::ToString(r.outcome));
+  std::printf("duration   : %.1f s\n", r.flight_duration_s);
+  std::printf("distance   : %.2f km (EKF)\n", r.distance_km);
+  std::printf("violations : %d inner, %d outer (max deviation %.1f m)\n",
+              r.inner_violations, r.outer_violations, r.max_deviation_m);
+  if (!r.crash_reason.empty()) {
+    std::printf("crash      : %s at t=%.1f s\n", r.crash_reason.c_str(), r.crash_time_s);
+  }
+  if (r.failsafe_reason != nav::FailsafeReason::kNone) {
+    std::printf("failsafe   : %s at t=%.1f s\n", nav::ToString(r.failsafe_reason),
+                r.failsafe_time_s);
+  }
+}
+
+int CmdList() {
+  const auto fleet = core::BuildValenciaScenario();
+  std::printf("%-4s %-22s %8s %8s %8s %6s\n", "id", "name", "km/h", "path[m]", "~dur[s]",
+              "turns");
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& s = fleet[i];
+    std::printf("%-4zu %-22s %8.0f %8.0f %8.0f %6s\n", i, s.name.c_str(),
+                s.cruise_speed_kmh, s.plan.PathLength(), s.plan.ExpectedDuration(),
+                s.has_turning_points ? "yes" : "no");
+  }
+  return 0;
+}
+
+int CmdFly(const app::CommandLine& cl) {
+  const auto fleet = core::BuildValenciaScenario();
+  const int mission = MissionIndex(cl, 0);
+  const auto seed = static_cast<std::uint64_t>(cl.FlagInt("seed", 2024));
+  const uav::SimulationRunner runner;
+  const auto out = runner.RunGold(fleet[static_cast<std::size_t>(mission)], mission, seed);
+  std::printf("mission    : %s\n", fleet[static_cast<std::size_t>(mission)].name.c_str());
+  PrintResult(out.result);
+  return out.result.Completed() ? 0 : 1;
+}
+
+int CmdInject(const app::CommandLine& cl) {
+  const auto fleet = core::BuildValenciaScenario();
+  const int mission = MissionIndex(cl, 0);
+  core::FaultSpec fault;
+  fault.target = ParseTarget(cl.Positional(1, "imu"));
+  fault.type = ParseType(cl.Positional(2, "random"));
+  fault.duration_s = std::atof(cl.Positional(3, "10").c_str());
+  const auto seed = static_cast<std::uint64_t>(cl.FlagInt("seed", 2024));
+
+  const auto& spec = fleet[static_cast<std::size_t>(mission)];
+  const uav::SimulationRunner runner;
+  const auto gold = runner.RunGold(spec, mission, seed);
+  const auto out = runner.RunWithFault(spec, mission, fault, gold.trajectory, seed);
+  std::printf("mission    : %s\n", spec.name.c_str());
+  std::printf("fault      : %s for %.0f s at t=%.0f s\n",
+              core::FaultLabel(fault.target, fault.type).c_str(), fault.duration_s,
+              fault.start_time_s);
+  PrintResult(out.result);
+  return 0;
+}
+
+int CmdCampaign(const app::CommandLine& cl) {
+  core::CampaignConfig cfg = core::CampaignConfig::FromEnvironment();
+  cfg.mission_limit = cl.FlagInt("missions", cfg.mission_limit);
+  cfg.num_threads = cl.FlagInt("threads", cfg.num_threads);
+  if (const auto d = cl.Flag("durations")) {
+    const auto list = app::ParseDoubleList(*d);
+    if (!list.empty()) cfg.durations = list;
+  }
+  const core::Campaign campaign(cfg);
+  const auto results = campaign.Run([](std::size_t done, std::size_t total) {
+    if (done % 50 == 0 || done == total) {
+      std::fprintf(stderr, "\r%zu / %zu runs", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    }
+  });
+  std::fputs(core::FormatSummaryTable("\nTable II form (by duration)", "Injection Duration",
+                                      core::BuildTable2(results))
+                 .c_str(),
+             stdout);
+  std::fputs(core::FormatSummaryTable("\nTable III form (by fault)", "Injection Type",
+                                      core::BuildTable3(results))
+                 .c_str(),
+             stdout);
+  std::fputs(core::FormatFailureTable("\nTable IV form (failure analysis)",
+                                      core::BuildTable4(results))
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+int CmdConvoy(const app::CommandLine& cl) {
+  const double spacing = cl.FlagDouble("spacing", 15.0);
+  const int drones = cl.FlagInt("drones", 3);
+  const auto fleet = uspace::BuildConvoyScenario(drones, spacing);
+  uspace::MultiRunConfig cfg;
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kAccelerometer;
+  fault.type = core::FaultType::kFixed;
+  fault.duration_s = 30.0;
+  cfg.fault = fault;
+  cfg.faulted_drone = drones / 2;
+  const auto out = uspace::MultiUavRunner(cfg).Run(fleet, 2024);
+  for (const auto& d : out.drones) {
+    std::printf("%-10s %-10s %7.1f s\n", d.name.c_str(), core::ToString(d.outcome),
+                d.flight_duration_s);
+  }
+  std::printf("conflicts: %d  alerts: %d  min separation: %.1f m  quarantined: %d\n",
+              out.conflicts.conflicts, out.conflicts.alerts, out.conflicts.min_separation_m,
+              out.reports_quarantined);
+  return 0;
+}
+
+int CmdExport(const app::CommandLine& cl) {
+  const auto fleet = core::BuildValenciaScenario();
+  const int mission = MissionIndex(cl, 0);
+  const std::string path = cl.Positional(1, "trajectory.csv");
+  uav::RunConfig run_cfg;
+  run_cfg.record_rate_hz = cl.FlagDouble("rate", 5.0);
+  const uav::SimulationRunner runner(run_cfg);
+  const auto out = runner.RunGold(fleet[static_cast<std::size_t>(mission)], mission, 2024);
+
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  telemetry::CsvWriter csv(os);
+  csv.WriteRow({"t", "north_m", "east_m", "alt_m", "est_north_m", "est_east_m", "est_alt_m"});
+  for (const auto& s : out.trajectory.Samples()) {
+    csv.WriteNumericRow({s.t, s.pos_true.x, s.pos_true.y, -s.pos_true.z, s.pos_est.x,
+                         s.pos_est.y, -s.pos_est.z});
+  }
+  std::printf("wrote %d rows to %s\n", csv.rows_written(), path.c_str());
+  return 0;
+}
+
+int CmdRecord(const app::CommandLine& cl) {
+  const auto fleet = core::BuildValenciaScenario();
+  const int mission = MissionIndex(cl, 0);
+  const std::string path = cl.Positional(1, "flight.uvrl");
+  uav::RunConfig run_cfg;
+  run_cfg.record_rate_hz = cl.FlagDouble("rate", 5.0);
+  const uav::SimulationRunner runner(run_cfg);
+  const auto& spec = fleet[static_cast<std::size_t>(mission)];
+
+  uav::RunOutput out;
+  if (cl.HasFlag("target") || cl.HasFlag("type")) {
+    core::FaultSpec fault;
+    fault.target = ParseTarget(cl.Flag("target").value_or("imu"));
+    fault.type = ParseType(cl.Flag("type").value_or("random"));
+    fault.duration_s = cl.FlagDouble("duration", 10.0);
+    const auto gold = runner.RunGold(spec, mission, 2024);
+    out = runner.RunWithFault(spec, mission, fault, gold.trajectory, 2024);
+  } else {
+    out = runner.RunGold(spec, mission, 2024);
+  }
+
+  telemetry::FlightRecord record;
+  record.trajectory = std::move(out.trajectory);
+  record.log = std::move(out.log);
+  if (!telemetry::SaveFlightRecord(path, record)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("recorded %zu samples, %zu events -> %s\n", record.trajectory.Size(),
+              record.log.Events().size(), path.c_str());
+  PrintResult(out.result);
+  return 0;
+}
+
+int CmdReplay(const app::CommandLine& cl) {
+  const std::string path = cl.Positional(0, "flight.uvrl");
+  const auto record = telemetry::LoadFlightRecord(path);
+  if (!record) {
+    std::fprintf(stderr, "cannot read %s (missing or corrupt)\n", path.c_str());
+    return 1;
+  }
+  const auto& tr = record->trajectory;
+  std::printf("flight record: %zu samples, %zu events\n", tr.Size(),
+              record->log.Events().size());
+  if (!tr.Empty()) {
+    std::printf("  time span     : %.1f .. %.1f s\n", tr[0].t, tr[tr.Size() - 1].t);
+    std::printf("  true distance : %.2f km\n", tr.TruePathLength() / 1000.0);
+    std::printf("  EKF distance  : %.2f km\n", tr.EstimatedPathLength() / 1000.0);
+    double worst_err = 0.0;
+    int fault_samples = 0;
+    for (const auto& s : tr.Samples()) {
+      worst_err = std::max(worst_err, (s.pos_true - s.pos_est).Norm());
+      fault_samples += s.fault_active;
+    }
+    std::printf("  worst est err : %.2f m\n", worst_err);
+    std::printf("  fault window  : %d of %zu samples\n", fault_samples, tr.Size());
+  }
+  for (const auto& e : record->log.Events()) {
+    std::printf("  [%7.1fs] %s %s\n", e.t, telemetry::ToString(e.level), e.message.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const auto cl = uavres::app::ParseCommandLine(args);
+
+  if (cl.command == "list") return CmdList();
+  if (cl.command == "fly") return CmdFly(cl);
+  if (cl.command == "inject") return CmdInject(cl);
+  if (cl.command == "campaign") return CmdCampaign(cl);
+  if (cl.command == "convoy") return CmdConvoy(cl);
+  if (cl.command == "export") return CmdExport(cl);
+  if (cl.command == "record") return CmdRecord(cl);
+  if (cl.command == "replay") return CmdReplay(cl);
+  return Usage();
+}

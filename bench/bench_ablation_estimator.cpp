@@ -1,0 +1,151 @@
+// Ablation: EKF vs complementary-filter attitude estimation under IMU
+// faults (the paper's future-work direction: "in-depth mathematical
+// evaluations of the flight controllers and EKF").
+//
+// Both estimators consume the same fault-corrupted IMU stream generated
+// from a known attitude trajectory; the EKF additionally fuses GPS/baro/mag
+// as in flight. We report the peak and post-recovery attitude error per
+// fault type — quantifying how much the EKF's aided structure buys over
+// pure complementary filtering during and after each fault.
+#include <cstdio>
+
+#include "core/fault_injector.h"
+#include "estimation/complementary_filter.h"
+#include "estimation/ekf.h"
+#include "math/num.h"
+#include "math/rng.h"
+#include "sensors/imu.h"
+#include "sensors/magnetometer.h"
+
+namespace {
+
+using namespace uavres;
+using math::Quat;
+using math::Vec3;
+
+constexpr double kDt = 0.004;
+constexpr double kFaultStart = 20.0;
+constexpr double kFaultDuration = 5.0;
+constexpr double kTotal = 45.0;
+
+/// Smooth attitude trajectory: gentle coupled roll/pitch/yaw oscillation.
+struct TruthGenerator {
+  Quat att = Quat::Identity();
+  Vec3 OmegaAt(double t) const {
+    return {0.25 * std::sin(0.8 * t), 0.20 * std::cos(0.6 * t), 0.15 * std::sin(0.3 * t)};
+  }
+  void Step(double t) { att = att.Integrated(OmegaAt(t), kDt); }
+};
+
+struct Errors {
+  double peak_deg{0.0};
+  double final_deg{0.0};
+};
+
+struct Row {
+  Errors ekf;
+  Errors ekf_reset;
+  Errors cf;
+};
+
+Row RunOne(core::FaultType type, core::FaultTarget target) {
+  core::FaultSpec spec;
+  spec.type = type;
+  spec.target = target;
+  spec.start_time_s = kFaultStart;
+  spec.duration_s = kFaultDuration;
+
+  core::FaultInjector injector(spec, sensors::ImuRanges{}, math::Rng{99});
+  math::Rng noise_rng{7};
+
+  estimation::Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  estimation::EkfConfig reset_cfg;
+  reset_cfg.enable_attitude_reset = true;  // this repo's mitigation extension
+  estimation::Ekf ekf_reset(reset_cfg);
+  ekf_reset.InitAtRest(Vec3::Zero(), 0.0);
+  estimation::ComplementaryFilter cf;
+  cf.InitAtRest(0.0);
+
+  TruthGenerator truth;
+  Row row;
+  int step = 0;
+  for (double t = 0.0; t < kTotal; t += kDt, ++step) {
+    truth.Step(t);
+
+    // Hovering vehicle: specific force is -g rotated into the body frame.
+    sensors::ImuSample imu;
+    imu.t = t;
+    imu.accel_mps2 =
+        truth.att.RotateInverse({0.0, 0.0, -math::kGravity}) + noise_rng.GaussianVec3(0.1);
+    imu.gyro_rads = truth.OmegaAt(t) + noise_rng.GaussianVec3(0.004);
+    imu = injector.Apply(imu, 0, t);
+
+    ekf.PredictImu(imu, kDt);
+    ekf_reset.PredictImu(imu, kDt);
+    cf.Update(imu, kDt);
+
+    if (step % 5 == 0) {  // 50 Hz aiding
+      sensors::MagSample mag;
+      mag.t = t;
+      mag.field_body = truth.att.RotateInverse(Vec3{0.5, 0.0, 0.866});
+      ekf.FuseMag(mag);
+      ekf_reset.FuseMag(mag);
+      cf.UpdateMag(mag, kDt * 5);
+
+      sensors::BaroSample baro;
+      baro.t = t;
+      ekf.FuseBaro(baro);
+      ekf_reset.FuseBaro(baro);
+    }
+    if (step % 25 == 0) {  // 10 Hz GPS at the (stationary) truth
+      sensors::GpsSample gps;
+      gps.t = t;
+      ekf.FuseGps(gps);
+      ekf_reset.FuseGps(gps);
+    }
+
+    const double ekf_err = math::RadToDeg(ekf.state().att.AngleTo(truth.att));
+    const double reset_err = math::RadToDeg(ekf_reset.state().att.AngleTo(truth.att));
+    const double cf_err = math::RadToDeg(cf.attitude().AngleTo(truth.att));
+    if (t >= kFaultStart) {
+      row.ekf.peak_deg = std::max(row.ekf.peak_deg, ekf_err);
+      row.ekf_reset.peak_deg = std::max(row.ekf_reset.peak_deg, reset_err);
+      row.cf.peak_deg = std::max(row.cf.peak_deg, cf_err);
+    }
+    row.ekf.final_deg = ekf_err;
+    row.ekf_reset.final_deg = reset_err;
+    row.cf.final_deg = cf_err;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: EKF vs complementary filter — attitude error under a 5 s fault");
+  std::printf("%-18s %10s %10s %12s %12s %10s %10s\n", "fault", "EKF pk", "EKF fin",
+              "EKF+rst pk", "EKF+rst fin", "CF pk", "CF fin");
+  for (core::FaultTarget target :
+       {core::FaultTarget::kGyrometer, core::FaultTarget::kImu}) {
+    for (core::FaultType type : core::kAllFaultTypes) {
+      const Row row = RunOne(type, target);
+      std::printf("%-18s %10.1f %10.1f %12.1f %12.1f %10.1f %10.1f\n",
+                  core::FaultLabel(target, type).c_str(), row.ekf.peak_deg,
+                  row.ekf.final_deg, row.ekf_reset.peak_deg, row.ekf_reset.final_deg,
+                  row.cf.peak_deg, row.cf.final_deg);
+    }
+  }
+  std::puts("\nReading: 'final' is the residual error 20 s after the fault cleared.");
+  std::puts("Both estimators are defenceless *during* a gyro fault (peaks near 180),");
+  std::puts("the estimation-side view of the paper's finding that no filter saves a");
+  std::puts("bad gyro. After the fault, the complementary filter snaps back via its");
+  std::puts("unconditional gravity alignment, while the EKF can stay wrong for tens");
+  std::puts("of seconds on gyro-only faults: its covariance no longer admits a");
+  std::puts("180-degree attitude error, so innovations are mis-attributed (filter");
+  std::puts("inconsistency). With accel faulty too (IMU rows) the resulting huge");
+  std::puts("velocity innovations force resets that re-open the covariance and let");
+  std::puts("attitude heal — an argument for EKF attitude-reset logic as a");
+  std::puts("fault-tolerance mechanism (the paper's 'software-based mitigation').");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: failsafe detection latency and the attitude failure detector.
+//
+// DESIGN.md §5 calls out two failsafe design choices: the post-isolation
+// persistence window (which sets the >= 1.9 s minimum failsafe latency the
+// paper reports) and the attitude failure detector (disabled by default, as
+// in stock PX4). This bench sweeps both on a reduced grid and reports how
+// the crash/failsafe split of Table IV responds — reproducing the paper's
+// §IV-C observation that slower detection shifts failures from failsafe to
+// crash.
+//
+// Environment: UAVRES_MISSIONS / UAVRES_THREADS as usual.
+#include <cstdio>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/tables.h"
+
+int main() {
+  using namespace uavres;
+
+  struct Config {
+    const char* label;
+    double persistence_s;
+    bool attitude_fd;
+  };
+  const std::vector<Config> sweep{
+      {"persist 0.3s, FD off", 0.3, false}, {"persist 1.0s, FD off (default)", 1.0, false},
+      {"persist 3.0s, FD off", 3.0, false}, {"persist 5.0s, FD off", 5.0, false},
+      {"persist 1.0s, FD on", 1.0, true},
+  };
+
+  std::puts("Ablation: failsafe latency / attitude FD vs crash-failsafe split");
+  std::printf("%-32s %10s %10s %12s %12s\n", "config", "failed%", "compl%", "crash%of-failed",
+              "failsafe%of-failed");
+
+  for (const auto& c : sweep) {
+    core::CampaignConfig cfg = core::CampaignConfig::FromEnvironment();
+    if (cfg.mission_limit == 0) cfg.mission_limit = 3;  // reduced grid by default
+    cfg.durations = {2.0, 30.0};
+    cfg.run.uav_config_mutator = [c](uav::UavConfig& u) {
+      u.health.post_isolation_persistence_s = c.persistence_s;
+      u.health.enable_attitude_fd = c.attitude_fd;
+    };
+    const core::Campaign campaign(cfg);
+    const auto results = campaign.Run();
+
+    int failed = 0, crash = 0, failsafe = 0;
+    for (const auto& r : results.faulty) {
+      if (r.Failed()) ++failed;
+      if (r.CountsAsCrash()) ++crash;
+      if (r.CountsAsFailsafe()) ++failsafe;
+    }
+    const int total = static_cast<int>(results.faulty.size());
+    std::printf("%-32s %9.1f%% %9.1f%% %11.1f%% %11.1f%%\n", c.label,
+                100.0 * failed / total, 100.0 * (total - failed) / total,
+                failed ? 100.0 * crash / failed : 0.0,
+                failed ? 100.0 * failsafe / failed : 0.0);
+  }
+
+  std::puts("\nExpected shape: longer persistence -> fewer failsafes, more crashes;");
+  std::puts("attitude FD on -> failsafes replace crashes for tip-over faults.");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Extension experiments: actuator faults and wind severity.
+//
+// Two environmental axes the paper's fault model does not cover but its
+// discussion motivates:
+//
+//  * Actuator (rotor) failure — the classic UAV fault-tolerance benchmark.
+//    A quadrotor has no control redundancy: losing one rotor removes the
+//    ability to balance yaw and one torque axis, so the expected outcome is
+//    a rapid crash, more violent than most sensor faults.
+//  * Wind severity — the paper's risk factor R explicitly lists "weather
+//    conditions"; this sweep quantifies how much margin the stack has
+//    before wind alone (no faults) threatens missions.
+//
+// Environment: UAVRES_MISSIONS as usual.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/scenario.h"
+#include "uav/simulation_runner.h"
+
+int main() {
+  using namespace uavres;
+
+  auto fleet = core::BuildValenciaScenario();
+  int mission_limit = 3;
+  if (const char* missions = std::getenv("UAVRES_MISSIONS")) {
+    mission_limit = std::atoi(missions);
+  }
+  if (mission_limit > 0 && static_cast<std::size_t>(mission_limit) < fleet.size()) {
+    fleet.resize(static_cast<std::size_t>(mission_limit));
+  }
+
+  std::vector<telemetry::Trajectory> golds;
+  const uav::SimulationRunner base;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    golds.push_back(base.RunGold(fleet[i], static_cast<int>(i), 2024).trajectory);
+  }
+
+  core::FaultSpec no_imu_fault;
+  no_imu_fault.duration_s = 0.0;
+
+  std::puts("--- actuator faults: one rotor fails permanently at t=90 s ---");
+  std::printf("%-8s %12s %12s %12s\n", "rotor", "completed%", "avg end [s]", "avg dev [m]");
+  for (int rotor = 0; rotor < 4; ++rotor) {
+    int completed = 0;
+    double end_sum = 0.0, dev_sum = 0.0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      uav::RunConfig cfg;
+      cfg.record_trajectory = false;
+      cfg.uav_config_mutator = [rotor](uav::UavConfig& u) {
+        u.motor_fault_index = rotor;
+      };
+      const auto out = uav::SimulationRunner(cfg).RunWithFault(
+          fleet[i], static_cast<int>(i), no_imu_fault, golds[i], 2024);
+      completed += out.result.Completed();
+      end_sum += out.result.flight_duration_s;
+      dev_sum += out.result.max_deviation_m;
+    }
+    const double n = static_cast<double>(fleet.size());
+    std::printf("%-8d %11.1f%% %12.1f %12.1f\n", rotor, 100.0 * completed / n, end_sum / n,
+                dev_sum / n);
+  }
+
+  std::puts("\n--- wind severity: fault-free missions under increasing wind ---");
+  std::printf("%-12s %12s %12s %14s\n", "wind [m/s]", "completed%", "avg dur [s]",
+              "avg inner (#)");
+  for (double wind : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0}) {
+    int completed = 0;
+    double dur_sum = 0.0, inner_sum = 0.0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      uav::RunConfig cfg;
+      cfg.record_trajectory = false;
+      cfg.uav_config_mutator = [wind](uav::UavConfig& u) {
+        u.wind.mean_wind_ned = {wind * 0.8, -wind * 0.6, 0.0};
+        u.wind.gust_stddev = 0.15 * wind;
+      };
+      const auto out = uav::SimulationRunner(cfg).RunWithFault(
+          fleet[i], static_cast<int>(i), no_imu_fault, golds[i], 2024);
+      completed += out.result.Completed();
+      dur_sum += out.result.flight_duration_s;
+      inner_sum += out.result.inner_violations;
+    }
+    const double n = static_cast<double>(fleet.size());
+    std::printf("%-12.1f %11.1f%% %12.1f %14.1f\n", wind, 100.0 * completed / n, dur_sum / n,
+                inner_sum / n);
+  }
+
+  std::puts("\nReading: rotor loss is unrecoverable for a quadrotor (no control");
+  std::puts("redundancy) and ends flights within seconds — harsher than most");
+  std::puts("sensor faults, motivating the octorotor/hexarotor redundancy the");
+  std::puts("fault-tolerance literature studies. Wind degrades gracefully until");
+  std::puts("the controller's tilt budget saturates; the knee justifies treating");
+  std::puts("weather as a risk multiplier (the paper's R factor) rather than a");
+  std::puts("binary condition.");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the table-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/tables.h"
+
+namespace uavres::bench {
+
+/// Run the full campaign with environment-based overrides (UAVRES_FAST,
+/// UAVRES_MISSIONS, UAVRES_THREADS) and a stderr progress meter.
+inline core::CampaignResults RunCampaignFromEnv() {
+  const auto cfg = core::CampaignConfig::FromEnvironment();
+  const core::Campaign campaign(cfg);
+  std::fprintf(stderr, "campaign: %zu missions x %zu fault specs + gold runs\n",
+               campaign.fleet().size(), campaign.GridFaults().size());
+  auto results = campaign.Run([](std::size_t done, std::size_t total) {
+    if (done % 50 == 0 || done == total) {
+      std::fprintf(stderr, "\r  %zu / %zu runs", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    }
+  });
+  return results;
+}
+
+}  // namespace uavres::bench

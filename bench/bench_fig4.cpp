@@ -1,0 +1,29 @@
+// Reproduces paper Fig. 4: "Random Values injected in Gyro for 30 sec -
+// failsafe."
+//
+// The paper injects uniform-random gyro values for 30 s just before a
+// waypoint; the drone reaches the waypoint but cannot stabilize for the turn
+// and the flight controller enables failsafe.
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace uavres;
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kGyrometer;
+  fault.type = core::FaultType::kRandom;
+  fault.duration_s = 30.0;
+
+  std::puts("=== Fig. 4: Random values in Gyro, 30 s, near a turning point ===");
+  // Mission 7 (diagonal with a turning point, 14 km/h): the fault window
+  // covers the approach to the turn and the flight controller enables
+  // failsafe, matching the paper's description.
+  const auto r = bench::RunFigure(/*mission=*/7, fault, "fig4_gyro_random.csv");
+
+  std::puts(r.faulty.outcome == core::MissionOutcome::kCompleted
+                ? "\nPAPER SHAPE MISMATCH: expected a failed mission (paper: failsafe)"
+                : "\nShape matches the paper: the turn cannot be stabilized and the "
+                  "mission fails.");
+  return 0;
+}

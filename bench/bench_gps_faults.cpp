@@ -1,0 +1,82 @@
+// Extension experiment: GNSS fault campaign.
+//
+// The paper's discussion (§IV-D) extends its call for resilience to "other
+// critical components like GPS", and the authors' earlier studies injected
+// GNSS faults into the same stack. This bench runs the five GNSS fault
+// classes over a subset of the missions and durations, reporting the same
+// Table-III-style summary — directly comparable with the IMU results.
+//
+// Headline expectation: the flight stack tolerates GNSS faults far better
+// than IMU faults, because the EKF can coast on inertial prediction through
+// a GNSS outage but has no substitute for the IMU.
+//
+// Environment: UAVRES_MISSIONS / UAVRES_THREADS as usual.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/gps_fault_injector.h"
+#include "core/scenario.h"
+#include "core/tables.h"
+#include "uav/simulation_runner.h"
+
+int main() {
+  using namespace uavres;
+
+  auto fleet = core::BuildValenciaScenario();
+  int mission_limit = 3;
+  if (const char* missions = std::getenv("UAVRES_MISSIONS")) {
+    mission_limit = std::atoi(missions);
+  }
+  if (mission_limit > 0 && static_cast<std::size_t>(mission_limit) < fleet.size()) {
+    fleet.resize(static_cast<std::size_t>(mission_limit));
+  }
+
+  const uav::SimulationRunner base_runner;
+  std::vector<telemetry::Trajectory> golds;
+  std::vector<core::MissionResult> gold_results;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    auto out = base_runner.RunGold(fleet[i], static_cast<int>(i), 2024);
+    gold_results.push_back(out.result);
+    golds.push_back(std::move(out.trajectory));
+  }
+
+  std::printf("%-14s %10s %12s %12s %12s %12s\n", "GNSS fault", "duration", "completed%",
+              "avg dur [s]", "avg dist", "avg inner");
+  for (core::GpsFaultType type : core::kAllGpsFaultTypes) {
+    for (double duration : {10.0, 30.0}) {
+      int completed = 0;
+      double dur_sum = 0.0, dist_sum = 0.0, inner_sum = 0.0;
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        uav::RunConfig cfg;
+        cfg.record_trajectory = false;
+        cfg.uav_config_mutator = [&](uav::UavConfig& u) {
+          core::GpsFaultSpec spec;
+          spec.type = type;
+          spec.duration_s = duration;
+          u.gps_fault = spec;
+        };
+        // No IMU fault: pass a zero-duration spec so the runner treats the
+        // flight as "faulty" against the gold reference.
+        core::FaultSpec imu_noop;
+        imu_noop.duration_s = 0.0;
+        const auto out = uav::SimulationRunner(cfg).RunWithFault(
+            fleet[i], static_cast<int>(i), imu_noop, golds[i], 2024);
+        completed += out.result.Completed();
+        dur_sum += out.result.flight_duration_s;
+        dist_sum += out.result.distance_km;
+        inner_sum += out.result.inner_violations;
+      }
+      const double n = static_cast<double>(fleet.size());
+      std::printf("%-14s %9.0fs %11.1f%% %12.1f %12.2f %12.1f\n", core::ToString(type),
+                  duration, 100.0 * completed / n, dur_sum / n, dist_sum / n,
+                  inner_sum / n);
+    }
+  }
+
+  std::puts("\nReading: compare with bench_table3 — GNSS faults of the same duration");
+  std::puts("are far more survivable than IMU faults because inertial prediction");
+  std::puts("carries the filter through the outage, while nothing substitutes for");
+  std::puts("the IMU. Drift (slow-drag spoofing) is the stealthiest: it steers the");
+  std::puts("estimate without tripping innovation gates until the offset is large.");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Shared helper for the figure-reproduction benches (paper Figs. 3-5).
+//
+// Each figure shows a drone's planned (gold) track versus the faulty track.
+// The bench re-runs the pair, writes both series to CSV for plotting, prints
+// a coarse ASCII ground-track rendering, and reports the outcome.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "telemetry/csv_writer.h"
+#include "uav/simulation_runner.h"
+
+namespace uavres::bench {
+
+struct FigureResult {
+  core::MissionResult gold;
+  core::MissionResult faulty;
+};
+
+/// ASCII ground-track: gold path '.', faulty path '#', divergence visible at
+/// a glance in the bench output.
+inline void PrintAsciiTrack(const telemetry::Trajectory& gold,
+                            const telemetry::Trajectory& faulty) {
+  constexpr int kW = 72, kH = 24;
+  double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+  auto expand = [&](const telemetry::Trajectory& tr) {
+    for (const auto& s : tr.Samples()) {
+      min_x = std::min(min_x, s.pos_true.x);
+      max_x = std::max(max_x, s.pos_true.x);
+      min_y = std::min(min_y, s.pos_true.y);
+      max_y = std::max(max_y, s.pos_true.y);
+    }
+  };
+  expand(gold);
+  expand(faulty);
+  const double span_x = std::max(1.0, max_x - min_x);
+  const double span_y = std::max(1.0, max_y - min_y);
+
+  std::vector<std::string> grid(kH, std::string(kW, ' '));
+  auto plot = [&](const telemetry::Trajectory& tr, char c) {
+    for (const auto& s : tr.Samples()) {
+      const int col = static_cast<int>((s.pos_true.y - min_y) / span_y * (kW - 1));
+      const int row = static_cast<int>((max_x - s.pos_true.x) / span_x * (kH - 1));
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = c;
+    }
+  };
+  plot(gold, '.');
+  plot(faulty, '#');
+
+  std::printf("ground track (north up, east right; '.' = gold, '#' = faulty):\n");
+  for (const auto& line : grid) std::printf("|%s|\n", line.c_str());
+}
+
+/// Run one figure scenario and dump `<csv_path>` with both series.
+inline FigureResult RunFigure(int mission_index, const core::FaultSpec& fault,
+                              const std::string& csv_path) {
+  const auto fleet = core::BuildValenciaScenario();
+  const auto& spec = fleet[static_cast<std::size_t>(mission_index)];
+
+  uav::RunConfig run_cfg;
+  run_cfg.record_rate_hz = 5.0;  // dense series for plotting
+  const uav::SimulationRunner runner(run_cfg);
+
+  const auto gold = runner.RunGold(spec, mission_index, 2024);
+  const auto faulty = runner.RunWithFault(spec, mission_index, fault, gold.trajectory, 2024);
+
+  std::ofstream os(csv_path);
+  telemetry::CsvWriter csv(os);
+  csv.WriteRow({"series", "t", "north_m", "east_m", "alt_m", "est_north_m", "est_east_m",
+                "est_alt_m", "fault_active"});
+  auto dump = [&](const char* name, const telemetry::Trajectory& tr) {
+    for (const auto& s : tr.Samples()) {
+      csv.WriteRow({name, std::to_string(s.t), std::to_string(s.pos_true.x),
+                    std::to_string(s.pos_true.y), std::to_string(-s.pos_true.z),
+                    std::to_string(s.pos_est.x), std::to_string(s.pos_est.y),
+                    std::to_string(-s.pos_est.z), s.fault_active ? "1" : "0"});
+    }
+  };
+  dump("gold", gold.trajectory);
+  dump("faulty", faulty.trajectory);
+
+  std::printf("mission       : %s (%.0f km/h)\n", spec.name.c_str(), spec.cruise_speed_kmh);
+  std::printf("fault         : %s for %.0f s at t=%.0f s\n",
+              core::FaultLabel(fault.target, fault.type).c_str(), fault.duration_s,
+              fault.start_time_s);
+  std::printf("gold outcome  : %s (%.1f s, %.2f km)\n", core::ToString(gold.result.outcome),
+              gold.result.flight_duration_s, gold.result.distance_km);
+  std::printf("fault outcome : %s (%.1f s, %.2f km, max deviation %.1f m)\n",
+              core::ToString(faulty.result.outcome), faulty.result.flight_duration_s,
+              faulty.result.distance_km, faulty.result.max_deviation_m);
+  if (!faulty.result.crash_reason.empty()) {
+    std::printf("crash         : %s at t=%.1f s\n", faulty.result.crash_reason.c_str(),
+                faulty.result.crash_time_s);
+  }
+  if (faulty.result.failsafe_reason != nav::FailsafeReason::kNone) {
+    std::printf("failsafe      : %s at t=%.1f s\n", nav::ToString(faulty.result.failsafe_reason),
+                faulty.result.failsafe_time_s);
+  }
+  std::printf("series written: %s\n\n", csv_path.c_str());
+  PrintAsciiTrack(gold.trajectory, faulty.trajectory);
+  return {gold.result, faulty.result};
+}
+
+}  // namespace uavres::bench

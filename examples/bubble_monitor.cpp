@@ -1,0 +1,68 @@
+// Live two-layer bubble monitoring (paper §III-D).
+//
+// Flies one mission twice — clean and with an injected fault — and prints a
+// per-tracking-instant view of the deviation against the inner (alert) and
+// outer (separation) bubble radii, the way a U-space monitor would consume
+// the tracking feed.
+//
+//   ./bubble_monitor [mission_index]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bubble.h"
+#include "core/scenario.h"
+#include "uav/simulation_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace uavres;
+
+  const auto fleet = core::BuildValenciaScenario();
+  int mission = argc > 1 ? std::atoi(argv[1]) : 9;
+  if (mission < 0 || mission >= static_cast<int>(fleet.size())) mission = 9;
+  const auto& spec = fleet[static_cast<std::size_t>(mission)];
+
+  const auto bubble = spec.MakeBubbleParams();
+  std::printf("Drone %s:\n", spec.name.c_str());
+  std::printf("  D_o (dimension)     = %.2f m\n", bubble.drone_dimension_m);
+  std::printf("  D_s (safety)        = %.2f m\n", bubble.safety_distance_m);
+  std::printf("  D_m (top speed * T) = %.2f m\n",
+              bubble.top_speed_ms * bubble.tracking_interval_s);
+  std::printf("  inner bubble (Eq.1) = %.2f m\n\n", core::InnerBubbleRadius(bubble));
+
+  uav::RunConfig cfg;
+  cfg.record_rate_hz = 1.0 / cfg.tracking_interval_s;
+  const uav::SimulationRunner runner(cfg);
+  const auto gold = runner.RunGold(spec, mission, 2024);
+
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kAccelerometer;
+  fault.type = core::FaultType::kRandom;  // survivable here, but deviates hard
+  fault.duration_s = 10.0;
+  const auto faulty = runner.RunWithFault(spec, mission, fault, gold.trajectory, 2024);
+
+  // Re-derive the per-instant bubble series from the recorded trajectory to
+  // show the dynamic outer bubble at work around the fault window.
+  core::BubbleMonitor monitor(bubble);
+  core::OuterBubble outer(bubble);
+  std::printf("t[s]    deviation[m]  inner[m]  outer[m]  flags\n");
+  math::Vec3 last_est = spec.plan.home;
+  for (const auto& s : faulty.trajectory.Samples()) {
+    const double deviation = gold.trajectory.DistanceToTruePath(s.pos_true);
+    const double step_dist = (s.pos_est - last_est).Norm();
+    last_est = s.pos_est;
+    const double outer_r = outer.Update(s.airspeed_est, step_dist);
+    monitor.Track(deviation, s.airspeed_est, step_dist);
+    // Only print the interesting region around the fault window.
+    if (s.t < 85.0 || s.t > 130.0) continue;
+    std::printf("%6.1f  %11.2f  %8.2f  %8.2f  %s%s%s\n", s.t, deviation,
+                core::InnerBubbleRadius(bubble), outer_r, s.fault_active ? "FAULT " : "",
+                deviation > core::InnerBubbleRadius(bubble) ? "INNER-VIOLATION " : "",
+                deviation > outer_r ? "OUTER-VIOLATION" : "");
+  }
+
+  std::printf("\nMission outcome : %s\n", core::ToString(faulty.result.outcome));
+  std::printf("Inner violations: %d\n", monitor.inner_violations());
+  std::printf("Outer violations: %d\n", monitor.outer_violations());
+  std::printf("Max deviation   : %.2f m\n", monitor.max_deviation());
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Quickstart: fly one fault-free mission from the Valencia scenario and
+// print the paper's metrics for it.
+//
+//   ./quickstart [mission_index]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scenario.h"
+#include "uav/simulation_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace uavres;
+
+  const auto fleet = core::BuildValenciaScenario();
+  int mission = argc > 1 ? std::atoi(argv[1]) : 0;
+  if (mission < 0 || mission >= static_cast<int>(fleet.size())) mission = 0;
+  const auto& spec = fleet[static_cast<std::size_t>(mission)];
+
+  std::cout << "Mission " << mission << ": " << spec.name << "\n"
+            << "  cruise speed : " << spec.cruise_speed_kmh << " km/h\n"
+            << "  path length  : " << spec.plan.PathLength() / 1000.0 << " km\n"
+            << "  expected     : ~" << spec.plan.ExpectedDuration() << " s\n\n";
+
+  const uav::SimulationRunner runner;
+  const auto out = runner.RunGold(spec, mission, /*seed_base=*/2024);
+
+  std::cout << "Outcome      : " << core::ToString(out.result.outcome) << "\n"
+            << "Duration     : " << out.result.flight_duration_s << " s\n"
+            << "Distance EKF : " << out.result.distance_km << " km\n"
+            << "Events:\n";
+  for (const auto& e : out.log.Events()) {
+    std::cout << "  [" << e.t << "s] " << telemetry::ToString(e.level) << " " << e.message
+              << "\n";
+  }
+  return out.result.outcome == core::MissionOutcome::kCompleted ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// U-space separation monitoring across multiple drones.
+//
+// Flies a three-drone convoy in parallel corridors, twice: fault-free, and
+// with an IMU fault injected into the middle drone. The U-space tracker
+// consumes each drone's self-reported position and the conflict detector
+// evaluates pairwise separation against the two-layer bubbles — showing how
+// a single drone's IMU fault becomes an airspace-level loss of separation.
+//
+//   ./uspace_monitor [lane_spacing_m=15]
+#include <cstdio>
+#include <cstdlib>
+
+#include "uspace/multi_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace uavres;
+
+  const double spacing = argc > 1 ? std::atof(argv[1]) : 15.0;
+  const auto fleet = uspace::BuildConvoyScenario(3, spacing);
+  std::printf("Convoy: %zu drones, %.0f m lanes, %.0f km/h\n\n", fleet.size(), spacing,
+              fleet[0].cruise_speed_kmh);
+
+  auto report = [](const char* label, const uspace::MultiRunOutput& out) {
+    std::printf("%s\n", label);
+    for (const auto& d : out.drones) {
+      std::printf("  %-10s %-10s %7.1f s\n", d.name.c_str(), core::ToString(d.outcome),
+                  d.flight_duration_s);
+    }
+    std::printf("  conflicts: %d  alerts: %d  min separation: %.1f m\n",
+                out.conflicts.conflicts, out.conflicts.alerts,
+                out.conflicts.min_separation_m);
+    std::printf("  reports: %d published, %d dropped, %d quarantined\n\n",
+                out.reports_published, out.reports_dropped, out.reports_quarantined);
+    for (const auto& e : out.events) {
+      std::printf("  [%s] drones %d-%d, t=%.1f..%.1f s, min sep %.1f m\n",
+                  uspace::ToString(e.severity), e.drone_a, e.drone_b, e.start_time,
+                  e.end_time, e.min_separation_m);
+    }
+    if (!out.events.empty()) std::printf("\n");
+  };
+
+  uspace::MultiRunConfig clean;
+  report("=== fault-free convoy ===", uspace::MultiUavRunner(clean).Run(fleet, 2024));
+
+  uspace::MultiRunConfig faulted = clean;
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kAccelerometer;
+  fault.type = core::FaultType::kFixed;  // constant bias -> hard lateral dash
+  fault.duration_s = 30.0;
+  faulted.fault = fault;
+  faulted.faulted_drone = 1;  // middle lane
+  report("=== Acc Fixed Value 30 s on the middle drone ===",
+         uspace::MultiUavRunner(faulted).Run(fleet, 2024));
+
+  std::puts("Interpretation: the two-layer bubbles act as separation minima; an");
+  std::puts("IMU fault on one drone turns into conflicts with *other* traffic —");
+  std::puts("the U-space risk the paper's bubble system is designed to surface.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "app/command_line.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace uavres::app {
+
+std::optional<std::string> CommandLine::Flag(const std::string& name) const {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return std::nullopt;
+  return it->second;
+}
+
+double CommandLine::FlagDouble(const std::string& name, double def) const {
+  const auto v = Flag(name);
+  if (!v || v->empty()) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  return (end && *end == '\0') ? parsed : def;
+}
+
+int CommandLine::FlagInt(const std::string& name, int def) const {
+  const auto v = Flag(name);
+  if (!v || v->empty()) return def;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  return (end && *end == '\0') ? static_cast<int>(parsed) : def;
+}
+
+std::string CommandLine::Positional(std::size_t index, const std::string& def) const {
+  return index < positionals.size() ? positionals[index] : def;
+}
+
+CommandLine ParseCommandLine(const std::vector<std::string>& args) {
+  CommandLine out;
+  std::size_t i = 0;
+  for (; i < args.size(); ++i) {
+    const std::string& tok = args[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string name = tok.substr(2);
+      if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        out.flags[name] = args[i + 1];
+        ++i;
+      } else {
+        out.flags[name] = "";  // boolean flag
+      }
+    } else if (out.command.empty()) {
+      out.command = tok;
+    } else {
+      out.positionals.push_back(tok);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ParseDoubleList(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    if (cell.empty()) continue;
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end && *end == '\0') out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace uavres::app

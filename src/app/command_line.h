@@ -1,0 +1,43 @@
+// Minimal command-line parsing for the uavres CLI.
+//
+// Grammar: `uavres <command> [positional...] [--flag value | --flag]`.
+// Kept dependency-free and testable; the CLI front-end (apps/uavres.cpp)
+// maps parsed commands onto the library API.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uavres::app {
+
+/// Result of tokenizing argv.
+struct CommandLine {
+  std::string command;                         ///< first non-flag token
+  std::vector<std::string> positionals;        ///< after the command
+  std::map<std::string, std::string> flags;    ///< --key value / --key
+
+  bool HasFlag(const std::string& name) const { return flags.contains(name); }
+
+  /// Flag value as string; empty optional when absent.
+  std::optional<std::string> Flag(const std::string& name) const;
+
+  /// Flag parsed as double/int with a default. Malformed values return the
+  /// default (the CLI reports them via Validate()).
+  double FlagDouble(const std::string& name, double def) const;
+  int FlagInt(const std::string& name, int def) const;
+
+  /// Positional by index with a default.
+  std::string Positional(std::size_t index, const std::string& def = "") const;
+};
+
+/// Parse argv (excluding argv[0]). A token starting with "--" opens a flag;
+/// if the next token is not itself a flag it becomes the value, else the
+/// flag is boolean. Everything else is the command (first) or a positional.
+CommandLine ParseCommandLine(const std::vector<std::string>& args);
+
+/// Comma-separated list of doubles ("2,5,10"); invalid entries are skipped.
+std::vector<double> ParseDoubleList(const std::string& csv);
+
+}  // namespace uavres::app

@@ -1,0 +1,28 @@
+#include "control/attitude_controller.h"
+
+#include "math/num.h"
+
+namespace uavres::control {
+
+using math::Clamp;
+using math::Quat;
+using math::Vec3;
+
+Vec3 AttitudeController::Update(const Quat& att_sp, const Quat& att) const {
+  // Body-frame error rotation taking current attitude onto the setpoint.
+  Quat q_err = (att.Conjugate() * att_sp).Normalized();
+  if (q_err.w < 0.0) q_err = {-q_err.w, -q_err.x, -q_err.y, -q_err.z};
+
+  // Rotation-vector error with reduced yaw weight (PX4 scales the z
+  // component of the quaternion error before converting to rates).
+  Vec3 err = q_err.ToRotationVector();
+  err.z *= cfg_.yaw_weight;
+
+  Vec3 rate_sp{err.x * cfg_.p_roll_pitch, err.y * cfg_.p_roll_pitch, err.z * cfg_.p_yaw};
+  rate_sp.x = Clamp(rate_sp.x, -cfg_.max_rate_rp, cfg_.max_rate_rp);
+  rate_sp.y = Clamp(rate_sp.y, -cfg_.max_rate_rp, cfg_.max_rate_rp);
+  rate_sp.z = Clamp(rate_sp.z, -cfg_.max_rate_yaw, cfg_.max_rate_yaw);
+  return rate_sp;
+}
+
+}  // namespace uavres::control

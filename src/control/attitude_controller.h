@@ -1,0 +1,36 @@
+// Quaternion attitude controller producing body-rate setpoints.
+//
+// Implements the reduced-attitude (tilt-prioritized) quaternion P controller
+// used by PX4 (Brescianini et al.): tilt errors are corrected at full
+// authority while yaw error is weighted down.
+#pragma once
+
+#include "math/quat.h"
+#include "math/vec3.h"
+
+namespace uavres::control {
+
+/// Attitude loop tuning.
+struct AttitudeControlConfig {
+  double p_roll_pitch{6.5};   ///< [1/s]
+  double p_yaw{3.0};          ///< [1/s]
+  double yaw_weight{0.4};     ///< de-prioritize yaw vs tilt
+  double max_rate_rp{3.8};    ///< rate setpoint clamp, roll/pitch [rad/s]
+  double max_rate_yaw{1.5};   ///< [rad/s]
+};
+
+/// P controller on the quaternion attitude error.
+class AttitudeController {
+ public:
+  explicit AttitudeController(const AttitudeControlConfig& cfg = {}) : cfg_(cfg) {}
+
+  const AttitudeControlConfig& config() const { return cfg_; }
+
+  /// Body-rate setpoint that rotates `att` toward `att_sp`.
+  math::Vec3 Update(const math::Quat& att_sp, const math::Quat& att) const;
+
+ private:
+  AttitudeControlConfig cfg_;
+};
+
+}  // namespace uavres::control

@@ -1,0 +1,77 @@
+#include "control/mixer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::control {
+
+using math::Clamp;
+using math::Vec3;
+
+MixerConfig MixerConfigFromQuadrotor(const sim::QuadrotorParams& p) {
+  MixerConfig cfg;
+  cfg.arm_length_m = p.arm_length_m;
+  cfg.rotor_max_thrust_n = p.rotor.max_thrust_n;
+  cfg.torque_coefficient = p.rotor.torque_coefficient;
+  cfg.inertia_diag = p.inertia_diag;
+  return cfg;
+}
+
+std::array<double, 4> Mixer::Mix(double thrust_norm, const Vec3& ang_accel) const {
+  // Torque demand from angular acceleration via the (diagonal) inertia.
+  const Vec3 torque{ang_accel.x * cfg_.inertia_diag.x, ang_accel.y * cfg_.inertia_diag.y,
+                    ang_accel.z * cfg_.inertia_diag.z};
+
+  const double d = cfg_.arm_length_m / std::numbers::sqrt2;
+  const double t_total = Clamp(thrust_norm, 0.0, 1.0) * 4.0 * cfg_.rotor_max_thrust_n;
+
+  // Inverse of the allocation map (see sim::Quadrotor rotor layout):
+  //   tau_x = d (-T0 + T1 + T2 - T3)
+  //   tau_y = d ( T0 - T1 + T2 - T3)
+  //   tau_z = c (-T0 - T1 + T2 + T3)
+  //   T     =    T0 + T1 + T2 + T3
+  const double tx = torque.x / d;
+  const double ty = torque.y / d;
+  double tz = torque.z / cfg_.torque_coefficient;
+
+  auto allocate = [&](double yaw_scale) {
+    const double z = tz * yaw_scale;
+    return std::array<double, 4>{
+        0.25 * (t_total - tx + ty - z),
+        0.25 * (t_total + tx - ty - z),
+        0.25 * (t_total + tx + ty + z),
+        0.25 * (t_total - tx - ty + z),
+    };
+  };
+
+  std::array<double, 4> thrusts = allocate(1.0);
+
+  // Desaturation pass 1: give up yaw authority if any rotor saturates.
+  auto out_of_range = [&](const std::array<double, 4>& t) {
+    return std::any_of(t.begin(), t.end(), [&](double v) {
+      return v < 0.0 || v > cfg_.rotor_max_thrust_n;
+    });
+  };
+  if (out_of_range(thrusts)) thrusts = allocate(0.3);
+  if (out_of_range(thrusts)) thrusts = allocate(0.0);
+
+  // Desaturation pass 2: shift collective to keep the differential (roll/
+  // pitch authority survives at the cost of altitude tracking — airmode).
+  const auto [lo_it, hi_it] = std::minmax_element(thrusts.begin(), thrusts.end());
+  const double lo = *lo_it, hi = *hi_it;
+  double shift = 0.0;
+  if (lo < 0.0) shift = -lo;
+  if (hi + shift > cfg_.rotor_max_thrust_n) {
+    shift = cfg_.rotor_max_thrust_n - hi;  // may re-violate lo; clamp below
+  }
+
+  std::array<double, 4> cmds{};
+  for (int i = 0; i < 4; ++i) {
+    cmds[i] = Clamp((thrusts[i] + shift) / cfg_.rotor_max_thrust_n, 0.0, 1.0);
+  }
+  return cmds;
+}
+
+}  // namespace uavres::control

@@ -1,0 +1,40 @@
+// Control allocation: collective thrust + body torques -> 4 rotor commands.
+#pragma once
+
+#include <array>
+
+#include "math/vec3.h"
+#include "sim/quadrotor.h"
+
+namespace uavres::control {
+
+/// Geometry/limits the mixer needs about the airframe.
+struct MixerConfig {
+  double arm_length_m{0.25};
+  double rotor_max_thrust_n{7.0};
+  double torque_coefficient{0.016};  ///< yaw torque per Newton of thrust
+  math::Vec3 inertia_diag{0.029, 0.029, 0.055};
+};
+
+MixerConfig MixerConfigFromQuadrotor(const sim::QuadrotorParams& p);
+
+/// Allocates rotor thrusts for the X layout used by sim::Quadrotor
+/// (0 FR CCW, 1 BL CCW, 2 FL CW, 3 BR CW), with airmode-style desaturation:
+/// roll/pitch authority is preserved by sacrificing yaw first, then by
+/// shifting collective.
+class Mixer {
+ public:
+  explicit Mixer(const MixerConfig& cfg = {}) : cfg_(cfg) {}
+
+  const MixerConfig& config() const { return cfg_; }
+
+  /// `thrust_norm` is normalized collective [0,1]; `ang_accel` is the rate
+  /// loop's angular-acceleration demand [rad/s^2]. Returns normalized rotor
+  /// commands in [0,1].
+  std::array<double, 4> Mix(double thrust_norm, const math::Vec3& ang_accel) const;
+
+ private:
+  MixerConfig cfg_;
+};
+
+}  // namespace uavres::control

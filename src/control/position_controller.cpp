@@ -1,0 +1,86 @@
+#include "control/position_controller.h"
+
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::control {
+
+using math::Clamp;
+using math::kGravity;
+using math::Quat;
+using math::Vec3;
+
+PositionController::PositionController(const PositionControlConfig& cfg)
+    : cfg_(cfg), vel_pid_(cfg.vel_xy, cfg.vel_z) {}
+
+void PositionController::Reset() {
+  vel_pid_.Reset();
+  vel_sp_ = Vec3::Zero();
+}
+
+AttitudeSetpoint PositionController::Update(const PositionSetpoint& sp, const Vec3& pos_est,
+                                            const Vec3& vel_est, double dt) {
+  // Position P-loop -> velocity setpoint, with per-leg cruise-speed limit.
+  const Vec3 pos_err = sp.pos - pos_est;
+  Vec3 vel_sp{pos_err.x * cfg_.pos_p_xy, pos_err.y * cfg_.pos_p_xy, pos_err.z * cfg_.pos_p_z};
+  vel_sp += sp.vel_ff;
+
+  const double max_h = std::min(sp.cruise_speed, cfg_.max_vel_xy);
+  const double h = vel_sp.NormXY();
+  if (h > max_h && h > 1e-9) {
+    vel_sp.x *= max_h / h;
+    vel_sp.y *= max_h / h;
+  }
+  vel_sp.z = Clamp(vel_sp.z, -cfg_.max_vel_z_up, cfg_.max_vel_z_down);
+  vel_sp_ = vel_sp;
+
+  // Velocity PID -> desired rotor acceleration (world frame).
+  const Vec3 accel_sp = vel_pid_.Update(vel_sp - vel_est, dt);
+  return ThrustVectorToAttitude(accel_sp, sp.yaw, cfg_);
+}
+
+AttitudeSetpoint ThrustVectorToAttitude(const Vec3& accel_sp_ned, double yaw,
+                                        const PositionControlConfig& cfg) {
+  // The rotors must produce acceleration a_sp - g (NED, g points +z), i.e.
+  // a thrust vector pointing mostly "up" (-z).
+  Vec3 thrust_vec = accel_sp_ned - Vec3{0.0, 0.0, kGravity};
+
+  // Tilt limit: constrain the horizontal component relative to the vertical.
+  const double vert = -thrust_vec.z;  // positive up
+  if (vert > 1e-6) {
+    const double max_horiz = vert * std::tan(cfg.max_tilt_rad);
+    const double horiz = thrust_vec.NormXY();
+    if (horiz > max_horiz && horiz > 1e-9) {
+      thrust_vec.x *= max_horiz / horiz;
+      thrust_vec.y *= max_horiz / horiz;
+    }
+  } else {
+    // Demanding downward thrust is impossible for a multirotor; fall back to
+    // minimum collective pointing up.
+    thrust_vec = Vec3{0.0, 0.0, -0.1 * kGravity};
+  }
+
+  // Desired body z axis opposes the thrust vector.
+  const Vec3 body_z = (thrust_vec * -1.0).Normalized();
+
+  // Build the frame with the desired yaw (PX4's bodyzToAttitude).
+  const Vec3 yaw_dir{std::cos(yaw), std::sin(yaw), 0.0};
+  Vec3 body_y = body_z.Cross(yaw_dir);
+  if (body_y.NormSq() < 1e-9) body_y = Vec3::UnitY();  // thrust along yaw axis
+  body_y = body_y.Normalized();
+  const Vec3 body_x = body_y.Cross(body_z);
+
+  AttitudeSetpoint out;
+  out.att = Quat::FromMat3(math::Mat3{
+      {body_x.x, body_y.x, body_z.x},
+      {body_x.y, body_y.y, body_z.y},
+      {body_x.z, body_y.z, body_z.z}});
+
+  // Collective: thrust magnitude over gravity, scaled by hover thrust.
+  const double accel_mag = thrust_vec.Norm();
+  out.thrust = Clamp(accel_mag / kGravity * cfg.hover_thrust, cfg.thrust_min, cfg.thrust_max);
+  return out;
+}
+
+}  // namespace uavres::control

@@ -1,0 +1,44 @@
+#include "core/bubble.h"
+
+#include <algorithm>
+
+namespace uavres::core {
+
+double InnerBubbleRadius(const BubbleParams& p) {
+  const double d_m = p.top_speed_ms * p.tracking_interval_s;
+  return p.drone_dimension_m + std::max(p.safety_distance_m, d_m);
+}
+
+OuterBubble::OuterBubble(const BubbleParams& p)
+    : params_(p), inner_(InnerBubbleRadius(p)), radius_(inner_) {}
+
+double OuterBubble::Update(double airspeed_ms, double distance_covered_m) {
+  // Eq. 2: scale the previously covered distance by the airspeed change.
+  // Without usable history (first instant, or hovering: the ratio is
+  // undefined) no extra allocation is predicted and Eq. 3 floors the
+  // radius at the inner bubble.
+  double predicted = 0.0;
+  if (initialized_ && prev_airspeed_ > 0.05) {
+    predicted = prev_distance_ * (airspeed_ms / prev_airspeed_);
+  }
+  prev_airspeed_ = airspeed_ms;
+  prev_distance_ = distance_covered_m;
+  initialized_ = true;
+
+  // Eq. 3 with the paper's constraint that the inner radius is the floor.
+  radius_ = params_.risk_factor * inner_ * std::max(1.0, predicted);
+  return radius_;
+}
+
+BubbleMonitor::BubbleMonitor(const BubbleParams& p)
+    : inner_(InnerBubbleRadius(p)), outer_(p) {}
+
+void BubbleMonitor::Track(double deviation_m, double airspeed_ms, double distance_covered_m) {
+  ++instants_;
+  max_deviation_ = std::max(max_deviation_, deviation_m);
+  const double outer_radius = outer_.Update(airspeed_ms, distance_covered_m);
+  if (deviation_m > inner_) ++inner_violations_;
+  if (deviation_m > outer_radius) ++outer_violations_;
+}
+
+}  // namespace uavres::core

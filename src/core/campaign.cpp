@@ -1,0 +1,115 @@
+#include "core/campaign.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace uavres::core {
+
+CampaignConfig CampaignConfig::FromEnvironment() {
+  CampaignConfig cfg;
+  if (const char* fast = std::getenv("UAVRES_FAST"); fast && fast[0] != '0') {
+    cfg.mission_limit = 3;
+  }
+  if (const char* missions = std::getenv("UAVRES_MISSIONS")) {
+    cfg.mission_limit = std::atoi(missions);
+  }
+  if (const char* threads = std::getenv("UAVRES_THREADS")) {
+    cfg.num_threads = std::atoi(threads);
+  }
+  return cfg;
+}
+
+Campaign::Campaign(const CampaignConfig& cfg) : cfg_(cfg), fleet_(BuildValenciaScenario()) {
+  if (cfg_.mission_limit > 0 &&
+      static_cast<std::size_t>(cfg_.mission_limit) < fleet_.size()) {
+    fleet_.resize(static_cast<std::size_t>(cfg_.mission_limit));
+  }
+}
+
+std::vector<FaultSpec> Campaign::GridFaults() const {
+  std::vector<FaultSpec> grid;
+  grid.reserve(cfg_.durations.size() * kAllFaultTypes.size() * kAllFaultTargets.size());
+  for (double duration : cfg_.durations) {
+    for (FaultTarget target : kAllFaultTargets) {
+      for (FaultType type : kAllFaultTypes) {
+        FaultSpec f;
+        f.type = type;
+        f.target = target;
+        f.start_time_s = cfg_.injection_start_s;
+        f.duration_s = duration;
+        grid.push_back(f);
+      }
+    }
+  }
+  return grid;
+}
+
+CampaignResults Campaign::Run(
+    const std::function<void(std::size_t, std::size_t)>& progress) const {
+  const uav::SimulationRunner runner(cfg_.run);
+  // Faulty runs only need metrics; skip trajectory recording to bound memory.
+  uav::RunConfig faulty_cfg = cfg_.run;
+  faulty_cfg.record_trajectory = false;
+  const uav::SimulationRunner faulty_runner(faulty_cfg);
+  const auto grid = GridFaults();
+
+  CampaignResults results;
+  results.gold.resize(fleet_.size());
+  results.gold_trajectories.resize(fleet_.size());
+  results.faulty.resize(fleet_.size() * grid.size());
+
+  const std::size_t total = results.gold.size() + results.faulty.size();
+  std::atomic<std::size_t> done{0};
+
+  unsigned n_threads = cfg_.num_threads > 0 ? static_cast<unsigned>(cfg_.num_threads)
+                                            : std::thread::hardware_concurrency();
+  if (n_threads == 0) n_threads = 2;
+
+  auto report = [&] {
+    const std::size_t d = ++done;
+    if (progress) progress(d, total);
+  };
+
+  // Phase 1: gold runs (references needed before any faulty run).
+  {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1); i < fleet_.size(); i = next.fetch_add(1)) {
+        auto out = runner.RunGold(fleet_[i], static_cast<int>(i), cfg_.seed_base);
+        results.gold[i] = out.result;
+        results.gold_trajectories[i] = std::move(out.trajectory);
+        report();
+      }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t + 1 < n_threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (auto& th : pool) th.join();
+  }
+
+  // Phase 2: faulty runs, flat (mission, fault) grid.
+  {
+    std::atomic<std::size_t> next{0};
+    const std::size_t n_jobs = results.faulty.size();
+    auto worker = [&] {
+      for (std::size_t j = next.fetch_add(1); j < n_jobs; j = next.fetch_add(1)) {
+        const std::size_t mission = j / grid.size();
+        const std::size_t fault = j % grid.size();
+        auto out = faulty_runner.RunWithFault(fleet_[mission], static_cast<int>(mission),
+                                       grid[fault], results.gold_trajectories[mission],
+                                       cfg_.seed_base);
+        results.faulty[j] = out.result;
+        report();
+      }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t + 1 < n_threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (auto& th : pool) th.join();
+  }
+
+  return results;
+}
+
+}  // namespace uavres::core

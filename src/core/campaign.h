@@ -1,0 +1,63 @@
+// Fault-injection campaign: the paper's full experiment grid.
+//
+// 10 missions x 7 fault types x 3 targets x 4 durations = 840 faulty runs,
+// plus 10 gold (fault-free) reference runs — 850 experiments total. Gold
+// trajectories serve as the references for bubble-violation counting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/fault_model.h"
+#include "core/metrics.h"
+#include "core/scenario.h"
+#include "telemetry/trajectory.h"
+#include "uav/simulation_runner.h"
+
+namespace uavres::core {
+
+/// Campaign configuration.
+struct CampaignConfig {
+  std::uint64_t seed_base{2024};
+  std::vector<double> durations{kInjectionDurations.begin(), kInjectionDurations.end()};
+  double injection_start_s{kInjectionStartS};
+  int num_threads{0};        ///< 0: hardware_concurrency
+  int mission_limit{0};      ///< 0: all 10; N > 0: first N missions (dev mode)
+  uav::RunConfig run;
+
+  /// Reads UAVRES_FAST / UAVRES_MISSIONS / UAVRES_THREADS from the
+  /// environment for quick developer runs (see DESIGN.md §4).
+  static CampaignConfig FromEnvironment();
+};
+
+/// All results of a campaign.
+struct CampaignResults {
+  std::vector<MissionResult> gold;
+  std::vector<MissionResult> faulty;
+  std::vector<telemetry::Trajectory> gold_trajectories;  ///< by mission index
+
+  std::size_t TotalRuns() const { return gold.size() + faulty.size(); }
+};
+
+/// Runs the grid deterministically (results independent of thread count).
+class Campaign {
+ public:
+  explicit Campaign(const CampaignConfig& cfg = {});
+
+  /// The fleet under test (possibly mission-limited).
+  const std::vector<DroneSpec>& fleet() const { return fleet_; }
+
+  /// Full list of fault specs in the grid (21 per duration).
+  std::vector<FaultSpec> GridFaults() const;
+
+  /// Execute gold + faulty runs. `progress` (optional) is called with
+  /// (completed, total) as runs finish.
+  CampaignResults Run(const std::function<void(std::size_t, std::size_t)>& progress = {}) const;
+
+ private:
+  CampaignConfig cfg_;
+  std::vector<DroneSpec> fleet_;
+};
+
+}  // namespace uavres::core

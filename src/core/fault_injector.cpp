@@ -1,0 +1,99 @@
+#include "core/fault_injector.h"
+
+#include <cmath>
+
+namespace uavres::core {
+
+using math::Vec3;
+using sensors::ImuSample;
+
+FaultInjector::FaultInjector(const FaultSpec& spec, const sensors::ImuRanges& ranges,
+                             math::Rng rng, const FaultNoiseConfig& noise,
+                             const ExtendedFaultConfig& ext)
+    : spec_(spec), ranges_(ranges), rng_(rng), noise_(noise), ext_(ext) {
+  // kFixed draws its constant once per experiment — "a Random constant value".
+  fixed_accel_ = rng_.UniformVec3(-ranges_.accel.limit, ranges_.accel.limit);
+  fixed_gyro_ = rng_.UniformVec3(-ranges_.gyro.limit, ranges_.gyro.limit);
+}
+
+Vec3 FaultInjector::CorruptAxis(const Vec3& truth, bool is_accel, int unit, double t) {
+  (void)unit;
+  (void)t;
+  const double limit = is_accel ? ranges_.accel.limit : ranges_.gyro.limit;
+  switch (spec_.type) {
+    case FaultType::kFixed:
+      return is_accel ? fixed_accel_ : fixed_gyro_;
+    case FaultType::kZeros:
+      return Vec3::Zero();
+    case FaultType::kFreeze:
+      // Caller substitutes the frozen sample; reaching here means the frozen
+      // sample is this one (first in-window sample), so pass it through.
+      return truth;
+    case FaultType::kRandom:
+      return rng_.UniformVec3(-limit, limit);
+    case FaultType::kMin:
+      return {-limit, -limit, -limit};
+    case FaultType::kMax:
+      return {limit, limit, limit};
+    case FaultType::kNoise: {
+      const double sigma = is_accel ? noise_.accel_sigma_mps2 : noise_.gyro_sigma_rads;
+      return (truth + rng_.GaussianVec3(sigma)).CwiseClamp(-limit, limit);
+    }
+    case FaultType::kScale:
+      return (truth * ext_.scale_factor).CwiseClamp(-limit, limit);
+    case FaultType::kStuckAxis:
+      // Handled by the caller (needs the per-unit frozen sample).
+      return truth;
+    case FaultType::kIntermittent: {
+      const double phase =
+          std::fmod(t - spec_.start_time_s, ext_.intermittent_period_s);
+      if (phase < ext_.intermittent_duty * ext_.intermittent_period_s) {
+        return rng_.UniformVec3(-limit, limit);  // burst
+      }
+      return truth;  // healthy gap
+    }
+    case FaultType::kDrift: {
+      const double rate = is_accel ? ext_.drift_rate_accel : ext_.drift_rate_gyro;
+      const double ramp = rate * (t - spec_.start_time_s);
+      return (truth + Vec3{ramp, ramp, ramp}).CwiseClamp(-limit, limit);
+    }
+  }
+  return truth;
+}
+
+ImuSample FaultInjector::Apply(const ImuSample& truth, int unit, double t) {
+  if (!spec_.ActiveAt(t)) {
+    frozen_[unit].reset();
+    return truth;
+  }
+
+  ImuSample out = truth;
+
+  if (spec_.type == FaultType::kFreeze) {
+    if (!frozen_[unit]) frozen_[unit] = truth;  // capture at injection start
+    if (spec_.AffectsAccel()) out.accel_mps2 = frozen_[unit]->accel_mps2;
+    if (spec_.AffectsGyro()) out.gyro_rads = frozen_[unit]->gyro_rads;
+    return out;
+  }
+
+  if (spec_.type == FaultType::kStuckAxis) {
+    if (!frozen_[unit]) frozen_[unit] = truth;  // capture at injection start
+    const int axis = ext_.stuck_axis;
+    if (spec_.AffectsAccel()) out.accel_mps2[axis] = frozen_[unit]->accel_mps2[axis];
+    if (spec_.AffectsGyro()) out.gyro_rads[axis] = frozen_[unit]->gyro_rads[axis];
+    return out;
+  }
+
+  if (spec_.AffectsAccel()) out.accel_mps2 = CorruptAxis(truth.accel_mps2, true, unit, t);
+  if (spec_.AffectsGyro()) out.gyro_rads = CorruptAxis(truth.gyro_rads, false, unit, t);
+  return out;
+}
+
+std::array<ImuSample, FaultInjector::kMaxUnits> FaultInjector::ApplyAll(
+    const std::array<ImuSample, kMaxUnits>& truth, double t) {
+  std::array<ImuSample, kMaxUnits> out;
+  for (int i = 0; i < kMaxUnits; ++i) out[i] = Apply(truth[i], i, t);
+  return out;
+}
+
+}  // namespace uavres::core

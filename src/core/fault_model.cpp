@@ -1,0 +1,49 @@
+#include "core/fault_model.h"
+
+namespace uavres::core {
+
+const char* ToString(FaultType t) {
+  switch (t) {
+    case FaultType::kFixed:
+      return "Fixed Value";
+    case FaultType::kZeros:
+      return "Zeros";
+    case FaultType::kFreeze:
+      return "Freeze";
+    case FaultType::kRandom:
+      return "Random";
+    case FaultType::kMin:
+      return "Min";
+    case FaultType::kMax:
+      return "Max";
+    case FaultType::kNoise:
+      return "Noise";
+    case FaultType::kScale:
+      return "Scale";
+    case FaultType::kStuckAxis:
+      return "Stuck Axis";
+    case FaultType::kIntermittent:
+      return "Intermittent";
+    case FaultType::kDrift:
+      return "Drift";
+  }
+  return "?";
+}
+
+const char* ToString(FaultTarget t) {
+  switch (t) {
+    case FaultTarget::kAccelerometer:
+      return "Acc";
+    case FaultTarget::kGyrometer:
+      return "Gyro";
+    case FaultTarget::kImu:
+      return "IMU";
+  }
+  return "?";
+}
+
+std::string FaultLabel(FaultTarget target, FaultType type) {
+  return std::string(ToString(target)) + " " + ToString(type);
+}
+
+}  // namespace uavres::core

@@ -1,0 +1,62 @@
+#include "core/gps_fault_injector.h"
+
+#include <cmath>
+
+namespace uavres::core {
+
+using math::Vec3;
+using sensors::GpsSample;
+
+const char* ToString(GpsFaultType t) {
+  switch (t) {
+    case GpsFaultType::kDropout:
+      return "GPS Dropout";
+    case GpsFaultType::kFreeze:
+      return "GPS Freeze";
+    case GpsFaultType::kJump:
+      return "GPS Jump";
+    case GpsFaultType::kDrift:
+      return "GPS Drift";
+    case GpsFaultType::kNoise:
+      return "GPS Noise";
+  }
+  return "?";
+}
+
+GpsFaultInjector::GpsFaultInjector(const GpsFaultSpec& spec, math::Rng rng)
+    : spec_(spec), rng_(rng) {
+  const double heading = rng_.Uniform(0.0, math::kTwoPi);
+  direction_ = {std::cos(heading), std::sin(heading), 0.0};
+}
+
+GpsSample GpsFaultInjector::Apply(const GpsSample& truth, double t) {
+  if (!spec_.ActiveAt(t)) {
+    frozen_.reset();
+    return truth;
+  }
+
+  GpsSample out = truth;
+  switch (spec_.type) {
+    case GpsFaultType::kDropout:
+      out.valid = false;
+      break;
+    case GpsFaultType::kFreeze:
+      if (!frozen_) frozen_ = truth;
+      out = *frozen_;
+      out.t = truth.t;  // receiver still stamps the stale fix
+      break;
+    case GpsFaultType::kJump:
+      out.pos_ned_m += direction_ * spec_.jump_magnitude_m;
+      break;
+    case GpsFaultType::kDrift:
+      out.pos_ned_m += direction_ * (spec_.drift_rate_ms * (t - spec_.start_time_s));
+      break;
+    case GpsFaultType::kNoise:
+      out.pos_ned_m += rng_.GaussianVec3(spec_.noise_sigma_m);
+      out.vel_ned_mps += rng_.GaussianVec3(spec_.noise_sigma_m * 0.3);
+      break;
+  }
+  return out;
+}
+
+}  // namespace uavres::core

@@ -1,0 +1,19 @@
+#include "core/metrics.h"
+
+namespace uavres::core {
+
+const char* ToString(MissionOutcome o) {
+  switch (o) {
+    case MissionOutcome::kCompleted:
+      return "completed";
+    case MissionOutcome::kCrashed:
+      return "crashed";
+    case MissionOutcome::kFailsafe:
+      return "failsafe";
+    case MissionOutcome::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+}  // namespace uavres::core

@@ -1,0 +1,60 @@
+// Evaluation metrics (paper §III-D): mission outcome, bubble violations,
+// flight duration and EKF-estimated distance traveled.
+#pragma once
+
+#include <string>
+
+#include "core/fault_model.h"
+#include "nav/health_monitor.h"
+
+namespace uavres::core {
+
+/// Terminal outcome of one flight.
+///
+/// kCompleted — landed at the destination, no crash, no failsafe.
+/// kCrashed   — physical crash (hard impact / tip-over / flyaway) before any
+///              failsafe activation.
+/// kFailsafe  — the flight controller engaged failsafe before any crash;
+///              Table IV counts these as "Failsafe" failures even if the
+///              subsequent descent ends hard.
+/// kTimeout   — neither landed nor crashed within the time budget (counted
+///              as a failsafe-class failure in Table IV, see EXPERIMENTS.md).
+enum class MissionOutcome {
+  kCompleted,
+  kCrashed,
+  kFailsafe,
+  kTimeout,
+};
+
+const char* ToString(MissionOutcome o);
+
+/// Everything the campaign records about one flight.
+struct MissionResult {
+  int mission_index{0};
+  std::string mission_name;
+  bool is_gold{false};
+  FaultSpec fault;  ///< meaningful only when !is_gold
+
+  MissionOutcome outcome{MissionOutcome::kCompleted};
+  double flight_duration_s{0.0};   ///< takeoff to land/disarm or crash
+  double distance_km{0.0};         ///< EKF-estimated path length
+  int inner_violations{0};
+  int outer_violations{0};
+  double max_deviation_m{0.0};
+
+  nav::FailsafeReason failsafe_reason{nav::FailsafeReason::kNone};
+  double failsafe_time_s{0.0};
+  std::string crash_reason;
+  double crash_time_s{0.0};
+
+  bool Completed() const { return outcome == MissionOutcome::kCompleted; }
+  bool Failed() const { return !Completed(); }
+
+  /// Table IV classification: failed missions split into crash vs failsafe.
+  bool CountsAsCrash() const { return outcome == MissionOutcome::kCrashed; }
+  bool CountsAsFailsafe() const {
+    return outcome == MissionOutcome::kFailsafe || outcome == MissionOutcome::kTimeout;
+  }
+};
+
+}  // namespace uavres::core

@@ -1,0 +1,110 @@
+#include "core/scenario.h"
+
+#include "math/num.h"
+
+namespace uavres::core {
+
+using math::GeoPoint;
+using math::KmhToMs;
+using math::Vec3;
+
+namespace {
+
+/// Cruise altitude: just under the 60 ft VLL ceiling.
+constexpr double kCruiseAltM = 15.0;
+
+/// Build one spec. `waypoints_xy` are horizontal NED offsets from the home
+/// position; altitude is applied uniformly.
+DroneSpec MakeSpec(std::string name, double speed_kmh, double mass_kg, double wingspan_m,
+                   GeoPoint home, std::vector<std::pair<double, double>> waypoints_xy,
+                   bool turning) {
+  DroneSpec s;
+  s.name = std::move(name);
+  s.cruise_speed_kmh = speed_kmh;
+  s.mass_kg = mass_kg;
+  s.wingspan_m = wingspan_m;
+  s.safety_distance_m = 1.5 + 0.5 * (mass_kg > 1.8);
+  s.has_turning_points = turning;
+  s.home_geo = home;
+
+  s.plan.name = s.name;
+  s.plan.home = Vec3::Zero();
+  s.plan.cruise_speed_ms = KmhToMs(speed_kmh);
+  s.plan.takeoff_altitude_m = kCruiseAltM;
+  s.plan.acceptance_radius_m = 2.0;
+  s.plan.waypoints.reserve(waypoints_xy.size() + 1);
+  // The first cruise waypoint sits directly above home.
+  s.plan.waypoints.push_back({0.0, 0.0, -kCruiseAltM});
+  for (const auto& [x, y] : waypoints_xy) {
+    s.plan.waypoints.push_back({x, y, -kCruiseAltM});
+  }
+  return s;
+}
+
+}  // namespace
+
+BubbleParams DroneSpec::MakeBubbleParams() const {
+  BubbleParams p;
+  p.drone_dimension_m = wingspan_m;
+  p.safety_distance_m = safety_distance_m;
+  p.top_speed_ms = KmhToMs(cruise_speed_kmh) * top_speed_factor;
+  p.tracking_interval_s = 0.5;
+  p.risk_factor = 1.0;
+  return p;
+}
+
+sim::QuadrotorParams DroneSpec::MakeAirframe() const {
+  auto p = sim::MakeQuadrotorParams(mass_kg, 2.0);
+  p.arm_length_m = 0.18 + 0.14 * wingspan_m;  // geometric similarity
+  return p;
+}
+
+GeoPoint ScenarioOrigin() { return {39.4699, -0.3763, 0.0}; }
+
+double ScenarioCeilingM() { return math::FeetToMeters(60.0); }
+
+std::vector<DroneSpec> BuildValenciaScenario() {
+  const GeoPoint o = ScenarioOrigin();
+  auto offset = [&](double north_m, double east_m) {
+    // Approximate geodetic placement within the 25 km^2 operations area.
+    return GeoPoint{o.lat_deg + north_m / 111000.0,
+                    o.lon_deg + east_m / (111000.0 * 0.7716), 0.0};
+  };
+
+  std::vector<DroneSpec> fleet;
+  fleet.reserve(10);
+
+  // 2 drones at 5 km/h (light quads, short hops).
+  fleet.push_back(MakeSpec("VLC-01 N-S slow", 5.0, 1.2, 0.45, offset(2000, -1500),
+                           {{-625, 0}}, false));
+  fleet.push_back(MakeSpec("VLC-02 E-W slow", 5.0, 1.2, 0.45, offset(1500, 1800),
+                           {{0, -625}}, false));
+
+  // 1 drone at 10 km/h.
+  fleet.push_back(MakeSpec("VLC-03 S-N", 10.0, 1.4, 0.50, offset(-2000, -500),
+                           {{1250, 0}}, false));
+
+  // 3 drones at 12 km/h; two carry turning points.
+  fleet.push_back(MakeSpec("VLC-04 W-E", 12.0, 1.5, 0.55, offset(500, -2200),
+                           {{0, 1500}}, false));
+  fleet.push_back(MakeSpec("VLC-05 N-S turn", 12.0, 1.6, 0.55, offset(2200, 500),
+                           {{-900, 0}, {-900, -600}}, true));
+  fleet.push_back(MakeSpec("VLC-06 E-W zigzag", 12.0, 1.6, 0.55, offset(-500, 2200),
+                           {{0, -250}, {-450, -250}, {-450, -1050}}, true));
+
+  // 3 drones at 14 km/h; one with a turning point.
+  fleet.push_back(MakeSpec("VLC-07 S-N", 14.0, 1.7, 0.60, offset(-2300, 800),
+                           {{1750, 0}}, false));
+  fleet.push_back(MakeSpec("VLC-08 diagonal turn", 14.0, 1.7, 0.60, offset(-1200, -1800),
+                           {{300, 300}, {1300, 300}, {1300, 500}}, true));
+  fleet.push_back(MakeSpec("VLC-09 W-E", 14.0, 1.8, 0.60, offset(0, -2400),
+                           {{0, 1750}}, false));
+
+  // 1 fast courier at 25 km/h with a turning point (the paper's Fig. 3 drone).
+  fleet.push_back(MakeSpec("VLC-10 fast courier", 25.0, 2.2, 0.80, offset(2400, -300),
+                           {{-2000, 0}, {-2000, -1125}}, true));
+
+  return fleet;
+}
+
+}  // namespace uavres::core

@@ -1,0 +1,48 @@
+// The ten-mission U-space scenario (paper §III-B).
+//
+// The study flies 10 missions in a high-density urban area (Valencia, Spain;
+// 25 km^2, 60 ft ceiling) with the fleet mix: 2 drones at 5 km/h, 1 at
+// 10 km/h, 3 at 12 km/h, 3 at 14 km/h and 1 at 25 km/h; headings cover
+// N-S / E-W and reverses, and 4 missions contain turning points. Mission leg
+// lengths are sized so nominal flights last ~490 s, matching the paper's
+// gold-run duration.
+#pragma once
+
+#include <vector>
+
+#include "core/bubble.h"
+#include "math/geo.h"
+#include "nav/mission.h"
+#include "sim/quadrotor.h"
+
+namespace uavres::core {
+
+/// One drone + mission pairing from the scenario.
+struct DroneSpec {
+  std::string name;
+  double cruise_speed_kmh{12.0};
+  double mass_kg{1.5};
+  double wingspan_m{0.55};          ///< D_o for the inner bubble
+  double safety_distance_m{1.5};    ///< D_s (manufacturer recommendation)
+  double top_speed_factor{1.4};     ///< top speed = cruise * factor
+  bool has_turning_points{false};
+  math::GeoPoint home_geo;          ///< location in the shared Valencia frame
+  nav::MissionPlan plan;            ///< mission in the drone's local NED frame
+
+  /// Bubble parameters derived from the spec (1 Hz tracking, R = 1).
+  BubbleParams MakeBubbleParams() const;
+
+  /// Airframe parameters derived from the spec.
+  sim::QuadrotorParams MakeAirframe() const;
+};
+
+/// Geodetic anchor of the scenario (urban centre of Valencia).
+math::GeoPoint ScenarioOrigin();
+
+/// Build the full 10-mission scenario. Deterministic.
+std::vector<DroneSpec> BuildValenciaScenario();
+
+/// The scenario's altitude ceiling [m] (60 ft).
+double ScenarioCeilingM();
+
+}  // namespace uavres::core

@@ -1,0 +1,69 @@
+// Streaming statistics helpers for experiment analysis.
+//
+// The paper reports single-campaign means; these helpers support the
+// repository's robustness analyses (seed sensitivity, per-mission spread)
+// with numerically stable one-pass accumulation (Welford's algorithm).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace uavres::core {
+
+/// One-pass mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  long long Count() const { return n_; }
+  double Mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double Variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  double Min() const { return n_ > 0 ? min_ : 0.0; }
+  double Max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Half-width of the ~95% confidence interval of the mean (normal
+  /// approximation, 1.96 sigma / sqrt(n)); 0 with fewer than two samples.
+  double ConfidenceHalfWidth95() const {
+    return n_ > 1 ? 1.96 * StdDev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  /// Merge another accumulator (parallel reduction).
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  long long n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace uavres::core

@@ -1,0 +1,186 @@
+#include "core/tables.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace uavres::core {
+namespace {
+
+/// Incremental averaging accumulator over MissionResults.
+struct Accumulator {
+  double inner{0.0};
+  double outer{0.0};
+  double duration{0.0};
+  double distance{0.0};
+  int completed{0};
+  int crashed{0};
+  int failsafed{0};
+  int runs{0};
+
+  void Add(const MissionResult& r) {
+    inner += r.inner_violations;
+    outer += r.outer_violations;
+    duration += r.flight_duration_s;
+    distance += r.distance_km;
+    completed += r.Completed() ? 1 : 0;
+    crashed += r.CountsAsCrash() ? 1 : 0;
+    failsafed += r.CountsAsFailsafe() ? 1 : 0;
+    ++runs;
+  }
+
+  SummaryRow ToSummary(std::string label) const {
+    SummaryRow row;
+    row.label = std::move(label);
+    if (runs > 0) {
+      row.inner_violations = inner / runs;
+      row.outer_violations = outer / runs;
+      row.completion_pct = 100.0 * completed / runs;
+      row.duration_s = duration / runs;
+      row.distance_km = distance / runs;
+    }
+    row.runs = runs;
+    return row;
+  }
+
+  FailureRow ToFailure(std::string label) const {
+    FailureRow row;
+    row.label = std::move(label);
+    row.runs = runs;
+    const int failed = runs - completed;
+    if (runs > 0) row.failed_pct = 100.0 * failed / runs;
+    if (failed > 0) {
+      row.crash_pct = 100.0 * crashed / failed;
+      row.failsafe_pct = 100.0 * failsafed / failed;
+    }
+    return row;
+  }
+};
+
+std::string DurationLabel(double d) {
+  std::ostringstream os;
+  os << static_cast<int>(d) << " seconds";
+  return os.str();
+}
+
+Accumulator GoldAccumulator(const CampaignResults& results) {
+  Accumulator acc;
+  for (const auto& r : results.gold) acc.Add(r);
+  return acc;
+}
+
+}  // namespace
+
+std::vector<SummaryRow> BuildTable2(const CampaignResults& results) {
+  std::vector<SummaryRow> rows;
+  rows.push_back(GoldAccumulator(results).ToSummary("Gold Run"));
+
+  std::map<double, Accumulator> by_duration;
+  for (const auto& r : results.faulty) by_duration[r.fault.duration_s].Add(r);
+  for (const auto& [duration, acc] : by_duration) {
+    rows.push_back(acc.ToSummary(DurationLabel(duration)));
+  }
+  return rows;
+}
+
+std::vector<SummaryRow> BuildTable3(const CampaignResults& results) {
+  std::vector<SummaryRow> rows;
+  rows.push_back(GoldAccumulator(results).ToSummary("Gold Run"));
+
+  // Group by (target, type); keep the paper's ordering: Acc block, Gyro
+  // block, IMU block, each sorted by completion percentage descending.
+  std::map<std::pair<int, int>, Accumulator> groups;
+  for (const auto& r : results.faulty) {
+    groups[{static_cast<int>(r.fault.target), static_cast<int>(r.fault.type)}].Add(r);
+  }
+  for (FaultTarget target : kAllFaultTargets) {
+    std::vector<SummaryRow> block;
+    for (const auto& [key, acc] : groups) {
+      if (key.first != static_cast<int>(target)) continue;
+      block.push_back(
+          acc.ToSummary(FaultLabel(target, static_cast<FaultType>(key.second))));
+    }
+    std::stable_sort(block.begin(), block.end(), [](const SummaryRow& a, const SummaryRow& b) {
+      return a.completion_pct > b.completion_pct;
+    });
+    rows.insert(rows.end(), block.begin(), block.end());
+  }
+  return rows;
+}
+
+std::vector<SummaryRow> BuildPerMissionTable(const CampaignResults& results) {
+  std::vector<SummaryRow> rows;
+  rows.push_back(GoldAccumulator(results).ToSummary("Gold Run"));
+
+  std::map<int, Accumulator> by_mission;
+  std::map<int, std::string> names;
+  for (const auto& r : results.faulty) {
+    by_mission[r.mission_index].Add(r);
+    if (!r.mission_name.empty()) names[r.mission_index] = r.mission_name;
+  }
+  for (const auto& [mission, acc] : by_mission) {
+    const auto it = names.find(mission);
+    rows.push_back(acc.ToSummary(it != names.end() && !it->second.empty()
+                                     ? it->second
+                                     : "mission " + std::to_string(mission)));
+  }
+  return rows;
+}
+
+std::vector<FailureRow> BuildTable4(const CampaignResults& results) {
+  std::vector<FailureRow> rows;
+  rows.push_back(GoldAccumulator(results).ToFailure("Gold Run"));
+
+  std::map<double, Accumulator> by_duration;
+  std::map<int, Accumulator> by_target;
+  for (const auto& r : results.faulty) {
+    by_duration[r.fault.duration_s].Add(r);
+    by_target[static_cast<int>(r.fault.target)].Add(r);
+  }
+  for (const auto& [duration, acc] : by_duration) {
+    rows.push_back(acc.ToFailure(DurationLabel(duration)));
+  }
+  for (FaultTarget target : kAllFaultTargets) {
+    const auto it = by_target.find(static_cast<int>(target));
+    if (it == by_target.end()) continue;
+    rows.push_back(it->second.ToFailure(ToString(target)));
+  }
+  return rows;
+}
+
+std::string FormatSummaryTable(const std::string& title, const std::string& group_header,
+                               const std::vector<SummaryRow>& rows) {
+  std::ostringstream os;
+  os << title << '\n';
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-18s %12s %12s %12s %12s %12s %6s\n", group_header.c_str(),
+                "Inner (#)", "Outer (#)", "Compl. (%)", "Dur. (s)", "Dist (km)", "Runs");
+  os << buf;
+  os << std::string(90, '-') << '\n';
+  for (const auto& r : rows) {
+    std::snprintf(buf, sizeof(buf), "%-18s %12.2f %12.2f %11.2f%% %12.2f %12.2f %6d\n",
+                  r.label.c_str(), r.inner_violations, r.outer_violations, r.completion_pct,
+                  r.duration_s, r.distance_km, r.runs);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string FormatFailureTable(const std::string& title, const std::vector<FailureRow>& rows) {
+  std::ostringstream os;
+  os << title << '\n';
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-18s %16s %12s %14s %6s\n", "Injection Type", "Failed (%)",
+                "Crash (%)", "Failsafe (%)", "Runs");
+  os << buf;
+  os << std::string(72, '-') << '\n';
+  for (const auto& r : rows) {
+    std::snprintf(buf, sizeof(buf), "%-18s %15.2f%% %11.2f%% %13.2f%% %6d\n", r.label.c_str(),
+                  r.failed_pct, r.crash_pct, r.failsafe_pct, r.runs);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace uavres::core

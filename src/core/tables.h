@@ -1,0 +1,52 @@
+// Aggregation of campaign results into the paper's Tables II, III and IV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/metrics.h"
+
+namespace uavres::core {
+
+/// Shared summary cell set (Tables II and III share the same columns).
+struct SummaryRow {
+  std::string label;
+  double inner_violations{0.0};   ///< average per mission
+  double outer_violations{0.0};
+  double completion_pct{0.0};
+  double duration_s{0.0};
+  double distance_km{0.0};
+  int runs{0};
+};
+
+/// Table II: averages grouped by injection duration (+ the gold row).
+std::vector<SummaryRow> BuildTable2(const CampaignResults& results);
+
+/// Table III: averages grouped by (target, fault type), sorted by completion
+/// percentage (descending) within each target group, gold row first.
+std::vector<SummaryRow> BuildTable3(const CampaignResults& results);
+
+/// Table IV row: failure decomposition.
+struct FailureRow {
+  std::string label;
+  double failed_pct{0.0};    ///< of all runs in the group
+  double crash_pct{0.0};     ///< of the failed runs
+  double failsafe_pct{0.0};  ///< of the failed runs
+  int runs{0};
+};
+
+/// Table IV: gold row, then per-duration rows, then per-target rows.
+std::vector<FailureRow> BuildTable4(const CampaignResults& results);
+
+/// Extension: averages grouped by mission (exposes the speed/airframe
+/// dependence that the paper's fault- and duration-aggregates average out).
+/// Ordered by mission index; gold row first.
+std::vector<SummaryRow> BuildPerMissionTable(const CampaignResults& results);
+
+/// Aligned ASCII rendering (monospace) of the tables.
+std::string FormatSummaryTable(const std::string& title, const std::string& group_header,
+                               const std::vector<SummaryRow>& rows);
+std::string FormatFailureTable(const std::string& title, const std::vector<FailureRow>& rows);
+
+}  // namespace uavres::core

@@ -1,0 +1,39 @@
+#include "estimation/complementary_filter.h"
+
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::estimation {
+
+using math::Quat;
+using math::Vec3;
+
+void ComplementaryFilter::Update(const sensors::ImuSample& imu, double dt) {
+  // Gravity direction correction: the accelerometer should read -g along
+  // body "up" when unaccelerated. Only trust it near 1 g magnitude.
+  Vec3 correction;
+  const double norm = imu.accel_mps2.Norm();
+  if (norm > 0.5 * math::kGravity && norm < 1.5 * math::kGravity) {
+    const Vec3 meas_up = (imu.accel_mps2 * -1.0).Normalized();  // body-frame up
+    const Vec3 ref_up = att_.RotateInverse(Vec3{0.0, 0.0, -1.0});
+    // Error rotation that takes the predicted up onto the measured up.
+    const Vec3 err = ref_up.Cross(meas_up);
+    correction += err * cfg_.accel_gain;
+    gyro_bias_ -= err * cfg_.bias_gain * dt;
+  }
+
+  const Vec3 omega = imu.gyro_rads - gyro_bias_ + correction;
+  att_ = att_.Integrated(omega, dt);
+}
+
+void ComplementaryFilter::UpdateMag(const sensors::MagSample& mag, double dt) {
+  const Vec3 field_world = att_.Rotate(mag.field_body);
+  if (field_world.NormXY() < 0.05) return;
+  const double yaw_err = std::atan2(field_world.y, field_world.x);
+  // First-order pull of the world-frame yaw toward the field direction.
+  const double angle = -yaw_err * math::Clamp(cfg_.mag_gain * dt, 0.0, 1.0);
+  att_ = (Quat::FromAxisAngle(Vec3::UnitZ(), angle) * att_).Normalized();
+}
+
+}  // namespace uavres::estimation

@@ -1,0 +1,302 @@
+#include "estimation/ekf.h"
+
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::estimation {
+
+using math::Clamp;
+using math::kGravity;
+using math::Mat3;
+using math::Matrix;
+using math::Quat;
+using math::Sq;
+using math::Vec3;
+using math::VecN;
+using math::WrapPi;
+
+namespace {
+constexpr int kP = 0;    // position error rows
+constexpr int kV = 3;    // velocity error rows
+constexpr int kTh = 6;   // attitude error rows
+constexpr int kBg = 9;   // gyro bias rows
+constexpr int kBa = 12;  // accel bias rows
+
+const Vec3 kGravityNed{0.0, 0.0, kGravity};
+}  // namespace
+
+Ekf::Ekf(const EkfConfig& cfg) : cfg_(cfg) { InitAtRest(Vec3::Zero(), 0.0); }
+
+void Ekf::InitAtRest(const Vec3& pos, double yaw_rad) {
+  nav_ = NavState{};
+  nav_.att = Quat::FromEuler(0.0, 0.0, yaw_rad);
+  nav_.pos = pos;
+
+  P_ = Matrix<kN, kN>::Zero();
+  for (int i = 0; i < 3; ++i) {
+    P_(kP + i, kP + i) = Sq(0.3);
+    P_(kV + i, kV + i) = Sq(0.1);
+    P_(kTh + i, kTh + i) = Sq(0.05);
+    P_(kBg + i, kBg + i) = Sq(0.01);
+    P_(kBa + i, kBa + i) = Sq(0.05);
+  }
+
+  status_ = EkfStatus{};
+  cov_step_counter_ = 0;
+  time_ = 0.0;
+  last_gps_accept_time_ = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    last_pos_axis_accept_[i] = 0.0;
+    last_vel_axis_accept_[i] = 0.0;
+  }
+  last_accel_corrected_ = -kGravityNed;  // level at rest
+}
+
+void Ekf::PredictImu(const sensors::ImuSample& imu, double dt) {
+  time_ = imu.t;
+  status_.time_since_gps_accept_s = time_ - last_gps_accept_time_;
+
+  const Vec3 omega = imu.gyro_rads - nav_.gyro_bias;
+  const Vec3 accel = imu.accel_mps2 - nav_.accel_bias;
+  last_accel_corrected_ = accel;
+  nav_.body_rate = omega;
+
+  // Nominal state propagation.
+  const Mat3 R = nav_.att.ToMat3();
+  const Vec3 accel_world = R * accel + kGravityNed;
+  nav_.pos += nav_.vel * dt + accel_world * (0.5 * dt * dt);
+  nav_.vel += accel_world * dt;
+  nav_.att = nav_.att.Integrated(omega, dt);
+
+  if (cfg_.enable_attitude_reset) MaybeResetAttitude(accel, dt);
+
+  // Covariance propagation (possibly decimated).
+  if (++cov_step_counter_ < cfg_.cov_decimation) {
+    CheckNumerics();
+    return;
+  }
+  const double cdt = cov_step_counter_ * dt;
+  cov_step_counter_ = 0;
+
+  // F = I + A * cdt with the standard error-state Jacobian blocks.
+  Matrix<kN, kN> F = Matrix<kN, kN>::Identity();
+  const Mat3 I3 = Mat3::Identity();
+  F.SetBlock3(kP, kV, I3 * cdt);
+  F.SetBlock3(kV, kTh, (R * Mat3::Skew(accel)) * -cdt);
+  F.SetBlock3(kV, kBa, R * -cdt);
+  F.SetBlock3(kTh, kTh, I3 - Mat3::Skew(omega) * cdt);
+  F.SetBlock3(kTh, kBg, I3 * -cdt);
+
+  P_ = F * P_ * F.Transposed();
+
+  const double qv = Sq(cfg_.accel_noise) * cdt;
+  const double qth = Sq(cfg_.gyro_noise) * cdt;
+  const double qbg = Sq(cfg_.gyro_bias_walk) * cdt;
+  const double qba = Sq(cfg_.accel_bias_walk) * cdt;
+  for (int i = 0; i < 3; ++i) {
+    P_(kV + i, kV + i) += qv;
+    P_(kTh + i, kTh + i) += qth;
+    P_(kBg + i, kBg + i) += qbg;
+    P_(kBa + i, kBa + i) += qba;
+  }
+  P_.Symmetrize();
+  CheckNumerics();
+}
+
+double Ekf::FuseScalar(const VecN<kN>& H, double innovation, double r, double gate) {
+  // S = H P H^T + r
+  VecN<kN> PHt;
+  for (int i = 0; i < kN; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < kN; ++j) s += P_(i, j) * H(j, 0);
+    PHt(i, 0) = s;
+  }
+  double S = r;
+  for (int i = 0; i < kN; ++i) S += H(i, 0) * PHt(i, 0);
+  if (S <= 0.0 || !math::IsFinite(S)) {
+    status_.numerically_healthy = false;
+    return 1e9;
+  }
+
+  const double ratio = Sq(innovation) / (Sq(gate) * S);
+  if (ratio > 1.0) return ratio;  // gated out
+
+  // K = P H^T / S; dx = K * innovation.
+  VecN<kN> dx;
+  for (int i = 0; i < kN; ++i) dx(i, 0) = PHt(i, 0) / S * innovation;
+
+  // P <- P - K (H P); with K = PHt/S this is P - PHt PHt^T / S.
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      P_(i, j) -= PHt(i, 0) * PHt(j, 0) / S;
+    }
+  }
+  P_.Symmetrize();
+
+  InjectErrorState(dx);
+  return ratio;
+}
+
+void Ekf::InjectErrorState(const VecN<kN>& dx) {
+  nav_.pos += math::Segment3(dx, kP);
+  nav_.vel += math::Segment3(dx, kV);
+  nav_.att = (nav_.att * Quat::FromRotationVector(math::Segment3(dx, kTh))).Normalized();
+  nav_.gyro_bias += math::Segment3(dx, kBg);
+  nav_.accel_bias += math::Segment3(dx, kBa);
+
+  // Keep bias estimates physically plausible (EKF2 limits them similarly).
+  nav_.gyro_bias = nav_.gyro_bias.CwiseClamp(-0.2, 0.2);
+  nav_.accel_bias = nav_.accel_bias.CwiseClamp(-1.5, 1.5);
+}
+
+void Ekf::FuseGps(const sensors::GpsSample& gps) {
+  if (!gps.valid) return;
+
+  double worst_pos = 0.0;
+  double worst_vel = 0.0;
+  bool any_accepted = false;
+
+  // Hard-reset one error-state row to a measured value: zero its covariance
+  // cross terms and re-seed the diagonal (EKF2's reset-to-GPS behaviour,
+  // applied per axis so a corrupted vertical channel cannot hide behind
+  // still-healthy horizontal channels).
+  auto reset_axis = [&](int row, double& state, double value, double noise,
+                        double large_limit) {
+    const double innovation = value - state;
+    for (int j = 0; j < kN; ++j) {
+      P_(row, j) = 0.0;
+      P_(j, row) = 0.0;
+    }
+    P_(row, row) = Sq(noise);
+    state = value;
+    ++status_.gps_reset_count;
+    if (std::abs(innovation) > large_limit || !math::IsFinite(innovation)) {
+      ++status_.gps_large_reset_count;
+    }
+  };
+
+  for (int axis = 0; axis < 3; ++axis) {
+    VecN<kN> H;
+    H(kP + axis, 0) = 1.0;
+    const double innov = gps.pos_ned_m[axis] - nav_.pos[axis];
+    const double ratio = FuseScalar(H, innov, Sq(cfg_.gps_pos_noise), cfg_.gps_pos_gate);
+    worst_pos = std::max(worst_pos, ratio);
+    if (ratio <= 1.0) {
+      any_accepted = true;
+      last_pos_axis_accept_[axis] = gps.t;
+    } else if (gps.t - last_pos_axis_accept_[axis] > cfg_.gps_reset_timeout_s) {
+      reset_axis(kP + axis, nav_.pos[axis], gps.pos_ned_m[axis], cfg_.gps_pos_noise,
+                 cfg_.large_reset_pos_m);
+      last_pos_axis_accept_[axis] = gps.t;
+    }
+  }
+  for (int axis = 0; axis < 3; ++axis) {
+    VecN<kN> H;
+    H(kV + axis, 0) = 1.0;
+    const double innov = gps.vel_ned_mps[axis] - nav_.vel[axis];
+    const double ratio = FuseScalar(H, innov, Sq(cfg_.gps_vel_noise), cfg_.gps_vel_gate);
+    worst_vel = std::max(worst_vel, ratio);
+    if (ratio <= 1.0) {
+      any_accepted = true;
+      last_vel_axis_accept_[axis] = gps.t;
+    } else if (gps.t - last_vel_axis_accept_[axis] > cfg_.gps_reset_timeout_s) {
+      reset_axis(kV + axis, nav_.vel[axis], gps.vel_ned_mps[axis], cfg_.gps_vel_noise,
+                 cfg_.large_reset_vel_ms);
+      last_vel_axis_accept_[axis] = gps.t;
+    }
+  }
+
+  status_.gps_pos_test_ratio = worst_pos;
+  status_.gps_vel_test_ratio = worst_vel;
+
+  if (any_accepted) {
+    last_gps_accept_time_ = gps.t;
+    status_.time_since_gps_accept_s = 0.0;
+  }
+  CheckNumerics();
+}
+
+void Ekf::FuseBaro(const sensors::BaroSample& baro) {
+  VecN<kN> H;
+  H(kP + 2, 0) = -1.0;  // altitude = -p.z
+  const double innov = baro.alt_m - (-nav_.pos.z);
+  status_.baro_test_ratio = FuseScalar(H, innov, Sq(cfg_.baro_noise), cfg_.baro_gate);
+}
+
+void Ekf::FuseMag(const sensors::MagSample& mag) {
+  // Tilt-compensated compass: rotate the measured body-frame field into the
+  // world frame with the current attitude; its horizontal direction should
+  // point north. The residual horizontal angle is a yaw innovation.
+  const Vec3 field_world = nav_.att.Rotate(mag.field_body);
+  const double horiz = field_world.NormXY();
+  if (horiz < 0.05) return;  // field nearly vertical; yaw unobservable
+
+  const double yaw_err = WrapPi(std::atan2(field_world.y, field_world.x));
+
+  // dtheta is a body-frame error; a world-z rotation maps to body axes via
+  // the third row of R^T, i.e. the body-frame direction of world down.
+  const Vec3 ez_body = nav_.att.RotateInverse(Vec3::UnitZ());
+  VecN<kN> H;
+  H(kTh + 0, 0) = ez_body.x;
+  H(kTh + 1, 0) = ez_body.y;
+  H(kTh + 2, 0) = ez_body.z;
+  // innovation = measured - predicted = -yaw_err (field should be at 0).
+  status_.mag_test_ratio =
+      FuseScalar(H, -yaw_err, Sq(cfg_.mag_yaw_noise), cfg_.mag_yaw_gate);
+}
+
+void Ekf::MaybeResetAttitude(const Vec3& accel_meas, double dt) {
+  // Only trust the accelerometer as a gravity reference near 1 g.
+  const double norm = accel_meas.Norm();
+  if (norm < 0.7 * kGravity || norm > 1.3 * kGravity) {
+    gravity_disagreement_s_ = std::max(0.0, gravity_disagreement_s_ - dt);
+    return;
+  }
+
+  // At rest the specific force f = -g_body points along body "up" (reads
+  // (0,0,-9.81) when level, z down), so f-hat is the measured up direction.
+  const Vec3 meas_up = accel_meas.Normalized();
+  const Vec3 pred_up = nav_.att.RotateInverse(Vec3{0.0, 0.0, -1.0});
+  const double angle = std::acos(Clamp(meas_up.Dot(pred_up), -1.0, 1.0));
+
+  if (angle < cfg_.att_reset_err_rad) {
+    gravity_disagreement_s_ = std::max(0.0, gravity_disagreement_s_ - dt);
+    return;
+  }
+  gravity_disagreement_s_ += dt;
+  if (gravity_disagreement_s_ < cfg_.att_reset_window_s) return;
+  gravity_disagreement_s_ = 0.0;
+
+  // Re-align roll/pitch from gravity, keep the current yaw estimate. The
+  // shortest rotation taking the measured body-frame up onto world up is a
+  // valid body->world attitude with arbitrary yaw; compose a world-z
+  // rotation to restore the yaw estimate.
+  const double yaw = nav_.att.Yaw();
+  const Quat tilt = Quat::FromTwoVectors(meas_up, Vec3{0.0, 0.0, -1.0});
+  nav_.att =
+      (Quat::FromAxisAngle(Vec3::UnitZ(), yaw - tilt.Yaw()) * tilt).Normalized();
+
+  // Re-open the attitude covariance so subsequent aiding can refine it.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      P_(kTh + i, j) = 0.0;
+      P_(j, kTh + i) = 0.0;
+    }
+    P_(kTh + i, kTh + i) = Sq(0.25);
+  }
+  ++status_.attitude_reset_count;
+}
+
+double Ekf::HorizontalPosStd() const {
+  return std::sqrt(std::max(0.0, P_(kP, kP) + P_(kP + 1, kP + 1)));
+}
+
+void Ekf::CheckNumerics() {
+  if (!nav_.pos.AllFinite() || !nav_.vel.AllFinite() || !nav_.att.AllFinite() ||
+      !P_.AllFinite()) {
+    status_.numerically_healthy = false;
+  }
+}
+
+}  // namespace uavres::estimation

@@ -1,0 +1,50 @@
+#include "math/geo.h"
+
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::math {
+namespace {
+
+// WGS-84 derived constants for the local tangent plane.
+constexpr double kMetersPerDegLatEquator = 111132.92;
+
+double MetersPerDegLat(double lat_rad) {
+  // Series expansion of the WGS-84 meridian arc length per degree.
+  return kMetersPerDegLatEquator - 559.82 * std::cos(2.0 * lat_rad) +
+         1.175 * std::cos(4.0 * lat_rad) - 0.0023 * std::cos(6.0 * lat_rad);
+}
+
+double MetersPerDegLon(double lat_rad) {
+  return 111412.84 * std::cos(lat_rad) - 93.5 * std::cos(3.0 * lat_rad) +
+         0.118 * std::cos(5.0 * lat_rad);
+}
+
+}  // namespace
+
+LocalProjection::LocalProjection(const GeoPoint& origin) : origin_(origin) {
+  const double lat_rad = DegToRad(origin.lat_deg);
+  meters_per_deg_lat_ = MetersPerDegLat(lat_rad);
+  meters_per_deg_lon_ = MetersPerDegLon(lat_rad);
+}
+
+Vec3 LocalProjection::ToNed(const GeoPoint& p) const {
+  return {(p.lat_deg - origin_.lat_deg) * meters_per_deg_lat_,
+          (p.lon_deg - origin_.lon_deg) * meters_per_deg_lon_,
+          -(p.alt_m - origin_.alt_m)};
+}
+
+GeoPoint LocalProjection::ToGeo(const Vec3& ned) const {
+  return {origin_.lat_deg + ned.x / meters_per_deg_lat_,
+          origin_.lon_deg + ned.y / meters_per_deg_lon_,
+          origin_.alt_m - ned.z};
+}
+
+double PlanarDistance(const GeoPoint& a, const GeoPoint& b) {
+  const LocalProjection proj(a);
+  const Vec3 d = proj.ToNed(b);
+  return d.Norm();
+}
+
+}  // namespace uavres::math

@@ -1,0 +1,51 @@
+// Geodetic <-> local NED conversions.
+//
+// Missions are authored in WGS-84 latitude/longitude (the paper's scenario is
+// the urban centre of Valencia, Spain); the simulator and flight stack work in
+// a local NED frame anchored at the mission origin. Over a 5 km x 5 km urban
+// operations area the flat-earth (local tangent plane) approximation is
+// accurate to centimetres, which is far below GPS noise.
+#pragma once
+
+#include "math/vec3.h"
+
+namespace uavres::math {
+
+/// WGS-84 geodetic coordinate. Altitude is metres above the reference plane
+/// (positive up, unlike the NED z axis).
+struct GeoPoint {
+  double lat_deg{0.0};
+  double lon_deg{0.0};
+  double alt_m{0.0};
+
+  constexpr bool operator==(const GeoPoint&) const = default;
+};
+
+/// Local tangent-plane projection anchored at a geodetic origin.
+///
+/// Converts between GeoPoint and NED coordinates (x north, y east, z down,
+/// all metres). The origin maps to NED (0, 0, 0).
+class LocalProjection {
+ public:
+  LocalProjection() = default;
+  explicit LocalProjection(const GeoPoint& origin);
+
+  const GeoPoint& origin() const { return origin_; }
+
+  /// Geodetic -> NED metres relative to the origin.
+  Vec3 ToNed(const GeoPoint& p) const;
+
+  /// NED metres -> geodetic.
+  GeoPoint ToGeo(const Vec3& ned) const;
+
+ private:
+  GeoPoint origin_{};
+  double meters_per_deg_lat_{111320.0};
+  double meters_per_deg_lon_{111320.0};
+};
+
+/// Great-circle-free planar distance between two geodetic points [m],
+/// valid for the small areas used in this study.
+double PlanarDistance(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace uavres::math

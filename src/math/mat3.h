@@ -1,0 +1,135 @@
+// 3x3 matrix used for rotation matrices and inertia tensors.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "math/vec3.h"
+
+namespace uavres::math {
+
+/// Row-major 3x3 matrix of doubles with value semantics.
+struct Mat3 {
+  // m[row][col]
+  std::array<std::array<double, 3>, 3> m{{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}};
+
+  constexpr Mat3() = default;
+
+  /// Construct from rows.
+  constexpr Mat3(const Vec3& r0, const Vec3& r1, const Vec3& r2) {
+    m[0] = {r0.x, r0.y, r0.z};
+    m[1] = {r1.x, r1.y, r1.z};
+    m[2] = {r2.x, r2.y, r2.z};
+  }
+
+  static constexpr Mat3 Identity() {
+    Mat3 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0;
+    return r;
+  }
+
+  static constexpr Mat3 Diagonal(double a, double b, double c) {
+    Mat3 r;
+    r.m[0][0] = a;
+    r.m[1][1] = b;
+    r.m[2][2] = c;
+    return r;
+  }
+
+  /// Skew-symmetric (cross-product) matrix: Skew(v) * w == v.Cross(w).
+  static constexpr Mat3 Skew(const Vec3& v) {
+    return Mat3{{0.0, -v.z, v.y}, {v.z, 0.0, -v.x}, {-v.y, v.x, 0.0}};
+  }
+
+  constexpr double operator()(int r, int c) const { return m[r][c]; }
+  constexpr double& operator()(int r, int c) { return m[r][c]; }
+
+  constexpr Vec3 Row(int r) const { return {m[r][0], m[r][1], m[r][2]}; }
+  constexpr Vec3 Col(int c) const { return {m[0][c], m[1][c], m[2][c]}; }
+
+  constexpr Mat3 operator+(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j] + o.m[i][j];
+    return r;
+  }
+
+  constexpr Mat3 operator-(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j] - o.m[i][j];
+    return r;
+  }
+
+  constexpr Mat3 operator*(double s) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j] * s;
+    return r;
+  }
+
+  constexpr Vec3 operator*(const Vec3& v) const {
+    return {Row(0).Dot(v), Row(1).Dot(v), Row(2).Dot(v)};
+  }
+
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j)
+        r.m[i][j] = m[i][0] * o.m[0][j] + m[i][1] * o.m[1][j] + m[i][2] * o.m[2][j];
+    return r;
+  }
+
+  constexpr bool operator==(const Mat3&) const = default;
+
+  constexpr Mat3 Transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  constexpr double Trace() const { return m[0][0] + m[1][1] + m[2][2]; }
+
+  constexpr double Determinant() const {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  }
+
+  /// Matrix inverse via adjugate. Behaviour is undefined for singular
+  /// matrices; callers own checking Determinant() when in doubt.
+  constexpr Mat3 Inverse() const {
+    const double det = Determinant();
+    const double id = 1.0 / det;
+    Mat3 r;
+    r.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * id;
+    r.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * id;
+    r.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * id;
+    r.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * id;
+    r.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * id;
+    r.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * id;
+    r.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * id;
+    r.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * id;
+    r.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * id;
+    return r;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Mat3& a) {
+  for (int i = 0; i < 3; ++i) {
+    os << '[' << a(i, 0) << ' ' << a(i, 1) << ' ' << a(i, 2) << "]\n";
+  }
+  return os;
+}
+
+/// True when all entries of a and b are within tol.
+inline bool ApproxEq(const Mat3& a, const Mat3& b, double tol = 1e-9) {
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      if (!ApproxEq(a(i, j), b(i, j), tol)) return false;
+  return true;
+}
+
+}  // namespace uavres::math

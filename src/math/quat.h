@@ -1,0 +1,206 @@
+// Unit quaternion for attitude representation (Hamilton convention, w-first).
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+#include "math/mat3.h"
+#include "math/num.h"
+#include "math/vec3.h"
+
+namespace uavres::math {
+
+/// Unit quaternion q = (w, x, y, z), Hamilton convention.
+///
+/// `q` represents the rotation of the body frame relative to the world frame:
+/// `q.Rotate(v_body) == v_world`. This matches PX4's attitude convention.
+struct Quat {
+  double w{1.0};
+  double x{0.0};
+  double y{0.0};
+  double z{0.0};
+
+  constexpr Quat() = default;
+  constexpr Quat(double w_, double x_, double y_, double z_) : w(w_), x(x_), y(y_), z(z_) {}
+
+  static constexpr Quat Identity() { return {}; }
+
+  /// Quaternion from axis (need not be unit) and angle [rad].
+  static Quat FromAxisAngle(const Vec3& axis, double angle) {
+    const Vec3 u = axis.Normalized();
+    const double h = 0.5 * angle;
+    const double s = std::sin(h);
+    return {std::cos(h), u.x * s, u.y * s, u.z * s};
+  }
+
+  /// Quaternion from a rotation vector (axis * angle).
+  static Quat FromRotationVector(const Vec3& rv) {
+    const double angle = rv.Norm();
+    if (angle < 1e-12) {
+      // Small-angle first-order expansion keeps the propagation smooth.
+      Quat q{1.0, 0.5 * rv.x, 0.5 * rv.y, 0.5 * rv.z};
+      return q.Normalized();
+    }
+    return FromAxisAngle(rv, angle);
+  }
+
+  /// Quaternion from intrinsic Z-Y-X Euler angles (yaw, pitch, roll) [rad].
+  static Quat FromEuler(double roll, double pitch, double yaw) {
+    const double cr = std::cos(0.5 * roll), sr = std::sin(0.5 * roll);
+    const double cp = std::cos(0.5 * pitch), sp = std::sin(0.5 * pitch);
+    const double cy = std::cos(0.5 * yaw), sy = std::sin(0.5 * yaw);
+    return {cr * cp * cy + sr * sp * sy, sr * cp * cy - cr * sp * sy,
+            cr * sp * cy + sr * cp * sy, cr * cp * sy - sr * sp * cy};
+  }
+
+  /// Quaternion from a (proper) rotation matrix (Shepperd's method).
+  static Quat FromMat3(const Mat3& r) {
+    Quat q;
+    const double tr = r.Trace();
+    if (tr > 0.0) {
+      double s = std::sqrt(tr + 1.0) * 2.0;
+      q.w = 0.25 * s;
+      q.x = (r(2, 1) - r(1, 2)) / s;
+      q.y = (r(0, 2) - r(2, 0)) / s;
+      q.z = (r(1, 0) - r(0, 1)) / s;
+    } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+      double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+      q.w = (r(2, 1) - r(1, 2)) / s;
+      q.x = 0.25 * s;
+      q.y = (r(0, 1) + r(1, 0)) / s;
+      q.z = (r(0, 2) + r(2, 0)) / s;
+    } else if (r(1, 1) > r(2, 2)) {
+      double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+      q.w = (r(0, 2) - r(2, 0)) / s;
+      q.x = (r(0, 1) + r(1, 0)) / s;
+      q.y = 0.25 * s;
+      q.z = (r(1, 2) + r(2, 1)) / s;
+    } else {
+      double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+      q.w = (r(1, 0) - r(0, 1)) / s;
+      q.x = (r(0, 2) + r(2, 0)) / s;
+      q.y = (r(1, 2) + r(2, 1)) / s;
+      q.z = 0.25 * s;
+    }
+    return q.Normalized();
+  }
+
+  /// Shortest rotation taking unit(from) onto unit(to).
+  static Quat FromTwoVectors(const Vec3& from, const Vec3& to) {
+    const Vec3 f = from.Normalized();
+    const Vec3 t = to.Normalized();
+    const double d = f.Dot(t);
+    if (d > 1.0 - 1e-12) return Identity();
+    if (d < -1.0 + 1e-12) {
+      // Antiparallel: rotate pi around any axis orthogonal to f.
+      Vec3 axis = f.Cross(Vec3::UnitX());
+      if (axis.NormSq() < 1e-12) axis = f.Cross(Vec3::UnitY());
+      return FromAxisAngle(axis, kPi);
+    }
+    const Vec3 c = f.Cross(t);
+    Quat q{1.0 + d, c.x, c.y, c.z};
+    return q.Normalized();
+  }
+
+  constexpr bool operator==(const Quat&) const = default;
+
+  /// Hamilton product: (*this) then-applied-after o in world terms.
+  constexpr Quat operator*(const Quat& o) const {
+    return {w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w};
+  }
+
+  constexpr Quat Conjugate() const { return {w, -x, -y, -z}; }
+
+  double NormSq() const { return w * w + x * x + y * y + z * z; }
+  double Norm() const { return std::sqrt(NormSq()); }
+
+  Quat Normalized() const {
+    const double n = Norm();
+    if (n < 1e-12) return Identity();
+    return {w / n, x / n, y / n, z / n};
+  }
+
+  bool AllFinite() const {
+    return IsFinite(w) && IsFinite(x) && IsFinite(y) && IsFinite(z);
+  }
+
+  /// Rotate a body-frame vector into the world frame.
+  Vec3 Rotate(const Vec3& v) const {
+    // v' = v + 2*qv x (qv x v + w*v)   (Rodrigues via quaternion)
+    const Vec3 qv{x, y, z};
+    const Vec3 t = qv.Cross(v) * 2.0;
+    return v + t * w + qv.Cross(t);
+  }
+
+  /// Rotate a world-frame vector into the body frame.
+  Vec3 RotateInverse(const Vec3& v) const { return Conjugate().Rotate(v); }
+
+  /// Rotation matrix R such that R * v_body == v_world.
+  Mat3 ToMat3() const {
+    Mat3 r;
+    const double ww = w * w, xx = x * x, yy = y * y, zz = z * z;
+    r(0, 0) = ww + xx - yy - zz;
+    r(0, 1) = 2.0 * (x * y - w * z);
+    r(0, 2) = 2.0 * (x * z + w * y);
+    r(1, 0) = 2.0 * (x * y + w * z);
+    r(1, 1) = ww - xx + yy - zz;
+    r(1, 2) = 2.0 * (y * z - w * x);
+    r(2, 0) = 2.0 * (x * z - w * y);
+    r(2, 1) = 2.0 * (y * z + w * x);
+    r(2, 2) = ww - xx - yy + zz;
+    return r;
+  }
+
+  /// Roll angle [rad] (rotation about body x).
+  double Roll() const { return std::atan2(2.0 * (w * x + y * z), 1.0 - 2.0 * (x * x + y * y)); }
+
+  /// Pitch angle [rad] (rotation about body y), clamped at the gimbal poles.
+  double Pitch() const {
+    const double s = Clamp(2.0 * (w * y - z * x), -1.0, 1.0);
+    return std::asin(s);
+  }
+
+  /// Yaw angle [rad] (rotation about world z / down).
+  double Yaw() const { return std::atan2(2.0 * (w * z + x * y), 1.0 - 2.0 * (y * y + z * z)); }
+
+  /// Tilt angle [rad] between body z axis and world z axis (0 == level).
+  double Tilt() const {
+    const Vec3 bz = Rotate(Vec3::UnitZ());
+    return std::acos(Clamp(bz.z, -1.0, 1.0));
+  }
+
+  /// Rotation vector (axis * angle) of this quaternion, angle in (-pi, pi].
+  Vec3 ToRotationVector() const {
+    Quat q = *this;
+    if (q.w < 0.0) q = {-q.w, -q.x, -q.y, -q.z};  // take the short way around
+    const Vec3 qv{q.x, q.y, q.z};
+    const double sin_half = qv.Norm();
+    if (sin_half < 1e-12) return qv * 2.0;
+    const double angle = 2.0 * std::atan2(sin_half, q.w);
+    return qv * (angle / sin_half);
+  }
+
+  /// Integrate body angular rate omega [rad/s] over dt, first order.
+  Quat Integrated(const Vec3& omega_body, double dt) const {
+    return (*this * FromRotationVector(omega_body * dt)).Normalized();
+  }
+
+  /// Angular distance [rad] to another quaternion.
+  double AngleTo(const Quat& o) const {
+    return (Conjugate() * o).ToRotationVector().Norm();
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Quat& q) {
+  return os << '(' << q.w << ", " << q.x << ", " << q.y << ", " << q.z << ')';
+}
+
+/// True when q1 and q2 represent (approximately) the same rotation.
+inline bool SameRotation(const Quat& a, const Quat& b, double tol = 1e-9) {
+  return a.AngleTo(b) <= tol;
+}
+
+}  // namespace uavres::math

@@ -1,0 +1,74 @@
+#include "math/rng.h"
+
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::math {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  has_cached_gauss_ = false;
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform01(); }
+
+double Rng::Gaussian() {
+  if (has_cached_gauss_) {
+    has_cached_gauss_ = false;
+    return cached_gauss_;
+  }
+  // Box-Muller; reject u1 == 0 to keep log finite.
+  double u1 = 0.0;
+  do {
+    u1 = Uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  cached_gauss_ = r * std::sin(kTwoPi * u2);
+  has_cached_gauss_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+Rng Rng::Fork() { return Rng{HashCombine(NextU64(), 0xD6E8FEB86659FD93ULL)}; }
+
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  // 64-bit variant of boost::hash_combine with a strong multiplier.
+  a ^= b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4);
+  a *= 0xFF51AFD7ED558CCDULL;
+  a ^= a >> 33;
+  return a;
+}
+
+}  // namespace uavres::math

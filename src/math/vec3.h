@@ -1,0 +1,92 @@
+// 3-vector used for positions, velocities, angular rates and specific forces.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+#include "math/num.h"
+
+namespace uavres::math {
+
+/// Plain 3-vector of doubles with value semantics.
+///
+/// Conventions in this codebase: world frame is NED (x north, y east, z down);
+/// body frame is FRD (x forward, y right, z down).
+struct Vec3 {
+  double x{0.0};
+  double y{0.0};
+  double z{0.0};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  static constexpr Vec3 Zero() { return {}; }
+  static constexpr Vec3 UnitX() { return {1.0, 0.0, 0.0}; }
+  static constexpr Vec3 UnitY() { return {0.0, 1.0, 0.0}; }
+  static constexpr Vec3 UnitZ() { return {0.0, 0.0, 1.0}; }
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr Vec3& operator/=(double s) { x /= s; y /= s; z /= s; return *this; }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  constexpr double NormSq() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(NormSq()); }
+
+  /// Euclidean norm of the horizontal (x, y) components.
+  double NormXY() const { return std::hypot(x, y); }
+
+  /// Unit vector in the same direction; returns Zero() for a (near-)zero vector.
+  Vec3 Normalized(double eps = 1e-12) const {
+    const double n = Norm();
+    return n > eps ? *this / n : Zero();
+  }
+
+  /// Component-wise product.
+  constexpr Vec3 CwiseMul(const Vec3& o) const { return {x * o.x, y * o.y, z * o.z}; }
+
+  /// Component-wise clamp of every element to [lo, hi].
+  Vec3 CwiseClamp(double lo, double hi) const {
+    return {Clamp(x, lo, hi), Clamp(y, lo, hi), Clamp(z, lo, hi)};
+  }
+
+  /// Component-wise absolute value.
+  Vec3 CwiseAbs() const { return {std::abs(x), std::abs(y), std::abs(z)}; }
+
+  /// Largest component magnitude (infinity norm).
+  double MaxAbs() const { return std::max({std::abs(x), std::abs(y), std::abs(z)}); }
+
+  /// True when every component is finite.
+  bool AllFinite() const { return IsFinite(x) && IsFinite(y) && IsFinite(z); }
+
+  /// Indexed access, i in {0,1,2}.
+  constexpr double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// True when every component of a and b is within tol.
+inline bool ApproxEq(const Vec3& a, const Vec3& b, double tol = 1e-9) {
+  return ApproxEq(a.x, b.x, tol) && ApproxEq(a.y, b.y, tol) && ApproxEq(a.z, b.z, tol);
+}
+
+}  // namespace uavres::math

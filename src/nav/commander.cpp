@@ -1,0 +1,146 @@
+#include "nav/commander.h"
+
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::nav {
+
+using control::PositionSetpoint;
+using estimation::NavState;
+using math::Vec3;
+
+const char* ToString(FlightMode m) {
+  switch (m) {
+    case FlightMode::kStandby:
+      return "standby";
+    case FlightMode::kTakeoff:
+      return "takeoff";
+    case FlightMode::kMission:
+      return "mission";
+    case FlightMode::kLand:
+      return "land";
+    case FlightMode::kFailsafeReturn:
+      return "failsafe-return";
+    case FlightMode::kFailsafeLand:
+      return "failsafe-land";
+    case FlightMode::kLanded:
+      return "landed";
+  }
+  return "?";
+}
+
+Commander::Commander(const MissionPlan& plan, const CommanderConfig& cfg,
+                     telemetry::FlightLog* log)
+    : plan_(plan), cfg_(cfg), log_(log), traj_(plan) {}
+
+void Commander::SwitchMode(FlightMode m, double t) {
+  if (mode_ == m) return;
+  mode_ = m;
+  if (log_) log_->Info(t, std::string("mode -> ") + ToString(m));
+}
+
+PositionSetpoint Commander::Update(const NavState& est, bool failsafe, double t, double dt) {
+  // Failsafe latches from any airborne mode.
+  if (failsafe && !failsafe_engaged_ && mode_ != FlightMode::kStandby &&
+      mode_ != FlightMode::kLanded) {
+    failsafe_engaged_ = true;
+    hold_pos_ = est.pos;
+    descent_z_ = est.pos.z;
+    low_and_slow_s_ = 0.0;
+    if (cfg_.failsafe_action == FailsafeAction::kReturnToLaunch) {
+      if (log_) log_->Critical(t, "FAILSAFE engaged: returning to launch");
+      SwitchMode(FlightMode::kFailsafeReturn, t);
+    } else {
+      if (log_) log_->Critical(t, "FAILSAFE engaged: holding position, descending");
+      SwitchMode(FlightMode::kFailsafeLand, t);
+    }
+  }
+
+  PositionSetpoint sp;
+  sp.yaw = mission_yaw_;
+  sp.cruise_speed = plan_.cruise_speed_ms;
+
+  switch (mode_) {
+    case FlightMode::kStandby: {
+      SwitchMode(FlightMode::kTakeoff, t);
+      [[fallthrough]];
+    }
+    case FlightMode::kTakeoff: {
+      sp.pos = {plan_.home.x, plan_.home.y, -plan_.takeoff_altitude_m};
+      sp.vel_ff = {0.0, 0.0, -cfg_.takeoff_speed_ms};
+      sp.cruise_speed = cfg_.takeoff_speed_ms;
+      const double alt = -est.pos.z;
+      if (alt >= plan_.takeoff_altitude_m - cfg_.takeoff_accept_m) {
+        SwitchMode(FlightMode::kMission, t);
+      }
+      break;
+    }
+    case FlightMode::kMission: {
+      sp = traj_.Update(est.pos, dt);
+      mission_yaw_ = sp.yaw;
+      const double dist_to_final = (est.pos - traj_.FinalWaypoint()).Norm();
+      if (traj_.PathDone() && dist_to_final <= plan_.acceptance_radius_m) {
+        hold_pos_ = traj_.FinalWaypoint();
+        descent_z_ = est.pos.z;
+        low_and_slow_s_ = 0.0;
+        SwitchMode(FlightMode::kLand, t);
+      }
+      break;
+    }
+    case FlightMode::kFailsafeReturn: {
+      // Fly home at cruise altitude, then descend as a failsafe landing.
+      sp.pos = {plan_.home.x, plan_.home.y, -plan_.takeoff_altitude_m};
+      sp.cruise_speed = cfg_.rtl_speed_ms;
+      const math::Vec3 to_home{plan_.home.x - est.pos.x, plan_.home.y - est.pos.y, 0.0};
+      if (to_home.NormXY() > 1e-3) {
+        sp.vel_ff = to_home.Normalized() * cfg_.rtl_speed_ms;
+      }
+      if (to_home.NormXY() <= cfg_.rtl_accept_m) {
+        hold_pos_ = {plan_.home.x, plan_.home.y, 0.0};
+        descent_z_ = est.pos.z;
+        low_and_slow_s_ = 0.0;
+        SwitchMode(FlightMode::kFailsafeLand, t);
+      }
+      break;
+    }
+    case FlightMode::kLand:
+    case FlightMode::kFailsafeLand: {
+      const double rate =
+          mode_ == FlightMode::kLand ? cfg_.land_speed_ms : cfg_.failsafe_descent_ms;
+      // Re-anchor if the hold target drifted far from the estimate (the hold
+      // point may have been captured from a fault-corrupted estimate). PX4's
+      // land mode similarly regenerates its setpoint from the current local
+      // position instead of chasing a stale reference.
+      if ((est.pos - hold_pos_).NormXY() > 50.0) {
+        hold_pos_ = est.pos;
+      }
+      if (std::abs(est.pos.z - descent_z_) > 10.0) {
+        descent_z_ = est.pos.z;
+      }
+      descent_z_ = std::min(descent_z_ + rate * dt, 1.0);  // ramp slightly below ground
+      sp.pos = {hold_pos_.x, hold_pos_.y, descent_z_};
+      sp.vel_ff = {0.0, 0.0, rate};
+
+      const double alt = -est.pos.z;
+      const bool low_and_slow =
+          alt <= cfg_.land_alt_accept_m && std::abs(est.vel.z) < 0.4 && est.vel.NormXY() < 1.0;
+      low_and_slow_s_ = low_and_slow ? low_and_slow_s_ + dt : 0.0;
+      if (low_and_slow_s_ >= cfg_.land_confirm_s) {
+        landed_from_land_ = (mode_ == FlightMode::kLand);
+        landed_time_ = t;
+        if (log_) log_->Info(t, "touchdown confirmed, disarming");
+        SwitchMode(FlightMode::kLanded, t);
+      }
+      break;
+    }
+    case FlightMode::kLanded: {
+      sp.pos = {est.pos.x, est.pos.y, 0.5};
+      sp.vel_ff = Vec3::Zero();
+      break;
+    }
+  }
+  return sp;
+}
+
+}  // namespace uavres::nav

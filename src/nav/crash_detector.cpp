@@ -1,0 +1,41 @@
+#include "nav/crash_detector.h"
+
+#include <cmath>
+
+namespace uavres::nav {
+
+void CrashDetector::Update(const sim::Quadrotor& quad, const math::Vec3& home, double t,
+                           bool airborne_since_takeoff) {
+  if (crashed_) return;
+  const auto& s = quad.state();
+
+  // Flyaway / geofence violations count as crashes (the paper's U-space
+  // perspective: the vehicle left its assigned volume uncontrolled).
+  const double horiz = (s.pos - home).NormXY();
+  if (horiz > cfg_.geofence_horizontal_m) {
+    Declare(t, "geofence: horizontal flyaway");
+    return;
+  }
+  if (-s.pos.z > cfg_.geofence_altitude_m) {
+    Declare(t, "geofence: altitude flyaway");
+    return;
+  }
+
+  if (!airborne_since_takeoff) return;
+
+  // Hard impact: inspect new touchdown events.
+  if (quad.touchdown_count() > seen_touchdowns_) {
+    seen_touchdowns_ = quad.touchdown_count();
+    if (quad.last_impact_speed() > cfg_.impact_speed_limit_ms) {
+      Declare(t, "hard impact at " + std::to_string(quad.last_impact_speed()) + " m/s");
+      return;
+    }
+  }
+
+  // Tipped over while on the ground.
+  if (quad.on_ground() && s.att.Tilt() > cfg_.tilt_on_ground_limit_rad) {
+    Declare(t, "tipped over on ground");
+  }
+}
+
+}  // namespace uavres::nav

@@ -1,0 +1,118 @@
+#include "nav/health_monitor.h"
+
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::nav {
+
+using math::Clamp;
+
+const char* ToString(FailsafeReason r) {
+  switch (r) {
+    case FailsafeReason::kNone:
+      return "none";
+    case FailsafeReason::kSensorFault:
+      return "sensor-fault";
+    case FailsafeReason::kAttitudeFailure:
+      return "attitude-failure";
+    case FailsafeReason::kEstimatorFailure:
+      return "estimator-failure";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(const HealthMonitorConfig& cfg) : cfg_(cfg) {}
+
+bool HealthMonitor::SampleAnomalous(const sensors::ImuSample& imu, double dt) {
+  // Range check — gyro only: the paper notes PX4 defines a gyro failsafe
+  // threshold (60 deg/s) but none for the accelerometer.
+  if (imu.gyro_rads.MaxAbs() > cfg_.gyro_limit_rads) return true;
+
+  // Stuck detection: bit-identical consecutive gyro samples. Real sensor
+  // noise makes exact repeats vanishingly rare, so a frozen or zeroed
+  // stream stands out within a few samples.
+  if (have_last_ && imu.gyro_rads == last_gyro_) {
+    stuck_accum_ += dt;
+  } else {
+    stuck_accum_ = 0.0;
+  }
+  last_gyro_ = imu.gyro_rads;
+  have_last_ = true;
+  return stuck_accum_ >= cfg_.stuck_window_s;
+}
+
+void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfStatus& ekf,
+                           double tilt_est_rad, double t, double dt) {
+  if (failsafe_active()) return;  // latched
+
+  // ---- Path 1: gyro anomaly -> confirm -> isolate -> persist ----
+  const bool anomalous = SampleAnomalous(imu, dt);
+  anomaly_level_ += anomalous ? dt : -cfg_.leak_ratio * dt;
+  anomaly_level_ = Clamp(anomaly_level_, 0.0,
+                         cfg_.confirm_window_s + cfg_.post_isolation_persistence_s + 1.0);
+
+  if (!confirmed_ && anomaly_level_ >= cfg_.confirm_window_s) {
+    confirmed_ = true;
+    confirm_time_ = t;
+    next_switch_time_ = t + cfg_.isolation_per_unit_s;
+    isolation_switches_ = 0;
+  }
+
+  if (confirmed_) {
+    if (anomaly_level_ <= 0.0) {
+      // Fault cleared (injection window ended): stand down.
+      confirmed_ = false;
+      active_unit_ = 0;
+      stuck_accum_ = 0.0;
+    } else if (isolation_switches_ < cfg_.redundant_units - 1) {
+      // Isolation phase: cycle to the next redundant unit.
+      if (t >= next_switch_time_) {
+        ++isolation_switches_;
+        active_unit_ = (active_unit_ + 1) % cfg_.redundant_units;
+        next_switch_time_ = t + cfg_.isolation_per_unit_s;
+      }
+    } else {
+      // All redundant units tried and the anomaly persists.
+      const double since_confirm = t - confirm_time_;
+      const double isolation_total = cfg_.isolation_per_unit_s * (cfg_.redundant_units - 1);
+      if (since_confirm >= isolation_total + cfg_.post_isolation_persistence_s) {
+        reason_ = FailsafeReason::kSensorFault;
+        failsafe_time_ = t;
+        return;
+      }
+    }
+  }
+
+  // ---- Path 2: attitude failure detection (consecutive-time, PX4 FD) ----
+  tilt_consecutive_s_ = (tilt_est_rad > cfg_.tilt_fail_rad) ? tilt_consecutive_s_ + dt : 0.0;
+  if (cfg_.enable_attitude_fd && tilt_consecutive_s_ >= cfg_.tilt_confirm_s) {
+    reason_ = FailsafeReason::kAttitudeFailure;
+    failsafe_time_ = t;
+    return;
+  }
+
+  // ---- Path 3: estimator failure (repeated large GPS resets) ----
+  if (ekf.gps_large_reset_count > last_large_reset_count_) {
+    if (resets_in_window_ == 0 || t - reset_window_start_ > cfg_.ekf_reset_window_s) {
+      reset_window_start_ = t;
+      resets_in_window_ = 0;
+    }
+    resets_in_window_ += ekf.gps_large_reset_count - last_large_reset_count_;
+    last_large_reset_count_ = ekf.gps_large_reset_count;
+    if (resets_in_window_ >= cfg_.ekf_large_reset_limit &&
+        t - reset_window_start_ <= cfg_.ekf_reset_window_s) {
+      reason_ = FailsafeReason::kEstimatorFailure;
+      failsafe_time_ = t;
+      return;
+    }
+  }
+
+  // A numerically broken filter is an immediate estimator failure.
+  if (!ekf.numerically_healthy) {
+    reason_ = FailsafeReason::kEstimatorFailure;
+    failsafe_time_ = t;
+  }
+}
+
+}  // namespace uavres::nav

@@ -1,0 +1,42 @@
+// Mission plan: ordered waypoints in the local NED frame.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/vec3.h"
+
+namespace uavres::nav {
+
+/// A mission as uploaded to the vehicle: cruise waypoints at mission
+/// altitude. Takeoff and landing are implicit (commander-controlled).
+struct MissionPlan {
+  std::string name;
+  math::Vec3 home;                    ///< arming position (on ground, z = 0)
+  std::vector<math::Vec3> waypoints;  ///< cruise path, NED; z is -altitude
+  double cruise_speed_ms{5.0};
+  double acceptance_radius_m{2.0};
+  double takeoff_altitude_m{15.0};    ///< climb target before the first leg
+
+  /// Total horizontal path length over the waypoints [m].
+  double PathLength() const {
+    double len = 0.0;
+    for (std::size_t i = 1; i < waypoints.size(); ++i) {
+      len += (waypoints[i] - waypoints[i - 1]).Norm();
+    }
+    return len;
+  }
+
+  /// Rough expected flight time: climb + cruise + descend [s].
+  double ExpectedDuration(double climb_rate = 2.0, double descend_rate = 1.0) const {
+    return takeoff_altitude_m / climb_rate + PathLength() / cruise_speed_ms +
+           takeoff_altitude_m / descend_rate;
+  }
+
+  bool Valid() const {
+    return !waypoints.empty() && cruise_speed_ms > 0.0 && acceptance_radius_m > 0.0 &&
+           takeoff_altitude_m > 0.0;
+  }
+};
+
+}  // namespace uavres::nav

@@ -1,0 +1,93 @@
+#include "nav/trajectory_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::nav {
+
+using control::PositionSetpoint;
+using math::Vec3;
+
+TrajectoryGenerator::TrajectoryGenerator(const MissionPlan& plan, double lookahead_m)
+    : plan_(plan), lookahead_(lookahead_m) {
+  cumulative_.reserve(plan_.waypoints.size());
+  double s = 0.0;
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < plan_.waypoints.size(); ++i) {
+    s += (plan_.waypoints[i] - plan_.waypoints[i - 1]).Norm();
+    cumulative_.push_back(s);
+  }
+  total_length_ = s;
+  if (!plan_.waypoints.empty() && plan_.waypoints.size() > 1) {
+    const Vec3 dir = (plan_.waypoints[1] - plan_.waypoints[0]).Normalized();
+    last_yaw_ = std::atan2(dir.y, dir.x);
+  }
+}
+
+Vec3 TrajectoryGenerator::PointAt(double s) const {
+  if (plan_.waypoints.size() == 1 || s <= 0.0) return plan_.waypoints.front();
+  if (s >= total_length_) return plan_.waypoints.back();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  const std::size_t i = static_cast<std::size_t>(it - cumulative_.begin());
+  const double seg_len = cumulative_[i] - cumulative_[i - 1];
+  const double t = seg_len > 1e-9 ? (s - cumulative_[i - 1]) / seg_len : 0.0;
+  return plan_.waypoints[i - 1] + (plan_.waypoints[i] - plan_.waypoints[i - 1]) * t;
+}
+
+Vec3 TrajectoryGenerator::TangentAt(double s) const {
+  if (plan_.waypoints.size() < 2) return Vec3::UnitX();
+  const double sc = math::Clamp(s, 0.0, total_length_ - 1e-6);
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), sc);
+  std::size_t i = static_cast<std::size_t>(it - cumulative_.begin());
+  i = std::min(i, plan_.waypoints.size() - 1);
+  return (plan_.waypoints[i] - plan_.waypoints[i - 1]).Normalized();
+}
+
+double TrajectoryGenerator::ProjectOnPath(const Vec3& p) const {
+  if (plan_.waypoints.size() < 2) return 0.0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  double best_s = 0.0;
+  for (std::size_t i = 1; i < plan_.waypoints.size(); ++i) {
+    const Vec3& a = plan_.waypoints[i - 1];
+    const Vec3& b = plan_.waypoints[i];
+    const Vec3 ab = b - a;
+    const double len_sq = ab.NormSq();
+    const double t = len_sq > 1e-9 ? math::Clamp((p - a).Dot(ab) / len_sq, 0.0, 1.0) : 0.0;
+    const Vec3 q = a + ab * t;
+    const double d = (p - q).NormSq();
+    if (d < best_dist) {
+      best_dist = d;
+      best_s = cumulative_[i - 1] + std::sqrt(len_sq) * t;
+    }
+  }
+  return best_s;
+}
+
+PositionSetpoint TrajectoryGenerator::Update(const Vec3& vehicle_pos, double dt) {
+  // Advance the carrot at cruise speed, capped to vehicle progress +
+  // lookahead so disturbances do not leave the target unreachably far ahead.
+  const double s_vehicle = ProjectOnPath(vehicle_pos);
+  s_ = std::min(s_ + plan_.cruise_speed_ms * dt, s_vehicle + lookahead_);
+  s_ = math::Clamp(s_, 0.0, total_length_);
+
+  PositionSetpoint sp;
+  sp.pos = PointAt(s_);
+  sp.cruise_speed = plan_.cruise_speed_ms;
+
+  const Vec3 tangent = TangentAt(s_);
+  if (s_ < total_length_) {
+    sp.vel_ff = tangent * plan_.cruise_speed_ms;
+  }
+
+  // Yaw follows the path; keep the previous yaw near path ends or when the
+  // tangent is degenerate to avoid spinning in place.
+  if (tangent.NormXY() > 0.1 && s_ < total_length_) {
+    last_yaw_ = std::atan2(tangent.y, tangent.x);
+  }
+  sp.yaw = last_yaw_;
+  return sp;
+}
+
+}  // namespace uavres::nav

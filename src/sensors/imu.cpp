@@ -1,0 +1,33 @@
+#include "sensors/imu.h"
+
+namespace uavres::sensors {
+
+using math::Rng;
+using math::Vec3;
+
+ImuUnit::ImuUnit(const ImuNoiseConfig& cfg, const ImuRanges& ranges, Rng rng)
+    : accel_noise_(cfg.accel, rng.Fork()), gyro_noise_(cfg.gyro, rng.Fork()), ranges_(ranges) {}
+
+ImuSample ImuUnit::Sample(const sim::RigidBodyState& s, double t, double dt) {
+  const Vec3 gravity_ned{0.0, 0.0, math::kGravity};
+  const Vec3 specific_force_world = s.accel_world - gravity_ned;
+  const Vec3 f_body = s.att.RotateInverse(specific_force_world);
+
+  ImuSample out;
+  out.t = t;
+  out.accel_mps2 = ranges_.accel.Clamp(accel_noise_.Corrupt(f_body, dt));
+  out.gyro_rads = ranges_.gyro.Clamp(gyro_noise_.Corrupt(s.omega, dt));
+  return out;
+}
+
+RedundantImu::RedundantImu(const ImuNoiseConfig& cfg, const ImuRanges& ranges, Rng rng)
+    : units_{ImuUnit{cfg, ranges, rng.Fork()}, ImuUnit{cfg, ranges, rng.Fork()},
+             ImuUnit{cfg, ranges, rng.Fork()}},
+      ranges_(ranges) {}
+
+std::array<ImuSample, RedundantImu::kNumUnits> RedundantImu::SampleAll(
+    const sim::RigidBodyState& s, double t, double dt) {
+  return {units_[0].Sample(s, t, dt), units_[1].Sample(s, t, dt), units_[2].Sample(s, t, dt)};
+}
+
+}  // namespace uavres::sensors

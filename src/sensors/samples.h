@@ -1,0 +1,35 @@
+// Plain sample types produced by the sensor models.
+#pragma once
+
+#include "math/vec3.h"
+
+namespace uavres::sensors {
+
+/// One IMU reading: specific force and angular rate in the body (FRD) frame.
+struct ImuSample {
+  double t{0.0};
+  math::Vec3 accel_mps2;   ///< specific force [m/s^2]
+  math::Vec3 gyro_rads;    ///< angular rate [rad/s]
+};
+
+/// One GNSS reading in the local NED frame.
+struct GpsSample {
+  double t{0.0};
+  math::Vec3 pos_ned_m;
+  math::Vec3 vel_ned_mps;
+  bool valid{true};
+};
+
+/// One barometric altitude reading.
+struct BaroSample {
+  double t{0.0};
+  double alt_m{0.0};  ///< altitude above origin, positive up
+};
+
+/// One magnetometer reading: Earth field direction in the body frame.
+struct MagSample {
+  double t{0.0};
+  math::Vec3 field_body;  ///< unit-ish vector, body frame
+};
+
+}  // namespace uavres::sensors

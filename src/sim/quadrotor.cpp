@@ -1,0 +1,146 @@
+#include "sim/quadrotor.h"
+
+#include <cmath>
+
+#include "math/num.h"
+
+namespace uavres::sim {
+
+using math::Clamp;
+using math::kGravity;
+using math::Mat3;
+using math::Quat;
+using math::Vec3;
+
+QuadrotorParams MakeQuadrotorParams(double mass_kg, double thrust_to_weight) {
+  QuadrotorParams p;
+  p.mass_kg = mass_kg;
+  // Inertia scales roughly with mass for geometrically similar airframes.
+  const double scale = mass_kg / 1.5;
+  p.inertia_diag = Vec3{0.029, 0.029, 0.055} * scale;
+  p.rotor.max_thrust_n = mass_kg * kGravity * thrust_to_weight / Quadrotor::kNumRotors;
+  return p;
+}
+
+Quadrotor::Quadrotor(const QuadrotorParams& params, Environment* env)
+    : params_(params),
+      env_(env),
+      body_(params.mass_kg,
+            Mat3::Diagonal(params.inertia_diag.x, params.inertia_diag.y, params.inertia_diag.z)),
+      rotors_{Rotor{params.rotor}, Rotor{params.rotor}, Rotor{params.rotor},
+              Rotor{params.rotor}} {
+  // Spin directions: 0,1 CCW; 2,3 CW.
+  rotors_[0] = Rotor{[&] { auto r = params.rotor; r.spin_direction = +1; return r; }()};
+  rotors_[1] = Rotor{[&] { auto r = params.rotor; r.spin_direction = +1; return r; }()};
+  rotors_[2] = Rotor{[&] { auto r = params.rotor; r.spin_direction = -1; return r; }()};
+  rotors_[3] = Rotor{[&] { auto r = params.rotor; r.spin_direction = -1; return r; }()};
+}
+
+void Quadrotor::ResetTo(const Vec3& pos, double yaw_rad) {
+  RigidBodyState s;
+  s.pos = pos;
+  s.att = Quat::FromEuler(0.0, 0.0, yaw_rad);
+  body_.set_state(s);
+  for (auto& r : rotors_) r.set_level(0.0);
+  failed_ = {false, false, false, false};
+  on_ground_ = pos.z >= -1e-9;
+  last_impact_speed_ = 0.0;
+  touchdown_count_ = 0;
+}
+
+double Quadrotor::HoverThrustFraction() const {
+  const double max_total = kNumRotors * params_.rotor.max_thrust_n;
+  return Clamp(params_.mass_kg * kGravity / max_total, 0.0, 1.0);
+}
+
+double Quadrotor::InducedPower() const {
+  const double disk_area = math::kPi * math::Sq(params_.rotor_radius_m);
+  const double denom = std::sqrt(2.0 * 1.225 * disk_area);
+  double power = 0.0;
+  for (const auto& r : rotors_) {
+    power += std::pow(std::max(0.0, r.Thrust()), 1.5) / denom;
+  }
+  return power;
+}
+
+std::array<double, Quadrotor::kNumRotors> Quadrotor::RotorLevels() const {
+  return {rotors_[0].level(), rotors_[1].level(), rotors_[2].level(), rotors_[3].level()};
+}
+
+Vec3 Quadrotor::RotorPosition(int i) const {
+  const double d = params_.arm_length_m / std::numbers::sqrt2;
+  switch (i) {
+    case 0: return {+d, +d, 0.0};  // front-right
+    case 1: return {-d, -d, 0.0};  // back-left
+    case 2: return {+d, -d, 0.0};  // front-left
+    default: return {-d, +d, 0.0};  // back-right
+  }
+}
+
+void Quadrotor::FailMotor(int index) {
+  if (index < 0 || index >= kNumRotors) return;
+  failed_[static_cast<std::size_t>(index)] = true;
+}
+
+bool Quadrotor::MotorFailed(int index) const {
+  return index >= 0 && index < kNumRotors && failed_[static_cast<std::size_t>(index)];
+}
+
+void Quadrotor::Step(const std::array<double, kNumRotors>& commands, double dt) {
+  env_->Step(dt);
+
+  double total_thrust = 0.0;
+  Vec3 torque_body;
+  for (int i = 0; i < kNumRotors; ++i) {
+    rotors_[i].Step(failed_[static_cast<std::size_t>(i)] ? 0.0 : commands[i], dt);
+    const double thrust = rotors_[i].Thrust();
+    total_thrust += thrust;
+    const Vec3 force_body{0.0, 0.0, -thrust};
+    torque_body += RotorPosition(i).Cross(force_body);
+    torque_body.z += rotors_[i].ReactionTorque();
+  }
+
+  const RigidBodyState& s = body_.state();
+
+  // Aerodynamic drag against air-relative velocity.
+  const Vec3 v_rel = s.vel - env_->Wind();
+  const Vec3 drag = -v_rel * params_.linear_drag - v_rel * (v_rel.Norm() * params_.quadratic_drag);
+
+  // Rotational damping (blade flapping / body drag).
+  torque_body -= s.omega * params_.rotational_damping;
+
+  const Vec3 thrust_world = s.att.Rotate(Vec3{0.0, 0.0, -total_thrust});
+  const Vec3 gravity{0.0, 0.0, params_.mass_kg * kGravity};
+  const Vec3 force_world = thrust_world + gravity + drag;
+
+  body_.Step(force_world, torque_body, dt);
+  HandleGroundContact(dt);
+}
+
+void Quadrotor::HandleGroundContact(double dt) {
+  RigidBodyState& s = body_.mutable_state();
+  const bool below = s.pos.z >= 0.0;  // NED: positive z is below ground level
+  if (!below) {
+    on_ground_ = false;
+    return;
+  }
+
+  if (!on_ground_) {
+    // Air -> ground transition: record impact severity for crash detection.
+    last_impact_speed_ = std::max(0.0, s.vel.z);
+    ++touchdown_count_;
+    on_ground_ = true;
+  }
+
+  // Resting contact: hold the vehicle on the plane, bleed horizontal motion
+  // and spin. This is deliberately non-bouncy; landing gear absorbs impact.
+  s.pos.z = 0.0;
+  if (s.vel.z > 0.0) s.vel.z = 0.0;
+  const double decay = Clamp(params_.ground_friction_decay * dt, 0.0, 1.0);
+  s.vel.x *= (1.0 - decay);
+  s.vel.y *= (1.0 - decay);
+  s.omega *= (1.0 - decay);
+  s.accel_world = Vec3::Zero();
+}
+
+}  // namespace uavres::sim

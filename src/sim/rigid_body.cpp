@@ -1,0 +1,25 @@
+#include "sim/rigid_body.h"
+
+namespace uavres::sim {
+
+using math::Mat3;
+using math::Vec3;
+
+RigidBody::RigidBody(double mass, const Mat3& inertia)
+    : mass_(mass), inertia_(inertia), inertia_inv_(inertia.Inverse()) {}
+
+void RigidBody::Step(const Vec3& force_world, const Vec3& torque_body, double dt) {
+  // Translational: semi-implicit Euler (velocity first, then position).
+  const Vec3 accel = force_world / mass_;
+  state_.accel_world = accel;
+  state_.vel += accel * dt;
+  state_.pos += state_.vel * dt;
+
+  // Rotational: Euler's equation with gyroscopic coupling.
+  const Vec3 omega = state_.omega;
+  const Vec3 ang_accel = inertia_inv_ * (torque_body - omega.Cross(inertia_ * omega));
+  state_.omega += ang_accel * dt;
+  state_.att = state_.att.Integrated(state_.omega, dt);
+}
+
+}  // namespace uavres::sim

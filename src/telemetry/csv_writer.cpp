@@ -1,0 +1,41 @@
+#include "telemetry/csv_writer.h"
+
+#include <charconv>
+
+namespace uavres::telemetry {
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << Escape(cells[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& cells) {
+  char buf[64];
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), cells[i],
+                                   std::chars_format::general, 17);
+    os_.write(buf, ptr - buf);
+    (void)ec;
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+}  // namespace uavres::telemetry

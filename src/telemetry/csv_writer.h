@@ -1,0 +1,37 @@
+// Minimal CSV writer used by the figure benches and examples to dump
+// trajectory series that external plotting tools can ingest.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uavres::telemetry {
+
+/// Streams rows of comma-separated values. Strings containing commas,
+/// quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Write a header or data row of strings.
+  void WriteRow(const std::vector<std::string>& cells);
+  void WriteRow(std::initializer_list<std::string> cells) {
+    WriteRow(std::vector<std::string>(cells));
+  }
+
+  /// Write a row of doubles with full round-trip precision.
+  void WriteNumericRow(const std::vector<double>& cells);
+
+  int rows_written() const { return rows_; }
+
+  /// Quote a single cell if needed (exposed for testing).
+  static std::string Escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+  int rows_{0};
+};
+
+}  // namespace uavres::telemetry

@@ -1,0 +1,17 @@
+#include "telemetry/flight_log.h"
+
+namespace uavres::telemetry {
+
+const char* ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kCritical:
+      return "CRIT";
+  }
+  return "?";
+}
+
+}  // namespace uavres::telemetry

@@ -1,0 +1,55 @@
+// Event log for a single flight: mode changes, fault windows, failsafe
+// triggers, crash reports. Mirrors the role of PX4's ulog event stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uavres::telemetry {
+
+/// Severity of a logged event.
+enum class LogLevel { kInfo, kWarning, kCritical };
+
+/// A single time-stamped flight event.
+struct FlightEvent {
+  double t{0.0};
+  LogLevel level{LogLevel::kInfo};
+  std::string message;
+};
+
+/// Append-only in-memory event log.
+class FlightLog {
+ public:
+  void Info(double t, std::string msg) { Add(t, LogLevel::kInfo, std::move(msg)); }
+  void Warn(double t, std::string msg) { Add(t, LogLevel::kWarning, std::move(msg)); }
+  void Critical(double t, std::string msg) { Add(t, LogLevel::kCritical, std::move(msg)); }
+
+  void Add(double t, LogLevel level, std::string msg) {
+    events_.push_back({t, level, std::move(msg)});
+  }
+
+  const std::vector<FlightEvent>& Events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Number of events at or above the given severity.
+  int CountAtLeast(LogLevel level) const {
+    int n = 0;
+    for (const auto& e : events_)
+      if (static_cast<int>(e.level) >= static_cast<int>(level)) ++n;
+    return n;
+  }
+
+  /// True when any event message contains the given substring.
+  bool Contains(const std::string& needle) const {
+    for (const auto& e : events_)
+      if (e.message.find(needle) != std::string::npos) return true;
+    return false;
+  }
+
+ private:
+  std::vector<FlightEvent> events_;
+};
+
+const char* ToString(LogLevel level);
+
+}  // namespace uavres::telemetry

@@ -1,0 +1,44 @@
+// Binary flight recording ("ulog-lite").
+//
+// PX4 ships every flight as a .ulg file that tools analyze offline; this is
+// the equivalent for uavres: a compact, versioned binary container for a
+// trajectory plus the event log, with a reader that validates framing. The
+// CLI's `export --binary` / `replay` commands and offline analyses build on
+// it.
+//
+// Format (little-endian, doubles as IEEE-754):
+//   header : magic "UVRL", u32 version, u32 sample count, u32 event count
+//   samples: per TrajectorySample, 20 doubles + u8 fault_active
+//   events : per FlightEvent, double t, u8 level, u32 len, bytes message
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "telemetry/flight_log.h"
+#include "telemetry/trajectory.h"
+
+namespace uavres::telemetry {
+
+inline constexpr std::uint32_t kFlightRecordVersion = 1;
+
+/// A recorded flight: trajectory + events.
+struct FlightRecord {
+  Trajectory trajectory;
+  FlightLog log;
+};
+
+/// Serialize a flight record. Returns false on stream failure.
+bool WriteFlightRecord(std::ostream& os, const FlightRecord& record);
+
+/// Deserialize; returns std::nullopt on bad magic/version/framing.
+std::optional<FlightRecord> ReadFlightRecord(std::istream& is);
+
+/// Convenience file wrappers.
+bool SaveFlightRecord(const std::string& path, const FlightRecord& record);
+std::optional<FlightRecord> LoadFlightRecord(const std::string& path);
+
+}  // namespace uavres::telemetry

@@ -1,0 +1,53 @@
+#include "telemetry/trajectory.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace uavres::telemetry {
+
+using math::Vec3;
+
+std::optional<TrajectorySample> Trajectory::AtTime(double t) const {
+  if (samples_.empty() || samples_.front().t > t) return std::nullopt;
+  // Samples are appended in time order; binary search for the last <= t.
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), t,
+                             [](double v, const TrajectorySample& s) { return v < s.t; });
+  return *std::prev(it);
+}
+
+double Trajectory::TruePathLength() const {
+  double len = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    len += (samples_[i].pos_true - samples_[i - 1].pos_true).Norm();
+  }
+  return len;
+}
+
+double Trajectory::EstimatedPathLength() const {
+  double len = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    len += (samples_[i].pos_est - samples_[i - 1].pos_est).Norm();
+  }
+  return len;
+}
+
+double DistancePointToSegment(const Vec3& p, const Vec3& a, const Vec3& b) {
+  const Vec3 ab = b - a;
+  const double len_sq = ab.NormSq();
+  if (len_sq < 1e-12) return (p - a).Norm();
+  const double t = std::clamp((p - a).Dot(ab) / len_sq, 0.0, 1.0);
+  return (p - (a + ab * t)).Norm();
+}
+
+double Trajectory::DistanceToTruePath(const Vec3& p) const {
+  if (samples_.empty()) return std::numeric_limits<double>::infinity();
+  if (samples_.size() == 1) return (p - samples_[0].pos_true).Norm();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    best = std::min(best,
+                    DistancePointToSegment(p, samples_[i - 1].pos_true, samples_[i].pos_true));
+  }
+  return best;
+}
+
+}  // namespace uavres::telemetry

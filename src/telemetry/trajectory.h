@@ -1,0 +1,61 @@
+// Time-stamped trajectory storage.
+//
+// The campaign compares every faulty flight against the fault-free "gold"
+// trajectory of the same mission, and the figure benches dump these series.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "math/quat.h"
+#include "math/vec3.h"
+
+namespace uavres::telemetry {
+
+/// One sampled point of a flight. Positions are local NED [m].
+struct TrajectorySample {
+  double t{0.0};                 ///< seconds since arming
+  math::Vec3 pos_true;           ///< ground-truth position
+  math::Vec3 pos_est;            ///< EKF-estimated position
+  math::Vec3 vel_true;           ///< ground-truth velocity
+  math::Vec3 vel_est;            ///< EKF-estimated velocity
+  math::Quat att_true;           ///< ground-truth attitude
+  math::Quat att_est;            ///< EKF-estimated attitude
+  double airspeed_est{0.0};      ///< estimated airspeed (|vel_est|) [m/s]
+  bool fault_active{false};      ///< true while the injector is corrupting data
+};
+
+/// Append-only trajectory with helpers for time lookup and path geometry.
+class Trajectory {
+ public:
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+  void Add(const TrajectorySample& s) { samples_.push_back(s); }
+  void Clear() { samples_.clear(); }
+
+  bool Empty() const { return samples_.empty(); }
+  std::size_t Size() const { return samples_.size(); }
+  const TrajectorySample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<TrajectorySample>& Samples() const { return samples_; }
+
+  /// Latest sample at or before time t, if any.
+  std::optional<TrajectorySample> AtTime(double t) const;
+
+  /// Total ground-truth path length [m].
+  double TruePathLength() const;
+
+  /// Total EKF-estimated path length [m] — the paper's "distance traveled".
+  double EstimatedPathLength() const;
+
+  /// Minimum distance from point p to the piecewise-linear true path [m].
+  /// Returns +inf for an empty trajectory.
+  double DistanceToTruePath(const math::Vec3& p) const;
+
+ private:
+  std::vector<TrajectorySample> samples_;
+};
+
+/// Shortest distance from point p to segment [a, b].
+double DistancePointToSegment(const math::Vec3& p, const math::Vec3& a, const math::Vec3& b);
+
+}  // namespace uavres::telemetry

@@ -1,0 +1,160 @@
+#include "uav/simulation_runner.h"
+
+#include <cmath>
+
+#include "core/bubble.h"
+#include "math/num.h"
+
+namespace uavres::uav {
+
+using core::MissionOutcome;
+using core::MissionResult;
+using math::Vec3;
+
+UavConfig MakeUavConfig(const core::DroneSpec& spec) {
+  UavConfig cfg;
+  cfg.airframe = spec.MakeAirframe();
+  cfg.wind.mean_wind_ned = {0.4, -0.3, 0.0};  // light urban breeze
+  cfg.wind.gust_stddev = 0.25;
+  return cfg;
+}
+
+std::uint64_t ExperimentSeed(std::uint64_t base, int mission_index,
+                             const std::optional<core::FaultSpec>& fault) {
+  std::uint64_t s = math::HashCombine(base, 0xA11CE5EEDULL);
+  s = math::HashCombine(s, static_cast<std::uint64_t>(mission_index) + 1);
+  if (fault) {
+    s = math::HashCombine(s, static_cast<std::uint64_t>(fault->type) + 11);
+    s = math::HashCombine(s, static_cast<std::uint64_t>(fault->target) + 101);
+    s = math::HashCombine(s, static_cast<std::uint64_t>(fault->duration_s * 1000.0) + 1009);
+  }
+  return s;
+}
+
+RunOutput SimulationRunner::RunGold(const core::DroneSpec& spec, int mission_index,
+                                    std::uint64_t seed_base) const {
+  return Run(spec, mission_index, std::nullopt, nullptr, seed_base);
+}
+
+RunOutput SimulationRunner::RunWithFault(const core::DroneSpec& spec, int mission_index,
+                                         const core::FaultSpec& fault,
+                                         const telemetry::Trajectory& gold,
+                                         std::uint64_t seed_base) const {
+  return Run(spec, mission_index, fault, &gold, seed_base);
+}
+
+RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
+                                std::optional<core::FaultSpec> fault,
+                                const telemetry::Trajectory* gold,
+                                std::uint64_t seed_base) const {
+  const std::uint64_t seed = ExperimentSeed(seed_base, mission_index, fault);
+  UavConfig uav_cfg = MakeUavConfig(spec);
+  if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
+  Uav uav(uav_cfg, spec.plan, fault, seed);
+
+  const double max_time = spec.plan.ExpectedDuration() + cfg_.extra_time_s;
+  const double record_interval = 1.0 / cfg_.record_rate_hz;
+
+  core::BubbleParams bubble_params = spec.MakeBubbleParams();
+  bubble_params.tracking_interval_s = cfg_.tracking_interval_s;
+  bubble_params.risk_factor = cfg_.bubble_risk_factor;
+  core::BubbleMonitor bubbles(bubble_params);
+
+  RunOutput out;
+  out.result.mission_index = mission_index;
+  out.result.mission_name = spec.name;
+  out.result.is_gold = !fault.has_value();
+  if (fault) out.result.fault = *fault;
+
+  if (cfg_.record_trajectory) {
+    out.trajectory.Reserve(static_cast<std::size_t>(max_time / record_interval) + 8);
+  }
+
+  double next_record = 0.0;
+  double next_track = cfg_.tracking_interval_s;  // first instant after takeoff starts
+  Vec3 last_est_pos = spec.plan.home;
+  double distance_est = 0.0;
+
+  // Plausibility cap applied by the tracking system: a drone cannot move
+  // faster than its physical top speed, so per-interval reported distance
+  // and airspeed are clamped even when the EKF output is fault-corrupted.
+  const double top_speed = bubble_params.top_speed_ms;
+  const double max_speed_plausible = 2.0 * top_speed;
+  const double max_step_dist = max_speed_plausible * cfg_.tracking_interval_s;
+
+  double end_time = max_time;
+  MissionOutcome outcome = MissionOutcome::kTimeout;
+
+  while (uav.time() < max_time) {
+    uav.Step();
+    const double t = uav.time();
+    const auto& truth = uav.quad().state();
+    const auto& est = uav.ekf().state();
+
+    if (cfg_.record_trajectory && t >= next_record) {
+      telemetry::TrajectorySample s;
+      s.t = t;
+      s.pos_true = truth.pos;
+      s.pos_est = est.pos;
+      s.vel_true = truth.vel;
+      s.vel_est = est.vel;
+      s.att_true = truth.att;
+      s.att_est = est.att;
+      s.airspeed_est = est.vel.Norm();
+      s.fault_active = uav.fault_active();
+      out.trajectory.Add(s);
+      next_record += record_interval;
+    }
+
+    if (t >= next_track) {
+      next_track += cfg_.tracking_interval_s;
+      const double step_dist =
+          std::min((est.pos - last_est_pos).Norm(), max_step_dist);
+      distance_est += step_dist;
+      last_est_pos = est.pos;
+      if (gold != nullptr && uav.airborne_seen()) {
+        const double deviation = gold->DistanceToTruePath(truth.pos);
+        const double airspeed = std::min(est.vel.Norm(), max_speed_plausible);
+        bubbles.Track(deviation, airspeed, step_dist);
+      }
+    }
+
+    // --- Terminal conditions. ---
+    if (uav.crash_detector().crashed()) {
+      end_time = uav.crash_detector().crash_time();
+      // Failsafe-first classification (Table IV): if the controller engaged
+      // failsafe before the physical crash, the run counts as a failsafe.
+      if (uav.health().failsafe_active() &&
+          uav.health().failsafe_time() <= end_time) {
+        outcome = MissionOutcome::kFailsafe;
+      } else {
+        outcome = MissionOutcome::kCrashed;
+      }
+      break;
+    }
+    if (uav.commander().landed()) {
+      end_time = uav.commander().landed_time().value_or(t);
+      if (uav.commander().MissionCompleted()) {
+        outcome = MissionOutcome::kCompleted;
+      } else {
+        outcome = MissionOutcome::kFailsafe;
+      }
+      break;
+    }
+  }
+
+  out.result.outcome = outcome;
+  out.result.flight_duration_s = end_time;
+  out.result.distance_km = distance_est / 1000.0;
+  out.result.inner_violations = bubbles.inner_violations();
+  out.result.outer_violations = bubbles.outer_violations();
+  out.result.max_deviation_m = bubbles.max_deviation();
+  out.result.failsafe_reason = uav.health().reason();
+  out.result.failsafe_time_s = uav.health().failsafe_time();
+  out.result.crash_reason = uav.crash_detector().reason();
+  out.result.crash_time_s = uav.crash_detector().crash_time();
+  out.log = uav.log();
+  return out;
+}
+
+}  // namespace uavres::uav

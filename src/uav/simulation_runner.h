@@ -1,0 +1,67 @@
+// Runs one complete experiment (one mission, optionally one fault) and
+// produces the paper's metrics plus the recorded trajectory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/fault_model.h"
+#include "core/metrics.h"
+#include "core/scenario.h"
+#include "telemetry/flight_log.h"
+#include "telemetry/trajectory.h"
+#include "uav/uav.h"
+
+namespace uavres::uav {
+
+/// Harness configuration for one run.
+struct RunConfig {
+  double tracking_interval_s{0.5};  ///< bubble/U-space tracking cadence
+  double bubble_risk_factor{1.0};   ///< R in Eq. 3 (>= 1; the study uses 1)
+  double record_rate_hz{2.0};       ///< trajectory recording rate
+  double extra_time_s{180.0};       ///< grace beyond the expected duration
+  bool record_trajectory{true};
+  /// Optional hook applied to the derived UavConfig before each run; the
+  /// ablation benches use it to vary failsafe/EKF parameters.
+  std::function<void(UavConfig&)> uav_config_mutator;
+};
+
+/// Full output of one experiment.
+struct RunOutput {
+  core::MissionResult result;
+  telemetry::Trajectory trajectory;
+  telemetry::FlightLog log;
+};
+
+/// Default flight-stack configuration derived from a scenario drone spec.
+UavConfig MakeUavConfig(const core::DroneSpec& spec);
+
+/// Stable per-experiment seed: (mission, fault, duration) -> 64-bit seed.
+std::uint64_t ExperimentSeed(std::uint64_t base, int mission_index,
+                             const std::optional<core::FaultSpec>& fault);
+
+/// Runs missions to termination, computing outcome classification, bubble
+/// violations against a gold reference, duration and EKF distance.
+class SimulationRunner {
+ public:
+  explicit SimulationRunner(const RunConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Fault-free reference flight.
+  RunOutput RunGold(const core::DroneSpec& spec, int mission_index,
+                    std::uint64_t seed_base) const;
+
+  /// Fault-injected flight, evaluated against the gold trajectory.
+  RunOutput RunWithFault(const core::DroneSpec& spec, int mission_index,
+                         const core::FaultSpec& fault, const telemetry::Trajectory& gold,
+                         std::uint64_t seed_base) const;
+
+ private:
+  RunOutput Run(const core::DroneSpec& spec, int mission_index,
+                std::optional<core::FaultSpec> fault, const telemetry::Trajectory* gold,
+                std::uint64_t seed_base) const;
+
+  RunConfig cfg_;
+};
+
+}  // namespace uavres::uav

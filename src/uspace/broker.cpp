@@ -1,0 +1,23 @@
+#include "uspace/broker.h"
+
+namespace uavres::uspace {
+
+void Broker::Publish(const TrackReport& report, double now) {
+  ++published_;
+  if (link_.drop_probability > 0.0 && rng_.Uniform01() < link_.drop_probability) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back({now + link_.delay_s, report});
+}
+
+void Broker::Deliver(double now) {
+  while (!queue_.empty() && queue_.front().due <= now) {
+    const TrackReport report = queue_.front().report;
+    queue_.pop_front();
+    ++delivered_;
+    for (const auto& handler : handlers_) handler(report);
+  }
+}
+
+}  // namespace uavres::uspace

@@ -1,0 +1,65 @@
+// Message brokering between drones and the tracker (paper Fig. 1: core and
+// edge brokers), with a communication-impairment model.
+//
+// The paper's fault-injection tool can also corrupt "the communication
+// network (though the latter was not utilized in this study)"; this broker
+// provides that surface: probabilistic report loss and fixed transport
+// delay between the drone's telemetry and the U-space tracker.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "math/rng.h"
+#include "uspace/tracking.h"
+
+namespace uavres::uspace {
+
+/// Impairments applied to the drone -> tracker link.
+struct LinkQuality {
+  double drop_probability{0.0};  ///< iid report loss in [0, 1]
+  double delay_s{0.0};           ///< fixed transport delay
+};
+
+/// In-process pub/sub broker for track reports. Deterministic given the
+/// seed; delivery order is publication order.
+class Broker {
+ public:
+  using Handler = std::function<void(const TrackReport&)>;
+
+  Broker() : Broker(LinkQuality{}, math::Rng{17}) {}
+  Broker(const LinkQuality& link, math::Rng rng) : link_(link), rng_(rng) {}
+
+  const LinkQuality& link() const { return link_; }
+
+  /// Register a delivery handler (the tracker's ingest).
+  void Subscribe(Handler handler) { handlers_.push_back(std::move(handler)); }
+
+  /// Publish a report at time `now`. May be dropped; otherwise it is queued
+  /// for delivery at now + delay.
+  void Publish(const TrackReport& report, double now);
+
+  /// Deliver every queued report whose due time has arrived.
+  void Deliver(double now);
+
+  int published() const { return published_; }
+  int dropped() const { return dropped_; }
+  int delivered() const { return delivered_; }
+  std::size_t in_flight() const { return queue_.size(); }
+
+ private:
+  struct Pending {
+    double due;
+    TrackReport report;
+  };
+
+  LinkQuality link_;
+  math::Rng rng_;
+  std::vector<Handler> handlers_;
+  std::deque<Pending> queue_;
+  int published_{0};
+  int dropped_{0};
+  int delivered_{0};
+};
+
+}  // namespace uavres::uspace

@@ -1,0 +1,91 @@
+#include "uspace/conflict.h"
+
+#include <algorithm>
+
+namespace uavres::uspace {
+
+const char* ToString(ConflictSeverity s) {
+  switch (s) {
+    case ConflictSeverity::kConflict:
+      return "conflict";
+    case ConflictSeverity::kAlert:
+      return "alert";
+  }
+  return "?";
+}
+
+void ConflictDetector::Step(double t) {
+  const auto active = tracker_->ActiveDrones();
+  bool any_conflict_this_instant = false;
+
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    for (std::size_t j = i + 1; j < active.size(); ++j) {
+      const int a = active[i];
+      const int b = active[j];
+      const auto sa = tracker_->StateOf(a);
+      const auto sb = tracker_->StateOf(b);
+      const auto* ia = tracker_->InfoOf(a);
+      const auto* ib = tracker_->InfoOf(b);
+      if (!sa || !sb || !ia || !ib) continue;
+      if (sa->reports_accepted == 0 || sb->reports_accepted == 0) continue;
+
+      auto [it, inserted] =
+          pairs_.try_emplace({a, b}, ia->bubble, ib->bubble);
+      PairState& pair = it->second;
+
+      const double separation = (sa->last_report.pos - sb->last_report.pos).Norm();
+      min_separation_ = std::min(min_separation_, separation);
+
+      const double outer_a =
+          pair.outer_a.Update(sa->last_report.airspeed_ms, sa->distance_last_interval_m);
+      const double outer_b =
+          pair.outer_b.Update(sb->last_report.airspeed_ms, sb->distance_last_interval_m);
+      const double inner_sum =
+          core::InnerBubbleRadius(ia->bubble) + core::InnerBubbleRadius(ib->bubble);
+
+      const bool conflict_now = separation < outer_a + outer_b;
+      const bool alert_now = separation < inner_sum;
+
+      auto update_event = [&](bool now, bool& was, int& open_idx,
+                              ConflictSeverity severity) {
+        if (now && !was) {
+          ConflictEvent e;
+          e.drone_a = a;
+          e.drone_b = b;
+          e.start_time = t;
+          e.end_time = t;
+          e.min_separation_m = separation;
+          e.severity = severity;
+          open_idx = static_cast<int>(events_.size());
+          events_.push_back(e);
+        } else if (now && was && open_idx >= 0) {
+          auto& e = events_[static_cast<std::size_t>(open_idx)];
+          e.end_time = t;
+          e.min_separation_m = std::min(e.min_separation_m, separation);
+        } else if (!now && was) {
+          open_idx = -1;
+        }
+        was = now;
+      };
+
+      update_event(conflict_now, pair.in_conflict, pair.open_event,
+                   ConflictSeverity::kConflict);
+      update_event(alert_now, pair.in_alert, pair.open_alert, ConflictSeverity::kAlert);
+      any_conflict_this_instant |= conflict_now;
+    }
+  }
+  if (any_conflict_this_instant) ++instants_in_conflict_;
+}
+
+ConflictStats ConflictDetector::stats() const {
+  ConflictStats s;
+  for (const auto& e : events_) {
+    if (e.severity == ConflictSeverity::kConflict) ++s.conflicts;
+    if (e.severity == ConflictSeverity::kAlert) ++s.alerts;
+  }
+  s.instants_in_conflict = instants_in_conflict_;
+  s.min_separation_m = min_separation_;
+  return s;
+}
+
+}  // namespace uavres::uspace

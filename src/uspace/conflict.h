@@ -1,0 +1,80 @@
+// Pairwise conflict detection over the tracking feed.
+//
+// The paper frames the bubbles as U-space separation minima: "a virtual
+// safety volume around the drone ... for a safe and conflict-free flight".
+// This service applies that definition between drones: at every tracking
+// instant it evaluates each pair's separation against the sum of their
+// bubble radii:
+//
+//   * ALERT  — separation < inner_i + inner_j   (the static alert bubbles
+//     touch: imminent danger, the paper's inner-bubble purpose),
+//   * CONFLICT — separation < outer_i + outer_j (the dynamic separation
+//     volumes overlap: a loss of separation that U-space must resolve).
+//
+// Outer radii follow Eq. 2-3 per drone, driven by the tracked airspeed and
+// per-interval distance.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/bubble.h"
+#include "uspace/tracking.h"
+
+namespace uavres::uspace {
+
+/// Severity of a separation event.
+enum class ConflictSeverity { kConflict, kAlert };
+
+const char* ToString(ConflictSeverity s);
+
+/// One separation event (entry into a conflict state for a drone pair).
+struct ConflictEvent {
+  int drone_a{0};
+  int drone_b{0};
+  double start_time{0.0};
+  double end_time{0.0};        ///< updated while the conflict persists
+  double min_separation_m{0.0};
+  ConflictSeverity severity{ConflictSeverity::kConflict};
+};
+
+/// Aggregate statistics for a run.
+struct ConflictStats {
+  int conflicts{0};           ///< distinct loss-of-separation events
+  int alerts{0};              ///< distinct inner-bubble events
+  int instants_in_conflict{0};
+  double min_separation_m{1e18};
+};
+
+/// Evaluates all registered pairs at each tracking instant.
+class ConflictDetector {
+ public:
+  explicit ConflictDetector(const Tracker* tracker) : tracker_(tracker) {}
+
+  /// Evaluate every active pair at time t. Call once per tracking instant,
+  /// after all drones' reports for that instant were ingested.
+  void Step(double t);
+
+  const std::vector<ConflictEvent>& events() const { return events_; }
+  ConflictStats stats() const;
+
+ private:
+  struct PairState {
+    core::OuterBubble outer_a;
+    core::OuterBubble outer_b;
+    bool in_conflict{false};
+    bool in_alert{false};
+    int open_event{-1};   ///< index into events_ while a conflict persists
+    int open_alert{-1};
+    PairState(const core::BubbleParams& a, const core::BubbleParams& b)
+        : outer_a(a), outer_b(b) {}
+  };
+
+  const Tracker* tracker_;  // not owned
+  std::map<std::pair<int, int>, PairState> pairs_;
+  std::vector<ConflictEvent> events_;
+  int instants_in_conflict_{0};
+  double min_separation_{1e18};
+};
+
+}  // namespace uavres::uspace

@@ -1,0 +1,173 @@
+#include "uspace/multi_runner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "math/geo.h"
+#include "uav/simulation_runner.h"
+#include "uav/uav.h"
+
+namespace uavres::uspace {
+
+using core::DroneSpec;
+using core::MissionOutcome;
+using math::Vec3;
+
+namespace {
+
+/// Translate a spec's local mission plan into the shared scenario frame.
+nav::MissionPlan PlanInSharedFrame(const DroneSpec& spec, const Vec3& shared_home) {
+  nav::MissionPlan plan = spec.plan;
+  plan.home = shared_home;
+  for (auto& wp : plan.waypoints) {
+    wp.x += shared_home.x;
+    wp.y += shared_home.y;
+  }
+  return plan;
+}
+
+}  // namespace
+
+MultiRunOutput MultiUavRunner::Run(const std::vector<DroneSpec>& fleet,
+                                   std::uint64_t seed_base) const {
+  const math::LocalProjection proj(core::ScenarioOrigin());
+
+  Tracker tracker;
+  Broker broker(cfg_.link, math::Rng{math::HashCombine(seed_base, 0xB20CE2)});
+  broker.Subscribe([&tracker](const TrackReport& r) { tracker.Ingest(r); });
+  ConflictDetector detector(&tracker);
+
+  struct Vehicle {
+    std::unique_ptr<uav::Uav> uav;
+    bool ended{false};
+    MultiDroneResult result;
+  };
+
+  std::vector<Vehicle> vehicles;
+  double max_expected = 0.0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const DroneSpec& spec = fleet[i];
+    const Vec3 shared_home = proj.ToNed(spec.home_geo);
+    const auto plan = PlanInSharedFrame(spec, shared_home);
+    max_expected = std::max(max_expected, plan.ExpectedDuration());
+
+    std::optional<core::FaultSpec> fault;
+    if (cfg_.fault && static_cast<int>(i) == cfg_.faulted_drone) fault = *cfg_.fault;
+
+    const std::uint64_t seed =
+        uav::ExperimentSeed(math::HashCombine(seed_base, i + 0x517EULL),
+                            static_cast<int>(i), fault);
+    Vehicle v;
+    v.uav = std::make_unique<uav::Uav>(uav::MakeUavConfig(spec), plan, fault, seed);
+    v.result.drone_id = static_cast<int>(i);
+    v.result.name = spec.name;
+    vehicles.push_back(std::move(v));
+
+    auto bubble = spec.MakeBubbleParams();
+    bubble.tracking_interval_s = cfg_.tracking_interval_s;
+    TrackedDrone reg;
+    reg.drone_id = static_cast<int>(i);
+    reg.name = spec.name;
+    reg.bubble = bubble;
+    reg.max_speed_ms = bubble.top_speed_ms;
+    tracker.Register(reg);
+  }
+
+  const double max_time = max_expected + cfg_.extra_time_s;
+  const double dt = vehicles.empty() ? 0.004 : vehicles[0].uav->dt();
+  double next_track = cfg_.tracking_interval_s;
+
+  auto all_ended = [&] {
+    return std::all_of(vehicles.begin(), vehicles.end(),
+                       [](const Vehicle& v) { return v.ended; });
+  };
+
+  double t = 0.0;
+  while (t < max_time && !all_ended()) {
+    for (auto& v : vehicles) {
+      if (v.ended) continue;
+      v.uav->Step();
+
+      // Terminal conditions per drone (same rules as SimulationRunner).
+      if (v.uav->crash_detector().crashed()) {
+        v.ended = true;
+        v.result.flight_duration_s = v.uav->crash_detector().crash_time();
+        v.result.outcome = (v.uav->health().failsafe_active() &&
+                            v.uav->health().failsafe_time() <=
+                                v.uav->crash_detector().crash_time())
+                               ? MissionOutcome::kFailsafe
+                               : MissionOutcome::kCrashed;
+        tracker.Deregister(v.result.drone_id);
+      } else if (v.uav->commander().landed()) {
+        v.ended = true;
+        v.result.flight_duration_s = v.uav->commander().landed_time().value_or(t);
+        v.result.outcome = v.uav->commander().MissionCompleted()
+                               ? MissionOutcome::kCompleted
+                               : MissionOutcome::kFailsafe;
+        tracker.Deregister(v.result.drone_id);
+      }
+    }
+    t += dt;
+
+    if (t >= next_track) {
+      next_track += cfg_.tracking_interval_s;
+      for (auto& v : vehicles) {
+        if (v.ended) continue;
+        TrackReport report;
+        report.drone_id = v.result.drone_id;
+        report.t = t;
+        report.pos = v.uav->ekf().state().pos;  // self-reported estimate
+        report.airspeed_ms = v.uav->ekf().state().vel.Norm();
+        broker.Publish(report, t);
+      }
+      broker.Deliver(t);
+      detector.Step(t);
+    }
+  }
+
+  MultiRunOutput out;
+  for (auto& v : vehicles) {
+    if (!v.ended) {
+      v.result.outcome = MissionOutcome::kTimeout;
+      v.result.flight_duration_s = t;
+    }
+    out.drones.push_back(v.result);
+  }
+  out.conflicts = detector.stats();
+  out.events = detector.events();
+  out.reports_published = broker.published();
+  out.reports_dropped = broker.dropped();
+  out.reports_quarantined = tracker.total_quarantined();
+  return out;
+}
+
+std::vector<DroneSpec> BuildConvoyScenario(int num_drones, double lane_spacing_m,
+                                           double speed_kmh, double leg_length_m) {
+  std::vector<DroneSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(num_drones));
+  const auto origin = core::ScenarioOrigin();
+  for (int i = 0; i < num_drones; ++i) {
+    DroneSpec s;
+    s.name = "CONVOY-" + std::to_string(i + 1);
+    s.cruise_speed_kmh = speed_kmh;
+    s.mass_kg = 1.5;
+    s.wingspan_m = 0.55;
+    s.safety_distance_m = 1.5;
+    s.has_turning_points = false;
+    // Lanes offset east, staggered 25 m along track so nobody flies abreast.
+    const double east = i * lane_spacing_m;
+    const double north0 = -i * 25.0;
+    s.home_geo = {origin.lat_deg + north0 / 111000.0,
+                  origin.lon_deg + east / (111000.0 * 0.7716), 0.0};
+    s.plan.name = s.name;
+    s.plan.home = math::Vec3::Zero();
+    s.plan.cruise_speed_ms = math::KmhToMs(speed_kmh);
+    s.plan.takeoff_altitude_m = 15.0;
+    s.plan.acceptance_radius_m = 2.0;
+    s.plan.waypoints = {{0.0, 0.0, -15.0}, {leg_length_m, 0.0, -15.0}};
+    fleet.push_back(std::move(s));
+  }
+  return fleet;
+}
+
+}  // namespace uavres::uspace

@@ -1,0 +1,72 @@
+// Multi-UAV simulation in a shared U-space frame.
+//
+// Runs several vehicles in lockstep, publishes each drone's *self-reported*
+// (EKF-estimated) position through the broker at the tracking cadence —
+// U-space only sees what drones report, so IMU faults corrupt the tracking
+// picture too — and feeds the tracker + conflict detector. This is the
+// conflict-rate experiment surface of the paper's research line (their prior
+// SAFECOMP'22 work measured drone conflict rates under faulty conditions).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/fault_model.h"
+#include "core/metrics.h"
+#include "core/scenario.h"
+#include "uspace/broker.h"
+#include "uspace/conflict.h"
+#include "uspace/tracking.h"
+
+namespace uavres::uspace {
+
+/// Configuration of one multi-vehicle run.
+struct MultiRunConfig {
+  double tracking_interval_s{0.5};
+  double extra_time_s{180.0};
+  LinkQuality link;                       ///< drone -> tracker impairments
+  std::optional<core::FaultSpec> fault;   ///< injected into one drone
+  int faulted_drone{0};                   ///< index into the fleet
+};
+
+/// Per-drone outcome of a multi-vehicle run.
+struct MultiDroneResult {
+  int drone_id{0};
+  std::string name;
+  core::MissionOutcome outcome{core::MissionOutcome::kCompleted};
+  double flight_duration_s{0.0};
+};
+
+/// Full output of a multi-vehicle run.
+struct MultiRunOutput {
+  std::vector<MultiDroneResult> drones;
+  ConflictStats conflicts;
+  std::vector<ConflictEvent> events;
+  int reports_published{0};
+  int reports_dropped{0};
+  int reports_quarantined{0};
+};
+
+/// Runs a fleet concurrently in the scenario's shared NED frame.
+class MultiUavRunner {
+ public:
+  explicit MultiUavRunner(const MultiRunConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// `fleet` uses each spec's `home_geo` to place it in the shared frame.
+  MultiRunOutput Run(const std::vector<core::DroneSpec>& fleet,
+                     std::uint64_t seed_base) const;
+
+ private:
+  MultiRunConfig cfg_;
+};
+
+/// A scenario purpose-built for conflict studies: drones flying parallel
+/// corridors `lane_spacing_m` apart at the same speed, staggered along
+/// track. Gold runs keep separation; a faulted drone deviating laterally
+/// enters its neighbours' bubbles.
+std::vector<core::DroneSpec> BuildConvoyScenario(int num_drones = 3,
+                                                 double lane_spacing_m = 30.0,
+                                                 double speed_kmh = 12.0,
+                                                 double leg_length_m = 1200.0);
+
+}  // namespace uavres::uspace

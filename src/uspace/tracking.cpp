@@ -1,0 +1,69 @@
+#include "uspace/tracking.h"
+
+namespace uavres::uspace {
+
+bool Tracker::Register(const TrackedDrone& drone) {
+  if (drones_.contains(drone.drone_id)) return false;
+  drones_[drone.drone_id] = drone;
+  return true;
+}
+
+void Tracker::Deregister(int drone_id) {
+  if (auto it = states_.find(drone_id); it != states_.end()) {
+    it->second.active = false;
+  }
+}
+
+bool Tracker::Ingest(const TrackReport& report) {
+  const auto info = drones_.find(report.drone_id);
+  if (info == drones_.end()) return false;  // unknown drone: drop
+
+  auto& state = states_[report.drone_id];
+  if (state.reports_accepted > 0) {
+    const double dt = report.t - state.last_report.t;
+    if (dt <= 0.0) {
+      ++state.reports_quarantined;
+      ++total_quarantined_;
+      return false;  // stale or duplicated timestamp
+    }
+    const double dist = (report.pos - state.last_report.pos).Norm();
+    const double implied_speed = dist / dt;
+    if (implied_speed > 2.0 * info->second.max_speed_ms) {
+      // Physically impossible jump: quarantine but keep the track alive.
+      ++state.reports_quarantined;
+      ++total_quarantined_;
+      return false;
+    }
+    state.distance_last_interval_m = dist;
+  }
+  state.last_report = report;
+  // Plausibility cap on the self-reported airspeed (a fault-corrupted EKF
+  // can report physically impossible speeds, which would blow up the
+  // dynamic outer bubble downstream).
+  state.last_report.airspeed_ms =
+      math::Clamp(report.airspeed_ms, 0.0, 2.0 * info->second.max_speed_ms);
+  state.active = true;
+  ++state.reports_accepted;
+  return true;
+}
+
+std::optional<TrackState> Tracker::StateOf(int drone_id) const {
+  const auto it = states_.find(drone_id);
+  if (it == states_.end()) return std::nullopt;
+  return it->second;
+}
+
+const TrackedDrone* Tracker::InfoOf(int drone_id) const {
+  const auto it = drones_.find(drone_id);
+  return it == drones_.end() ? nullptr : &it->second;
+}
+
+std::vector<int> Tracker::ActiveDrones() const {
+  std::vector<int> ids;
+  for (const auto& [id, state] : states_) {
+    if (state.active) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace uavres::uspace

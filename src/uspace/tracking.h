@@ -1,0 +1,76 @@
+// U-space tracking service (paper Fig. 1: "tracker, core brokers, edge
+// brokers ... deployed to facilitate communication with U-space").
+//
+// Drones publish position reports at the tracking cadence; the tracker keeps
+// a bounded history per drone, applies a plausibility filter (a report that
+// implies a speed beyond the drone's physical capability is quarantined, as
+// a real UTM ingest pipeline would), and serves the latest state to the
+// conflict-detection service.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bubble.h"
+#include "math/num.h"
+#include "math/vec3.h"
+
+namespace uavres::uspace {
+
+/// One position report, in the scenario's shared NED frame.
+struct TrackReport {
+  int drone_id{0};
+  double t{0.0};
+  math::Vec3 pos;
+  double airspeed_ms{0.0};
+};
+
+/// Static registration data the tracker holds per drone.
+struct TrackedDrone {
+  int drone_id{0};
+  std::string name;
+  core::BubbleParams bubble;
+  double max_speed_ms{10.0};  ///< plausibility limit for consecutive reports
+};
+
+/// Latest validated state of a drone, as the tracker sees it.
+struct TrackState {
+  TrackReport last_report;
+  double distance_last_interval_m{0.0};
+  int reports_accepted{0};
+  int reports_quarantined{0};
+  bool active{true};  ///< false once the drone deregisters (landed/crashed)
+};
+
+/// Central tracking service.
+class Tracker {
+ public:
+  /// Register a drone before its first report. Returns false on duplicate id.
+  bool Register(const TrackedDrone& drone);
+
+  /// Mark a drone inactive (flight ended); its last state is retained.
+  void Deregister(int drone_id);
+
+  /// Ingest one report. Returns true if accepted, false if quarantined by
+  /// the plausibility filter (implied speed > 2x the drone's max speed).
+  bool Ingest(const TrackReport& report);
+
+  /// Latest validated state, if the drone is known.
+  std::optional<TrackState> StateOf(int drone_id) const;
+
+  const TrackedDrone* InfoOf(int drone_id) const;
+
+  /// Ids of all currently active drones.
+  std::vector<int> ActiveDrones() const;
+
+  int total_quarantined() const { return total_quarantined_; }
+
+ private:
+  std::map<int, TrackedDrone> drones_;
+  std::map<int, TrackState> states_;
+  int total_quarantined_{0};
+};
+
+}  // namespace uavres::uspace

@@ -1,0 +1,88 @@
+#include "app/command_line.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::app {
+namespace {
+
+TEST(CommandLine, EmptyArgs) {
+  const auto cl = ParseCommandLine({});
+  EXPECT_TRUE(cl.command.empty());
+  EXPECT_TRUE(cl.positionals.empty());
+  EXPECT_TRUE(cl.flags.empty());
+}
+
+TEST(CommandLine, CommandAndPositionals) {
+  const auto cl = ParseCommandLine({"inject", "3", "gyro", "max", "10"});
+  EXPECT_EQ(cl.command, "inject");
+  ASSERT_EQ(cl.positionals.size(), 4u);
+  EXPECT_EQ(cl.positionals[0], "3");
+  EXPECT_EQ(cl.Positional(2), "max");
+  EXPECT_EQ(cl.Positional(9, "fallback"), "fallback");
+}
+
+TEST(CommandLine, FlagWithValue) {
+  const auto cl = ParseCommandLine({"fly", "0", "--seed", "99"});
+  EXPECT_EQ(cl.command, "fly");
+  EXPECT_EQ(cl.Positional(0), "0");
+  ASSERT_TRUE(cl.HasFlag("seed"));
+  EXPECT_EQ(*cl.Flag("seed"), "99");
+  EXPECT_EQ(cl.FlagInt("seed", 0), 99);
+}
+
+TEST(CommandLine, BooleanFlagBeforeAnotherFlag) {
+  const auto cl = ParseCommandLine({"campaign", "--verbose", "--missions", "3"});
+  EXPECT_TRUE(cl.HasFlag("verbose"));
+  EXPECT_EQ(*cl.Flag("verbose"), "");
+  EXPECT_EQ(cl.FlagInt("missions", 0), 3);
+}
+
+TEST(CommandLine, TrailingBooleanFlag) {
+  const auto cl = ParseCommandLine({"fly", "--fast"});
+  EXPECT_TRUE(cl.HasFlag("fast"));
+  EXPECT_EQ(*cl.Flag("fast"), "");
+}
+
+TEST(CommandLine, FlagDoubleParsing) {
+  const auto cl = ParseCommandLine({"convoy", "--spacing", "12.5"});
+  EXPECT_DOUBLE_EQ(cl.FlagDouble("spacing", 0.0), 12.5);
+  EXPECT_DOUBLE_EQ(cl.FlagDouble("missing", 7.0), 7.0);
+}
+
+TEST(CommandLine, MalformedNumbersFallBackToDefault) {
+  const auto cl = ParseCommandLine({"fly", "--seed", "abc", "--rate", "1.5x"});
+  EXPECT_EQ(cl.FlagInt("seed", 42), 42);
+  EXPECT_DOUBLE_EQ(cl.FlagDouble("rate", 2.0), 2.0);
+}
+
+TEST(CommandLine, MissingFlagIsNullopt) {
+  const auto cl = ParseCommandLine({"fly"});
+  EXPECT_FALSE(cl.Flag("seed").has_value());
+  EXPECT_FALSE(cl.HasFlag("seed"));
+}
+
+TEST(CommandLine, RepeatedFlagLastWins) {
+  const auto cl = ParseCommandLine({"fly", "--seed", "1", "--seed", "2"});
+  EXPECT_EQ(cl.FlagInt("seed", 0), 2);
+}
+
+TEST(ParseDoubleList, ParsesCsv) {
+  const auto v = ParseDoubleList("2,5,10,30");
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[3], 30.0);
+}
+
+TEST(ParseDoubleList, SkipsInvalidAndEmptyCells) {
+  const auto v = ParseDoubleList("2,,abc,5.5,");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 5.5);
+}
+
+TEST(ParseDoubleList, EmptyString) {
+  EXPECT_TRUE(ParseDoubleList("").empty());
+}
+
+}  // namespace
+}  // namespace uavres::app

@@ -1,0 +1,80 @@
+#include "control/attitude_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::control {
+namespace {
+
+using math::DegToRad;
+using math::Quat;
+using math::Vec3;
+
+TEST(AttitudeController, ZeroErrorZeroRate) {
+  AttitudeController ctrl;
+  const Quat att = Quat::FromEuler(0.1, -0.2, 0.5);
+  EXPECT_TRUE(math::ApproxEq(ctrl.Update(att, att), Vec3::Zero(), 1e-9));
+}
+
+TEST(AttitudeController, RollErrorCommandsRollRate) {
+  AttitudeController ctrl;
+  const Quat sp = Quat::FromEuler(DegToRad(10), 0.0, 0.0);
+  const Vec3 rate = ctrl.Update(sp, Quat::Identity());
+  EXPECT_GT(rate.x, 0.1);
+  EXPECT_NEAR(rate.y, 0.0, 1e-6);
+  EXPECT_NEAR(rate.z, 0.0, 1e-6);
+}
+
+TEST(AttitudeController, SignReversesWithError) {
+  AttitudeController ctrl;
+  const Quat sp = Quat::FromEuler(-DegToRad(10), 0.0, 0.0);
+  EXPECT_LT(ctrl.Update(sp, Quat::Identity()).x, -0.1);
+}
+
+TEST(AttitudeController, ProportionalInSmallErrors) {
+  AttitudeController ctrl;
+  const Vec3 r1 = ctrl.Update(Quat::FromEuler(DegToRad(5), 0, 0), Quat::Identity());
+  const Vec3 r2 = ctrl.Update(Quat::FromEuler(DegToRad(10), 0, 0), Quat::Identity());
+  EXPECT_NEAR(r2.x / r1.x, 2.0, 0.01);
+}
+
+TEST(AttitudeController, YawWeightedDown) {
+  AttitudeControlConfig cfg;
+  AttitudeController ctrl(cfg);
+  const double angle = DegToRad(20);
+  const Vec3 roll_rate = ctrl.Update(Quat::FromEuler(angle, 0, 0), Quat::Identity());
+  const Vec3 yaw_rate = ctrl.Update(Quat::FromEuler(0, 0, angle), Quat::Identity());
+  // Same angular error: yaw response must be weaker (yaw_weight * p_yaw).
+  EXPECT_LT(yaw_rate.z, roll_rate.x * 0.5);
+}
+
+TEST(AttitudeController, RateSetpointsClamped) {
+  AttitudeControlConfig cfg;
+  AttitudeController ctrl(cfg);
+  const Quat sp = Quat::FromEuler(DegToRad(170), 0.0, 0.0);
+  const Vec3 rate = ctrl.Update(sp, Quat::Identity());
+  EXPECT_LE(std::abs(rate.x), cfg.max_rate_rp + 1e-9);
+}
+
+TEST(AttitudeController, TakesShortestPath) {
+  AttitudeController ctrl;
+  // 350 deg yaw error == -10 deg: command must be negative yaw rate.
+  const Quat sp = Quat::FromAxisAngle(Vec3::UnitZ(), DegToRad(350));
+  EXPECT_LT(ctrl.Update(sp, Quat::Identity()).z, 0.0);
+}
+
+TEST(AttitudeController, ClosedLoopConverges) {
+  // Kinematic plant: attitude integrates the commanded rate exactly.
+  AttitudeController ctrl;
+  Quat att = Quat::Identity();
+  const Quat sp = Quat::FromEuler(DegToRad(25), -DegToRad(15), DegToRad(40));
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 rate = ctrl.Update(sp, att);
+    att = att.Integrated(rate, 0.004);
+  }
+  EXPECT_LT(att.AngleTo(sp), DegToRad(0.5));
+}
+
+}  // namespace
+}  // namespace uavres::control

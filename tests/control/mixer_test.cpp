@@ -1,0 +1,118 @@
+#include "control/mixer.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::control {
+namespace {
+
+using math::Vec3;
+
+MixerConfig TestConfig() {
+  MixerConfig cfg;
+  cfg.arm_length_m = 0.25;
+  cfg.rotor_max_thrust_n = 7.0;
+  cfg.torque_coefficient = 0.016;
+  cfg.inertia_diag = {0.029, 0.029, 0.055};
+  return cfg;
+}
+
+TEST(Mixer, PureCollectiveGivesEqualCommands) {
+  Mixer mixer(TestConfig());
+  const auto cmds = mixer.Mix(0.5, Vec3::Zero());
+  for (double c : cmds) EXPECT_NEAR(c, 0.5, 1e-9);
+}
+
+TEST(Mixer, CommandsAlwaysInRange) {
+  Mixer mixer(TestConfig());
+  for (double thrust : {0.0, 0.3, 0.8, 1.0}) {
+    for (double a : {-500.0, -20.0, 0.0, 20.0, 500.0}) {
+      const auto cmds = mixer.Mix(thrust, {a, -a, a / 2});
+      for (double c : cmds) {
+        EXPECT_GE(c, 0.0);
+        EXPECT_LE(c, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Mixer, RollDemandDifferentiatesLeftRight) {
+  Mixer mixer(TestConfig());
+  // Positive roll accel: right side (rotors 0 FR, 3 BR) must drop, left
+  // side (1 BL, 2 FL) must rise.
+  const auto cmds = mixer.Mix(0.5, {30.0, 0.0, 0.0});
+  EXPECT_LT(cmds[0], 0.5);
+  EXPECT_GT(cmds[1], 0.5);
+  EXPECT_GT(cmds[2], 0.5);
+  EXPECT_LT(cmds[3], 0.5);
+}
+
+TEST(Mixer, PitchDemandDifferentiatesFrontBack) {
+  Mixer mixer(TestConfig());
+  // Positive pitch accel (nose up): front rotors (0, 2) rise.
+  const auto cmds = mixer.Mix(0.5, {0.0, 30.0, 0.0});
+  EXPECT_GT(cmds[0], 0.5);
+  EXPECT_LT(cmds[1], 0.5);
+  EXPECT_GT(cmds[2], 0.5);
+  EXPECT_LT(cmds[3], 0.5);
+}
+
+TEST(Mixer, YawDemandDifferentiatesSpinGroups) {
+  Mixer mixer(TestConfig());
+  // Positive yaw accel: CW rotors (2, 3) produce +z reaction, so they rise.
+  const auto cmds = mixer.Mix(0.5, {0.0, 0.0, 10.0});
+  EXPECT_LT(cmds[0], 0.5);
+  EXPECT_LT(cmds[1], 0.5);
+  EXPECT_GT(cmds[2], 0.5);
+  EXPECT_GT(cmds[3], 0.5);
+}
+
+TEST(Mixer, AllocationInvertsPhysicalMap) {
+  // Reconstruct torques from allocated thrusts and compare with demand.
+  const MixerConfig cfg = TestConfig();
+  Mixer mixer(cfg);
+  const Vec3 ang_accel{8.0, -5.0, 3.0};
+  const double collective = 0.5;
+  const auto cmds = mixer.Mix(collective, ang_accel);
+
+  const double d = cfg.arm_length_m / std::numbers::sqrt2;
+  std::array<double, 4> t{};
+  for (int i = 0; i < 4; ++i) t[i] = cmds[i] * cfg.rotor_max_thrust_n;
+  const double tau_x = d * (-t[0] + t[1] + t[2] - t[3]);
+  const double tau_y = d * (t[0] - t[1] + t[2] - t[3]);
+  const double tau_z = cfg.torque_coefficient * (-t[0] - t[1] + t[2] + t[3]);
+
+  EXPECT_NEAR(tau_x, ang_accel.x * cfg.inertia_diag.x, 1e-9);
+  EXPECT_NEAR(tau_y, ang_accel.y * cfg.inertia_diag.y, 1e-9);
+  EXPECT_NEAR(tau_z, ang_accel.z * cfg.inertia_diag.z, 1e-9);
+  EXPECT_NEAR(t[0] + t[1] + t[2] + t[3], collective * 4.0 * cfg.rotor_max_thrust_n, 1e-9);
+}
+
+TEST(Mixer, SaturationSacrificesYawFirst) {
+  const MixerConfig cfg = TestConfig();
+  Mixer mixer(cfg);
+  // Large roll + yaw demand at high collective: roll must survive.
+  const auto cmds = mixer.Mix(0.9, {60.0, 0.0, 40.0});
+  const double roll_diff = (cmds[1] + cmds[2]) - (cmds[0] + cmds[3]);
+  EXPECT_GT(roll_diff, 0.1);  // roll authority retained
+}
+
+TEST(Mixer, AirmodeKeepsDifferentialAtLowThrust) {
+  Mixer mixer(TestConfig());
+  const auto cmds = mixer.Mix(0.02, {25.0, 0.0, 0.0});
+  const double diff = (cmds[1] + cmds[2]) - (cmds[0] + cmds[3]);
+  EXPECT_GT(diff, 0.05);  // collective shifted up to preserve roll
+}
+
+TEST(MixerConfigFromQuadrotor, CopiesGeometry) {
+  sim::QuadrotorParams p = sim::MakeQuadrotorParams(1.8);
+  p.arm_length_m = 0.3;
+  const MixerConfig cfg = MixerConfigFromQuadrotor(p);
+  EXPECT_DOUBLE_EQ(cfg.arm_length_m, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.rotor_max_thrust_n, p.rotor.max_thrust_n);
+  EXPECT_TRUE(math::ApproxEq(cfg.inertia_diag, p.inertia_diag));
+}
+
+}  // namespace
+}  // namespace uavres::control

@@ -1,0 +1,108 @@
+#include "control/pid.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::control {
+namespace {
+
+TEST(Pid, PureProportional) {
+  Pid pid(PidConfig{.kp = 2.0});
+  EXPECT_DOUBLE_EQ(pid.Update(3.0, 0.01), 6.0);
+  EXPECT_DOUBLE_EQ(pid.Update(-1.5, 0.01), -3.0);
+}
+
+TEST(Pid, IntegralAccumulates) {
+  Pid pid(PidConfig{.ki = 1.0});
+  double out = 0.0;
+  for (int i = 0; i < 100; ++i) out = pid.Update(1.0, 0.01);  // 1 s of unit error
+  EXPECT_NEAR(out, 1.0, 1e-9);
+}
+
+TEST(Pid, IntegralLimitClamps) {
+  Pid pid(PidConfig{.ki = 1.0, .integral_limit = 0.5});
+  double out = 0.0;
+  for (int i = 0; i < 1000; ++i) out = pid.Update(1.0, 0.01);
+  EXPECT_NEAR(out, 0.5, 1e-9);
+}
+
+TEST(Pid, DerivativeRespondsToErrorRate) {
+  Pid pid(PidConfig{.kd = 1.0, .d_filter_tau = 0.0});
+  pid.Update(0.0, 0.01);
+  const double out = pid.Update(0.1, 0.01);  // d(err)/dt = 10
+  EXPECT_NEAR(out, 10.0, 1e-9);
+}
+
+TEST(Pid, DerivativeFilterSmooths) {
+  Pid raw(PidConfig{.kd = 1.0, .d_filter_tau = 0.0});
+  Pid filtered(PidConfig{.kd = 1.0, .d_filter_tau = 0.1});
+  raw.Update(0.0, 0.01);
+  filtered.Update(0.0, 0.01);
+  const double r = raw.Update(1.0, 0.01);
+  const double f = filtered.Update(1.0, 0.01);
+  EXPECT_LT(std::abs(f), std::abs(r) * 0.2);
+}
+
+TEST(Pid, NoDerivativeKickOnFirstSample) {
+  Pid pid(PidConfig{.kd = 1.0});
+  EXPECT_DOUBLE_EQ(pid.Update(100.0, 0.01), 0.0);  // kp = 0, first D skipped
+}
+
+TEST(Pid, OutputLimit) {
+  Pid pid(PidConfig{.kp = 10.0, .output_limit = 2.0});
+  EXPECT_DOUBLE_EQ(pid.Update(5.0, 0.01), 2.0);
+  EXPECT_DOUBLE_EQ(pid.Update(-5.0, 0.01), -2.0);
+}
+
+TEST(Pid, AntiWindupStopsIntegrationWhileSaturated) {
+  Pid pid(PidConfig{.kp = 1.0, .ki = 10.0, .output_limit = 1.0});
+  for (int i = 0; i < 1000; ++i) pid.Update(5.0, 0.01);  // deeply saturated
+  // Once the error flips, output must leave saturation quickly (no windup).
+  double out = 0.0;
+  int steps = 0;
+  while (steps++ < 50 && (out = pid.Update(-0.5, 0.01)) >= 1.0) {
+  }
+  EXPECT_LT(steps, 50);
+  EXPECT_LT(out, 1.0);
+}
+
+TEST(Pid, ResetClearsHistory) {
+  Pid pid(PidConfig{.kp = 1.0, .ki = 1.0, .kd = 1.0});
+  for (int i = 0; i < 100; ++i) pid.Update(1.0, 0.01);
+  pid.Reset();
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+  EXPECT_DOUBLE_EQ(pid.Update(0.0, 0.01), 0.0);
+}
+
+TEST(Pid, ZeroDtReturnsZero) {
+  Pid pid(PidConfig{.kp = 1.0});
+  EXPECT_DOUBLE_EQ(pid.Update(1.0, 0.0), 0.0);
+}
+
+TEST(Pid, ClosedLoopConvergesOnFirstOrderPlant) {
+  // Plant: dx/dt = u; PI controller should drive x -> target.
+  Pid pid(PidConfig{.kp = 2.0, .ki = 0.5, .output_limit = 10.0});
+  double x = 0.0;
+  const double target = 5.0;
+  const double dt = 0.01;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = pid.Update(target - x, dt);
+    x += u * dt;
+  }
+  EXPECT_NEAR(x, target, 0.01);
+}
+
+TEST(PidVec3, IndependentAxes) {
+  PidVec3 pid(PidConfig{.kp = 1.0});
+  const math::Vec3 out = pid.Update({1.0, -2.0, 3.0}, 0.01);
+  EXPECT_TRUE(math::ApproxEq(out, {1.0, -2.0, 3.0}));
+}
+
+TEST(PidVec3, SeparateZConfig) {
+  PidVec3 pid(PidConfig{.kp = 1.0}, PidConfig{.kp = 5.0});
+  const math::Vec3 out = pid.Update({1.0, 1.0, 1.0}, 0.01);
+  EXPECT_DOUBLE_EQ(out.x, 1.0);
+  EXPECT_DOUBLE_EQ(out.z, 5.0);
+}
+
+}  // namespace
+}  // namespace uavres::control

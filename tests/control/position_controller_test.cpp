@@ -1,0 +1,119 @@
+#include "control/position_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::control {
+namespace {
+
+using math::DegToRad;
+using math::kGravity;
+using math::Vec3;
+
+constexpr double kDt = 0.004;
+
+TEST(PositionController, HoverAtSetpointCommandsHoverThrust) {
+  PositionControlConfig cfg;
+  PositionController ctrl(cfg);
+  PositionSetpoint sp;
+  sp.pos = {0, 0, -15};
+  const auto out = ctrl.Update(sp, {0, 0, -15}, Vec3::Zero(), kDt);
+  EXPECT_NEAR(out.thrust, cfg.hover_thrust, 0.02);
+  EXPECT_NEAR(out.att.Tilt(), 0.0, 0.01);
+}
+
+TEST(PositionController, PositionErrorLimitedByCruiseSpeed) {
+  PositionController ctrl;
+  PositionSetpoint sp;
+  sp.pos = {1000.0, 0.0, -15.0};  // far away
+  sp.cruise_speed = 3.0;
+  ctrl.Update(sp, {0, 0, -15}, Vec3::Zero(), kDt);
+  EXPECT_NEAR(ctrl.velocity_setpoint().NormXY(), 3.0, 1e-6);
+}
+
+TEST(PositionController, TargetAheadTiltsForward) {
+  PositionController ctrl;
+  PositionSetpoint sp;
+  sp.pos = {50.0, 0.0, -15.0};
+  sp.cruise_speed = 5.0;
+  AttitudeSetpoint out;
+  for (int i = 0; i < 100; ++i) out = ctrl.Update(sp, {0, 0, -15}, Vec3::Zero(), kDt);
+  // Pitch forward: body x tips down -> negative pitch in our convention.
+  EXPECT_LT(out.att.Pitch(), -0.02);
+}
+
+TEST(PositionController, DescentDemandReducesThrust) {
+  PositionControlConfig cfg;
+  PositionController ctrl(cfg);
+  PositionSetpoint sp;
+  sp.pos = {0, 0, -5.0};  // 10 m below current altitude
+  AttitudeSetpoint out;
+  for (int i = 0; i < 100; ++i) out = ctrl.Update(sp, {0, 0, -15.0}, Vec3::Zero(), kDt);
+  EXPECT_LT(out.thrust, cfg.hover_thrust);
+}
+
+TEST(PositionController, VerticalSpeedClamped) {
+  PositionControlConfig cfg;
+  PositionController ctrl(cfg);
+  PositionSetpoint sp;
+  sp.pos = {0, 0, -500.0};  // demand a huge climb
+  ctrl.Update(sp, {0, 0, -15}, Vec3::Zero(), kDt);
+  EXPECT_GE(ctrl.velocity_setpoint().z, -cfg.max_vel_z_up - 1e-9);
+}
+
+TEST(PositionController, ResetClearsIntegrators) {
+  PositionController ctrl;
+  PositionSetpoint sp;
+  sp.pos = {10, 0, -15};
+  for (int i = 0; i < 500; ++i) ctrl.Update(sp, {0, 0, -15}, Vec3::Zero(), kDt);
+  ctrl.Reset();
+  EXPECT_TRUE(math::ApproxEq(ctrl.velocity_setpoint(), Vec3::Zero()));
+}
+
+TEST(ThrustVectorToAttitude, PureHover) {
+  PositionControlConfig cfg;
+  const auto out = ThrustVectorToAttitude(Vec3::Zero(), 0.0, cfg);
+  EXPECT_NEAR(out.att.Tilt(), 0.0, 1e-9);
+  EXPECT_NEAR(out.thrust, cfg.hover_thrust, 1e-9);
+}
+
+TEST(ThrustVectorToAttitude, YawPreserved) {
+  PositionControlConfig cfg;
+  const auto out = ThrustVectorToAttitude(Vec3::Zero(), 1.2, cfg);
+  EXPECT_NEAR(out.att.Yaw(), 1.2, 1e-9);
+}
+
+TEST(ThrustVectorToAttitude, TiltLimitEnforced) {
+  PositionControlConfig cfg;
+  const auto out = ThrustVectorToAttitude({100.0, 0.0, 0.0}, 0.0, cfg);
+  EXPECT_LE(out.att.Tilt(), cfg.max_tilt_rad + 1e-6);
+}
+
+TEST(ThrustVectorToAttitude, HorizontalDemandTiltsTowardDemand) {
+  PositionControlConfig cfg;
+  const auto out = ThrustVectorToAttitude({2.0, 0.0, 0.0}, 0.0, cfg);
+  // Rotor thrust axis (-z body in world) must gain a +x component.
+  const Vec3 thrust_dir = out.att.Rotate({0.0, 0.0, -1.0});
+  EXPECT_GT(thrust_dir.x, 0.05);
+}
+
+TEST(ThrustVectorToAttitude, ThrustWithinLimits) {
+  PositionControlConfig cfg;
+  const auto lo = ThrustVectorToAttitude({0.0, 0.0, 50.0}, 0.0, cfg);   // dive
+  const auto hi = ThrustVectorToAttitude({0.0, 0.0, -50.0}, 0.0, cfg);  // climb
+  EXPECT_GE(lo.thrust, cfg.thrust_min - 1e-12);
+  EXPECT_LE(hi.thrust, cfg.thrust_max + 1e-12);
+}
+
+TEST(ThrustVectorToAttitude, ImpossibleDownwardThrustFallsBack) {
+  PositionControlConfig cfg;
+  // Demanding acceleration stronger than gravity downward cannot be met by
+  // positive collective; the mapping must stay level-ish with min thrust.
+  const auto out = ThrustVectorToAttitude({0.0, 0.0, 2.0 * kGravity}, 0.0, cfg);
+  EXPECT_LE(out.thrust, cfg.hover_thrust);
+  EXPECT_TRUE(out.att.AllFinite());
+}
+
+}  // namespace
+}  // namespace uavres::control

@@ -1,0 +1,99 @@
+// Parameterized closed-loop stability sweep: the default control cascade
+// must stabilize every airframe in the study's mass range, using *truth*
+// feedback (isolating control design margins from estimation effects).
+#include <gtest/gtest.h>
+
+#include "control/attitude_controller.h"
+#include "control/mixer.h"
+#include "control/position_controller.h"
+#include "control/rate_controller.h"
+#include "math/num.h"
+#include "sim/quadrotor.h"
+
+namespace uavres::control {
+namespace {
+
+using math::Vec3;
+
+constexpr double kDt = 0.004;
+
+/// Full truth-feedback loop: position -> attitude -> rates -> mixer -> sim.
+struct Loop {
+  sim::Environment env{sim::WindParams{}, math::Rng{3}};
+  sim::Quadrotor quad;
+  PositionController pos_ctrl;
+  AttitudeController att_ctrl;
+  RateController rate_ctrl;
+  Mixer mixer;
+
+  explicit Loop(double mass_kg)
+      : quad(sim::MakeQuadrotorParams(mass_kg), &env),
+        pos_ctrl([&] {
+          PositionControlConfig cfg;
+          sim::Quadrotor tmp(sim::MakeQuadrotorParams(mass_kg), nullptr);
+          cfg.hover_thrust = tmp.HoverThrustFraction();
+          return cfg;
+        }()),
+        mixer(MixerConfigFromQuadrotor(sim::MakeQuadrotorParams(mass_kg))) {}
+
+  void Step(const PositionSetpoint& sp) {
+    const auto& s = quad.state();
+    const auto att_sp = pos_ctrl.Update(sp, s.pos, s.vel, kDt);
+    const Vec3 rate_sp = att_ctrl.Update(att_sp.att, s.att);
+    const Vec3 ang_accel = rate_ctrl.Update(rate_sp, s.omega, kDt);
+    quad.Step(mixer.Mix(att_sp.thrust, ang_accel), kDt);
+  }
+};
+
+class MassSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MassSweep, HoldsHoverPosition) {
+  Loop loop(GetParam());
+  loop.quad.ResetTo({0, 0, -15}, 0.0);
+  PositionSetpoint sp;
+  sp.pos = {0, 0, -15};
+  sp.cruise_speed = 5.0;
+  for (int i = 0; i < 250 * 20; ++i) loop.Step(sp);  // 20 s
+  const auto& s = loop.quad.state();
+  EXPECT_LT((s.pos - Vec3{0, 0, -15}).Norm(), 1.0) << "mass " << GetParam();
+  EXPECT_LT(s.att.Tilt(), math::DegToRad(10.0)) << "mass " << GetParam();
+  EXPECT_LT(s.omega.Norm(), 0.5) << "mass " << GetParam();
+}
+
+TEST_P(MassSweep, TracksPositionStepWithoutInstability) {
+  Loop loop(GetParam());
+  loop.quad.ResetTo({0, 0, -15}, 0.0);
+  PositionSetpoint sp;
+  sp.pos = {20.0, -10.0, -12.0};  // 22 m step
+  sp.cruise_speed = 6.0;
+  double worst_tilt = 0.0;
+  for (int i = 0; i < 250 * 30; ++i) {
+    loop.Step(sp);
+    worst_tilt = std::max(worst_tilt, loop.quad.state().att.Tilt());
+  }
+  EXPECT_LT((loop.quad.state().pos - sp.pos).Norm(), 1.5) << "mass " << GetParam();
+  // Never exceeds the commanded tilt limit plus transient margin.
+  EXPECT_LT(worst_tilt, math::DegToRad(45.0)) << "mass " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(StudyMassRange, MassSweep,
+                         ::testing::Values(1.0, 1.2, 1.5, 1.8, 2.2, 2.6));
+
+class YawSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(YawSweep, HoverStableAtAnyHeading) {
+  Loop loop(1.5);
+  loop.quad.ResetTo({0, 0, -15}, GetParam());
+  PositionSetpoint sp;
+  sp.pos = {0, 0, -15};
+  sp.yaw = GetParam();
+  for (int i = 0; i < 250 * 10; ++i) loop.Step(sp);
+  EXPECT_LT((loop.quad.state().pos - Vec3{0, 0, -15}).Norm(), 1.0);
+  EXPECT_NEAR(math::WrapPi(loop.quad.state().att.Yaw() - GetParam()), 0.0, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Headings, YawSweep,
+                         ::testing::Values(-3.0, -1.5, 0.0, 0.7, 1.5, 2.8));
+
+}  // namespace
+}  // namespace uavres::control

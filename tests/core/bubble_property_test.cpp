@@ -1,0 +1,84 @@
+// Property sweeps over the bubble formulas (Eq. 1-3).
+#include <gtest/gtest.h>
+
+#include "core/bubble.h"
+#include "math/rng.h"
+
+namespace uavres::core {
+namespace {
+
+class BubbleSpeedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BubbleSpeedSweep, InnerRadiusMonotoneInTopSpeed) {
+  BubbleParams p;
+  p.top_speed_ms = GetParam();
+  const double r = InnerBubbleRadius(p);
+  BubbleParams faster = p;
+  faster.top_speed_ms = GetParam() + 1.0;
+  EXPECT_GE(InnerBubbleRadius(faster), r);
+  // Radius always covers the drone itself plus the safety distance.
+  EXPECT_GE(r, p.drone_dimension_m + std::min(p.safety_distance_m,
+                                              p.top_speed_ms * p.tracking_interval_s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, BubbleSpeedSweep,
+                         ::testing::Values(0.5, 1.4, 2.8, 3.9, 6.9, 9.7, 15.0));
+
+class BubbleStreamSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BubbleStreamSweep, OuterNeverBelowInnerOnRandomStreams) {
+  // Eq. 3's max(1, D) clause guarantees outer >= inner for ANY input
+  // stream, including degenerate airspeeds and zero distances.
+  BubbleParams p;
+  p.top_speed_ms = 4.0;
+  OuterBubble outer(p);
+  math::Rng rng{static_cast<std::uint64_t>(GetParam()) + 100};
+  for (int i = 0; i < 1000; ++i) {
+    const double airspeed = rng.Uniform(0.0, 12.0);
+    const double dist = rng.Uniform(0.0, 6.0);
+    const double r = outer.Update(airspeed, dist);
+    ASSERT_GE(r, outer.inner_radius() - 1e-12);
+    ASSERT_TRUE(math::IsFinite(r));
+  }
+}
+
+TEST_P(BubbleStreamSweep, MonitorCountsAreMonotoneInDeviation) {
+  // Feeding a uniformly larger deviation stream can only produce >= as many
+  // violations of each layer.
+  BubbleParams p;
+  math::Rng rng{static_cast<std::uint64_t>(GetParam()) + 7};
+  std::vector<double> devs, speeds, dists;
+  for (int i = 0; i < 300; ++i) {
+    devs.push_back(rng.Uniform(0.0, 20.0));
+    speeds.push_back(rng.Uniform(0.0, 8.0));
+    dists.push_back(rng.Uniform(0.0, 4.0));
+  }
+  BubbleMonitor base(p), shifted(p);
+  for (int i = 0; i < 300; ++i) {
+    base.Track(devs[static_cast<std::size_t>(i)], speeds[static_cast<std::size_t>(i)],
+               dists[static_cast<std::size_t>(i)]);
+    shifted.Track(devs[static_cast<std::size_t>(i)] + 5.0,
+                  speeds[static_cast<std::size_t>(i)], dists[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_GE(shifted.inner_violations(), base.inner_violations());
+  EXPECT_GE(shifted.outer_violations(), base.outer_violations());
+  EXPECT_GE(shifted.max_deviation(), base.max_deviation());
+}
+
+TEST_P(BubbleStreamSweep, InnerViolationsAlwaysAtLeastOuter) {
+  // Because outer >= inner, a deviation breaching the outer bubble breaches
+  // the inner one too: inner counts dominate outer counts for any stream.
+  BubbleParams p;
+  BubbleMonitor mon(p);
+  math::Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 1};
+  for (int i = 0; i < 500; ++i) {
+    mon.Track(rng.Uniform(0.0, 30.0), rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 5.0));
+  }
+  EXPECT_GE(mon.inner_violations(), mon.outer_violations());
+  EXPECT_LE(mon.inner_violations(), mon.instants_tracked());
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, BubbleStreamSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace uavres::core

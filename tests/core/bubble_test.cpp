@@ -1,0 +1,119 @@
+#include "core/bubble.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::core {
+namespace {
+
+BubbleParams Params() {
+  BubbleParams p;
+  p.drone_dimension_m = 0.5;
+  p.safety_distance_m = 1.5;
+  p.top_speed_ms = 4.0;
+  p.tracking_interval_s = 1.0;
+  p.risk_factor = 1.0;
+  return p;
+}
+
+TEST(InnerBubble, Equation1UsesMaxOfSafetyAndTravel) {
+  // D_m = 4 m > D_s = 1.5 m -> inner = 0.5 + 4.
+  EXPECT_DOUBLE_EQ(InnerBubbleRadius(Params()), 4.5);
+
+  BubbleParams slow = Params();
+  slow.top_speed_ms = 1.0;  // D_m = 1 < D_s = 1.5 -> inner = 0.5 + 1.5
+  EXPECT_DOUBLE_EQ(InnerBubbleRadius(slow), 2.0);
+}
+
+TEST(InnerBubble, ScalesWithTrackingInterval) {
+  BubbleParams p = Params();
+  p.tracking_interval_s = 2.0;  // D_m doubles
+  EXPECT_DOUBLE_EQ(InnerBubbleRadius(p), 8.5);
+}
+
+TEST(OuterBubble, NeverBelowInner) {
+  OuterBubble outer(Params());
+  EXPECT_DOUBLE_EQ(outer.radius(), outer.inner_radius());
+  // Decelerating drone: predicted distance < 1 -> outer floors at inner.
+  outer.Update(3.0, 3.0);
+  outer.Update(0.5, 0.5);
+  EXPECT_GE(outer.radius(), outer.inner_radius());
+}
+
+TEST(OuterBubble, Equation2ScalesByAirspeedRatio) {
+  OuterBubble outer(Params());
+  outer.Update(2.0, 2.0);           // prev: S=2, D=2
+  const double r = outer.Update(4.0, 4.0);  // predicted D = 2 * (4/2) = 4
+  EXPECT_DOUBLE_EQ(r, InnerBubbleRadius(Params()) * 4.0);
+}
+
+TEST(OuterBubble, RiskFactorScalesRadius) {
+  BubbleParams p = Params();
+  p.risk_factor = 2.0;
+  OuterBubble outer(p);
+  outer.Update(3.0, 3.0);
+  const double r = outer.Update(3.0, 3.0);
+  EXPECT_DOUBLE_EQ(r, 2.0 * InnerBubbleRadius(p) * 3.0);
+}
+
+TEST(OuterBubble, HandlesZeroAirspeed) {
+  OuterBubble outer(Params());
+  outer.Update(0.0, 0.0);  // hovering: no division blow-up
+  const double r = outer.Update(0.0, 0.0);
+  EXPECT_TRUE(math::IsFinite(r));
+  EXPECT_DOUBLE_EQ(r, outer.inner_radius());
+}
+
+TEST(BubbleMonitor, NoViolationsInsideInner) {
+  BubbleMonitor mon(Params());
+  for (int i = 0; i < 100; ++i) mon.Track(1.0, 3.0, 3.0);
+  EXPECT_EQ(mon.inner_violations(), 0);
+  EXPECT_EQ(mon.outer_violations(), 0);
+  EXPECT_EQ(mon.instants_tracked(), 100);
+}
+
+TEST(BubbleMonitor, InnerViolationWithoutOuter) {
+  BubbleMonitor mon(Params());
+  // inner = 4.5; cruising at 3 m/s the outer radius is 4.5 * 3 = 13.5.
+  mon.Track(3.0, 3.0, 3.0);
+  mon.Track(6.0, 3.0, 3.0);  // beyond inner, inside outer
+  EXPECT_EQ(mon.inner_violations(), 1);
+  EXPECT_EQ(mon.outer_violations(), 0);
+}
+
+TEST(BubbleMonitor, LargeDeviationViolatesBoth) {
+  BubbleMonitor mon(Params());
+  mon.Track(3.0, 3.0, 3.0);
+  mon.Track(50.0, 3.0, 3.0);
+  EXPECT_EQ(mon.inner_violations(), 1);
+  EXPECT_EQ(mon.outer_violations(), 1);
+}
+
+TEST(BubbleMonitor, TracksMaxDeviation) {
+  BubbleMonitor mon(Params());
+  mon.Track(2.0, 3.0, 3.0);
+  mon.Track(17.5, 3.0, 3.0);
+  mon.Track(4.0, 3.0, 3.0);
+  EXPECT_DOUBLE_EQ(mon.max_deviation(), 17.5);
+}
+
+TEST(BubbleMonitor, ViolationsAccumulate) {
+  BubbleMonitor mon(Params());
+  for (int i = 0; i < 20; ++i) mon.Track(100.0, 3.0, 3.0);
+  EXPECT_EQ(mon.inner_violations(), 20);
+  EXPECT_EQ(mon.outer_violations(), 20);
+}
+
+TEST(BubbleMonitor, HoverViolationUsesInnerFloor) {
+  // At hover (airspeed ~ 0) the outer bubble floors at the inner radius, so
+  // any deviation beyond inner violates both layers.
+  BubbleMonitor mon(Params());
+  mon.Track(0.5, 0.0, 0.0);
+  mon.Track(5.0, 0.0, 0.0);
+  EXPECT_EQ(mon.inner_violations(), 1);
+  EXPECT_EQ(mon.outer_violations(), 1);
+}
+
+}  // namespace
+}  // namespace uavres::core

@@ -1,0 +1,253 @@
+#include "core/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::core {
+namespace {
+
+using math::Rng;
+using math::Vec3;
+using sensors::ImuRanges;
+using sensors::ImuSample;
+
+ImuSample Truth(double t = 100.0) {
+  ImuSample s;
+  s.t = t;
+  s.accel_mps2 = {0.5, -0.3, -9.8};
+  s.gyro_rads = {0.01, 0.02, -0.01};
+  return s;
+}
+
+FaultSpec Spec(FaultType type, FaultTarget target = FaultTarget::kImu) {
+  FaultSpec f;
+  f.type = type;
+  f.target = target;
+  f.start_time_s = 90.0;
+  f.duration_s = 30.0;
+  return f;
+}
+
+TEST(FaultInjector, IdentityOutsideWindow) {
+  FaultInjector inj(Spec(FaultType::kMax), ImuRanges{}, Rng{1});
+  const auto out = inj.Apply(Truth(50.0), 0, 50.0);
+  EXPECT_TRUE(math::ApproxEq(out.accel_mps2, Truth().accel_mps2));
+  EXPECT_TRUE(math::ApproxEq(out.gyro_rads, Truth().gyro_rads));
+  EXPECT_FALSE(inj.ActiveAt(50.0));
+  EXPECT_TRUE(inj.ActiveAt(100.0));
+}
+
+TEST(FaultInjector, ZerosOutputsZeros) {
+  FaultInjector inj(Spec(FaultType::kZeros), ImuRanges{}, Rng{1});
+  const auto out = inj.Apply(Truth(), 0, 100.0);
+  EXPECT_EQ(out.accel_mps2, Vec3::Zero());
+  EXPECT_EQ(out.gyro_rads, Vec3::Zero());
+}
+
+TEST(FaultInjector, MinMaxInjectSensorLimits) {
+  const ImuRanges ranges;
+  FaultInjector mn(Spec(FaultType::kMin), ranges, Rng{1});
+  FaultInjector mx(Spec(FaultType::kMax), ranges, Rng{1});
+  const auto lo = mn.Apply(Truth(), 0, 100.0);
+  const auto hi = mx.Apply(Truth(), 0, 100.0);
+  EXPECT_TRUE(math::ApproxEq(lo.accel_mps2, Vec3{-1, -1, -1} * ranges.accel.limit));
+  EXPECT_TRUE(math::ApproxEq(lo.gyro_rads, Vec3{-1, -1, -1} * ranges.gyro.limit));
+  EXPECT_TRUE(math::ApproxEq(hi.accel_mps2, Vec3{1, 1, 1} * ranges.accel.limit));
+  EXPECT_TRUE(math::ApproxEq(hi.gyro_rads, Vec3{1, 1, 1} * ranges.gyro.limit));
+}
+
+TEST(FaultInjector, FixedIsConstantWithinExperiment) {
+  FaultInjector inj(Spec(FaultType::kFixed), ImuRanges{}, Rng{3});
+  const auto a = inj.Apply(Truth(100.0), 0, 100.0);
+  const auto b = inj.Apply(Truth(101.0), 0, 101.0);
+  EXPECT_TRUE(math::ApproxEq(a.accel_mps2, b.accel_mps2, 0.0));
+  EXPECT_TRUE(math::ApproxEq(a.gyro_rads, b.gyro_rads, 0.0));
+  EXPECT_TRUE(math::ApproxEq(a.accel_mps2, inj.fixed_accel(), 0.0));
+}
+
+TEST(FaultInjector, FixedDiffersAcrossExperiments) {
+  FaultInjector a(Spec(FaultType::kFixed), ImuRanges{}, Rng{3});
+  FaultInjector b(Spec(FaultType::kFixed), ImuRanges{}, Rng{4});
+  EXPECT_FALSE(math::ApproxEq(a.fixed_accel(), b.fixed_accel(), 1e-9));
+}
+
+TEST(FaultInjector, FixedWithinSensorRange) {
+  const ImuRanges ranges;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    FaultInjector inj(Spec(FaultType::kFixed), ranges, Rng{seed});
+    EXPECT_LE(inj.fixed_accel().MaxAbs(), ranges.accel.limit);
+    EXPECT_LE(inj.fixed_gyro().MaxAbs(), ranges.gyro.limit);
+  }
+}
+
+TEST(FaultInjector, FreezeHoldsFirstInWindowSample) {
+  FaultInjector inj(Spec(FaultType::kFreeze), ImuRanges{}, Rng{5});
+  ImuSample first = Truth(90.0);
+  first.accel_mps2 = {1.0, 2.0, 3.0};
+  const auto held = inj.Apply(first, 0, 90.0);
+  EXPECT_TRUE(math::ApproxEq(held.accel_mps2, first.accel_mps2, 0.0));
+  // Later samples keep returning the frozen value regardless of the input.
+  const auto later = inj.Apply(Truth(95.0), 0, 95.0);
+  EXPECT_TRUE(math::ApproxEq(later.accel_mps2, first.accel_mps2, 0.0));
+  EXPECT_TRUE(math::ApproxEq(later.gyro_rads, first.gyro_rads, 0.0));
+}
+
+TEST(FaultInjector, FreezePerUnitState) {
+  FaultInjector inj(Spec(FaultType::kFreeze), ImuRanges{}, Rng{5});
+  ImuSample u0 = Truth(90.0);
+  u0.accel_mps2 = {1, 1, 1};
+  ImuSample u1 = Truth(90.0);
+  u1.accel_mps2 = {2, 2, 2};
+  inj.Apply(u0, 0, 90.0);
+  inj.Apply(u1, 1, 90.0);
+  const auto l0 = inj.Apply(Truth(95.0), 0, 95.0);
+  const auto l1 = inj.Apply(Truth(95.0), 1, 95.0);
+  EXPECT_TRUE(math::ApproxEq(l0.accel_mps2, {1, 1, 1}, 0.0));
+  EXPECT_TRUE(math::ApproxEq(l1.accel_mps2, {2, 2, 2}, 0.0));
+}
+
+TEST(FaultInjector, FreezeResetsAfterWindow) {
+  auto spec = Spec(FaultType::kFreeze);
+  FaultInjector inj(spec, ImuRanges{}, Rng{5});
+  inj.Apply(Truth(90.0), 0, 90.0);
+  // After the window the true sample passes through again.
+  const auto post = inj.Apply(Truth(125.0), 0, 125.0);
+  EXPECT_TRUE(math::ApproxEq(post.accel_mps2, Truth().accel_mps2, 0.0));
+}
+
+TEST(FaultInjector, RandomChangesEverySampleWithinRange) {
+  const ImuRanges ranges;
+  FaultInjector inj(Spec(FaultType::kRandom), ranges, Rng{7});
+  const auto a = inj.Apply(Truth(100.0), 0, 100.0);
+  const auto b = inj.Apply(Truth(100.004), 0, 100.004);
+  EXPECT_FALSE(math::ApproxEq(a.accel_mps2, b.accel_mps2, 1e-9));
+  EXPECT_LE(a.accel_mps2.MaxAbs(), ranges.accel.limit);
+  EXPECT_LE(a.gyro_rads.MaxAbs(), ranges.gyro.limit);
+}
+
+TEST(FaultInjector, NoiseCentersOnTruth) {
+  FaultNoiseConfig noise;
+  FaultInjector inj(Spec(FaultType::kNoise), ImuRanges{}, Rng{9}, noise);
+  Vec3 mean_accel;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    mean_accel += inj.Apply(Truth(100.0), 0, 100.0).accel_mps2;
+  }
+  mean_accel /= n;
+  // sigma/sqrt(n) ~ 0.25 for the default 35 m/s^2 noise fault.
+  EXPECT_TRUE(math::ApproxEq(mean_accel, Truth().accel_mps2, 1.0));
+}
+
+TEST(FaultInjector, TargetAccLeavesGyroIntact) {
+  FaultInjector inj(Spec(FaultType::kMax, FaultTarget::kAccelerometer), ImuRanges{}, Rng{11});
+  const auto out = inj.Apply(Truth(), 0, 100.0);
+  EXPECT_TRUE(math::ApproxEq(out.gyro_rads, Truth().gyro_rads, 0.0));
+  EXPECT_GT(out.accel_mps2.MaxAbs(), 100.0);
+}
+
+TEST(FaultInjector, TargetGyroLeavesAccelIntact) {
+  FaultInjector inj(Spec(FaultType::kMax, FaultTarget::kGyrometer), ImuRanges{}, Rng{11});
+  const auto out = inj.Apply(Truth(), 0, 100.0);
+  EXPECT_TRUE(math::ApproxEq(out.accel_mps2, Truth().accel_mps2, 0.0));
+  EXPECT_GT(out.gyro_rads.MaxAbs(), 10.0);
+}
+
+TEST(FaultInjector, ApplyAllHitsEveryRedundantUnit) {
+  FaultInjector inj(Spec(FaultType::kZeros), ImuRanges{}, Rng{13});
+  std::array<ImuSample, FaultInjector::kMaxUnits> in{Truth(), Truth(), Truth()};
+  const auto out = inj.ApplyAll(in, 100.0);
+  for (const auto& s : out) {
+    EXPECT_EQ(s.accel_mps2, Vec3::Zero());
+    EXPECT_EQ(s.gyro_rads, Vec3::Zero());
+  }
+}
+
+TEST(FaultInjector, DeterministicForSameSeed) {
+  FaultInjector a(Spec(FaultType::kRandom), ImuRanges{}, Rng{21});
+  FaultInjector b(Spec(FaultType::kRandom), ImuRanges{}, Rng{21});
+  for (int i = 0; i < 100; ++i) {
+    const double t = 100.0 + i * 0.004;
+    const auto sa = a.Apply(Truth(t), 0, t);
+    const auto sb = b.Apply(Truth(t), 0, t);
+    EXPECT_TRUE(math::ApproxEq(sa.accel_mps2, sb.accel_mps2, 0.0));
+  }
+}
+
+
+// ---- Extended fault model (kScale / kStuckAxis / kIntermittent / kDrift) ----
+
+TEST(FaultInjectorExtended, ScaleMultipliesTruth) {
+  ExtendedFaultConfig ext;
+  ext.scale_factor = 2.0;
+  FaultInjector inj(Spec(FaultType::kScale), ImuRanges{}, Rng{31}, {}, ext);
+  const auto out = inj.Apply(Truth(), 0, 100.0);
+  EXPECT_TRUE(math::ApproxEq(out.accel_mps2, Truth().accel_mps2 * 2.0, 1e-12));
+  EXPECT_TRUE(math::ApproxEq(out.gyro_rads, Truth().gyro_rads * 2.0, 1e-12));
+}
+
+TEST(FaultInjectorExtended, ScaleClampsToRange) {
+  ExtendedFaultConfig ext;
+  ext.scale_factor = 1000.0;
+  const ImuRanges ranges;
+  FaultInjector inj(Spec(FaultType::kScale), ranges, Rng{31}, {}, ext);
+  const auto out = inj.Apply(Truth(), 0, 100.0);
+  EXPECT_LE(out.accel_mps2.MaxAbs(), ranges.accel.limit);
+}
+
+TEST(FaultInjectorExtended, StuckAxisFreezesOnlyThatAxis) {
+  ExtendedFaultConfig ext;
+  ext.stuck_axis = 1;  // y
+  FaultInjector inj(Spec(FaultType::kStuckAxis), ImuRanges{}, Rng{33}, {}, ext);
+  ImuSample first = Truth(90.0);
+  first.gyro_rads = {0.5, 0.7, 0.9};
+  inj.Apply(first, 0, 90.0);
+  ImuSample later = Truth(95.0);
+  later.gyro_rads = {0.1, 0.2, 0.3};
+  const auto out = inj.Apply(later, 0, 95.0);
+  EXPECT_DOUBLE_EQ(out.gyro_rads.x, 0.1);  // healthy
+  EXPECT_DOUBLE_EQ(out.gyro_rads.y, 0.7);  // stuck at injection-start value
+  EXPECT_DOUBLE_EQ(out.gyro_rads.z, 0.3);  // healthy
+}
+
+TEST(FaultInjectorExtended, IntermittentAlternatesBurstAndHealthy) {
+  ExtendedFaultConfig ext;
+  ext.intermittent_period_s = 1.0;
+  ext.intermittent_duty = 0.5;
+  FaultInjector inj(Spec(FaultType::kIntermittent), ImuRanges{}, Rng{35}, {}, ext);
+  // Phase 0.25 (inside the burst half): corrupted.
+  const auto burst = inj.Apply(Truth(90.25), 0, 90.25);
+  EXPECT_FALSE(math::ApproxEq(burst.accel_mps2, Truth().accel_mps2, 1e-6));
+  // Phase 0.75 (healthy half): pass-through.
+  const auto healthy = inj.Apply(Truth(90.75), 0, 90.75);
+  EXPECT_TRUE(math::ApproxEq(healthy.accel_mps2, Truth().accel_mps2, 0.0));
+}
+
+TEST(FaultInjectorExtended, DriftRampsWithTimeInFault) {
+  ExtendedFaultConfig ext;
+  ext.drift_rate_accel = 2.0;
+  ext.drift_rate_gyro = 0.1;
+  FaultInjector inj(Spec(FaultType::kDrift), ImuRanges{}, Rng{37}, {}, ext);
+  const auto at1 = inj.Apply(Truth(91.0), 0, 91.0);   // 1 s in-fault
+  const auto at5 = inj.Apply(Truth(95.0), 0, 95.0);   // 5 s in-fault
+  EXPECT_NEAR(at1.accel_mps2.x - Truth().accel_mps2.x, 2.0, 1e-9);
+  EXPECT_NEAR(at5.accel_mps2.x - Truth().accel_mps2.x, 10.0, 1e-9);
+  EXPECT_NEAR(at5.gyro_rads.y - Truth().gyro_rads.y, 0.5, 1e-9);
+}
+
+TEST(FaultInjectorExtended, DriftStartsAtZero) {
+  FaultInjector inj(Spec(FaultType::kDrift), ImuRanges{}, Rng{39});
+  const auto at0 = inj.Apply(Truth(90.0), 0, 90.0);
+  EXPECT_TRUE(math::ApproxEq(at0.accel_mps2, Truth().accel_mps2, 1e-9));
+}
+
+TEST(FaultInjectorExtended, ExtendedTypesNamed) {
+  EXPECT_STREQ(ToString(FaultType::kScale), "Scale");
+  EXPECT_STREQ(ToString(FaultType::kStuckAxis), "Stuck Axis");
+  EXPECT_STREQ(ToString(FaultType::kIntermittent), "Intermittent");
+  EXPECT_STREQ(ToString(FaultType::kDrift), "Drift");
+  EXPECT_EQ(kExtendedFaultTypes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace uavres::core

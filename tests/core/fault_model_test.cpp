@@ -1,0 +1,64 @@
+#include "core/fault_model.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::core {
+namespace {
+
+TEST(FaultModel, SevenTypesThreeTargetsFourDurations) {
+  EXPECT_EQ(kAllFaultTypes.size(), 7u);
+  EXPECT_EQ(kAllFaultTargets.size(), 3u);
+  EXPECT_EQ(kInjectionDurations.size(), 4u);
+  EXPECT_DOUBLE_EQ(kInjectionDurations[0], 2.0);
+  EXPECT_DOUBLE_EQ(kInjectionDurations[3], 30.0);
+  EXPECT_DOUBLE_EQ(kInjectionStartS, 90.0);
+}
+
+TEST(FaultSpec, ActiveWindowHalfOpen) {
+  FaultSpec f;
+  f.start_time_s = 90.0;
+  f.duration_s = 10.0;
+  EXPECT_FALSE(f.ActiveAt(89.999));
+  EXPECT_TRUE(f.ActiveAt(90.0));
+  EXPECT_TRUE(f.ActiveAt(99.999));
+  EXPECT_FALSE(f.ActiveAt(100.0));
+}
+
+TEST(FaultSpec, TargetsSelectComponents) {
+  FaultSpec acc;
+  acc.target = FaultTarget::kAccelerometer;
+  EXPECT_TRUE(acc.AffectsAccel());
+  EXPECT_FALSE(acc.AffectsGyro());
+
+  FaultSpec gyro;
+  gyro.target = FaultTarget::kGyrometer;
+  EXPECT_FALSE(gyro.AffectsAccel());
+  EXPECT_TRUE(gyro.AffectsGyro());
+
+  FaultSpec imu;
+  imu.target = FaultTarget::kImu;
+  EXPECT_TRUE(imu.AffectsAccel());
+  EXPECT_TRUE(imu.AffectsGyro());
+}
+
+TEST(FaultModel, NamesMatchPaperVocabulary) {
+  EXPECT_STREQ(ToString(FaultType::kFixed), "Fixed Value");
+  EXPECT_STREQ(ToString(FaultType::kZeros), "Zeros");
+  EXPECT_STREQ(ToString(FaultType::kFreeze), "Freeze");
+  EXPECT_STREQ(ToString(FaultType::kRandom), "Random");
+  EXPECT_STREQ(ToString(FaultType::kMin), "Min");
+  EXPECT_STREQ(ToString(FaultType::kMax), "Max");
+  EXPECT_STREQ(ToString(FaultType::kNoise), "Noise");
+  EXPECT_STREQ(ToString(FaultTarget::kAccelerometer), "Acc");
+  EXPECT_STREQ(ToString(FaultTarget::kGyrometer), "Gyro");
+  EXPECT_STREQ(ToString(FaultTarget::kImu), "IMU");
+}
+
+TEST(FaultModel, LabelsMatchTable3Rows) {
+  EXPECT_EQ(FaultLabel(FaultTarget::kAccelerometer, FaultType::kFreeze), "Acc Freeze");
+  EXPECT_EQ(FaultLabel(FaultTarget::kGyrometer, FaultType::kMin), "Gyro Min");
+  EXPECT_EQ(FaultLabel(FaultTarget::kImu, FaultType::kFixed), "IMU Fixed Value");
+}
+
+}  // namespace
+}  // namespace uavres::core

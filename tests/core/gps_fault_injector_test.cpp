@@ -1,0 +1,111 @@
+#include "core/gps_fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::core {
+namespace {
+
+using math::Rng;
+using math::Vec3;
+using sensors::GpsSample;
+
+GpsSample Truth(double t = 100.0) {
+  GpsSample s;
+  s.t = t;
+  s.pos_ned_m = {10.0, -5.0, -15.0};
+  s.vel_ned_mps = {2.0, 0.0, 0.0};
+  return s;
+}
+
+GpsFaultSpec Spec(GpsFaultType type) {
+  GpsFaultSpec f;
+  f.type = type;
+  f.start_time_s = 90.0;
+  f.duration_s = 30.0;
+  return f;
+}
+
+TEST(GpsFaultInjector, IdentityOutsideWindow) {
+  GpsFaultInjector inj(Spec(GpsFaultType::kJump), Rng{1});
+  const auto out = inj.Apply(Truth(50.0), 50.0);
+  EXPECT_TRUE(math::ApproxEq(out.pos_ned_m, Truth().pos_ned_m));
+  EXPECT_TRUE(out.valid);
+  EXPECT_FALSE(inj.ActiveAt(50.0));
+  EXPECT_TRUE(inj.ActiveAt(100.0));
+}
+
+TEST(GpsFaultInjector, DropoutInvalidatesFix) {
+  GpsFaultInjector inj(Spec(GpsFaultType::kDropout), Rng{1});
+  EXPECT_FALSE(inj.Apply(Truth(), 100.0).valid);
+}
+
+TEST(GpsFaultInjector, FreezeRepeatsFirstInWindowFix) {
+  GpsFaultInjector inj(Spec(GpsFaultType::kFreeze), Rng{1});
+  GpsSample first = Truth(90.0);
+  first.pos_ned_m = {1.0, 2.0, -15.0};
+  inj.Apply(first, 90.0);
+  GpsSample later = Truth(95.0);
+  const auto out = inj.Apply(later, 95.0);
+  EXPECT_TRUE(math::ApproxEq(out.pos_ned_m, first.pos_ned_m, 0.0));
+  EXPECT_DOUBLE_EQ(out.t, 95.0);  // receiver still stamps the stale fix
+}
+
+TEST(GpsFaultInjector, JumpAppliesConstantHorizontalOffset) {
+  auto spec = Spec(GpsFaultType::kJump);
+  spec.jump_magnitude_m = 50.0;
+  GpsFaultInjector inj(spec, Rng{3});
+  const auto a = inj.Apply(Truth(100.0), 100.0);
+  const auto b = inj.Apply(Truth(110.0), 110.0);
+  const Vec3 offset_a = a.pos_ned_m - Truth().pos_ned_m;
+  const Vec3 offset_b = b.pos_ned_m - Truth().pos_ned_m;
+  EXPECT_NEAR(offset_a.Norm(), 50.0, 1e-9);
+  EXPECT_TRUE(math::ApproxEq(offset_a, offset_b, 1e-12));  // constant
+  EXPECT_NEAR(offset_a.z, 0.0, 1e-12);                     // horizontal
+  EXPECT_NEAR(inj.offset_direction().Norm(), 1.0, 1e-12);
+}
+
+TEST(GpsFaultInjector, DriftGrowsLinearly) {
+  auto spec = Spec(GpsFaultType::kDrift);
+  spec.drift_rate_ms = 2.0;
+  GpsFaultInjector inj(spec, Rng{5});
+  const auto at5 = inj.Apply(Truth(95.0), 95.0);
+  const auto at10 = inj.Apply(Truth(100.0), 100.0);
+  EXPECT_NEAR((at5.pos_ned_m - Truth().pos_ned_m).Norm(), 10.0, 1e-9);
+  EXPECT_NEAR((at10.pos_ned_m - Truth().pos_ned_m).Norm(), 20.0, 1e-9);
+}
+
+TEST(GpsFaultInjector, NoiseDegradesAccuracy) {
+  auto spec = Spec(GpsFaultType::kNoise);
+  spec.noise_sigma_m = 10.0;
+  GpsFaultInjector inj(spec, Rng{7});
+  double sum_sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto out = inj.Apply(Truth(100.0), 100.0);
+    sum_sq += (out.pos_ned_m - Truth().pos_ned_m).NormSq();
+  }
+  // Per-axis sigma 10 -> 3D RMS ~ sqrt(3)*10.
+  EXPECT_NEAR(std::sqrt(sum_sq / n), std::sqrt(3.0) * 10.0, 1.5);
+}
+
+TEST(GpsFaultInjector, DirectionDeterministicPerSeed) {
+  GpsFaultInjector a(Spec(GpsFaultType::kJump), Rng{11});
+  GpsFaultInjector b(Spec(GpsFaultType::kJump), Rng{11});
+  GpsFaultInjector c(Spec(GpsFaultType::kJump), Rng{12});
+  EXPECT_TRUE(math::ApproxEq(a.offset_direction(), b.offset_direction(), 0.0));
+  EXPECT_FALSE(math::ApproxEq(a.offset_direction(), c.offset_direction(), 1e-9));
+}
+
+TEST(GpsFaultInjector, TypesNamed) {
+  EXPECT_STREQ(ToString(GpsFaultType::kDropout), "GPS Dropout");
+  EXPECT_STREQ(ToString(GpsFaultType::kFreeze), "GPS Freeze");
+  EXPECT_STREQ(ToString(GpsFaultType::kJump), "GPS Jump");
+  EXPECT_STREQ(ToString(GpsFaultType::kDrift), "GPS Drift");
+  EXPECT_STREQ(ToString(GpsFaultType::kNoise), "GPS Noise");
+  EXPECT_EQ(kAllGpsFaultTypes.size(), 5u);
+}
+
+}  // namespace
+}  // namespace uavres::core

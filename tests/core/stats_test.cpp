@@ -1,0 +1,96 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+
+namespace uavres::core {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroed) {
+  RunningStats s;
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+}
+
+TEST(RunningStats, KnownSmallSet) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStats, MatchesTwoPassOnRandomData) {
+  math::Rng rng{11};
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Gaussian(3.0, 2.0);
+    xs.push_back(x);
+    s.Add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.Mean(), mean, 1e-9);
+  EXPECT_NEAR(s.Variance(), var, 1e-6);
+}
+
+TEST(RunningStats, ConfidenceShrinksWithN) {
+  math::Rng rng{13};
+  RunningStats small, large;
+  for (int i = 0; i < 20; ++i) small.Add(rng.Gaussian());
+  for (int i = 0; i < 2000; ++i) large.Add(rng.Gaussian());
+  EXPECT_GT(small.ConfidenceHalfWidth95(), large.ConfidenceHalfWidth95());
+  EXPECT_NEAR(large.ConfidenceHalfWidth95(), 1.96 / std::sqrt(2000.0), 0.01);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  math::Rng rng{17};
+  RunningStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(-10.0, 10.0);
+    whole.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), whole.Count());
+  EXPECT_NEAR(a.Mean(), whole.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), whole.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.Min(), whole.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), whole.Max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.Count(), 2);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace uavres::core

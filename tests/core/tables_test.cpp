@@ -1,0 +1,184 @@
+#include "core/tables.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::core {
+namespace {
+
+MissionResult Make(FaultTarget target, FaultType type, double duration,
+                   MissionOutcome outcome, int inner = 10, int outer = 8,
+                   double dur_s = 200.0, double dist_km = 1.0) {
+  MissionResult r;
+  r.fault.target = target;
+  r.fault.type = type;
+  r.fault.duration_s = duration;
+  r.outcome = outcome;
+  r.inner_violations = inner;
+  r.outer_violations = outer;
+  r.flight_duration_s = dur_s;
+  r.distance_km = dist_km;
+  return r;
+}
+
+CampaignResults SyntheticResults() {
+  CampaignResults results;
+  // Two gold runs.
+  MissionResult gold;
+  gold.is_gold = true;
+  gold.flight_duration_s = 490.0;
+  gold.distance_km = 3.5;
+  results.gold = {gold, gold};
+
+  // Four faulty runs across two durations and two faults.
+  results.faulty = {
+      Make(FaultTarget::kAccelerometer, FaultType::kZeros, 2.0, MissionOutcome::kCompleted,
+           4, 2, 480.0, 3.4),
+      Make(FaultTarget::kAccelerometer, FaultType::kZeros, 30.0, MissionOutcome::kCrashed,
+           20, 15, 100.0, 0.5),
+      Make(FaultTarget::kGyrometer, FaultType::kMax, 2.0, MissionOutcome::kCrashed, 6, 5,
+           95.0, 0.4),
+      Make(FaultTarget::kGyrometer, FaultType::kMax, 30.0, MissionOutcome::kFailsafe, 8, 7,
+           110.0, 0.6),
+  };
+  return results;
+}
+
+TEST(Table2, GroupsByDurationWithGoldFirst) {
+  const auto rows = BuildTable2(SyntheticResults());
+  ASSERT_EQ(rows.size(), 3u);  // gold + 2 durations
+  EXPECT_EQ(rows[0].label, "Gold Run");
+  EXPECT_DOUBLE_EQ(rows[0].completion_pct, 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].duration_s, 490.0);
+  EXPECT_EQ(rows[1].label, "2 seconds");
+  EXPECT_EQ(rows[1].runs, 2);
+  EXPECT_DOUBLE_EQ(rows[1].completion_pct, 50.0);
+  EXPECT_EQ(rows[2].label, "30 seconds");
+  EXPECT_DOUBLE_EQ(rows[2].completion_pct, 0.0);
+  // Averages: 30 s row: inner (20 + 8) / 2.
+  EXPECT_DOUBLE_EQ(rows[2].inner_violations, 14.0);
+}
+
+TEST(Table3, GroupsByFaultSortedByCompletion) {
+  auto results = SyntheticResults();
+  // Add a second acc fault that always completes -> must sort above zeros.
+  results.faulty.push_back(Make(FaultTarget::kAccelerometer, FaultType::kNoise, 2.0,
+                                MissionOutcome::kCompleted));
+  const auto rows = BuildTable3(results);
+  ASSERT_EQ(rows.size(), 4u);  // gold + acc noise + acc zeros + gyro max
+  EXPECT_EQ(rows[0].label, "Gold Run");
+  EXPECT_EQ(rows[1].label, "Acc Noise");
+  EXPECT_DOUBLE_EQ(rows[1].completion_pct, 100.0);
+  EXPECT_EQ(rows[2].label, "Acc Zeros");
+  EXPECT_DOUBLE_EQ(rows[2].completion_pct, 50.0);
+  EXPECT_EQ(rows[3].label, "Gyro Max");  // gyro block after acc block
+}
+
+TEST(Table3, AccBlockPrecedesGyroBlockRegardlessOfCompletion) {
+  auto results = SyntheticResults();
+  const auto rows = BuildTable3(results);
+  std::size_t acc_idx = 0, gyro_idx = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].label.rfind("Acc", 0) == 0) acc_idx = i;
+    if (rows[i].label.rfind("Gyro", 0) == 0) gyro_idx = i;
+  }
+  EXPECT_LT(acc_idx, gyro_idx);
+}
+
+TEST(Table4, FailureDecomposition) {
+  const auto rows = BuildTable4(SyntheticResults());
+  // gold + 2 durations + 2 targets (acc, gyro).
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].label, "Gold Run");
+  EXPECT_DOUBLE_EQ(rows[0].failed_pct, 0.0);
+
+  // 2 seconds: 1 of 2 failed, the failure is a crash.
+  EXPECT_EQ(rows[1].label, "2 seconds");
+  EXPECT_DOUBLE_EQ(rows[1].failed_pct, 50.0);
+  EXPECT_DOUBLE_EQ(rows[1].crash_pct, 100.0);
+  EXPECT_DOUBLE_EQ(rows[1].failsafe_pct, 0.0);
+
+  // 30 seconds: both failed: one crash, one failsafe.
+  EXPECT_EQ(rows[2].label, "30 seconds");
+  EXPECT_DOUBLE_EQ(rows[2].failed_pct, 100.0);
+  EXPECT_DOUBLE_EQ(rows[2].crash_pct, 50.0);
+  EXPECT_DOUBLE_EQ(rows[2].failsafe_pct, 50.0);
+
+  // Per-target rows follow.
+  EXPECT_EQ(rows[3].label, "Acc");
+  EXPECT_DOUBLE_EQ(rows[3].failed_pct, 50.0);
+  EXPECT_EQ(rows[4].label, "Gyro");
+  EXPECT_DOUBLE_EQ(rows[4].failed_pct, 100.0);
+}
+
+TEST(Table4, CrashAndFailsafeSumToHundredWhenFailuresExist) {
+  const auto rows = BuildTable4(SyntheticResults());
+  for (const auto& r : rows) {
+    if (r.failed_pct > 0.0) {
+      EXPECT_NEAR(r.crash_pct + r.failsafe_pct, 100.0, 1e-9) << r.label;
+    }
+  }
+}
+
+TEST(Formatting, SummaryTableContainsRowsAndHeader) {
+  const auto rows = BuildTable2(SyntheticResults());
+  const std::string s = FormatSummaryTable("Table II", "Injection Duration", rows);
+  EXPECT_NE(s.find("Table II"), std::string::npos);
+  EXPECT_NE(s.find("Gold Run"), std::string::npos);
+  EXPECT_NE(s.find("30 seconds"), std::string::npos);
+  EXPECT_NE(s.find("Compl. (%)"), std::string::npos);
+}
+
+TEST(Formatting, FailureTableContainsRows) {
+  const auto rows = BuildTable4(SyntheticResults());
+  const std::string s = FormatFailureTable("Table IV", rows);
+  EXPECT_NE(s.find("Table IV"), std::string::npos);
+  EXPECT_NE(s.find("Failsafe (%)"), std::string::npos);
+  EXPECT_NE(s.find("Gyro"), std::string::npos);
+}
+
+TEST(Table3, ExtendedFaultTypesIncluded) {
+  CampaignResults results;
+  results.faulty.push_back(Make(FaultTarget::kGyrometer, FaultType::kDrift, 10.0,
+                                MissionOutcome::kCrashed));
+  results.faulty.push_back(Make(FaultTarget::kAccelerometer, FaultType::kScale, 10.0,
+                                MissionOutcome::kCompleted));
+  const auto rows = BuildTable3(results);
+  bool saw_drift = false, saw_scale = false;
+  for (const auto& r : rows) {
+    saw_drift |= (r.label == "Gyro Drift");
+    saw_scale |= (r.label == "Acc Scale");
+  }
+  EXPECT_TRUE(saw_drift);
+  EXPECT_TRUE(saw_scale);
+}
+
+TEST(PerMissionTable, GroupsByMissionIndex) {
+  CampaignResults results;
+  auto r0 = Make(FaultTarget::kImu, FaultType::kZeros, 2.0, MissionOutcome::kCompleted);
+  r0.mission_index = 0;
+  r0.mission_name = "alpha";
+  auto r1 = Make(FaultTarget::kImu, FaultType::kZeros, 2.0, MissionOutcome::kCrashed);
+  r1.mission_index = 1;
+  r1.mission_name = "bravo";
+  auto r1b = Make(FaultTarget::kImu, FaultType::kMax, 2.0, MissionOutcome::kCompleted);
+  r1b.mission_index = 1;
+  r1b.mission_name = "bravo";
+  results.faulty = {r0, r1, r1b};
+  const auto rows = BuildPerMissionTable(results);
+  ASSERT_EQ(rows.size(), 3u);  // gold + 2 missions
+  EXPECT_EQ(rows[1].label, "alpha");
+  EXPECT_DOUBLE_EQ(rows[1].completion_pct, 100.0);
+  EXPECT_EQ(rows[2].label, "bravo");
+  EXPECT_DOUBLE_EQ(rows[2].completion_pct, 50.0);
+  EXPECT_EQ(rows[2].runs, 2);
+}
+
+TEST(Tables, EmptyResultsDoNotCrash) {
+  CampaignResults empty;
+  EXPECT_EQ(BuildTable2(empty).size(), 1u);  // gold row only (zeroed)
+  EXPECT_EQ(BuildTable3(empty).size(), 1u);
+  EXPECT_EQ(BuildTable4(empty).size(), 1u);
+}
+
+}  // namespace
+}  // namespace uavres::core

@@ -1,0 +1,85 @@
+#include "estimation/complementary_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::estimation {
+namespace {
+
+using math::kGravity;
+using math::Quat;
+using math::Vec3;
+
+constexpr double kDt = 0.004;
+
+sensors::ImuSample LevelImu() {
+  sensors::ImuSample s;
+  s.accel_mps2 = {0.0, 0.0, -kGravity};
+  return s;
+}
+
+TEST(ComplementaryFilter, StaysLevelAtRest) {
+  ComplementaryFilter filter;
+  filter.InitAtRest(0.0);
+  for (int i = 0; i < 2500; ++i) filter.Update(LevelImu(), kDt);
+  EXPECT_NEAR(filter.attitude().Tilt(), 0.0, 1e-6);
+}
+
+TEST(ComplementaryFilter, IntegratesGyro) {
+  ComplementaryFilter filter;
+  filter.InitAtRest(0.0);
+  sensors::ImuSample imu;  // zero accel: gravity correction disabled
+  imu.gyro_rads = {0.0, 0.0, 0.5};
+  for (int i = 0; i < 500; ++i) filter.Update(imu, kDt);  // 2 s
+  EXPECT_NEAR(filter.attitude().Yaw(), 1.0, 0.01);
+}
+
+TEST(ComplementaryFilter, GravityCorrectsTiltError) {
+  ComplementaryFilter filter;
+  filter.InitAtRest(0.0);
+  // Force a wrong initial attitude via a burst of fake gyro.
+  sensors::ImuSample spin;
+  spin.gyro_rads = {1.0, 0.0, 0.0};
+  for (int i = 0; i < 125; ++i) filter.Update(spin, kDt);  // ~28 deg roll error
+  EXPECT_GT(filter.attitude().Tilt(), 0.3);
+  // Level accelerometer readings should pull it back.
+  for (int i = 0; i < 25000; ++i) filter.Update(LevelImu(), kDt);
+  EXPECT_LT(filter.attitude().Tilt(), 0.05);
+}
+
+TEST(ComplementaryFilter, IgnoresAccelOutsideGravityBand) {
+  ComplementaryFilter filter;
+  filter.InitAtRest(0.0);
+  sensors::ImuSample imu;
+  imu.accel_mps2 = {50.0, 0.0, 0.0};  // way above 1.5 g: not a gravity cue
+  for (int i = 0; i < 2500; ++i) filter.Update(imu, kDt);
+  EXPECT_NEAR(filter.attitude().Tilt(), 0.0, 1e-6);
+}
+
+TEST(ComplementaryFilter, MagCorrectsYaw) {
+  ComplementaryFilter filter;
+  filter.InitAtRest(0.5);  // wrong yaw; field says yaw = 0
+  sensors::MagSample mag;
+  mag.field_body = Vec3{0.5, 0.0, 0.866};  // as seen from yaw == 0
+  for (int i = 0; i < 20000; ++i) {
+    filter.Update(LevelImu(), kDt);
+    filter.UpdateMag(mag, 0.02);
+  }
+  EXPECT_NEAR(std::abs(filter.attitude().Yaw()), 0.0, 0.05);
+}
+
+TEST(ComplementaryFilter, LearnsGyroBias) {
+  ComplementaryConfig cfg;
+  cfg.bias_gain = 0.05;
+  ComplementaryFilter filter(cfg);
+  filter.InitAtRest(0.0);
+  sensors::ImuSample imu = LevelImu();
+  imu.gyro_rads = {0.02, 0.0, 0.0};  // constant roll-rate bias
+  for (int i = 0; i < 50000; ++i) filter.Update(imu, kDt);
+  EXPECT_NEAR(filter.gyro_bias().x, 0.02, 0.01);
+  EXPECT_LT(filter.attitude().Tilt(), 0.1);
+}
+
+}  // namespace
+}  // namespace uavres::estimation

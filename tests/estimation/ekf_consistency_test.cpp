@@ -1,0 +1,111 @@
+// Parameterized EKF consistency sweep: across noise-seed realizations the
+// filter's actual estimation error must be commensurate with its own
+// reported covariance (a weak NEES-style check), and the estimator must be
+// bit-deterministic per seed.
+#include <gtest/gtest.h>
+
+#include "estimation/ekf.h"
+#include "math/num.h"
+#include "math/rng.h"
+
+namespace uavres::estimation {
+namespace {
+
+using math::kGravity;
+using math::Rng;
+using math::Vec3;
+
+constexpr double kDt = 0.004;
+
+/// Simulate a stationary vehicle with noisy sensors for `seconds`.
+Ekf RunStationary(std::uint64_t seed, double seconds) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  Rng rng{seed};
+  double t = 0.0;
+  const int steps = static_cast<int>(seconds / kDt);
+  for (int i = 0; i < steps; ++i, t += kDt) {
+    sensors::ImuSample imu;
+    imu.t = t;
+    imu.accel_mps2 = Vec3{0, 0, -kGravity} + rng.GaussianVec3(0.12);
+    imu.gyro_rads = rng.GaussianVec3(0.004);
+    ekf.PredictImu(imu, kDt);
+    if (i % 25 == 0) {
+      sensors::GpsSample gps;
+      gps.t = t;
+      gps.pos_ned_m = rng.GaussianVec3(0.35);
+      gps.vel_ned_mps = rng.GaussianVec3(0.15);
+      ekf.FuseGps(gps);
+    }
+    if (i % 5 == 0) {
+      sensors::BaroSample baro;
+      baro.t = t;
+      baro.alt_m = rng.Gaussian(0.0, 0.2);
+      ekf.FuseBaro(baro);
+    }
+  }
+  return ekf;
+}
+
+class EkfSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EkfSeedSweep, ErrorCommensurateWithReportedCovariance) {
+  const Ekf ekf = RunStationary(GetParam(), 30.0);
+  // Truth is the origin at rest: position error must lie within 5 sigma of
+  // the filter's own uncertainty (weak consistency: not overconfident).
+  const double pos_err = ekf.state().pos.NormXY();
+  const double pos_std = ekf.HorizontalPosStd();
+  EXPECT_LT(pos_err, 5.0 * pos_std + 0.05) << "seed " << GetParam();
+  // And the filter is not absurdly underconfident either.
+  EXPECT_LT(pos_std, 2.0) << "seed " << GetParam();
+  EXPECT_LT(ekf.state().vel.Norm(), 0.5) << "seed " << GetParam();
+  EXPECT_TRUE(ekf.status().numerically_healthy);
+}
+
+TEST_P(EkfSeedSweep, NoSpuriousResetsOnHealthyData) {
+  const Ekf ekf = RunStationary(GetParam(), 30.0);
+  EXPECT_EQ(ekf.status().gps_large_reset_count, 0) << "seed " << GetParam();
+}
+
+TEST_P(EkfSeedSweep, BitDeterministicPerSeed) {
+  const Ekf a = RunStationary(GetParam(), 5.0);
+  const Ekf b = RunStationary(GetParam(), 5.0);
+  EXPECT_TRUE(math::ApproxEq(a.state().pos, b.state().pos, 0.0));
+  EXPECT_TRUE(math::ApproxEq(a.state().vel, b.state().vel, 0.0));
+  EXPECT_EQ(a.state().att, b.state().att);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EkfSeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
+class CovarianceDiagonalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CovarianceDiagonalSweep, DiagonalStaysNonNegative) {
+  // Random-ish aiding sequences must never drive a variance negative.
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 17 + 3};
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i, t += kDt) {
+    sensors::ImuSample imu;
+    imu.t = t;
+    imu.accel_mps2 = rng.UniformVec3(-20.0, 20.0);
+    imu.gyro_rads = rng.UniformVec3(-2.0, 2.0);
+    ekf.PredictImu(imu, kDt);
+    if (i % 10 == 0) {
+      sensors::GpsSample gps;
+      gps.t = t;
+      gps.pos_ned_m = rng.UniformVec3(-5.0, 5.0);
+      gps.vel_ned_mps = rng.UniformVec3(-2.0, 2.0);
+      ekf.FuseGps(gps);
+    }
+    for (int d = 0; d < Ekf::kN; ++d) {
+      ASSERT_GE(ekf.covariance()(d, d), -1e-9) << "step " << i << " diag " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, CovarianceDiagonalSweep, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace uavres::estimation

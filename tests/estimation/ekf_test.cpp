@@ -1,0 +1,334 @@
+#include "estimation/ekf.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+#include "math/rng.h"
+
+namespace uavres::estimation {
+namespace {
+
+using math::kGravity;
+using math::Quat;
+using math::Rng;
+using math::Vec3;
+
+constexpr double kDt = 0.004;  // 250 Hz
+
+sensors::ImuSample RestImu(double t) {
+  sensors::ImuSample s;
+  s.t = t;
+  s.accel_mps2 = {0.0, 0.0, -kGravity};
+  return s;
+}
+
+sensors::MagSample MagAt(const Quat& att, double t) {
+  sensors::MagSample m;
+  m.t = t;
+  m.field_body = att.RotateInverse(Vec3{0.5, 0.0, 0.866});
+  return m;
+}
+
+TEST(Ekf, HoldsStateAtRestWithPerfectImu) {
+  Ekf ekf;
+  ekf.InitAtRest({10.0, -5.0, -15.0}, 0.7);
+  for (int i = 0; i < 2500; ++i) ekf.PredictImu(RestImu(i * kDt), kDt);  // 10 s
+  EXPECT_TRUE(math::ApproxEq(ekf.state().pos, {10.0, -5.0, -15.0}, 1e-6));
+  EXPECT_TRUE(math::ApproxEq(ekf.state().vel, Vec3::Zero(), 1e-6));
+  EXPECT_NEAR(ekf.state().att.Yaw(), 0.7, 1e-9);
+  EXPECT_TRUE(ekf.status().numerically_healthy);
+}
+
+TEST(Ekf, IntegratesConstantAcceleration) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  // Body accelerates 1 m/s^2 north: specific force = a - g in body frame.
+  sensors::ImuSample imu;
+  imu.accel_mps2 = {1.0, 0.0, -kGravity};
+  for (int i = 0; i < 250; ++i) {  // 1 s
+    imu.t = i * kDt;
+    ekf.PredictImu(imu, kDt);
+  }
+  EXPECT_NEAR(ekf.state().vel.x, 1.0, 1e-6);
+  EXPECT_NEAR(ekf.state().pos.x, 0.5, 1e-3);
+}
+
+TEST(Ekf, IntegratesYawRate) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  sensors::ImuSample imu = RestImu(0.0);
+  imu.gyro_rads = {0.0, 0.0, 0.5};
+  for (int i = 0; i < 500; ++i) {  // 2 s
+    imu.t = i * kDt;
+    ekf.PredictImu(imu, kDt);
+  }
+  EXPECT_NEAR(ekf.state().att.Yaw(), 1.0, 1e-3);
+}
+
+TEST(Ekf, GpsCorrectsPositionDrift) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  // Slightly biased accel causes drift; GPS at the true position fixes it.
+  sensors::ImuSample imu = RestImu(0.0);
+  imu.accel_mps2.x += 0.05;
+  for (int i = 0; i < 2500; ++i) {
+    imu.t = i * kDt;
+    ekf.PredictImu(imu, kDt);
+    if (i % 25 == 0) {
+      sensors::GpsSample gps;
+      gps.t = imu.t;
+      ekf.FuseGps(gps);  // truth: origin, zero velocity
+    }
+  }
+  EXPECT_LT(ekf.state().pos.Norm(), 0.3);
+  EXPECT_LT(ekf.state().vel.Norm(), 0.2);
+}
+
+TEST(Ekf, LearnsAccelBiasOverTime) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  sensors::ImuSample imu = RestImu(0.0);
+  imu.accel_mps2.x += 0.3;  // strong constant bias
+  for (int i = 0; i < 15000; ++i) {  // 60 s
+    imu.t = i * kDt;
+    ekf.PredictImu(imu, kDt);
+    if (i % 25 == 0) {
+      sensors::GpsSample gps;
+      gps.t = imu.t;
+      ekf.FuseGps(gps);
+    }
+  }
+  // Bias observability against GPS noise is weak, so convergence is slow
+  // (as in EKF2); assert the estimate moves in the correct direction and
+  // the aided states stay bounded.
+  EXPECT_GT(ekf.state().accel_bias.x, 0.001);
+  EXPECT_LT(ekf.state().pos.Norm(), 0.5);
+}
+
+TEST(Ekf, BaroCorrectsAltitude) {
+  Ekf ekf;
+  ekf.InitAtRest({0, 0, -10.0}, 0.0);
+  sensors::ImuSample imu = RestImu(0.0);
+  imu.accel_mps2.z -= 0.1;  // slow upward drift in prediction
+  for (int i = 0; i < 2500; ++i) {
+    imu.t = i * kDt;
+    ekf.PredictImu(imu, kDt);
+    if (i % 5 == 0) {
+      sensors::BaroSample baro;
+      baro.t = imu.t;
+      baro.alt_m = 10.0;
+      ekf.FuseBaro(baro);
+    }
+  }
+  EXPECT_NEAR(-ekf.state().pos.z, 10.0, 0.5);
+}
+
+TEST(Ekf, MagCorrectsYawDrift) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.2);  // wrong initial yaw, truth is 0
+  sensors::ImuSample imu = RestImu(0.0);
+  const Quat truth = Quat::Identity();
+  for (int i = 0; i < 5000; ++i) {
+    imu.t = i * kDt;
+    ekf.PredictImu(imu, kDt);
+    if (i % 5 == 0) ekf.FuseMag(MagAt(truth, imu.t));
+  }
+  EXPECT_NEAR(ekf.state().att.Yaw(), 0.0, 0.02);
+}
+
+TEST(Ekf, InnovationGateRejectsOutliers) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  // Warm up with consistent GPS.
+  for (int i = 0; i < 250; ++i) {
+    ekf.PredictImu(RestImu(i * kDt), kDt);
+    if (i % 25 == 0) {
+      sensors::GpsSample gps;
+      gps.t = i * kDt;
+      ekf.FuseGps(gps);
+    }
+  }
+  const Vec3 before = ekf.state().pos;
+  // A single wild outlier must be gated out, not swallowed.
+  sensors::GpsSample outlier;
+  outlier.t = 1.0;
+  outlier.pos_ned_m = {500.0, 0.0, 0.0};
+  outlier.vel_ned_mps = {100.0, 0.0, 0.0};
+  ekf.FuseGps(outlier);
+  EXPECT_LT((ekf.state().pos - before).Norm(), 0.5);
+  EXPECT_GT(ekf.status().gps_pos_test_ratio, 1.0);
+}
+
+TEST(Ekf, PersistentRejectionTriggersReset) {
+  EkfConfig cfg;
+  Ekf ekf(cfg);
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  // GPS consistently says 300 m north: after the timeout the filter must
+  // reset to the fix rather than diverge forever.
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    t = i * kDt;
+    ekf.PredictImu(RestImu(t), kDt);
+    if (i % 25 == 0) {
+      sensors::GpsSample gps;
+      gps.t = t;
+      gps.pos_ned_m = {300.0, 0.0, 0.0};
+      ekf.FuseGps(gps);
+    }
+  }
+  EXPECT_GT(ekf.status().gps_reset_count, 0);
+  EXPECT_GT(ekf.status().gps_large_reset_count, 0);  // 300 m is a large reset
+  EXPECT_NEAR(ekf.state().pos.x, 300.0, 1.0);
+}
+
+TEST(Ekf, SmallOffsetResetNotCountedLarge) {
+  EkfConfig cfg;
+  Ekf ekf(cfg);
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t = i * kDt;
+    ekf.PredictImu(RestImu(t), kDt);
+    if (i % 25 == 0) {
+      sensors::GpsSample gps;
+      gps.t = t;
+      gps.pos_ned_m = {6.0, 0.0, 0.0};  // rejected (gate ~2.5 m) but small
+      ekf.FuseGps(gps);
+    }
+  }
+  EXPECT_GT(ekf.status().gps_reset_count, 0);
+  EXPECT_EQ(ekf.status().gps_large_reset_count, 0);
+}
+
+TEST(Ekf, RecoversAfterTransientImuCorruption) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  Rng rng{3};
+  double t = 0.0;
+  auto run = [&](double seconds, bool corrupted) {
+    const int steps = static_cast<int>(seconds / kDt);
+    for (int i = 0; i < steps; ++i) {
+      sensors::ImuSample imu = RestImu(t);
+      if (corrupted) imu.accel_mps2 = rng.UniformVec3(-50.0, 50.0);
+      ekf.PredictImu(imu, kDt);
+      if (static_cast<int>(t / kDt) % 25 == 0) {
+        sensors::GpsSample gps;
+        gps.t = t;
+        ekf.FuseGps(gps);
+      }
+      if (static_cast<int>(t / kDt) % 5 == 0) {
+        sensors::BaroSample baro;
+        baro.t = t;
+        ekf.FuseBaro(baro);
+      }
+      t += kDt;
+    }
+  };
+  run(5.0, false);
+  run(5.0, true);   // fault window
+  run(10.0, false); // recovery
+  EXPECT_LT(ekf.state().pos.Norm(), 2.0);
+  EXPECT_LT(ekf.state().vel.Norm(), 1.0);
+  EXPECT_TRUE(ekf.status().numerically_healthy);
+}
+
+TEST(Ekf, CovarianceStaysFiniteUnderExtremeInput) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  sensors::ImuSample imu;
+  imu.accel_mps2 = {156.9, 156.9, 156.9};
+  imu.gyro_rads = {34.9, 34.9, 34.9};
+  for (int i = 0; i < 2500; ++i) {
+    imu.t = i * kDt;
+    ekf.PredictImu(imu, kDt);
+  }
+  EXPECT_TRUE(ekf.covariance().AllFinite());
+}
+
+TEST(Ekf, HorizontalPosStdGrowsWithoutAiding) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  const double before = ekf.HorizontalPosStd();
+  for (int i = 0; i < 2500; ++i) ekf.PredictImu(RestImu(i * kDt), kDt);
+  EXPECT_GT(ekf.HorizontalPosStd(), before);
+}
+
+TEST(Ekf, BodyRateIsBiasCorrectedGyro) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  sensors::ImuSample imu = RestImu(0.0);
+  imu.gyro_rads = {0.3, -0.1, 0.05};
+  ekf.PredictImu(imu, kDt);
+  EXPECT_TRUE(math::ApproxEq(ekf.state().body_rate, imu.gyro_rads, 1e-9));
+}
+
+
+TEST(Ekf, AttitudeResetDisabledByDefault) {
+  Ekf ekf;
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  // Corrupt the attitude with a fake gyro burst (60 deg roll error).
+  sensors::ImuSample spin = RestImu(0.0);
+  spin.gyro_rads = {2.0, 0.0, 0.0};
+  for (int i = 0; i < 131; ++i) {
+    spin.t = i * kDt;
+    ekf.PredictImu(spin, kDt);
+  }
+  // Healthy level accel afterwards: without the mitigation the attitude
+  // error persists (no direct gravity aiding in the baseline filter).
+  for (int i = 0; i < 2500; ++i) ekf.PredictImu(RestImu(1.0 + i * kDt), kDt);
+  EXPECT_GT(ekf.state().att.Tilt(), 0.5);
+  EXPECT_EQ(ekf.status().attitude_reset_count, 0);
+}
+
+TEST(Ekf, AttitudeResetRealignsFromGravity) {
+  EkfConfig cfg;
+  cfg.enable_attitude_reset = true;
+  Ekf ekf(cfg);
+  ekf.InitAtRest(Vec3::Zero(), 0.3);
+  sensors::ImuSample spin = RestImu(0.0);
+  spin.gyro_rads = {2.0, 0.0, 0.0};
+  for (int i = 0; i < 131; ++i) {  // ~60 deg roll error
+    spin.t = i * kDt;
+    ekf.PredictImu(spin, kDt);
+  }
+  ASSERT_GT(ekf.state().att.Tilt(), 0.5);
+  for (int i = 0; i < 500; ++i) ekf.PredictImu(RestImu(1.0 + i * kDt), kDt);
+  EXPECT_GT(ekf.status().attitude_reset_count, 0);
+  EXPECT_LT(ekf.state().att.Tilt(), 0.1);  // re-aligned level
+}
+
+TEST(Ekf, AttitudeResetPreservesYaw) {
+  EkfConfig cfg;
+  cfg.enable_attitude_reset = true;
+  Ekf ekf(cfg);
+  ekf.InitAtRest(Vec3::Zero(), 1.1);
+  sensors::ImuSample spin = RestImu(0.0);
+  spin.gyro_rads = {2.0, 0.0, 0.0};
+  for (int i = 0; i < 131; ++i) {
+    spin.t = i * kDt;
+    ekf.PredictImu(spin, kDt);
+  }
+  for (int i = 0; i < 500; ++i) ekf.PredictImu(RestImu(1.0 + i * kDt), kDt);
+  ASSERT_GT(ekf.status().attitude_reset_count, 0);
+  // Yaw estimate survives the roll/pitch re-alignment (within the coupling
+  // error of a large-angle reset).
+  EXPECT_NEAR(ekf.state().att.Yaw(), 1.1, 0.35);
+}
+
+TEST(Ekf, AttitudeResetIgnoresNonGravityAccel) {
+  EkfConfig cfg;
+  cfg.enable_attitude_reset = true;
+  Ekf ekf(cfg);
+  ekf.InitAtRest(Vec3::Zero(), 0.0);
+  // Saturated accel (fault): magnitude far from 1 g, so no reset may fire.
+  sensors::ImuSample faulty;
+  faulty.accel_mps2 = {100.0, 100.0, 100.0};
+  for (int i = 0; i < 2500; ++i) {
+    faulty.t = i * kDt;
+    ekf.PredictImu(faulty, kDt);
+  }
+  EXPECT_EQ(ekf.status().attitude_reset_count, 0);
+}
+
+}  // namespace
+}  // namespace uavres::estimation

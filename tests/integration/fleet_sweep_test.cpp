@@ -1,0 +1,64 @@
+// Parameterized sweep over the entire ten-mission fleet: every mission must
+// fly its gold run cleanly, the cornerstone invariant of the whole study
+// (the paper's gold row: 100% completion, zero violations).
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "uav/simulation_runner.h"
+
+namespace uavres {
+namespace {
+
+class FleetSweep : public ::testing::TestWithParam<int> {
+ protected:
+  static const core::DroneSpec& Spec() {
+    static const auto fleet = core::BuildValenciaScenario();
+    return fleet[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(FleetSweep, GoldRunCompletesCleanly) {
+  const int mission = GetParam();
+  const uav::SimulationRunner runner;
+  const auto out = runner.RunGold(Spec(), mission, 2024);
+
+  EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted) << Spec().name;
+  EXPECT_EQ(out.result.inner_violations, 0) << Spec().name;
+  EXPECT_EQ(out.result.outer_violations, 0) << Spec().name;
+
+  // Duration within 15% of the kinematic expectation.
+  const double expected = Spec().plan.ExpectedDuration();
+  EXPECT_NEAR(out.result.flight_duration_s, expected, 0.15 * expected) << Spec().name;
+
+  // EKF distance close to the path length (plus climb/descent overhead).
+  EXPECT_NEAR(out.result.distance_km * 1000.0, Spec().plan.PathLength(),
+              0.15 * Spec().plan.PathLength() + 60.0)
+      << Spec().name;
+
+  // No failsafe machinery fired on a clean flight.
+  EXPECT_EQ(out.result.failsafe_reason, nav::FailsafeReason::kNone) << Spec().name;
+  EXPECT_FALSE(out.log.Contains("FAILSAFE")) << Spec().name;
+  EXPECT_FALSE(out.log.Contains("battery critical")) << Spec().name;
+}
+
+TEST_P(FleetSweep, GoldRunStaysInsideOperationalEnvelope) {
+  const int mission = GetParam();
+  uav::RunConfig cfg;
+  cfg.record_rate_hz = 2.0;
+  const uav::SimulationRunner runner(cfg);
+  const auto out = runner.RunGold(Spec(), mission, 2024);
+  const double ceiling = core::ScenarioCeilingM();
+  for (const auto& s : out.trajectory.Samples()) {
+    EXPECT_LT(-s.pos_true.z, ceiling + 2.0) << Spec().name << " t=" << s.t;
+    // True attitude stays far from any failure threshold in cruise. Skip
+    // the arming transient: the simple ground-contact model does not resist
+    // the tipping torque of asymmetric rotor spin-up on the pad.
+    if (s.t < 10.0) continue;
+    EXPECT_LT(s.att_true.Tilt(), math::DegToRad(45.0)) << Spec().name << " t=" << s.t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMissions, FleetSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace uavres

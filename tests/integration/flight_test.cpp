@@ -1,0 +1,133 @@
+// End-to-end fault-free flight tests: the whole stack (physics, sensors,
+// EKF, controllers, commander) flying missions from the Valencia scenario.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "uav/simulation_runner.h"
+#include "uav/uav.h"
+
+namespace uavres {
+namespace {
+
+constexpr std::uint64_t kSeed = 2024;
+
+TEST(GoldFlight, Mission0CompletesOnTime) {
+  const auto fleet = core::BuildValenciaScenario();
+  const uav::SimulationRunner runner;
+  const auto out = runner.RunGold(fleet[0], 0, kSeed);
+  EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
+  // Nominal duration ~ 470 s for the slow N-S mission.
+  EXPECT_NEAR(out.result.flight_duration_s, fleet[0].plan.ExpectedDuration(), 60.0);
+  // EKF distance close to the planned path length + climb/descent.
+  EXPECT_NEAR(out.result.distance_km * 1000.0, fleet[0].plan.PathLength(), 120.0);
+  EXPECT_EQ(out.result.inner_violations, 0);
+  EXPECT_EQ(out.result.outer_violations, 0);
+}
+
+TEST(GoldFlight, FastestMissionCompletes) {
+  const auto fleet = core::BuildValenciaScenario();
+  const uav::SimulationRunner runner;
+  const auto out = runner.RunGold(fleet[9], 9, kSeed);
+  EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
+  EXPECT_GT(out.result.distance_km, 2.5);  // 3.1 km path
+}
+
+TEST(GoldFlight, TurningMissionCompletes) {
+  const auto fleet = core::BuildValenciaScenario();
+  ASSERT_TRUE(fleet[5].has_turning_points);
+  const uav::SimulationRunner runner;
+  const auto out = runner.RunGold(fleet[5], 5, kSeed);
+  EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
+}
+
+TEST(GoldFlight, TrajectoryRecordedAndSane) {
+  const auto fleet = core::BuildValenciaScenario();
+  const uav::SimulationRunner runner;
+  const auto out = runner.RunGold(fleet[0], 0, kSeed);
+  ASSERT_GT(out.trajectory.Size(), 100u);
+  // Monotonic time, bounded altitude, no fault flags on a gold run.
+  double last_t = -1.0;
+  for (const auto& s : out.trajectory.Samples()) {
+    EXPECT_GT(s.t, last_t);
+    last_t = s.t;
+    EXPECT_FALSE(s.fault_active);
+    EXPECT_LT(-s.pos_true.z, 20.0);   // below the VLL ceiling + margin
+    EXPECT_GT(-s.pos_true.z, -0.2);   // never below ground
+  }
+}
+
+TEST(GoldFlight, EkfTracksTruthInCruise) {
+  const auto fleet = core::BuildValenciaScenario();
+  const uav::SimulationRunner runner;
+  const auto out = runner.RunGold(fleet[0], 0, kSeed);
+  double worst = 0.0;
+  for (const auto& s : out.trajectory.Samples()) {
+    if (s.t < 20.0) continue;  // skip takeoff transients
+    worst = std::max(worst, (s.pos_true - s.pos_est).Norm());
+  }
+  EXPECT_LT(worst, 2.0);  // GPS-grade estimation accuracy
+}
+
+TEST(GoldFlight, DeterministicAcrossRuns) {
+  const auto fleet = core::BuildValenciaScenario();
+  const uav::SimulationRunner runner;
+  const auto a = runner.RunGold(fleet[2], 2, kSeed);
+  const auto b = runner.RunGold(fleet[2], 2, kSeed);
+  EXPECT_EQ(a.result.outcome, b.result.outcome);
+  EXPECT_DOUBLE_EQ(a.result.flight_duration_s, b.result.flight_duration_s);
+  EXPECT_DOUBLE_EQ(a.result.distance_km, b.result.distance_km);
+  ASSERT_EQ(a.trajectory.Size(), b.trajectory.Size());
+  EXPECT_TRUE(math::ApproxEq(a.trajectory[100].pos_true, b.trajectory[100].pos_true, 0.0));
+}
+
+TEST(GoldFlight, DifferentSeedsDifferentNoiseSameOutcome) {
+  const auto fleet = core::BuildValenciaScenario();
+  const uav::SimulationRunner runner;
+  const auto a = runner.RunGold(fleet[0], 0, 111);
+  const auto b = runner.RunGold(fleet[0], 0, 222);
+  EXPECT_EQ(a.result.outcome, core::MissionOutcome::kCompleted);
+  EXPECT_EQ(b.result.outcome, core::MissionOutcome::kCompleted);
+  EXPECT_FALSE(
+      math::ApproxEq(a.trajectory[100].pos_true, b.trajectory[100].pos_true, 1e-12));
+}
+
+TEST(Uav, StepAdvancesTime) {
+  const auto fleet = core::BuildValenciaScenario();
+  uav::Uav vehicle(uav::MakeUavConfig(fleet[0]), fleet[0].plan, std::nullopt, 1);
+  EXPECT_DOUBLE_EQ(vehicle.time(), 0.0);
+  for (int i = 0; i < 250; ++i) vehicle.Step();
+  EXPECT_NEAR(vehicle.time(), 1.0, 0.01);
+  EXPECT_FALSE(vehicle.fault_active());
+}
+
+TEST(Uav, TakesOffWithinTenSeconds) {
+  const auto fleet = core::BuildValenciaScenario();
+  uav::Uav vehicle(uav::MakeUavConfig(fleet[0]), fleet[0].plan, std::nullopt, 1);
+  for (int i = 0; i < 2500; ++i) vehicle.Step();
+  EXPECT_TRUE(vehicle.airborne_seen());
+  EXPECT_GT(-vehicle.quad().state().pos.z, 5.0);
+}
+
+TEST(ExperimentSeed, DistinguishesEveryGridCell) {
+  core::FaultSpec a;
+  a.type = core::FaultType::kZeros;
+  a.target = core::FaultTarget::kImu;
+  a.duration_s = 2.0;
+  core::FaultSpec b = a;
+  b.duration_s = 5.0;
+  core::FaultSpec c = a;
+  c.target = core::FaultTarget::kGyrometer;
+  core::FaultSpec d = a;
+  d.type = core::FaultType::kMax;
+
+  const auto base = uav::ExperimentSeed(kSeed, 0, a);
+  EXPECT_NE(base, uav::ExperimentSeed(kSeed, 1, a));
+  EXPECT_NE(base, uav::ExperimentSeed(kSeed, 0, b));
+  EXPECT_NE(base, uav::ExperimentSeed(kSeed, 0, c));
+  EXPECT_NE(base, uav::ExperimentSeed(kSeed, 0, d));
+  EXPECT_NE(base, uav::ExperimentSeed(kSeed, 0, std::nullopt));
+  EXPECT_EQ(base, uav::ExperimentSeed(kSeed, 0, a));
+}
+
+}  // namespace
+}  // namespace uavres

@@ -1,0 +1,75 @@
+#include "math/geo.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::math {
+namespace {
+
+GeoPoint Valencia() { return {39.4699, -0.3763, 0.0}; }
+
+TEST(LocalProjection, OriginMapsToZero) {
+  const LocalProjection proj(Valencia());
+  EXPECT_TRUE(ApproxEq(proj.ToNed(Valencia()), Vec3::Zero(), 1e-9));
+}
+
+TEST(LocalProjection, NorthIsPositiveX) {
+  const LocalProjection proj(Valencia());
+  GeoPoint north = Valencia();
+  north.lat_deg += 0.01;
+  const Vec3 ned = proj.ToNed(north);
+  EXPECT_GT(ned.x, 1000.0);  // ~1.11 km
+  EXPECT_LT(ned.x, 1200.0);
+  EXPECT_NEAR(ned.y, 0.0, 1e-6);
+}
+
+TEST(LocalProjection, EastIsPositiveY) {
+  const LocalProjection proj(Valencia());
+  GeoPoint east = Valencia();
+  east.lon_deg += 0.01;
+  const Vec3 ned = proj.ToNed(east);
+  EXPECT_NEAR(ned.x, 0.0, 1e-6);
+  // ~0.86 km at 39.5 deg latitude (cos scaling).
+  EXPECT_GT(ned.y, 800.0);
+  EXPECT_LT(ned.y, 900.0);
+}
+
+TEST(LocalProjection, AltitudeIsNegativeZ) {
+  const LocalProjection proj(Valencia());
+  GeoPoint up = Valencia();
+  up.alt_m = 60.0;
+  EXPECT_NEAR(proj.ToNed(up).z, -60.0, 1e-9);
+}
+
+TEST(LocalProjection, RoundTrip) {
+  const LocalProjection proj(Valencia());
+  const Vec3 ned{1234.5, -987.6, -55.0};
+  const Vec3 back = proj.ToNed(proj.ToGeo(ned));
+  EXPECT_TRUE(ApproxEq(back, ned, 1e-6));
+}
+
+TEST(LocalProjection, LongitudeScaleShrinksWithLatitude) {
+  const LocalProjection equator(GeoPoint{0.0, 0.0, 0.0});
+  const LocalProjection nordic(GeoPoint{60.0, 0.0, 0.0});
+  GeoPoint p_eq{0.0, 0.01, 0.0};
+  GeoPoint p_no{60.0, 0.01, 0.0};
+  EXPECT_GT(equator.ToNed(p_eq).y, 1.9 * nordic.ToNed(p_no).y);
+}
+
+TEST(PlanarDistance, KnownSeparation) {
+  GeoPoint a = Valencia();
+  GeoPoint b = Valencia();
+  b.lat_deg += 0.01;  // ~1.11 km north
+  EXPECT_NEAR(PlanarDistance(a, b), 1110.0, 10.0);
+}
+
+TEST(PlanarDistance, SymmetricAndZeroOnSelf) {
+  GeoPoint a = Valencia();
+  GeoPoint b{39.48, -0.39, 10.0};
+  EXPECT_NEAR(PlanarDistance(a, b), PlanarDistance(b, a), 0.5);
+  EXPECT_NEAR(PlanarDistance(a, a), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace uavres::math

@@ -1,0 +1,88 @@
+#include "math/mat3.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::math {
+namespace {
+
+Mat3 TestMatrix() {
+  return Mat3{{2, -1, 0}, {1, 3, -2}, {0, 1, 4}};
+}
+
+TEST(Mat3, IdentityProperties) {
+  const Mat3 I = Mat3::Identity();
+  EXPECT_DOUBLE_EQ(I.Trace(), 3.0);
+  EXPECT_DOUBLE_EQ(I.Determinant(), 1.0);
+  EXPECT_EQ(I * Vec3(1, 2, 3), Vec3(1, 2, 3));
+}
+
+TEST(Mat3, DiagonalConstruction) {
+  const Mat3 d = Mat3::Diagonal(2, 3, 4);
+  EXPECT_EQ(d * Vec3(1, 1, 1), Vec3(2, 3, 4));
+  EXPECT_DOUBLE_EQ(d.Determinant(), 24.0);
+}
+
+TEST(Mat3, SkewMatchesCrossProduct) {
+  const Vec3 v{0.3, -1.2, 2.5};
+  const Vec3 w{-0.7, 0.4, 1.1};
+  EXPECT_TRUE(ApproxEq(Mat3::Skew(v) * w, v.Cross(w)));
+}
+
+TEST(Mat3, SkewIsAntisymmetric) {
+  const Mat3 s = Mat3::Skew({1, 2, 3});
+  EXPECT_TRUE(ApproxEq(s.Transposed(), s * -1.0));
+  EXPECT_DOUBLE_EQ(s.Trace(), 0.0);
+}
+
+TEST(Mat3, RowColAccess) {
+  const Mat3 m = TestMatrix();
+  EXPECT_EQ(m.Row(1), Vec3(1, 3, -2));
+  EXPECT_EQ(m.Col(2), Vec3(0, -2, 4));
+  EXPECT_DOUBLE_EQ(m(2, 1), 1.0);
+}
+
+TEST(Mat3, AdditionSubtraction) {
+  const Mat3 m = TestMatrix();
+  const Mat3 sum = m + m;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 4.0);
+  EXPECT_TRUE(ApproxEq(sum - m, m));
+}
+
+TEST(Mat3, ScalarMultiply) {
+  const Mat3 m = TestMatrix() * 2.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), 6.0);
+}
+
+TEST(Mat3, MatrixProductAgainstHandComputed) {
+  const Mat3 a{{1, 2, 0}, {0, 1, 1}, {2, 0, 1}};
+  const Mat3 b{{1, 0, 1}, {2, 1, 0}, {0, 3, 1}};
+  const Mat3 c = a * b;
+  EXPECT_TRUE(ApproxEq(c, Mat3{{5, 2, 1}, {2, 4, 1}, {2, 3, 3}}));
+}
+
+TEST(Mat3, TransposeInvolution) {
+  const Mat3 m = TestMatrix();
+  EXPECT_TRUE(ApproxEq(m.Transposed().Transposed(), m));
+}
+
+TEST(Mat3, InverseRoundTrip) {
+  const Mat3 m = TestMatrix();
+  ASSERT_GT(std::abs(m.Determinant()), 1e-9);
+  EXPECT_TRUE(ApproxEq(m * m.Inverse(), Mat3::Identity(), 1e-9));
+  EXPECT_TRUE(ApproxEq(m.Inverse() * m, Mat3::Identity(), 1e-9));
+}
+
+TEST(Mat3, DeterminantOfProduct) {
+  const Mat3 a = TestMatrix();
+  const Mat3 b{{1, 0, 2}, {0, 2, 0}, {1, 1, 1}};
+  EXPECT_NEAR((a * b).Determinant(), a.Determinant() * b.Determinant(), 1e-9);
+}
+
+TEST(Mat3, MatrixVectorDistributes) {
+  const Mat3 m = TestMatrix();
+  const Vec3 u{1, 2, 3}, v{-2, 0.5, 1};
+  EXPECT_TRUE(ApproxEq(m * (u + v), m * u + m * v));
+}
+
+}  // namespace
+}  // namespace uavres::math

@@ -1,0 +1,119 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::math {
+namespace {
+
+TEST(Matrix, ZeroAndIdentity) {
+  const auto z = Matrix<4, 4>::Zero();
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(z(i, j), 0.0);
+
+  const auto I = Matrix<4, 4>::Identity();
+  EXPECT_DOUBLE_EQ(I.Trace(), 4.0);
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  Matrix<2, 3> a, b;
+  a(0, 0) = 1;
+  a(1, 2) = 5;
+  b(0, 0) = 2;
+  b(1, 2) = -1;
+  const auto sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sum(1, 2), 4.0);
+  const auto diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(1, 2), 6.0);
+}
+
+TEST(Matrix, ScalarMultiply) {
+  Matrix<2, 2> m;
+  m(0, 1) = 3.0;
+  EXPECT_DOUBLE_EQ((m * 2.0)(0, 1), 6.0);
+}
+
+TEST(Matrix, ProductAgainstHandComputed) {
+  Matrix<2, 3> a;
+  // [1 2 3; 4 5 6]
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix<3, 2> b;
+  // [7 8; 9 10; 11 12]
+  b(0, 0) = 7;  b(0, 1) = 8;
+  b(1, 0) = 9;  b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const auto c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeNeutral) {
+  using M33 = Matrix<3, 3>;
+  M33 m;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) m(i, j) = i * 3 + j + 1;
+  EXPECT_EQ(m * M33::Identity(), m);
+  EXPECT_EQ(M33::Identity() * m, m);
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  Matrix<2, 3> a;
+  a(0, 2) = 7.0;
+  const auto t = a.Transposed();
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+}
+
+TEST(Matrix, SymmetrizeForcesSymmetry) {
+  Matrix<3, 3> m;
+  m(0, 1) = 2.0;
+  m(1, 0) = 4.0;
+  m.Symmetrize();
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, Block3RoundTrip) {
+  Matrix<6, 6> m;
+  const Mat3 b{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  m.SetBlock3(3, 0, b);
+  EXPECT_TRUE(ApproxEq(m.Block3(3, 0), b));
+  EXPECT_DOUBLE_EQ(m(5, 2), 9.0);
+}
+
+TEST(Matrix, SegmentHelpers) {
+  VecN<9> v;
+  SetSegment3(v, 3, {1, 2, 3});
+  EXPECT_EQ(Segment3(v, 3), Vec3(1, 2, 3));
+  EXPECT_DOUBLE_EQ(v(4, 0), 2.0);
+}
+
+TEST(Matrix, DotProduct) {
+  VecN<3> a, b;
+  a(0, 0) = 1; a(1, 0) = 2; a(2, 0) = 3;
+  b(0, 0) = 4; b(1, 0) = 5; b(2, 0) = 6;
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(Matrix, AllFinite) {
+  Matrix<2, 2> m;
+  EXPECT_TRUE(m.AllFinite());
+  m(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(m.AllFinite());
+}
+
+TEST(Matrix, ProductTransposeIdentity) {
+  // (A B)^T == B^T A^T
+  Matrix<3, 4> a;
+  Matrix<4, 2> b;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j) a(i, j) = std::sin(i + 2.0 * j);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 2; ++j) b(i, j) = std::cos(3.0 * i - j);
+  EXPECT_EQ((a * b).Transposed(), b.Transposed() * a.Transposed());
+}
+
+}  // namespace
+}  // namespace uavres::math

@@ -1,0 +1,69 @@
+#include "math/num.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::math {
+namespace {
+
+TEST(Num, AngleConversions) {
+  EXPECT_DOUBLE_EQ(DegToRad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(RadToDeg(kPi / 2.0), 90.0);
+  EXPECT_NEAR(RadToDeg(DegToRad(33.3)), 33.3, 1e-12);
+}
+
+TEST(Num, SpeedConversions) {
+  EXPECT_DOUBLE_EQ(KmhToMs(36.0), 10.0);
+  EXPECT_DOUBLE_EQ(MsToKmh(10.0), 36.0);
+  EXPECT_NEAR(KmhToMs(5.0), 1.3889, 1e-4);
+}
+
+TEST(Num, FeetToMeters) {
+  EXPECT_NEAR(FeetToMeters(60.0), 18.288, 1e-9);
+}
+
+TEST(Num, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Num, WrapPi) {
+  EXPECT_NEAR(WrapPi(3.0 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(WrapPi(-3.0 * kPi), kPi, 1e-12);  // wraps to (-pi, pi]
+  EXPECT_NEAR(WrapPi(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(WrapPi(kPi + 0.1), -kPi + 0.1, 1e-12);
+  const double w = WrapPi(123.456);
+  EXPECT_GT(w, -kPi - 1e-12);
+  EXPECT_LE(w, kPi + 1e-12);
+}
+
+TEST(Num, ApproxEq) {
+  EXPECT_TRUE(ApproxEq(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(ApproxEq(1.0, 1.1));
+  EXPECT_TRUE(ApproxEq(100.0, 100.5, 1.0));
+}
+
+TEST(Num, SqAndSign) {
+  EXPECT_DOUBLE_EQ(Sq(-3.0), 9.0);
+  EXPECT_DOUBLE_EQ(Sign(-2.5), -1.0);
+  EXPECT_DOUBLE_EQ(Sign(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(Sign(0.0), 0.0);
+}
+
+TEST(Num, Lerp) {
+  EXPECT_DOUBLE_EQ(Lerp(0.0, 10.0, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Lerp(-1.0, 1.0, 0.5), 0.0);
+}
+
+TEST(Num, IsFinite) {
+  EXPECT_TRUE(IsFinite(0.0));
+  EXPECT_FALSE(IsFinite(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(IsFinite(std::nan("")));
+}
+
+TEST(Num, GravityConstant) {
+  EXPECT_NEAR(kGravity, 9.80665, 1e-9);
+}
+
+}  // namespace
+}  // namespace uavres::math

@@ -1,0 +1,160 @@
+#include "math/quat.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::math {
+namespace {
+
+TEST(Quat, IdentityRotatesNothing) {
+  const Vec3 v{1, -2, 3};
+  EXPECT_TRUE(ApproxEq(Quat::Identity().Rotate(v), v));
+}
+
+TEST(Quat, AxisAngle90AboutZ) {
+  const Quat q = Quat::FromAxisAngle(Vec3::UnitZ(), DegToRad(90));
+  EXPECT_TRUE(ApproxEq(q.Rotate(Vec3::UnitX()), Vec3::UnitY(), 1e-12));
+}
+
+TEST(Quat, RotateInverseUndoesRotate) {
+  const Quat q = Quat::FromEuler(0.3, -0.5, 1.2);
+  const Vec3 v{2, -1, 0.5};
+  EXPECT_TRUE(ApproxEq(q.RotateInverse(q.Rotate(v)), v, 1e-12));
+}
+
+TEST(Quat, EulerRoundTrip) {
+  const double roll = 0.21, pitch = -0.43, yaw = 2.17;
+  const Quat q = Quat::FromEuler(roll, pitch, yaw);
+  EXPECT_NEAR(q.Roll(), roll, 1e-12);
+  EXPECT_NEAR(q.Pitch(), pitch, 1e-12);
+  EXPECT_NEAR(q.Yaw(), yaw, 1e-12);
+}
+
+TEST(Quat, YawOnlyRotationKeepsLevel) {
+  const Quat q = Quat::FromEuler(0.0, 0.0, 1.0);
+  EXPECT_NEAR(q.Tilt(), 0.0, 1e-12);
+}
+
+TEST(Quat, TiltOfPureRoll) {
+  const Quat q = Quat::FromEuler(DegToRad(30), 0.0, 0.0);
+  EXPECT_NEAR(RadToDeg(q.Tilt()), 30.0, 1e-9);
+}
+
+TEST(Quat, MatrixAgreesWithRotate) {
+  const Quat q = Quat::FromEuler(0.5, 0.2, -1.0);
+  const Vec3 v{1, 2, 3};
+  EXPECT_TRUE(ApproxEq(q.ToMat3() * v, q.Rotate(v), 1e-12));
+}
+
+TEST(Quat, FromMat3RoundTrip) {
+  // Cover all four branches of Shepperd's method with distinct rotations.
+  const Quat cases[] = {
+      Quat::FromEuler(0.1, 0.2, 0.3),
+      Quat::FromAxisAngle(Vec3::UnitX(), 3.0),
+      Quat::FromAxisAngle(Vec3::UnitY(), 3.0),
+      Quat::FromAxisAngle(Vec3::UnitZ(), 3.0),
+  };
+  for (const Quat& q : cases) {
+    EXPECT_TRUE(SameRotation(Quat::FromMat3(q.ToMat3()), q, 1e-9));
+  }
+}
+
+TEST(Quat, ProductComposesRotations) {
+  const Quat a = Quat::FromAxisAngle(Vec3::UnitZ(), 0.7);
+  const Quat b = Quat::FromAxisAngle(Vec3::UnitX(), -0.4);
+  const Vec3 v{0.3, 1.0, -2.0};
+  EXPECT_TRUE(ApproxEq((a * b).Rotate(v), a.Rotate(b.Rotate(v)), 1e-12));
+}
+
+TEST(Quat, ConjugateIsInverseForUnit) {
+  const Quat q = Quat::FromEuler(0.4, 0.1, -0.9);
+  EXPECT_TRUE(SameRotation(q * q.Conjugate(), Quat::Identity(), 1e-12));
+}
+
+TEST(Quat, RotationVectorRoundTrip) {
+  const Vec3 rv{0.2, -0.5, 0.8};
+  const Quat q = Quat::FromRotationVector(rv);
+  EXPECT_TRUE(ApproxEq(q.ToRotationVector(), rv, 1e-9));
+}
+
+TEST(Quat, RotationVectorSmallAngle) {
+  const Vec3 rv{1e-9, -2e-9, 0.5e-9};
+  const Quat q = Quat::FromRotationVector(rv);
+  EXPECT_TRUE(ApproxEq(q.ToRotationVector(), rv, 1e-15));
+}
+
+TEST(Quat, RotationVectorTakesShortWay) {
+  // 350 degrees about z == -10 degrees about z.
+  const Quat q = Quat::FromAxisAngle(Vec3::UnitZ(), DegToRad(350));
+  const Vec3 rv = q.ToRotationVector();
+  EXPECT_NEAR(rv.Norm(), DegToRad(10), 1e-9);
+  EXPECT_LT(rv.z, 0.0);
+}
+
+TEST(Quat, IntegrationMatchesAxisAngle) {
+  Quat q = Quat::Identity();
+  const Vec3 omega{0.0, 0.0, 1.0};  // 1 rad/s yaw
+  const double dt = 0.001;
+  for (int i = 0; i < 1000; ++i) q = q.Integrated(omega, dt);
+  EXPECT_NEAR(q.Yaw(), 1.0, 1e-6);
+  EXPECT_NEAR(q.Norm(), 1.0, 1e-12);
+}
+
+TEST(Quat, FromTwoVectors) {
+  const Vec3 from{1, 0, 0}, to{0, 0, 1};
+  const Quat q = Quat::FromTwoVectors(from, to);
+  EXPECT_TRUE(ApproxEq(q.Rotate(from), to, 1e-12));
+}
+
+TEST(Quat, FromTwoVectorsParallel) {
+  EXPECT_TRUE(SameRotation(Quat::FromTwoVectors({1, 2, 3}, {2, 4, 6}), Quat::Identity()));
+}
+
+TEST(Quat, FromTwoVectorsAntiparallel) {
+  const Vec3 v{0, 0, 1};
+  const Quat q = Quat::FromTwoVectors(v, -v);
+  EXPECT_TRUE(ApproxEq(q.Rotate(v), -v, 1e-9));
+}
+
+TEST(Quat, AngleToSelfIsZero) {
+  const Quat q = Quat::FromEuler(0.1, 0.2, 0.3);
+  EXPECT_NEAR(q.AngleTo(q), 0.0, 1e-12);
+}
+
+TEST(Quat, AngleToKnownRotation) {
+  const Quat a = Quat::Identity();
+  const Quat b = Quat::FromAxisAngle(Vec3::UnitY(), 0.75);
+  EXPECT_NEAR(a.AngleTo(b), 0.75, 1e-12);
+}
+
+TEST(Quat, PitchClampedAtGimbalPole) {
+  // Exactly +-90 deg pitch: asin argument must be clamped, not NaN.
+  const Quat q = Quat::FromEuler(0.0, kPi / 2.0, 0.0);
+  EXPECT_NEAR(q.Pitch(), kPi / 2.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(q.Roll()));
+  EXPECT_TRUE(std::isfinite(q.Yaw()));
+}
+
+TEST(Quat, TiltOfInvertedIsPi) {
+  const Quat q = Quat::FromEuler(kPi, 0.0, 0.0);
+  EXPECT_NEAR(q.Tilt(), kPi, 1e-9);
+}
+
+// Property sweep: rotation preserves norms and dot products (isometry).
+class QuatIsometryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuatIsometryTest, PreservesNormAndAngle) {
+  const int i = GetParam();
+  const Quat q = Quat::FromEuler(std::sin(i * 0.9), std::cos(i * 0.7) * 0.8, i * 0.37);
+  const Vec3 u{1.0 + i * 0.1, -2.0, 0.5 * i};
+  const Vec3 v{0.3, i * 0.05, -1.0};
+  EXPECT_NEAR(q.Rotate(u).Norm(), u.Norm(), 1e-9);
+  EXPECT_NEAR(q.Rotate(u).Dot(q.Rotate(v)), u.Dot(v), 1e-9 * (1.0 + u.Norm() * v.Norm()));
+  EXPECT_NEAR(q.ToMat3().Determinant(), 1.0, 1e-9);  // proper rotation
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuatIsometryTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace uavres::math

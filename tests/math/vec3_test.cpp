@@ -1,0 +1,128 @@
+#include "math/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace uavres::math {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v, Vec3::Zero());
+  EXPECT_DOUBLE_EQ(v.Norm(), 0.0);
+}
+
+TEST(Vec3, UnitVectors) {
+  EXPECT_EQ(Vec3::UnitX(), Vec3(1, 0, 0));
+  EXPECT_EQ(Vec3::UnitY(), Vec3(0, 1, 0));
+  EXPECT_EQ(Vec3::UnitZ(), Vec3(0, 0, 1));
+  EXPECT_DOUBLE_EQ(Vec3::UnitX().Norm(), 1.0);
+}
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+  v /= 3.0;
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+}
+
+TEST(Vec3, DotProduct) {
+  EXPECT_DOUBLE_EQ(Vec3(1, 2, 3).Dot({4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Vec3::UnitX().Dot(Vec3::UnitY()), 0.0);
+}
+
+TEST(Vec3, CrossProductRightHanded) {
+  EXPECT_EQ(Vec3::UnitX().Cross(Vec3::UnitY()), Vec3::UnitZ());
+  EXPECT_EQ(Vec3::UnitY().Cross(Vec3::UnitZ()), Vec3::UnitX());
+  EXPECT_EQ(Vec3::UnitZ().Cross(Vec3::UnitX()), Vec3::UnitY());
+}
+
+TEST(Vec3, CrossProductAnticommutative) {
+  const Vec3 a{1, -2, 3}, b{-4, 5, 0.5};
+  EXPECT_TRUE(ApproxEq(a.Cross(b), -(b.Cross(a))));
+}
+
+TEST(Vec3, NormAndNormXY) {
+  const Vec3 v{3, 4, 12};
+  EXPECT_DOUBLE_EQ(v.Norm(), 13.0);
+  EXPECT_DOUBLE_EQ(v.NormSq(), 169.0);
+  EXPECT_DOUBLE_EQ(v.NormXY(), 5.0);
+}
+
+TEST(Vec3, NormalizedProducesUnit) {
+  const Vec3 v{3, -4, 0};
+  const Vec3 n = v.Normalized();
+  EXPECT_NEAR(n.Norm(), 1.0, 1e-12);
+  EXPECT_TRUE(ApproxEq(n, {0.6, -0.8, 0.0}));
+}
+
+TEST(Vec3, NormalizedZeroStaysZero) {
+  EXPECT_EQ(Vec3::Zero().Normalized(), Vec3::Zero());
+}
+
+TEST(Vec3, CwiseOperations) {
+  const Vec3 v{-3, 0.5, 7};
+  EXPECT_EQ(v.CwiseMul({2, 2, 2}), Vec3(-6, 1, 14));
+  EXPECT_EQ(v.CwiseClamp(-1.0, 1.0), Vec3(-1, 0.5, 1));
+  EXPECT_EQ(v.CwiseAbs(), Vec3(3, 0.5, 7));
+  EXPECT_DOUBLE_EQ(v.MaxAbs(), 7.0);
+}
+
+TEST(Vec3, IndexedAccess) {
+  Vec3 v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  v[1] = 9.0;
+  EXPECT_DOUBLE_EQ(v.y, 9.0);
+}
+
+TEST(Vec3, AllFiniteDetectsNanAndInf) {
+  EXPECT_TRUE(Vec3(1, 2, 3).AllFinite());
+  EXPECT_FALSE(Vec3(std::nan(""), 0, 0).AllFinite());
+  EXPECT_FALSE(Vec3(0, std::numeric_limits<double>::infinity(), 0).AllFinite());
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1, 2, 3};
+  EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+TEST(Vec3, ApproxEqTolerance) {
+  EXPECT_TRUE(ApproxEq(Vec3(1, 1, 1), Vec3(1 + 1e-10, 1, 1)));
+  EXPECT_FALSE(ApproxEq(Vec3(1, 1, 1), Vec3(1.1, 1, 1)));
+}
+
+// Property sweep: |a x b|^2 + (a.b)^2 == |a|^2 |b|^2 (Lagrange identity).
+class Vec3LagrangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Vec3LagrangeTest, LagrangeIdentity) {
+  const int i = GetParam();
+  const Vec3 a{std::sin(i * 0.7), std::cos(i * 1.3), i * 0.11 - 1.0};
+  const Vec3 b{i * 0.2 - 1.5, std::sin(i * 2.1), std::cos(i * 0.4)};
+  const double lhs = a.Cross(b).NormSq() + Sq(a.Dot(b));
+  const double rhs = a.NormSq() * b.NormSq();
+  EXPECT_NEAR(lhs, rhs, 1e-9 * (1.0 + rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Vec3LagrangeTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace uavres::math

@@ -1,0 +1,201 @@
+#include "nav/commander.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::nav {
+namespace {
+
+using estimation::NavState;
+using math::Vec3;
+
+constexpr double kDt = 0.004;
+
+MissionPlan Plan() {
+  MissionPlan plan;
+  plan.waypoints = {{0, 0, -15}, {60, 0, -15}};
+  plan.cruise_speed_ms = 5.0;
+  plan.takeoff_altitude_m = 15.0;
+  plan.acceptance_radius_m = 2.0;
+  return plan;
+}
+
+NavState At(const Vec3& pos, const Vec3& vel = {}) {
+  NavState s;
+  s.pos = pos;
+  s.vel = vel;
+  return s;
+}
+
+/// Kinematic puppet: the "vehicle" simply tracks the commander's setpoint
+/// with a first-order lag, letting us exercise the whole mode sequence
+/// without the physics stack.
+struct Puppet {
+  Vec3 pos;
+  Vec3 vel;
+  void Track(const control::PositionSetpoint& sp, double dt) {
+    const Vec3 to_sp = sp.pos - pos;
+    Vec3 v = to_sp * 0.8 + sp.vel_ff;
+    const double n = v.Norm();
+    const double vmax = std::max(sp.cruise_speed, 2.0);
+    if (n > vmax) v = v * (vmax / n);
+    vel = v;
+    pos += v * dt;
+  }
+};
+
+TEST(Commander, StartsInStandbyThenTakesOff) {
+  Commander cmd(Plan());
+  EXPECT_EQ(cmd.mode(), FlightMode::kStandby);
+  cmd.Update(At({0, 0, 0}), false, 0.0, kDt);
+  EXPECT_EQ(cmd.mode(), FlightMode::kTakeoff);
+}
+
+TEST(Commander, TakeoffSetpointAboveHome) {
+  Commander cmd(Plan());
+  const auto sp = cmd.Update(At({0, 0, 0}), false, 0.0, kDt);
+  EXPECT_NEAR(sp.pos.z, -15.0, 1e-9);
+  EXPECT_LT(sp.vel_ff.z, 0.0);  // climbing
+}
+
+TEST(Commander, FullMissionSequenceCompletes) {
+  Commander cmd(Plan());
+  Puppet puppet{{0, 0, 0}, {}};
+  double t = 0.0;
+  while (t < 300.0 && !cmd.landed()) {
+    const auto sp = cmd.Update(At(puppet.pos, puppet.vel), false, t, kDt);
+    puppet.Track(sp, kDt);
+    t += kDt;
+  }
+  ASSERT_TRUE(cmd.landed());
+  EXPECT_TRUE(cmd.MissionCompleted());
+  EXPECT_TRUE(cmd.landed_time().has_value());
+  // Landed near the final waypoint.
+  EXPECT_LT((puppet.pos - Vec3{60, 0, 0}).NormXY(), 3.0);
+}
+
+TEST(Commander, FailsafeFromMissionDescends) {
+  Commander cmd(Plan());
+  Puppet puppet{{0, 0, 0}, {}};
+  double t = 0.0;
+  // Fly until in mission mode.
+  while (t < 60.0 && cmd.mode() != FlightMode::kMission) {
+    puppet.Track(cmd.Update(At(puppet.pos, puppet.vel), false, t, kDt), kDt);
+    t += kDt;
+  }
+  ASSERT_EQ(cmd.mode(), FlightMode::kMission);
+  // Trigger failsafe.
+  cmd.Update(At(puppet.pos, puppet.vel), true, t, kDt);
+  EXPECT_EQ(cmd.mode(), FlightMode::kFailsafeLand);
+  EXPECT_TRUE(cmd.failsafe_engaged());
+  // Continue to touchdown; the mission must NOT count as completed.
+  while (t < 300.0 && !cmd.landed()) {
+    puppet.Track(cmd.Update(At(puppet.pos, puppet.vel), true, t, kDt), kDt);
+    t += kDt;
+  }
+  ASSERT_TRUE(cmd.landed());
+  EXPECT_FALSE(cmd.MissionCompleted());
+}
+
+TEST(Commander, FailsafeLatchesEvenIfFlagClears) {
+  Commander cmd(Plan());
+  Puppet puppet{{0, 0, 0}, {}};
+  double t = 0.0;
+  while (t < 30.0 && cmd.mode() != FlightMode::kMission) {
+    puppet.Track(cmd.Update(At(puppet.pos, puppet.vel), false, t, kDt), kDt);
+    t += kDt;
+  }
+  cmd.Update(At(puppet.pos, puppet.vel), true, t, kDt);
+  ASSERT_EQ(cmd.mode(), FlightMode::kFailsafeLand);
+  // Flag drops (sensor recovered) but the failsafe decision stands.
+  cmd.Update(At(puppet.pos, puppet.vel), false, t + kDt, kDt);
+  EXPECT_EQ(cmd.mode(), FlightMode::kFailsafeLand);
+  EXPECT_TRUE(cmd.failsafe_engaged());
+}
+
+TEST(Commander, NoFailsafeBeforeArmedFlight) {
+  Commander cmd(Plan());
+  // Failsafe flag while still in standby: no failsafe-land from the pad.
+  cmd.Update(At({0, 0, 0}), true, 0.0, kDt);
+  EXPECT_NE(cmd.mode(), FlightMode::kFailsafeLand);
+}
+
+TEST(Commander, LandReanchorsWhenHoldTargetFarOff) {
+  Commander cmd(Plan());
+  Puppet puppet{{0, 0, 0}, {}};
+  double t = 0.0;
+  while (t < 60.0 && cmd.mode() != FlightMode::kMission) {
+    puppet.Track(cmd.Update(At(puppet.pos, puppet.vel), false, t, kDt), kDt);
+    t += kDt;
+  }
+  cmd.Update(At(puppet.pos, puppet.vel), true, t, kDt);
+  ASSERT_EQ(cmd.mode(), FlightMode::kFailsafeLand);
+  // Estimate jumps far away (e.g. post-fault EKF reset): the hold setpoint
+  // must re-anchor near the new estimate instead of commanding a long dash.
+  const Vec3 far_pos{puppet.pos.x + 500.0, puppet.pos.y, -12.0};
+  const auto sp = cmd.Update(At(far_pos), true, t + kDt, kDt);
+  EXPECT_LT((sp.pos - far_pos).NormXY(), 1.0);
+}
+
+TEST(Commander, EventsLogged) {
+  telemetry::FlightLog log;
+  Commander cmd(Plan(), CommanderConfig{}, &log);
+  Puppet puppet{{0, 0, 0}, {}};
+  double t = 0.0;
+  while (t < 300.0 && !cmd.landed()) {
+    puppet.Track(cmd.Update(At(puppet.pos, puppet.vel), false, t, kDt), kDt);
+    t += kDt;
+  }
+  EXPECT_TRUE(log.Contains("mode -> takeoff"));
+  EXPECT_TRUE(log.Contains("mode -> mission"));
+  EXPECT_TRUE(log.Contains("mode -> land"));
+  EXPECT_TRUE(log.Contains("touchdown confirmed"));
+}
+
+
+TEST(Commander, RtlActionReturnsHomeBeforeDescending) {
+  CommanderConfig cfg;
+  cfg.failsafe_action = FailsafeAction::kReturnToLaunch;
+  Commander cmd(Plan(), cfg);
+  Puppet puppet{{0, 0, 0}, {}};
+  double t = 0.0;
+  // Fly into the mission, away from home.
+  while (t < 120.0 && (cmd.mode() != FlightMode::kMission || puppet.pos.x < 30.0)) {
+    puppet.Track(cmd.Update(At(puppet.pos, puppet.vel), false, t, kDt), kDt);
+    t += kDt;
+  }
+  ASSERT_GT(puppet.pos.x, 25.0);
+  cmd.Update(At(puppet.pos, puppet.vel), true, t, kDt);
+  EXPECT_EQ(cmd.mode(), FlightMode::kFailsafeReturn);
+  // Track the RTL setpoints: the vehicle must arrive near home, switch to
+  // the failsafe descent, and land there.
+  while (t < 400.0 && !cmd.landed()) {
+    puppet.Track(cmd.Update(At(puppet.pos, puppet.vel), true, t, kDt), kDt);
+    t += kDt;
+  }
+  ASSERT_TRUE(cmd.landed());
+  EXPECT_FALSE(cmd.MissionCompleted());
+  EXPECT_LT(puppet.pos.NormXY(), 5.0);  // back at launch
+}
+
+TEST(Commander, RtlModeName) {
+  EXPECT_STREQ(ToString(FlightMode::kFailsafeReturn), "failsafe-return");
+}
+
+TEST(Commander, DefaultFailsafeActionIsLand) {
+  const CommanderConfig cfg;
+  EXPECT_EQ(cfg.failsafe_action, FailsafeAction::kLand);
+}
+
+TEST(ToStringFlightMode, AllValuesNamed) {
+  EXPECT_STREQ(ToString(FlightMode::kStandby), "standby");
+  EXPECT_STREQ(ToString(FlightMode::kTakeoff), "takeoff");
+  EXPECT_STREQ(ToString(FlightMode::kMission), "mission");
+  EXPECT_STREQ(ToString(FlightMode::kLand), "land");
+  EXPECT_STREQ(ToString(FlightMode::kFailsafeLand), "failsafe-land");
+  EXPECT_STREQ(ToString(FlightMode::kLanded), "landed");
+}
+
+}  // namespace
+}  // namespace uavres::nav

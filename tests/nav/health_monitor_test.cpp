@@ -1,0 +1,223 @@
+#include "nav/health_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+#include "math/rng.h"
+
+namespace uavres::nav {
+namespace {
+
+using math::DegToRad;
+using math::Vec3;
+
+constexpr double kDt = 0.004;
+
+sensors::ImuSample HealthyImu(math::Rng& rng) {
+  sensors::ImuSample s;
+  s.accel_mps2 = Vec3{0, 0, -math::kGravity} + rng.GaussianVec3(0.05);
+  s.gyro_rads = rng.GaussianVec3(0.003);
+  return s;
+}
+
+estimation::EkfStatus HealthyEkf() { return {}; }
+
+/// Drive the monitor for `seconds` with the given sample generator.
+template <typename SampleFn>
+double RunUntilFailsafe(HealthMonitor& mon, double t0, double seconds, SampleFn&& fn,
+                        const estimation::EkfStatus& ekf = {}, double tilt = 0.05) {
+  double t = t0;
+  const double end = t0 + seconds;
+  while (t < end && !mon.failsafe_active()) {
+    mon.Update(fn(t), ekf, tilt, t, kDt);
+    t += kDt;
+  }
+  return t;
+}
+
+TEST(HealthMonitor, QuietOnHealthyData) {
+  HealthMonitor mon;
+  math::Rng rng{1};
+  RunUntilFailsafe(mon, 0.0, 30.0, [&](double) { return HealthyImu(rng); });
+  EXPECT_FALSE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kNone);
+}
+
+TEST(HealthMonitor, OutOfRangeGyroTriggersSensorFailsafe) {
+  HealthMonitorConfig cfg;
+  HealthMonitor mon(cfg);
+  math::Rng rng{2};
+  auto faulty = [&](double) {
+    auto s = HealthyImu(rng);
+    s.gyro_rads = {DegToRad(500.0), 0.0, 0.0};
+    return s;
+  };
+  const double t = RunUntilFailsafe(mon, 10.0, 20.0, faulty);
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kSensorFault);
+  // Minimum latency: confirm + isolation + persistence (>= 1.9 s paper floor).
+  const double latency = t - 10.0;
+  EXPECT_GE(latency, 1.9);
+  EXPECT_LE(latency, 4.0);
+}
+
+TEST(HealthMonitor, IsolationCyclesThroughRedundantUnits) {
+  HealthMonitorConfig cfg;
+  HealthMonitor mon(cfg);
+  math::Rng rng{3};
+  auto faulty = [&](double) {
+    auto s = HealthyImu(rng);
+    s.gyro_rads = {2.0, 2.0, 2.0};
+    return s;
+  };
+  RunUntilFailsafe(mon, 0.0, 20.0, faulty);
+  EXPECT_EQ(mon.isolation_switches(), sensors::RedundantImu::kNumUnits - 1);
+}
+
+TEST(HealthMonitor, StuckGyroDetected) {
+  HealthMonitor mon;
+  sensors::ImuSample frozen;
+  frozen.accel_mps2 = {0.1, -0.05, -9.8};
+  frozen.gyro_rads = {0.001, 0.002, -0.001};  // plausible values, but frozen
+  const double t = RunUntilFailsafe(mon, 0.0, 20.0, [&](double) { return frozen; });
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kSensorFault);
+  EXPECT_GT(t, 1.9);
+}
+
+TEST(HealthMonitor, AccelOnlyFaultNotDirectlyDetected) {
+  // The paper: no accelerometer failsafe thresholds in the flight controller.
+  HealthMonitor mon;
+  math::Rng rng{4};
+  auto acc_fault = [&](double) {
+    auto s = HealthyImu(rng);
+    s.accel_mps2 = {156.9, 156.9, 156.9};  // saturated accel, healthy gyro
+    return s;
+  };
+  RunUntilFailsafe(mon, 0.0, 30.0, acc_fault);
+  EXPECT_FALSE(mon.failsafe_active());
+}
+
+TEST(HealthMonitor, TransientAnomalyStandsDown) {
+  HealthMonitor mon;
+  math::Rng rng{5};
+  // 0.5 s anomaly: below the 1 s confirmation window.
+  RunUntilFailsafe(mon, 0.0, 0.5, [&](double) {
+    auto s = HealthyImu(rng);
+    s.gyro_rads = {5.0, 0.0, 0.0};
+    return s;
+  });
+  RunUntilFailsafe(mon, 0.5, 10.0, [&](double) { return HealthyImu(rng); });
+  EXPECT_FALSE(mon.failsafe_active());
+  EXPECT_NEAR(mon.anomaly_level(), 0.0, 1e-6);
+}
+
+TEST(HealthMonitor, AttitudeFdDisabledByDefault) {
+  HealthMonitor mon;
+  math::Rng rng{6};
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    mon.Update(HealthyImu(rng), HealthyEkf(), DegToRad(80.0), t, kDt);
+    t += kDt;
+  }
+  EXPECT_FALSE(mon.failsafe_active());
+}
+
+TEST(HealthMonitor, AttitudeFdTriggersWhenEnabled) {
+  HealthMonitorConfig cfg;
+  cfg.enable_attitude_fd = true;
+  HealthMonitor mon(cfg);
+  math::Rng rng{7};
+  double t = 0.0;
+  while (t < 5.0 && !mon.failsafe_active()) {
+    mon.Update(HealthyImu(rng), HealthyEkf(), DegToRad(80.0), t, kDt);
+    t += kDt;
+  }
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kAttitudeFailure);
+  EXPECT_NEAR(t, cfg.tilt_confirm_s, 0.1);
+}
+
+TEST(HealthMonitor, AttitudeFdRequiresConsecutiveTime) {
+  HealthMonitorConfig cfg;
+  cfg.enable_attitude_fd = true;
+  HealthMonitor mon(cfg);
+  math::Rng rng{8};
+  double t = 0.0;
+  // Alternate above/below the limit: never `tilt_confirm_s` consecutive.
+  for (int i = 0; i < 20000; ++i) {
+    const double tilt = (i % 50 < 40) ? DegToRad(80.0) : DegToRad(10.0);
+    mon.Update(HealthyImu(rng), HealthyEkf(), tilt, t, kDt);
+    t += kDt;
+  }
+  EXPECT_FALSE(mon.failsafe_active());
+}
+
+TEST(HealthMonitor, RepeatedLargeEkfResetsTriggerEstimatorFailsafe) {
+  HealthMonitorConfig cfg;
+  HealthMonitor mon(cfg);
+  math::Rng rng{9};
+  estimation::EkfStatus ekf;
+  double t = 0.0;
+  // Large resets arriving at 10 Hz.
+  while (t < 10.0 && !mon.failsafe_active()) {
+    if (static_cast<int>(t * 10.0) > ekf.gps_large_reset_count) {
+      ekf.gps_large_reset_count = static_cast<int>(t * 10.0);
+    }
+    mon.Update(HealthyImu(rng), ekf, 0.05, t, kDt);
+    t += kDt;
+  }
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kEstimatorFailure);
+}
+
+TEST(HealthMonitor, SlowResetTrickleDoesNotTrigger) {
+  HealthMonitorConfig cfg;
+  HealthMonitor mon(cfg);
+  math::Rng rng{10};
+  estimation::EkfStatus ekf;
+  double t = 0.0;
+  // One large reset every 6 s: never `ekf_large_reset_limit` in a window.
+  while (t < 60.0 && !mon.failsafe_active()) {
+    ekf.gps_large_reset_count = static_cast<int>(t / 6.0);
+    mon.Update(HealthyImu(rng), ekf, 0.05, t, kDt);
+    t += kDt;
+  }
+  EXPECT_FALSE(mon.failsafe_active());
+}
+
+TEST(HealthMonitor, NumericalBreakdownIsImmediateFailsafe) {
+  HealthMonitor mon;
+  math::Rng rng{11};
+  estimation::EkfStatus ekf;
+  ekf.numerically_healthy = false;
+  mon.Update(HealthyImu(rng), ekf, 0.05, 1.0, kDt);
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kEstimatorFailure);
+}
+
+TEST(HealthMonitor, FailsafeLatches) {
+  HealthMonitor mon;
+  math::Rng rng{12};
+  estimation::EkfStatus broken;
+  broken.numerically_healthy = false;
+  mon.Update(HealthyImu(rng), broken, 0.05, 1.0, kDt);
+  ASSERT_TRUE(mon.failsafe_active());
+  const double trigger_time = mon.failsafe_time();
+  // Healthy data afterwards must not clear it.
+  for (int i = 0; i < 1000; ++i) {
+    mon.Update(HealthyImu(rng), HealthyEkf(), 0.05, 2.0 + i * kDt, kDt);
+  }
+  EXPECT_TRUE(mon.failsafe_active());
+  EXPECT_DOUBLE_EQ(mon.failsafe_time(), trigger_time);
+}
+
+TEST(ToStringFailsafeReason, AllValuesNamed) {
+  EXPECT_STREQ(ToString(FailsafeReason::kNone), "none");
+  EXPECT_STREQ(ToString(FailsafeReason::kSensorFault), "sensor-fault");
+  EXPECT_STREQ(ToString(FailsafeReason::kAttitudeFailure), "attitude-failure");
+  EXPECT_STREQ(ToString(FailsafeReason::kEstimatorFailure), "estimator-failure");
+}
+
+}  // namespace
+}  // namespace uavres::nav

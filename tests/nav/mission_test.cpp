@@ -1,0 +1,47 @@
+#include "nav/mission.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::nav {
+namespace {
+
+MissionPlan SimplePlan() {
+  MissionPlan plan;
+  plan.name = "test";
+  plan.waypoints = {{0, 0, -15}, {100, 0, -15}, {100, 50, -15}};
+  plan.cruise_speed_ms = 5.0;
+  plan.takeoff_altitude_m = 15.0;
+  return plan;
+}
+
+TEST(MissionPlan, PathLength) {
+  EXPECT_DOUBLE_EQ(SimplePlan().PathLength(), 150.0);
+}
+
+TEST(MissionPlan, PathLengthSingleWaypointIsZero) {
+  MissionPlan plan;
+  plan.waypoints = {{0, 0, -15}};
+  EXPECT_DOUBLE_EQ(plan.PathLength(), 0.0);
+}
+
+TEST(MissionPlan, ExpectedDurationSumsPhases) {
+  const MissionPlan plan = SimplePlan();
+  // climb 15/2 + cruise 150/5 + descend 15/1 = 7.5 + 30 + 15.
+  EXPECT_NEAR(plan.ExpectedDuration(), 52.5, 1e-9);
+}
+
+TEST(MissionPlan, ValidChecks) {
+  MissionPlan plan = SimplePlan();
+  EXPECT_TRUE(plan.Valid());
+  plan.cruise_speed_ms = 0.0;
+  EXPECT_FALSE(plan.Valid());
+  plan = SimplePlan();
+  plan.waypoints.clear();
+  EXPECT_FALSE(plan.Valid());
+  plan = SimplePlan();
+  plan.takeoff_altitude_m = -1.0;
+  EXPECT_FALSE(plan.Valid());
+}
+
+}  // namespace
+}  // namespace uavres::nav

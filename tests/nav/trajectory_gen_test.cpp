@@ -1,0 +1,130 @@
+#include "nav/trajectory_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::nav {
+namespace {
+
+using math::Vec3;
+
+MissionPlan StraightPlan() {
+  MissionPlan plan;
+  plan.waypoints = {{0, 0, -15}, {100, 0, -15}};
+  plan.cruise_speed_ms = 5.0;
+  return plan;
+}
+
+MissionPlan LShapedPlan() {
+  MissionPlan plan;
+  plan.waypoints = {{0, 0, -15}, {100, 0, -15}, {100, 80, -15}};
+  plan.cruise_speed_ms = 4.0;
+  return plan;
+}
+
+TEST(TrajectoryGenerator, CarrotAdvancesAtCruiseSpeed) {
+  TrajectoryGenerator gen(StraightPlan());
+  // Vehicle keeps up with the carrot exactly.
+  Vec3 vehicle{0, 0, -15};
+  const double dt = 0.1;
+  for (int i = 0; i < 100; ++i) {  // 10 s
+    const auto sp = gen.Update(vehicle, dt);
+    vehicle = sp.pos;
+  }
+  EXPECT_NEAR(gen.Progress(), 50.0, 7.0);  // ~5 m/s, minus the lookahead cap
+}
+
+TEST(TrajectoryGenerator, SetpointStaysOnPath) {
+  TrajectoryGenerator gen(LShapedPlan());
+  Vec3 vehicle{0, 0, -15};
+  for (int i = 0; i < 500; ++i) {
+    const auto sp = gen.Update(vehicle, 0.1);
+    vehicle = sp.pos;
+    EXPECT_NEAR(sp.pos.z, -15.0, 1e-9);
+    // On one of the two legs.
+    const bool on_leg1 = std::abs(sp.pos.y) < 1e-6 && sp.pos.x <= 100.0 + 1e-6;
+    const bool on_leg2 = std::abs(sp.pos.x - 100.0) < 1e-6 && sp.pos.y <= 80.0 + 1e-6;
+    EXPECT_TRUE(on_leg1 || on_leg2);
+  }
+}
+
+TEST(TrajectoryGenerator, CarrotCappedByVehicleProgress) {
+  TrajectoryGenerator gen(StraightPlan(), /*lookahead_m=*/6.0);
+  // Vehicle stuck at the start: carrot must not run beyond the lookahead.
+  const Vec3 stuck{0, 0, -15};
+  for (int i = 0; i < 1000; ++i) gen.Update(stuck, 0.1);
+  EXPECT_LE(gen.Progress(), 6.0 + 1e-9);
+}
+
+TEST(TrajectoryGenerator, ResumesAfterDisplacement) {
+  TrajectoryGenerator gen(StraightPlan());
+  Vec3 vehicle{0, 0, -15};
+  for (int i = 0; i < 50; ++i) vehicle = gen.Update(vehicle, 0.1).pos;
+  // Push the vehicle off the path laterally; the setpoint should stay near
+  // the vehicle's projection rather than far ahead.
+  const Vec3 displaced{vehicle.x, 40.0, -15};
+  const auto sp = gen.Update(displaced, 0.1);
+  EXPECT_LT(std::abs(sp.pos.x - displaced.x), 10.0);
+}
+
+TEST(TrajectoryGenerator, VelocityFeedForwardAlongPath) {
+  TrajectoryGenerator gen(StraightPlan());
+  const auto sp = gen.Update({0, 0, -15}, 0.1);
+  EXPECT_NEAR(sp.vel_ff.x, 5.0, 1e-6);
+  EXPECT_NEAR(sp.vel_ff.y, 0.0, 1e-6);
+}
+
+TEST(TrajectoryGenerator, YawFollowsPathDirection) {
+  TrajectoryGenerator gen(LShapedPlan());
+  Vec3 vehicle{0, 0, -15};
+  auto sp = gen.Update(vehicle, 0.1);
+  EXPECT_NEAR(sp.yaw, 0.0, 1e-6);  // heading north (+x)
+  // Walk to the second leg.
+  for (int i = 0; i < 2000 && gen.Progress() < 120.0; ++i) {
+    sp = gen.Update(vehicle, 0.1);
+    vehicle = sp.pos;
+  }
+  EXPECT_NEAR(sp.yaw, math::kPi / 2.0, 0.05);  // heading east (+y)
+}
+
+TEST(TrajectoryGenerator, PathDoneAtEnd) {
+  TrajectoryGenerator gen(StraightPlan());
+  EXPECT_FALSE(gen.PathDone());
+  Vec3 vehicle{0, 0, -15};
+  for (int i = 0; i < 5000 && !gen.PathDone(); ++i) {
+    vehicle = gen.Update(vehicle, 0.1).pos;
+  }
+  EXPECT_TRUE(gen.PathDone());
+  EXPECT_TRUE(math::ApproxEq(gen.FinalWaypoint(), {100, 0, -15}));
+  // Setpoint pinned to the final waypoint, no feed-forward.
+  const auto sp = gen.Update(gen.FinalWaypoint(), 0.1);
+  EXPECT_TRUE(math::ApproxEq(sp.pos, {100, 0, -15}));
+  EXPECT_TRUE(math::ApproxEq(sp.vel_ff, Vec3::Zero()));
+}
+
+TEST(TrajectoryGenerator, SingleWaypointPlanIsDegenerateButSafe) {
+  MissionPlan plan;
+  plan.waypoints = {{5, 5, -15}};
+  plan.cruise_speed_ms = 3.0;
+  TrajectoryGenerator gen(plan);
+  EXPECT_DOUBLE_EQ(gen.TotalLength(), 0.0);
+  EXPECT_TRUE(gen.PathDone());
+  const auto sp = gen.Update({0, 0, -15}, 0.1);
+  EXPECT_TRUE(math::ApproxEq(sp.pos, {5, 5, -15}));
+  EXPECT_TRUE(math::ApproxEq(sp.vel_ff, Vec3::Zero()));
+}
+
+TEST(TrajectoryGenerator, ZeroDtDoesNotAdvance) {
+  TrajectoryGenerator gen(StraightPlan());
+  gen.Update({0, 0, -15}, 0.0);
+  EXPECT_DOUBLE_EQ(gen.Progress(), 0.0);
+}
+
+TEST(TrajectoryGenerator, TotalLengthMatchesPlan) {
+  TrajectoryGenerator gen(LShapedPlan());
+  EXPECT_DOUBLE_EQ(gen.TotalLength(), 180.0);
+}
+
+}  // namespace
+}  // namespace uavres::nav

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+#include "sensors/barometer.h"
+#include "sensors/gps.h"
+#include "sensors/magnetometer.h"
+
+namespace uavres::sensors {
+namespace {
+
+using math::Rng;
+using math::Vec3;
+
+sim::RigidBodyState StateAt(const Vec3& pos, const Vec3& vel = {}) {
+  sim::RigidBodyState s;
+  s.pos = pos;
+  s.vel = vel;
+  return s;
+}
+
+TEST(Gps, MeasuresPositionWithBoundedNoise) {
+  Gps gps(GpsConfig{}, Rng{1});
+  const Vec3 truth{100.0, -50.0, -15.0};
+  double err_sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = gps.Sample(StateAt(truth), i * 0.1);
+    err_sum += (s.pos_ned_m - truth).Norm();
+    EXPECT_TRUE(s.valid);
+  }
+  // Mean 3D error for (0.35, 0.35, 0.7) noise is below ~1.2 m.
+  EXPECT_LT(err_sum / n, 1.2);
+  EXPECT_GT(err_sum / n, 0.3);  // and it is actually noisy
+}
+
+TEST(Gps, MeasuresVelocity) {
+  Gps gps(GpsConfig{}, Rng{3});
+  const Vec3 vel{3.0, -1.0, 0.5};
+  Vec3 mean;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    mean += gps.Sample(StateAt({}, vel), i * 0.1).vel_ned_mps;
+  }
+  EXPECT_TRUE(math::ApproxEq(mean / n, vel, 0.05));
+}
+
+TEST(Gps, VerticalNoiseLargerThanHorizontal) {
+  GpsConfig cfg;
+  Gps gps(cfg, Rng{5});
+  double sum_h = 0.0, sum_v = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = gps.Sample(StateAt({}), i * 0.1);
+    sum_h += math::Sq(s.pos_ned_m.x);
+    sum_v += math::Sq(s.pos_ned_m.z);
+  }
+  EXPECT_GT(std::sqrt(sum_v / n), std::sqrt(sum_h / n) * 1.5);
+}
+
+TEST(Barometer, MeasuresAltitudePositiveUp) {
+  Barometer baro(BaroConfig{}, Rng{7});
+  const auto s = baro.Sample(StateAt({0, 0, -25.0}), 0.0, 0.02);
+  EXPECT_NEAR(s.alt_m, 25.0, 1.5);
+}
+
+TEST(Barometer, DriftAccumulates) {
+  BaroConfig cfg;
+  cfg.white_stddev = 0.0;
+  cfg.drift_stddev = 0.5;  // exaggerated drift
+  Barometer baro(cfg, Rng{9});
+  double first = baro.Sample(StateAt({}), 0.0, 0.02).alt_m;
+  double last = first;
+  for (int i = 1; i < 5000; ++i) last = baro.Sample(StateAt({}), i * 0.02, 0.02).alt_m;
+  EXPECT_GT(std::abs(last - first), 0.05);
+}
+
+TEST(Barometer, NoiseMagnitude) {
+  BaroConfig cfg;
+  cfg.drift_stddev = 0.0;
+  Barometer baro(cfg, Rng{11});
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum_sq += math::Sq(baro.Sample(StateAt({}), i * 0.02, 0.02).alt_m);
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / n), cfg.white_stddev, 0.02);
+}
+
+TEST(Magnetometer, PointsNorthWhenLevel) {
+  Magnetometer mag(MagConfig{.rate_hz = 50.0, .white_stddev = 0.0}, Rng{13});
+  const auto s = mag.Sample(StateAt({}), 0.0);
+  EXPECT_GT(s.field_body.x, 0.4);  // north component
+  EXPECT_NEAR(s.field_body.y, 0.0, 1e-9);
+  EXPECT_GT(s.field_body.z, 0.5);  // downward inclination
+}
+
+TEST(Magnetometer, YawRotationMovesFieldInBodyFrame) {
+  Magnetometer mag(MagConfig{.rate_hz = 50.0, .white_stddev = 0.0}, Rng{13});
+  sim::RigidBodyState s = StateAt({});
+  s.att = math::Quat::FromEuler(0.0, 0.0, math::DegToRad(90.0));  // facing east
+  const auto m = mag.Sample(s, 0.0);
+  // North field appears along -y body when the body faces east.
+  EXPECT_NEAR(m.field_body.x, 0.0, 1e-9);
+  EXPECT_LT(m.field_body.y, -0.4);
+}
+
+TEST(Magnetometer, RecoverableYaw) {
+  Magnetometer mag(MagConfig{.rate_hz = 50.0, .white_stddev = 0.0}, Rng{13});
+  for (double yaw_deg : {0.0, 45.0, 135.0, -120.0}) {
+    sim::RigidBodyState s = StateAt({});
+    s.att = math::Quat::FromEuler(0.0, 0.0, math::DegToRad(yaw_deg));
+    const auto m = mag.Sample(s, 0.0);
+    // Tilt-compensated yaw from the horizontal field components.
+    const Vec3 world = s.att.Rotate(m.field_body);
+    EXPECT_NEAR(std::atan2(world.y, world.x), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace uavres::sensors

@@ -1,0 +1,141 @@
+#include "sensors/imu.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::sensors {
+namespace {
+
+using math::Rng;
+using math::Vec3;
+
+sim::RigidBodyState RestState() {
+  sim::RigidBodyState s;
+  s.att = math::Quat::Identity();
+  return s;  // accel_world = 0 (supported at rest)
+}
+
+ImuNoiseConfig NoiselessConfig() {
+  ImuNoiseConfig cfg;
+  cfg.accel = NoiseParams{0.0, 0.0, 0.0};
+  cfg.gyro = NoiseParams{0.0, 0.0, 0.0};
+  return cfg;
+}
+
+TEST(ImuUnit, MeasuresMinusGravityAtRest) {
+  ImuUnit unit(NoiselessConfig(), ImuRanges{}, Rng{1});
+  const auto s = unit.Sample(RestState(), 0.0, 0.004);
+  EXPECT_TRUE(math::ApproxEq(s.accel_mps2, {0.0, 0.0, -math::kGravity}, 1e-9));
+  EXPECT_TRUE(math::ApproxEq(s.gyro_rads, Vec3::Zero(), 1e-9));
+}
+
+TEST(ImuUnit, MeasuresZeroInFreeFall) {
+  sim::RigidBodyState st = RestState();
+  st.accel_world = {0.0, 0.0, math::kGravity};  // free fall
+  ImuUnit unit(NoiselessConfig(), ImuRanges{}, Rng{1});
+  const auto s = unit.Sample(st, 0.0, 0.004);
+  EXPECT_NEAR(s.accel_mps2.Norm(), 0.0, 1e-9);
+}
+
+TEST(ImuUnit, SpecificForceRotatesWithAttitude) {
+  sim::RigidBodyState st = RestState();
+  st.att = math::Quat::FromEuler(math::DegToRad(90), 0.0, 0.0);  // rolled 90
+  ImuUnit unit(NoiselessConfig(), ImuRanges{}, Rng{1});
+  const auto s = unit.Sample(st, 0.0, 0.004);
+  // Gravity now along -y body (body y axis points world down after +90 roll).
+  EXPECT_NEAR(s.accel_mps2.y, -math::kGravity, 1e-9);
+  EXPECT_NEAR(s.accel_mps2.z, 0.0, 1e-9);
+}
+
+TEST(ImuUnit, GyroMeasuresBodyRate) {
+  sim::RigidBodyState st = RestState();
+  st.omega = {0.1, -0.2, 0.3};
+  ImuUnit unit(NoiselessConfig(), ImuRanges{}, Rng{1});
+  const auto s = unit.Sample(st, 0.0, 0.004);
+  EXPECT_TRUE(math::ApproxEq(s.gyro_rads, st.omega, 1e-9));
+}
+
+TEST(ImuUnit, RangeClampsExtremeRates) {
+  sim::RigidBodyState st = RestState();
+  st.omega = {100.0, -100.0, 0.0};  // beyond +-34.9 rad/s
+  ImuUnit unit(NoiselessConfig(), ImuRanges{}, Rng{1});
+  const auto s = unit.Sample(st, 0.0, 0.004);
+  const double limit = ImuRanges{}.gyro.limit;
+  EXPECT_DOUBLE_EQ(s.gyro_rads.x, limit);
+  EXPECT_DOUBLE_EQ(s.gyro_rads.y, -limit);
+}
+
+TEST(ImuUnit, NoiseHasConfiguredMagnitude) {
+  ImuNoiseConfig cfg = NoiselessConfig();
+  cfg.gyro.white_stddev = 0.01;
+  ImuUnit unit(cfg, ImuRanges{}, Rng{5});
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = unit.Sample(RestState(), i * 0.004, 0.004);
+    sum_sq += math::Sq(s.gyro_rads.x);
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 0.01, 0.002);
+}
+
+TEST(ImuUnit, TurnOnBiasIsConstant) {
+  ImuNoiseConfig cfg = NoiselessConfig();
+  cfg.accel.turn_on_bias_stddev = 0.5;
+  ImuUnit unit(cfg, ImuRanges{}, Rng{9});
+  const auto s0 = unit.Sample(RestState(), 0.0, 0.004);
+  const auto s1 = unit.Sample(RestState(), 0.004, 0.004);
+  EXPECT_TRUE(math::ApproxEq(s0.accel_mps2, s1.accel_mps2, 1e-12));
+  // And the bias is actually nonzero.
+  EXPECT_GT((s0.accel_mps2 - Vec3{0, 0, -math::kGravity}).Norm(), 1e-3);
+}
+
+TEST(ImuUnit, CombinedAccelerationAndRotation) {
+  // Vehicle accelerating 2 m/s^2 north while yawed 90 deg east: the
+  // specific force appears along -y body (north is -y when facing east).
+  sim::RigidBodyState st;
+  st.att = math::Quat::FromEuler(0.0, 0.0, math::DegToRad(90.0));
+  st.accel_world = {2.0, 0.0, 0.0};
+  ImuUnit unit(NoiselessConfig(), ImuRanges{}, Rng{1});
+  const auto s = unit.Sample(st, 0.0, 0.004);
+  EXPECT_NEAR(s.accel_mps2.y, -2.0, 1e-9);
+  EXPECT_NEAR(s.accel_mps2.x, 0.0, 1e-9);
+  EXPECT_NEAR(s.accel_mps2.z, -math::kGravity, 1e-9);
+}
+
+TEST(RedundantImu, UnitsHaveIndependentNoise) {
+  ImuNoiseConfig cfg;  // default noisy config
+  RedundantImu imu(cfg, ImuRanges{}, Rng{11});
+  const auto all = imu.SampleAll(RestState(), 0.0, 0.004);
+  EXPECT_FALSE(math::ApproxEq(all[0].accel_mps2, all[1].accel_mps2, 1e-12));
+  EXPECT_FALSE(math::ApproxEq(all[1].accel_mps2, all[2].accel_mps2, 1e-12));
+}
+
+TEST(RedundantImu, AllUnitsNearTruth) {
+  RedundantImu imu(ImuNoiseConfig{}, ImuRanges{}, Rng{13});
+  const auto all = imu.SampleAll(RestState(), 0.0, 0.004);
+  for (const auto& s : all) {
+    EXPECT_NEAR(s.accel_mps2.z, -math::kGravity, 1.0);
+    EXPECT_NEAR(s.gyro_rads.Norm(), 0.0, 0.1);
+  }
+}
+
+TEST(RedundantImu, DeterministicForSameSeed) {
+  RedundantImu a(ImuNoiseConfig{}, ImuRanges{}, Rng{17});
+  RedundantImu b(ImuNoiseConfig{}, ImuRanges{}, Rng{17});
+  const auto sa = a.SampleAll(RestState(), 0.0, 0.004);
+  const auto sb = b.SampleAll(RestState(), 0.0, 0.004);
+  for (int i = 0; i < RedundantImu::kNumUnits; ++i) {
+    EXPECT_TRUE(math::ApproxEq(sa[i].accel_mps2, sb[i].accel_mps2, 0.0));
+    EXPECT_TRUE(math::ApproxEq(sa[i].gyro_rads, sb[i].gyro_rads, 0.0));
+  }
+}
+
+TEST(ImuRanges, PaperValues) {
+  const ImuRanges r;
+  EXPECT_NEAR(r.accel.limit, 16.0 * math::kGravity, 1e-9);     // +-16 g
+  EXPECT_NEAR(r.gyro.limit, math::DegToRad(2000.0), 1e-9);     // +-2000 deg/s
+}
+
+}  // namespace
+}  // namespace uavres::sensors

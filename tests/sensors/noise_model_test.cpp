@@ -1,0 +1,60 @@
+#include "sensors/noise_model.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::sensors {
+namespace {
+
+using math::Rng;
+using math::Vec3;
+
+TEST(TriaxialNoise, ZeroConfigPassesThrough) {
+  TriaxialNoise noise(NoiseParams{}, Rng{1});
+  const Vec3 v{1, 2, 3};
+  EXPECT_TRUE(math::ApproxEq(noise.Corrupt(v, 0.004), v));
+}
+
+TEST(TriaxialNoise, WhiteNoiseStatistics) {
+  TriaxialNoise noise(NoiseParams{.white_stddev = 0.2}, Rng{3});
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double e = noise.Corrupt(Vec3::Zero(), 0.004).x;
+    sum += e;
+    sum_sq += e * e;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 0.2, 0.01);
+}
+
+TEST(TriaxialNoise, TurnOnBiasDrawnOnce) {
+  TriaxialNoise a(NoiseParams{.turn_on_bias_stddev = 1.0}, Rng{5});
+  const Vec3 bias = a.bias();
+  EXPECT_GT(bias.Norm(), 1e-6);
+  // Bias constant without walk.
+  EXPECT_TRUE(math::ApproxEq(a.Corrupt(Vec3::Zero(), 0.004), bias));
+  EXPECT_TRUE(math::ApproxEq(a.Corrupt(Vec3::Zero(), 0.004), bias));
+}
+
+TEST(TriaxialNoise, BiasWalkDiffuses) {
+  TriaxialNoise noise(NoiseParams{.bias_walk_stddev = 0.1}, Rng{7});
+  const Vec3 start = noise.bias();
+  for (int i = 0; i < 10000; ++i) noise.Corrupt(Vec3::Zero(), 0.004);
+  EXPECT_GT((noise.bias() - start).Norm(), 1e-3);
+}
+
+TEST(TriaxialNoise, DifferentSeedsGiveDifferentBias) {
+  TriaxialNoise a(NoiseParams{.turn_on_bias_stddev = 1.0}, Rng{11});
+  TriaxialNoise b(NoiseParams{.turn_on_bias_stddev = 1.0}, Rng{12});
+  EXPECT_FALSE(math::ApproxEq(a.bias(), b.bias(), 1e-9));
+}
+
+TEST(SensorRange, ClampsSymmetrically) {
+  const SensorRange range{10.0};
+  EXPECT_TRUE(math::ApproxEq(range.Clamp({5.0, -20.0, 30.0}), {5.0, -10.0, 10.0}));
+}
+
+}  // namespace
+}  // namespace uavres::sensors

@@ -1,0 +1,81 @@
+#include "sim/battery.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/quadrotor.h"
+
+namespace uavres::sim {
+namespace {
+
+TEST(Battery, StartsFull) {
+  Battery b;
+  EXPECT_DOUBLE_EQ(b.Soc(), 1.0);
+  EXPECT_FALSE(b.Critical());
+  EXPECT_FALSE(b.Empty());
+  EXPECT_NEAR(b.RemainingWh(), 40.0, 1e-9);
+}
+
+TEST(Battery, DrainIsLinearInEnergy) {
+  BatteryParams p;
+  p.capacity_wh = 10.0;  // 36000 J
+  Battery b(p);
+  b.Drain(100.0, 180.0);  // 18000 J
+  EXPECT_NEAR(b.Soc(), 0.5, 1e-12);
+  EXPECT_NEAR(b.RemainingWh(), 5.0, 1e-9);
+}
+
+TEST(Battery, ClampsAtEmpty) {
+  BatteryParams p;
+  p.capacity_wh = 1.0;
+  Battery b(p);
+  b.Drain(1e9, 10.0);
+  EXPECT_DOUBLE_EQ(b.Soc(), 0.0);
+  EXPECT_TRUE(b.Empty());
+  EXPECT_TRUE(b.Critical());
+}
+
+TEST(Battery, CriticalThreshold) {
+  BatteryParams p;
+  p.capacity_wh = 10.0;
+  p.critical_soc = 0.2;
+  Battery b(p);
+  b.Drain(10.0 * 3600.0 * 0.79, 1.0);  // drain 79%
+  EXPECT_FALSE(b.Critical());
+  b.Drain(10.0 * 3600.0 * 0.02, 1.0);  // below 20%
+  EXPECT_TRUE(b.Critical());
+  EXPECT_FALSE(b.Empty());
+}
+
+TEST(InducedPower, ZeroAtRest) {
+  Environment env(WindParams{}, math::Rng{1});
+  Quadrotor quad(MakeQuadrotorParams(1.5), &env);
+  EXPECT_DOUBLE_EQ(quad.InducedPower(), 0.0);
+}
+
+TEST(InducedPower, HoverPowerInRealisticRange) {
+  Environment env(WindParams{}, math::Rng{1});
+  Quadrotor quad(MakeQuadrotorParams(1.5), &env);
+  quad.ResetTo({0, 0, -20}, 0.0);
+  const double h = quad.HoverThrustFraction();
+  for (int i = 0; i < 500; ++i) quad.Step({h, h, h, h}, 0.004);
+  // Momentum-theory hover power for a 1.5 kg quad with 12 cm props:
+  // ~120 W ideal. Accept a broad realistic band.
+  const double p = quad.InducedPower();
+  EXPECT_GT(p, 60.0);
+  EXPECT_LT(p, 250.0);
+}
+
+TEST(InducedPower, GrowsSuperlinearlyWithThrust) {
+  Environment env(WindParams{}, math::Rng{1});
+  Quadrotor quad(MakeQuadrotorParams(1.5), &env);
+  quad.ResetTo({0, 0, -20}, 0.0);
+  for (int i = 0; i < 500; ++i) quad.Step({0.3, 0.3, 0.3, 0.3}, 0.004);
+  const double p_low = quad.InducedPower();
+  for (int i = 0; i < 500; ++i) quad.Step({0.6, 0.6, 0.6, 0.6}, 0.004);
+  const double p_high = quad.InducedPower();
+  // T^1.5: doubling thrust raises power by 2^1.5 ~ 2.83.
+  EXPECT_NEAR(p_high / p_low, std::pow(2.0, 1.5), 0.2);
+}
+
+}  // namespace
+}  // namespace uavres::sim

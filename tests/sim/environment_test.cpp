@@ -1,0 +1,68 @@
+#include "sim/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::sim {
+namespace {
+
+using math::Vec3;
+
+TEST(Environment, NoGustMeansConstantWind) {
+  WindParams p;
+  p.mean_wind_ned = {2.0, -1.0, 0.0};
+  p.gust_stddev = 0.0;
+  Environment env(p, math::Rng{1});
+  for (int i = 0; i < 100; ++i) env.Step(0.01);
+  EXPECT_TRUE(math::ApproxEq(env.Wind(), p.mean_wind_ned));
+}
+
+TEST(Environment, GustsFluctuateAroundMean) {
+  WindParams p;
+  p.mean_wind_ned = {3.0, 0.0, 0.0};
+  p.gust_stddev = 0.5;
+  p.gust_correlation_s = 0.2;  // short memory: many independent samples
+  Environment env(p, math::Rng{7});
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    env.Step(0.01);
+    const double gx = env.Wind().x - 3.0;
+    sum += gx;
+    sum_sq += gx * gx;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  // Stationary OU variance should be near gust_stddev^2.
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 0.5, 0.2);
+}
+
+TEST(Environment, GustsAreTemporallyCorrelated) {
+  WindParams p;
+  p.gust_stddev = 1.0;
+  p.gust_correlation_s = 2.0;
+  Environment env(p, math::Rng{3});
+  for (int i = 0; i < 1000; ++i) env.Step(0.01);
+  const Vec3 w0 = env.Wind();
+  env.Step(0.01);  // 10 ms << 2 s correlation: far from decorrelated
+  EXPECT_LT((env.Wind() - w0).Norm(), 0.5);
+}
+
+TEST(Environment, DeterministicForSameSeed) {
+  WindParams p;
+  p.gust_stddev = 0.7;
+  Environment a(p, math::Rng{42}), b(p, math::Rng{42});
+  for (int i = 0; i < 500; ++i) {
+    a.Step(0.004);
+    b.Step(0.004);
+  }
+  EXPECT_TRUE(math::ApproxEq(a.Wind(), b.Wind()));
+}
+
+TEST(Environment, AirDensityIsSeaLevel) {
+  Environment env;
+  EXPECT_NEAR(env.air_density(), 1.225, 1e-9);
+}
+
+}  // namespace
+}  // namespace uavres::sim

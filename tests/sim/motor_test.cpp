@@ -1,0 +1,73 @@
+#include "sim/motor.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::sim {
+namespace {
+
+TEST(Rotor, StartsAtZeroThrust) {
+  Rotor r{RotorParams{}};
+  EXPECT_DOUBLE_EQ(r.level(), 0.0);
+  EXPECT_DOUBLE_EQ(r.Thrust(), 0.0);
+}
+
+TEST(Rotor, ConvergesToCommand) {
+  RotorParams p;
+  p.time_constant_s = 0.05;
+  Rotor r{p};
+  for (int i = 0; i < 1000; ++i) r.Step(0.7, 0.001);
+  EXPECT_NEAR(r.level(), 0.7, 1e-6);
+  EXPECT_NEAR(r.Thrust(), 0.7 * p.max_thrust_n, 1e-5);
+}
+
+TEST(Rotor, FirstOrderTimeConstant) {
+  RotorParams p;
+  p.time_constant_s = 0.1;
+  Rotor r{p};
+  // After one time constant the response reaches ~63.2%.
+  double t = 0.0;
+  while (t < 0.1 - 1e-9) {
+    r.Step(1.0, 0.0005);
+    t += 0.0005;
+  }
+  EXPECT_NEAR(r.level(), 0.632, 0.01);
+}
+
+TEST(Rotor, CommandClamped) {
+  Rotor r{RotorParams{}};
+  for (int i = 0; i < 10000; ++i) r.Step(5.0, 0.001);
+  EXPECT_LE(r.level(), 1.0);
+  for (int i = 0; i < 10000; ++i) r.Step(-3.0, 0.001);
+  EXPECT_GE(r.level(), 0.0);
+}
+
+TEST(Rotor, ReactionTorqueOpposesSpin) {
+  RotorParams ccw;
+  ccw.spin_direction = +1;
+  RotorParams cw = ccw;
+  cw.spin_direction = -1;
+  Rotor a{ccw}, b{cw};
+  a.set_level(0.5);
+  b.set_level(0.5);
+  EXPECT_LT(a.ReactionTorque(), 0.0);  // CCW rotor drags body CW (negative z)
+  EXPECT_GT(b.ReactionTorque(), 0.0);
+  EXPECT_DOUBLE_EQ(a.ReactionTorque(), -b.ReactionTorque());
+}
+
+TEST(Rotor, ReactionTorqueProportionalToThrust) {
+  RotorParams p;
+  Rotor r{p};
+  r.set_level(1.0);
+  EXPECT_NEAR(std::abs(r.ReactionTorque()), p.torque_coefficient * p.max_thrust_n, 1e-12);
+}
+
+TEST(Rotor, SetLevelClamps) {
+  Rotor r{RotorParams{}};
+  r.set_level(1.7);
+  EXPECT_DOUBLE_EQ(r.level(), 1.0);
+  r.set_level(-0.3);
+  EXPECT_DOUBLE_EQ(r.level(), 0.0);
+}
+
+}  // namespace
+}  // namespace uavres::sim

@@ -1,0 +1,209 @@
+#include "sim/quadrotor.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::sim {
+namespace {
+
+using math::Vec3;
+
+constexpr double kDt = 0.004;
+
+Quadrotor MakeQuad(Environment* env) {
+  return Quadrotor(MakeQuadrotorParams(1.5), env);
+}
+
+Environment CalmAir() { return Environment(WindParams{}, math::Rng{1}); }
+
+TEST(Quadrotor, HoverThrustBalancesGravity) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  const double hover = quad.HoverThrustFraction();
+  EXPECT_GT(hover, 0.2);
+  EXPECT_LT(hover, 0.8);
+
+  quad.ResetTo({0, 0, -20}, 0.0);
+  const std::array<double, 4> cmds{hover, hover, hover, hover};
+  for (int i = 0; i < 2500; ++i) quad.Step(cmds, kDt);  // 10 s
+  // Altitude should stay near -20 (rotor spin-up from rest costs ~2 m).
+  EXPECT_NEAR(quad.state().pos.z, -20.0, 2.5);
+  EXPECT_LT(std::abs(quad.state().vel.z), 0.2);
+}
+
+TEST(Quadrotor, ZeroThrustFallsUnderGravity) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, -100}, 0.0);
+  const std::array<double, 4> cmds{0, 0, 0, 0};
+  // Short window: aerodynamic drag is still small at low speed.
+  for (int i = 0; i < 62; ++i) quad.Step(cmds, kDt);  // ~0.25 s
+  EXPECT_NEAR(quad.state().vel.z, math::kGravity * 0.25, 0.25);
+}
+
+TEST(Quadrotor, DifferentialThrustRolls) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, -50}, 0.0);
+  const double h = quad.HoverThrustFraction();
+  // Right rotors (0 FR, 3 BR) lower, left rotors (1 BL, 2 FL) higher -> roll
+  // torque about +x (right side drops): positive roll.
+  const std::array<double, 4> cmds{h - 0.05, h + 0.05, h + 0.05, h - 0.05};
+  for (int i = 0; i < 50; ++i) quad.Step(cmds, kDt);
+  EXPECT_GT(quad.state().omega.x, 0.01);
+  EXPECT_GT(quad.state().att.Roll(), 0.0);
+}
+
+TEST(Quadrotor, DifferentialThrustPitches) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, -50}, 0.0);
+  const double h = quad.HoverThrustFraction();
+  // Front rotors (0 FR, 2 FL) higher, back (1 BL, 3 BR) lower: extra lift
+  // ahead of the CoG raises the nose -> positive pitch rate.
+  const std::array<double, 4> cmds{h + 0.05, h - 0.05, h + 0.05, h - 0.05};
+  for (int i = 0; i < 50; ++i) quad.Step(cmds, kDt);
+  EXPECT_GT(quad.state().omega.y, 0.01);
+}
+
+TEST(Quadrotor, YawFromReactionTorque) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, -50}, 0.0);
+  const double h = quad.HoverThrustFraction();
+  // CCW rotors (0, 1) higher -> net negative reaction torque -> yaw -z.
+  const std::array<double, 4> cmds{h + 0.05, h + 0.05, h - 0.05, h - 0.05};
+  for (int i = 0; i < 250; ++i) quad.Step(cmds, kDt);
+  EXPECT_LT(quad.state().omega.z, -0.01);
+}
+
+TEST(Quadrotor, GroundHoldsVehicle) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, 0}, 0.0);
+  EXPECT_TRUE(quad.on_ground());
+  const std::array<double, 4> cmds{0, 0, 0, 0};
+  for (int i = 0; i < 250; ++i) quad.Step(cmds, kDt);
+  EXPECT_DOUBLE_EQ(quad.state().pos.z, 0.0);
+  EXPECT_TRUE(quad.on_ground());
+}
+
+TEST(Quadrotor, TakeoffLeavesGround) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, 0}, 0.0);
+  const double h = quad.HoverThrustFraction();
+  const std::array<double, 4> cmds{h + 0.2, h + 0.2, h + 0.2, h + 0.2};
+  for (int i = 0; i < 500; ++i) quad.Step(cmds, kDt);
+  EXPECT_FALSE(quad.on_ground());
+  EXPECT_LT(quad.state().pos.z, -1.0);
+}
+
+TEST(Quadrotor, ImpactSpeedRecordedOnTouchdown) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, -10}, 0.0);
+  const std::array<double, 4> cmds{0, 0, 0, 0};
+  int steps = 0;
+  while (!quad.on_ground() && steps++ < 5000) quad.Step(cmds, kDt);
+  ASSERT_TRUE(quad.on_ground());
+  EXPECT_EQ(quad.touchdown_count(), 1);
+  // Free fall from 10 m: ~14 m/s, minus drag.
+  EXPECT_GT(quad.last_impact_speed(), 10.0);
+  EXPECT_LT(quad.last_impact_speed(), 15.0);
+}
+
+TEST(Quadrotor, DragLimitsTerminalSpeed) {
+  Environment env = CalmAir();
+  auto params = MakeQuadrotorParams(1.5);
+  params.quadratic_drag = 0.4;  // very draggy airframe
+  Quadrotor quad(params, &env);
+  quad.ResetTo({0, 0, -2000}, 0.0);
+  const std::array<double, 4> cmds{0, 0, 0, 0};
+  for (int i = 0; i < 5000; ++i) quad.Step(cmds, kDt);  // 20 s fall
+  // Terminal speed: sqrt(m g / c) ~ 6 m/s.
+  EXPECT_NEAR(quad.state().vel.z, std::sqrt(1.5 * math::kGravity / 0.4), 0.7);
+}
+
+TEST(Quadrotor, WindPushesVehicle) {
+  WindParams wind;
+  wind.mean_wind_ned = {5.0, 0.0, 0.0};
+  Environment env(wind, math::Rng{2});
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, -50}, 0.0);
+  const double h = quad.HoverThrustFraction();
+  const std::array<double, 4> cmds{h, h, h, h};
+  for (int i = 0; i < 500; ++i) quad.Step(cmds, kDt);
+  EXPECT_GT(quad.state().vel.x, 0.3);  // drifting downwind
+}
+
+TEST(Quadrotor, ResetClearsState) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, -10}, 0.0);
+  const std::array<double, 4> cmds{0, 0, 0, 0};
+  for (int i = 0; i < 2000; ++i) quad.Step(cmds, kDt);
+  quad.ResetTo({1, 2, 0}, 0.5);
+  EXPECT_TRUE(ApproxEq(quad.state().pos, {1, 2, 0}));
+  EXPECT_EQ(quad.touchdown_count(), 0);
+  EXPECT_NEAR(quad.state().att.Yaw(), 0.5, 1e-9);
+  for (double level : quad.RotorLevels()) EXPECT_DOUBLE_EQ(level, 0.0);
+}
+
+TEST(Quadrotor, FailedMotorIgnoresCommands) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, -50}, 0.0);
+  quad.FailMotor(2);
+  EXPECT_TRUE(quad.MotorFailed(2));
+  EXPECT_FALSE(quad.MotorFailed(0));
+  const double h = quad.HoverThrustFraction();
+  for (int i = 0; i < 500; ++i) quad.Step({h, h, h, h}, kDt);
+  const auto levels = quad.RotorLevels();
+  EXPECT_LT(levels[2], 0.01);  // spun down despite the command
+  EXPECT_GT(levels[0], h * 0.8);
+}
+
+TEST(Quadrotor, OneRotorOutDestabilizes) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.ResetTo({0, 0, -50}, 0.0);
+  const double h = quad.HoverThrustFraction();
+  for (int i = 0; i < 250; ++i) quad.Step({h, h, h, h}, kDt);  // settle
+  quad.FailMotor(0);
+  for (int i = 0; i < 500; ++i) quad.Step({h, h, h, h}, kDt);  // 2 s
+  // Unbalanced torque: the vehicle tumbles.
+  EXPECT_GT(quad.state().att.Tilt(), math::DegToRad(30.0));
+}
+
+TEST(Quadrotor, ResetClearsMotorFailures) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.FailMotor(1);
+  quad.ResetTo({0, 0, 0}, 0.0);
+  EXPECT_FALSE(quad.MotorFailed(1));
+}
+
+TEST(Quadrotor, FailMotorIgnoresBadIndex) {
+  Environment env = CalmAir();
+  Quadrotor quad = MakeQuad(&env);
+  quad.FailMotor(-1);
+  quad.FailMotor(99);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(quad.MotorFailed(i));
+  EXPECT_FALSE(quad.MotorFailed(99));
+}
+
+TEST(QuadrotorParams, ScalesWithMass) {
+  const auto light = MakeQuadrotorParams(1.0);
+  const auto heavy = MakeQuadrotorParams(2.0);
+  EXPECT_GT(heavy.rotor.max_thrust_n, light.rotor.max_thrust_n);
+  EXPECT_GT(heavy.inertia_diag.x, light.inertia_diag.x);
+  // Same thrust-to-weight: hover fraction identical.
+  Environment env = CalmAir();
+  Quadrotor ql(light, &env), qh(heavy, &env);
+  EXPECT_NEAR(ql.HoverThrustFraction(), qh.HoverThrustFraction(), 1e-9);
+}
+
+}  // namespace
+}  // namespace uavres::sim

@@ -1,0 +1,80 @@
+#include "sim/rigid_body.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::sim {
+namespace {
+
+using math::Mat3;
+using math::Vec3;
+
+RigidBody MakeBody() { return RigidBody(2.0, Mat3::Diagonal(0.02, 0.03, 0.04)); }
+
+TEST(RigidBody, AtRestStaysAtRestWithoutForces) {
+  RigidBody body = MakeBody();
+  for (int i = 0; i < 100; ++i) body.Step(Vec3::Zero(), Vec3::Zero(), 0.01);
+  EXPECT_TRUE(ApproxEq(body.state().pos, Vec3::Zero()));
+  EXPECT_TRUE(ApproxEq(body.state().vel, Vec3::Zero()));
+}
+
+TEST(RigidBody, ConstantForceGivesNewtonianAcceleration) {
+  RigidBody body = MakeBody();
+  const Vec3 force{4.0, 0.0, 0.0};  // a = F/m = 2 m/s^2
+  const double dt = 0.001;
+  for (int i = 0; i < 1000; ++i) body.Step(force, Vec3::Zero(), dt);
+  EXPECT_NEAR(body.state().vel.x, 2.0, 1e-9);
+  // Semi-implicit Euler position: x = a t^2 / 2 + O(dt).
+  EXPECT_NEAR(body.state().pos.x, 1.0, 0.01);
+  EXPECT_NEAR(body.state().accel_world.x, 2.0, 1e-12);
+}
+
+TEST(RigidBody, TorqueSpinsAboutPrincipalAxis) {
+  RigidBody body = MakeBody();
+  const Vec3 torque{0.02, 0.0, 0.0};  // alpha = tau/I = 1 rad/s^2
+  const double dt = 0.001;
+  for (int i = 0; i < 1000; ++i) body.Step(Vec3::Zero(), torque, dt);
+  EXPECT_NEAR(body.state().omega.x, 1.0, 1e-6);
+  EXPECT_NEAR(body.state().att.Roll(), 0.5, 0.01);
+}
+
+TEST(RigidBody, AttitudeStaysUnit) {
+  RigidBody body = MakeBody();
+  for (int i = 0; i < 5000; ++i) body.Step(Vec3::Zero(), {0.01, -0.02, 0.015}, 0.002);
+  EXPECT_NEAR(body.state().att.Norm(), 1.0, 1e-9);
+}
+
+TEST(RigidBody, GyroscopicCouplingConservesSpinMagnitudeTorqueFree) {
+  // Torque-free rotation about a non-principal direction: |L| is conserved.
+  RigidBody body = MakeBody();
+  auto s = body.state();
+  s.omega = {5.0, 3.0, 1.0};
+  body.set_state(s);
+  const Mat3 I = body.inertia();
+  const double L0 = (I * body.state().omega).Norm();
+  for (int i = 0; i < 2000; ++i) body.Step(Vec3::Zero(), Vec3::Zero(), 0.0005);
+  const double L1 = (I * body.state().omega).Norm();
+  EXPECT_NEAR(L1, L0, 0.01 * L0);
+}
+
+TEST(RigidBody, SetStateRoundTrip) {
+  RigidBody body = MakeBody();
+  RigidBodyState s;
+  s.pos = {1, 2, 3};
+  s.vel = {-1, 0, 2};
+  s.omega = {0.1, 0.2, 0.3};
+  body.set_state(s);
+  EXPECT_TRUE(ApproxEq(body.state().pos, s.pos));
+  EXPECT_TRUE(ApproxEq(body.state().vel, s.vel));
+  EXPECT_TRUE(ApproxEq(body.state().omega, s.omega));
+}
+
+TEST(RigidBody, MassAndInertiaAccessors) {
+  RigidBody body = MakeBody();
+  EXPECT_DOUBLE_EQ(body.mass(), 2.0);
+  EXPECT_DOUBLE_EQ(body.inertia()(2, 2), 0.04);
+}
+
+}  // namespace
+}  // namespace uavres::sim

@@ -1,0 +1,63 @@
+#include "telemetry/csv_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace uavres::telemetry {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+  EXPECT_EQ(csv.rows_written(), 1);
+}
+
+TEST(CsvWriter, EscapesCommas) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.WriteRow({"x,y", "z"});
+  EXPECT_EQ(os.str(), "\"x,y\",z\n");
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.WriteRow({"say \"hi\""});
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::Escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, NumericRowRoundTrips) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.WriteNumericRow({1.5, -2.25, 1e-17});
+  std::istringstream is(os.str());
+  std::string cell;
+  std::getline(is, cell, ',');
+  EXPECT_DOUBLE_EQ(std::stod(cell), 1.5);
+  std::getline(is, cell, ',');
+  EXPECT_DOUBLE_EQ(std::stod(cell), -2.25);
+  std::getline(is, cell);
+  EXPECT_DOUBLE_EQ(std::stod(cell), 1e-17);
+}
+
+TEST(CsvWriter, MultipleRowsCounted) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.WriteRow({"h1", "h2"});
+  csv.WriteNumericRow({1.0, 2.0});
+  csv.WriteNumericRow({3.0, 4.0});
+  EXPECT_EQ(csv.rows_written(), 3);
+  int newlines = 0;
+  for (char c : os.str()) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 3);
+}
+
+}  // namespace
+}  // namespace uavres::telemetry

@@ -1,0 +1,57 @@
+#include "telemetry/flight_log.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::telemetry {
+namespace {
+
+TEST(FlightLog, StartsEmpty) {
+  FlightLog log;
+  EXPECT_TRUE(log.Events().empty());
+  EXPECT_EQ(log.CountAtLeast(LogLevel::kInfo), 0);
+}
+
+TEST(FlightLog, RecordsInOrder) {
+  FlightLog log;
+  log.Info(1.0, "takeoff");
+  log.Warn(2.0, "fault injected");
+  log.Critical(3.0, "failsafe");
+  ASSERT_EQ(log.Events().size(), 3u);
+  EXPECT_DOUBLE_EQ(log.Events()[0].t, 1.0);
+  EXPECT_EQ(log.Events()[2].message, "failsafe");
+  EXPECT_EQ(log.Events()[1].level, LogLevel::kWarning);
+}
+
+TEST(FlightLog, CountAtLeastFiltersBySeverity) {
+  FlightLog log;
+  log.Info(1.0, "a");
+  log.Info(2.0, "b");
+  log.Warn(3.0, "c");
+  log.Critical(4.0, "d");
+  EXPECT_EQ(log.CountAtLeast(LogLevel::kInfo), 4);
+  EXPECT_EQ(log.CountAtLeast(LogLevel::kWarning), 2);
+  EXPECT_EQ(log.CountAtLeast(LogLevel::kCritical), 1);
+}
+
+TEST(FlightLog, ContainsSubstring) {
+  FlightLog log;
+  log.Info(1.0, "mode -> mission");
+  EXPECT_TRUE(log.Contains("mission"));
+  EXPECT_FALSE(log.Contains("crash"));
+}
+
+TEST(FlightLog, ClearEmpties) {
+  FlightLog log;
+  log.Info(1.0, "x");
+  log.Clear();
+  EXPECT_TRUE(log.Events().empty());
+}
+
+TEST(LogLevel, Names) {
+  EXPECT_STREQ(ToString(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(ToString(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(ToString(LogLevel::kCritical), "CRIT");
+}
+
+}  // namespace
+}  // namespace uavres::telemetry

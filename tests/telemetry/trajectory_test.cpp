@@ -1,0 +1,109 @@
+#include "telemetry/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include "math/num.h"
+
+namespace uavres::telemetry {
+namespace {
+
+using math::Vec3;
+
+TrajectorySample At(double t, const Vec3& pos_true, const Vec3& pos_est = {}) {
+  TrajectorySample s;
+  s.t = t;
+  s.pos_true = pos_true;
+  s.pos_est = pos_est;
+  return s;
+}
+
+Trajectory StraightLine() {
+  Trajectory tr;
+  for (int i = 0; i <= 10; ++i) {
+    tr.Add(At(i * 1.0, {i * 10.0, 0.0, -15.0}, {i * 10.0, 1.0, -15.0}));
+  }
+  return tr;
+}
+
+TEST(Trajectory, EmptyBehaviour) {
+  Trajectory tr;
+  EXPECT_TRUE(tr.Empty());
+  EXPECT_EQ(tr.Size(), 0u);
+  EXPECT_FALSE(tr.AtTime(1.0).has_value());
+  EXPECT_DOUBLE_EQ(tr.TruePathLength(), 0.0);
+  EXPECT_TRUE(std::isinf(tr.DistanceToTruePath({0, 0, 0})));
+}
+
+TEST(Trajectory, AtTimeReturnsLatestSampleNotAfter) {
+  const Trajectory tr = StraightLine();
+  const auto s = tr.AtTime(3.5);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(s->t, 3.0);
+  EXPECT_DOUBLE_EQ(s->pos_true.x, 30.0);
+}
+
+TEST(Trajectory, AtTimeBeforeStartIsEmpty) {
+  const Trajectory tr = StraightLine();
+  EXPECT_FALSE(tr.AtTime(-0.5).has_value());
+}
+
+TEST(Trajectory, AtTimeExactAndAfterEnd) {
+  const Trajectory tr = StraightLine();
+  EXPECT_DOUBLE_EQ(tr.AtTime(10.0)->t, 10.0);
+  EXPECT_DOUBLE_EQ(tr.AtTime(99.0)->t, 10.0);
+}
+
+TEST(Trajectory, PathLengths) {
+  const Trajectory tr = StraightLine();
+  EXPECT_NEAR(tr.TruePathLength(), 100.0, 1e-9);
+  EXPECT_NEAR(tr.EstimatedPathLength(), 100.0, 1e-9);  // parallel offset line
+}
+
+TEST(Trajectory, DistanceToPathOnPathIsZero) {
+  const Trajectory tr = StraightLine();
+  EXPECT_NEAR(tr.DistanceToTruePath({35.0, 0.0, -15.0}), 0.0, 1e-9);
+}
+
+TEST(Trajectory, DistanceToPathLateralOffset) {
+  const Trajectory tr = StraightLine();
+  EXPECT_NEAR(tr.DistanceToTruePath({50.0, 7.0, -15.0}), 7.0, 1e-9);
+}
+
+TEST(Trajectory, DistanceToPathBeyondEndpoints) {
+  const Trajectory tr = StraightLine();
+  // 10 m beyond the last point along the line.
+  EXPECT_NEAR(tr.DistanceToTruePath({110.0, 0.0, -15.0}), 10.0, 1e-9);
+}
+
+TEST(Trajectory, DistanceIncludesAltitude) {
+  const Trajectory tr = StraightLine();
+  EXPECT_NEAR(tr.DistanceToTruePath({50.0, 0.0, -25.0}), 10.0, 1e-9);
+}
+
+TEST(Trajectory, SingleSampleDistance) {
+  Trajectory tr;
+  tr.Add(At(0.0, {1.0, 2.0, 3.0}));
+  EXPECT_NEAR(tr.DistanceToTruePath({1.0, 2.0, 7.0}), 4.0, 1e-9);
+}
+
+TEST(Trajectory, ClearEmpties) {
+  Trajectory tr = StraightLine();
+  tr.Clear();
+  EXPECT_TRUE(tr.Empty());
+}
+
+TEST(DistancePointToSegment, InteriorProjection) {
+  EXPECT_NEAR(DistancePointToSegment({5.0, 3.0, 0.0}, {0, 0, 0}, {10, 0, 0}), 3.0, 1e-12);
+}
+
+TEST(DistancePointToSegment, ClampsToEndpoints) {
+  EXPECT_NEAR(DistancePointToSegment({-4.0, 3.0, 0.0}, {0, 0, 0}, {10, 0, 0}), 5.0, 1e-12);
+  EXPECT_NEAR(DistancePointToSegment({14.0, 3.0, 0.0}, {0, 0, 0}, {10, 0, 0}), 5.0, 1e-12);
+}
+
+TEST(DistancePointToSegment, DegenerateSegment) {
+  EXPECT_NEAR(DistancePointToSegment({3.0, 4.0, 0.0}, {0, 0, 0}, {0, 0, 0}), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace uavres::telemetry

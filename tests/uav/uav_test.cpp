@@ -1,0 +1,192 @@
+// Vehicle-assembly unit tests: wiring invariants of Uav and the
+// SimulationRunner configuration surface.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "uav/simulation_runner.h"
+#include "uav/uav.h"
+
+namespace uavres::uav {
+namespace {
+
+const core::DroneSpec& Spec0() {
+  static const auto fleet = core::BuildValenciaScenario();
+  return fleet[0];
+}
+
+TEST(MakeUavConfig, DerivesAirframeFromSpec) {
+  const auto cfg = MakeUavConfig(Spec0());
+  EXPECT_DOUBLE_EQ(cfg.airframe.mass_kg, Spec0().mass_kg);
+  EXPECT_GT(cfg.wind.gust_stddev, 0.0);  // urban breeze enabled by default
+}
+
+TEST(Uav, InitializesAtHomeWithMissionYaw) {
+  Uav vehicle(MakeUavConfig(Spec0()), Spec0().plan, std::nullopt, 5);
+  EXPECT_TRUE(math::ApproxEq(vehicle.quad().state().pos, Spec0().plan.home));
+  // Mission 0 flies N->S: initial yaw points along the first leg (south).
+  const math::Vec3 leg =
+      Spec0().plan.waypoints[1] - Spec0().plan.waypoints[0];
+  const double expected_yaw = std::atan2(leg.y, leg.x);
+  EXPECT_NEAR(vehicle.quad().state().att.Yaw(), expected_yaw, 1e-6);
+  EXPECT_NEAR(vehicle.ekf().state().att.Yaw(), expected_yaw, 1e-6);
+}
+
+TEST(Uav, EkfAndTruthStartAligned) {
+  Uav vehicle(MakeUavConfig(Spec0()), Spec0().plan, std::nullopt, 5);
+  EXPECT_TRUE(math::ApproxEq(vehicle.ekf().state().pos, vehicle.quad().state().pos, 1e-9));
+}
+
+TEST(Uav, FaultActiveTracksWindow) {
+  core::FaultSpec fault;
+  fault.type = core::FaultType::kZeros;
+  fault.target = core::FaultTarget::kImu;
+  fault.start_time_s = 1.0;
+  fault.duration_s = 0.5;
+  Uav vehicle(MakeUavConfig(Spec0()), Spec0().plan, fault, 5);
+  bool saw_active = false;
+  bool active_after_window = false;
+  while (vehicle.time() < 2.5) {
+    vehicle.Step();
+    if (vehicle.fault_active()) {
+      saw_active = true;
+      if (vehicle.time() >= 1.6) active_after_window = true;
+    }
+  }
+  EXPECT_TRUE(saw_active);
+  EXPECT_FALSE(active_after_window);
+  EXPECT_TRUE(vehicle.log().Contains("fault injection window opened"));
+}
+
+TEST(Uav, ThrustCommandWithinLimits) {
+  Uav vehicle(MakeUavConfig(Spec0()), Spec0().plan, std::nullopt, 5);
+  for (int i = 0; i < 5000; ++i) {
+    vehicle.Step();
+    EXPECT_GE(vehicle.last_thrust_cmd(), 0.0);
+    EXPECT_LE(vehicle.last_thrust_cmd(), 1.0);
+  }
+}
+
+TEST(Uav, DisarmsRotorsWhenLanded) {
+  // Fly a trivially short mission to completion and verify the rotors wind
+  // down after the commander disarms.
+  auto spec = Spec0();
+  spec.plan.waypoints = {{0, 0, -15}, {10, 0, -15}};
+  Uav vehicle(MakeUavConfig(spec), spec.plan, std::nullopt, 5);
+  while (vehicle.time() < 120.0 && !vehicle.commander().landed()) vehicle.Step();
+  ASSERT_TRUE(vehicle.commander().landed());
+  for (int i = 0; i < 500; ++i) vehicle.Step();  // 2 s after disarm
+  for (double level : vehicle.quad().RotorLevels()) EXPECT_LT(level, 0.05);
+  EXPECT_TRUE(vehicle.quad().on_ground());
+}
+
+TEST(Uav, SensorRateDividersRespectConfig) {
+  auto cfg = MakeUavConfig(Spec0());
+  cfg.gps.rate_hz = 5.0;  // unusual rate still divides cleanly
+  Uav vehicle(cfg, Spec0().plan, std::nullopt, 5);
+  for (int i = 0; i < 2500; ++i) vehicle.Step();  // runs without issue
+  EXPECT_TRUE(vehicle.ekf().status().numerically_healthy);
+}
+
+TEST(SimulationRunner, ConfigMutatorApplied) {
+  RunConfig cfg;
+  bool called = false;
+  cfg.uav_config_mutator = [&called](UavConfig& u) {
+    called = true;
+    u.health.gyro_limit_rads = 99.0;  // effectively disable the gyro check
+  };
+  const SimulationRunner runner(cfg);
+  core::FaultSpec fault;
+  fault.type = core::FaultType::kMax;
+  fault.target = core::FaultTarget::kGyrometer;
+  fault.duration_s = 2.0;
+  const auto gold = SimulationRunner{}.RunGold(Spec0(), 0, 2024);
+  (void)runner.RunWithFault(Spec0(), 0, fault, gold.trajectory, 2024);
+  EXPECT_TRUE(called);
+}
+
+TEST(SimulationRunner, RecordRateControlsSampleCount) {
+  RunConfig slow;
+  slow.record_rate_hz = 0.5;
+  RunConfig fast;
+  fast.record_rate_hz = 5.0;
+  const auto a = SimulationRunner(slow).RunGold(Spec0(), 0, 2024);
+  const auto b = SimulationRunner(fast).RunGold(Spec0(), 0, 2024);
+  EXPECT_GT(b.trajectory.Size(), a.trajectory.Size() * 8);
+}
+
+TEST(SimulationRunner, RecordingCanBeDisabled) {
+  RunConfig cfg;
+  cfg.record_trajectory = false;
+  const auto out = SimulationRunner(cfg).RunGold(Spec0(), 0, 2024);
+  EXPECT_TRUE(out.trajectory.Empty());
+  EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
+}
+
+TEST(SimulationRunner, RiskFactorReducesOuterViolations) {
+  core::FaultSpec fault;
+  fault.type = core::FaultType::kRandom;
+  fault.target = core::FaultTarget::kAccelerometer;
+  fault.duration_s = 10.0;
+  const auto fleet = core::BuildValenciaScenario();
+  const auto& spec = fleet[9];
+
+  const auto gold = SimulationRunner{}.RunGold(spec, 9, 2024);
+  RunConfig low;
+  low.bubble_risk_factor = 1.0;
+  RunConfig high;
+  high.bubble_risk_factor = 4.0;
+  const auto a = SimulationRunner(low).RunWithFault(spec, 9, fault, gold.trajectory, 2024);
+  const auto b = SimulationRunner(high).RunWithFault(spec, 9, fault, gold.trajectory, 2024);
+  // Identical flight (same seed); only the outer bubble radius changed.
+  EXPECT_EQ(a.result.inner_violations, b.result.inner_violations);
+  EXPECT_GE(a.result.outer_violations, b.result.outer_violations);
+  EXPECT_GT(a.result.outer_violations, 0);
+}
+
+
+TEST(Uav, BatteryDrainsInFlight) {
+  Uav vehicle(MakeUavConfig(Spec0()), Spec0().plan, std::nullopt, 5);
+  const double soc0 = vehicle.battery().Soc();
+  for (int i = 0; i < 250 * 30; ++i) vehicle.Step();  // 30 s of flight
+  EXPECT_LT(vehicle.battery().Soc(), soc0);
+  EXPECT_GT(vehicle.battery().Soc(), 0.8);  // generous sizing: small dent
+}
+
+TEST(Uav, DefaultBatteryOutlastsEveryMission) {
+  // Gold flights must never hit the battery failsafe: the fleet's longest
+  // mission is ~480 s and the default pack holds ~15 min of hover.
+  const auto fleet = core::BuildValenciaScenario();
+  SimulationRunner runner;
+  const auto out = runner.RunGold(fleet[9], 9, 2024);  // heaviest+fastest drone
+  EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
+  EXPECT_FALSE(out.log.Contains("battery critical"));
+}
+
+TEST(Uav, TinyBatteryTriggersFailsafe) {
+  auto cfg = MakeUavConfig(Spec0());
+  cfg.battery.capacity_wh = 2.5;  // a few minutes of flight at ~130 W
+  Uav vehicle(cfg, Spec0().plan, std::nullopt, 5);
+  bool failsafed = false;
+  while (vehicle.time() < 300.0 && !vehicle.commander().landed() &&
+         !vehicle.crash_detector().crashed()) {
+    vehicle.Step();
+    if (vehicle.commander().failsafe_engaged()) failsafed = true;
+  }
+  EXPECT_TRUE(failsafed);
+  EXPECT_TRUE(vehicle.log().Contains("battery critical"));
+  EXPECT_FALSE(vehicle.commander().MissionCompleted());
+}
+
+TEST(Uav, EmptyBatteryCutsMotors) {
+  auto cfg = MakeUavConfig(Spec0());
+  cfg.battery.capacity_wh = 0.3;  // seconds of energy
+  Uav vehicle(cfg, Spec0().plan, std::nullopt, 5);
+  while (vehicle.time() < 120.0 && !vehicle.crash_detector().crashed()) vehicle.Step();
+  // With no energy left the vehicle cannot stay up: it must end on the
+  // ground (crashed from altitude, or never got high enough and sits there).
+  EXPECT_TRUE(vehicle.battery().Empty());
+  for (double level : vehicle.quad().RotorLevels()) EXPECT_LT(level, 0.05);
+}
+
+}  // namespace
+}  // namespace uavres::uav

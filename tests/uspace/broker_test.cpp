@@ -1,0 +1,76 @@
+#include "uspace/broker.h"
+
+#include <gtest/gtest.h>
+
+namespace uavres::uspace {
+namespace {
+
+TrackReport Report(int id, double t) {
+  TrackReport r;
+  r.drone_id = id;
+  r.t = t;
+  return r;
+}
+
+TEST(Broker, DeliversInOrderWithoutImpairments) {
+  Broker broker;
+  std::vector<int> received;
+  broker.Subscribe([&](const TrackReport& r) { received.push_back(r.drone_id); });
+  broker.Publish(Report(1, 1.0), 1.0);
+  broker.Publish(Report(2, 1.0), 1.0);
+  broker.Deliver(1.0);
+  EXPECT_EQ(received, (std::vector<int>{1, 2}));
+  EXPECT_EQ(broker.delivered(), 2);
+  EXPECT_EQ(broker.dropped(), 0);
+}
+
+TEST(Broker, DelayHoldsMessagesUntilDue) {
+  Broker broker(LinkQuality{.drop_probability = 0.0, .delay_s = 0.5}, math::Rng{1});
+  int received = 0;
+  broker.Subscribe([&](const TrackReport&) { ++received; });
+  broker.Publish(Report(1, 1.0), 1.0);
+  broker.Deliver(1.2);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(broker.in_flight(), 1u);
+  broker.Deliver(1.5);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(broker.in_flight(), 0u);
+}
+
+TEST(Broker, DropProbabilityLosesRoughlyThatShare) {
+  Broker broker(LinkQuality{.drop_probability = 0.3, .delay_s = 0.0}, math::Rng{5});
+  int received = 0;
+  broker.Subscribe([&](const TrackReport&) { ++received; });
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) broker.Publish(Report(1, i * 0.1), i * 0.1);
+  broker.Deliver(1e9);
+  EXPECT_NEAR(static_cast<double>(broker.dropped()) / n, 0.3, 0.03);
+  EXPECT_EQ(received + broker.dropped(), n);
+  EXPECT_EQ(broker.published(), n);
+}
+
+TEST(Broker, MultipleSubscribersAllReceive) {
+  Broker broker;
+  int a = 0, b = 0;
+  broker.Subscribe([&](const TrackReport&) { ++a; });
+  broker.Subscribe([&](const TrackReport&) { ++b; });
+  broker.Publish(Report(1, 1.0), 1.0);
+  broker.Deliver(1.0);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(Broker, DeterministicDropsForSameSeed) {
+  auto run = [] {
+    Broker broker(LinkQuality{.drop_probability = 0.5, .delay_s = 0.0}, math::Rng{42});
+    std::vector<int> delivered;
+    broker.Subscribe([&](const TrackReport& r) { delivered.push_back(r.drone_id); });
+    for (int i = 0; i < 100; ++i) broker.Publish(Report(i, i * 0.1), i * 0.1);
+    broker.Deliver(1e9);
+    return delivered;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace uavres::uspace

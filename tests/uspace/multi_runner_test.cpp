@@ -1,0 +1,120 @@
+// Multi-vehicle integration tests: concurrent flights in the shared frame,
+// conflict emergence under faults, and communication impairments.
+#include <gtest/gtest.h>
+
+#include "uspace/multi_runner.h"
+
+namespace uavres::uspace {
+namespace {
+
+TEST(ConvoyScenario, GeometryAsSpecified) {
+  const auto fleet = BuildConvoyScenario(3, 30.0, 12.0, 1200.0);
+  ASSERT_EQ(fleet.size(), 3u);
+  for (const auto& s : fleet) {
+    EXPECT_TRUE(s.plan.Valid());
+    EXPECT_DOUBLE_EQ(s.cruise_speed_kmh, 12.0);
+    EXPECT_NEAR(s.plan.PathLength(), 1200.0, 1e-9);
+  }
+  // Lane spacing in the shared frame.
+  const math::LocalProjection proj(core::ScenarioOrigin());
+  const auto h0 = proj.ToNed(fleet[0].home_geo);
+  const auto h1 = proj.ToNed(fleet[1].home_geo);
+  EXPECT_NEAR(std::abs(h1.y - h0.y), 30.0, 0.5);
+}
+
+TEST(MultiUavRunner, FaultFreeConvoyCompletesWithoutConflicts) {
+  const auto fleet = BuildConvoyScenario(2, 20.0, 12.0, 600.0);
+  const MultiUavRunner runner;
+  const auto out = runner.Run(fleet, 2024);
+  ASSERT_EQ(out.drones.size(), 2u);
+  for (const auto& d : out.drones) {
+    EXPECT_EQ(d.outcome, core::MissionOutcome::kCompleted) << d.name;
+  }
+  EXPECT_EQ(out.conflicts.conflicts, 0);
+  EXPECT_EQ(out.conflicts.alerts, 0);
+  EXPECT_GT(out.reports_published, 100);
+  EXPECT_EQ(out.reports_dropped, 0);
+}
+
+TEST(MultiUavRunner, FaultOnOneDroneLeavesOthersUnaffected) {
+  const auto fleet = BuildConvoyScenario(2, 40.0, 12.0, 600.0);
+  MultiRunConfig cfg;
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kGyrometer;
+  fault.type = core::FaultType::kMax;
+  fault.duration_s = 5.0;
+  cfg.fault = fault;
+  cfg.faulted_drone = 0;
+  const auto out = MultiUavRunner(cfg).Run(fleet, 2024);
+  EXPECT_NE(out.drones[0].outcome, core::MissionOutcome::kCompleted);
+  EXPECT_LT(out.drones[0].flight_duration_s, 120.0);
+  EXPECT_EQ(out.drones[1].outcome, core::MissionOutcome::kCompleted);
+}
+
+TEST(MultiUavRunner, LateralFaultCreatesConflict) {
+  // Tight lanes: a hard accelerometer bias on the middle drone produces a
+  // loss of separation with a neighbour (airspace-level fault impact).
+  const auto fleet = BuildConvoyScenario(3, 15.0, 12.0, 1200.0);
+  MultiRunConfig cfg;
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kAccelerometer;
+  fault.type = core::FaultType::kFixed;
+  fault.duration_s = 30.0;
+  cfg.fault = fault;
+  cfg.faulted_drone = 1;
+  const auto out = MultiUavRunner(cfg).Run(fleet, 2024);
+  EXPECT_GE(out.conflicts.conflicts, 1);
+  EXPECT_LT(out.conflicts.min_separation_m, 15.0);
+}
+
+TEST(MultiUavRunner, DroppedReportsAreCounted) {
+  const auto fleet = BuildConvoyScenario(2, 40.0, 12.0, 400.0);
+  MultiRunConfig cfg;
+  cfg.link.drop_probability = 0.25;
+  const auto out = MultiUavRunner(cfg).Run(fleet, 2024);
+  EXPECT_GT(out.reports_dropped, 0);
+  EXPECT_NEAR(static_cast<double>(out.reports_dropped) / out.reports_published, 0.25,
+              0.08);
+  // Lossy tracking does not affect flight outcomes (tracking is monitoring,
+  // not control).
+  for (const auto& d : out.drones) {
+    EXPECT_EQ(d.outcome, core::MissionOutcome::kCompleted);
+  }
+}
+
+TEST(MultiUavRunner, DeterministicAcrossRuns) {
+  const auto fleet = BuildConvoyScenario(2, 20.0, 12.0, 400.0);
+  MultiRunConfig cfg;
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kImu;
+  fault.type = core::FaultType::kRandom;
+  fault.duration_s = 5.0;
+  cfg.fault = fault;
+  const auto a = MultiUavRunner(cfg).Run(fleet, 7);
+  const auto b = MultiUavRunner(cfg).Run(fleet, 7);
+  ASSERT_EQ(a.drones.size(), b.drones.size());
+  for (std::size_t i = 0; i < a.drones.size(); ++i) {
+    EXPECT_EQ(a.drones[i].outcome, b.drones[i].outcome);
+    EXPECT_DOUBLE_EQ(a.drones[i].flight_duration_s, b.drones[i].flight_duration_s);
+  }
+  EXPECT_EQ(a.conflicts.conflicts, b.conflicts.conflicts);
+  EXPECT_DOUBLE_EQ(a.conflicts.min_separation_m, b.conflicts.min_separation_m);
+}
+
+TEST(MultiUavRunner, QuarantineEngagesUnderWildReports) {
+  // An IMU-random fault makes the EKF (and hence the self-reports) jump;
+  // the tracker's plausibility filter must quarantine some reports.
+  const auto fleet = BuildConvoyScenario(2, 40.0, 12.0, 600.0);
+  MultiRunConfig cfg;
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kAccelerometer;
+  fault.type = core::FaultType::kFixed;
+  fault.duration_s = 30.0;
+  cfg.fault = fault;
+  cfg.faulted_drone = 0;
+  const auto out = MultiUavRunner(cfg).Run(fleet, 2024);
+  EXPECT_GT(out.reports_quarantined, 0);
+}
+
+}  // namespace
+}  // namespace uavres::uspace

@@ -1,0 +1,37 @@
+// Developer diagnostic: prints a per-second view of true vs estimated
+// state around the fault-injection window for any (mission, target, type,
+// duration) combination. Not part of the public example set; invaluable
+// when tuning the estimator/failsafe interplay.
+//
+//   ./debug_probe [mission] [acc|gyro|imu] [type] [duration_s]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include "core/scenario.h"
+#include "uav/uav.h"
+#include "uav/simulation_runner.h"
+using namespace uavres;
+int main(int argc, char** argv) {
+  auto fleet = core::BuildValenciaScenario();
+  const auto& spec = fleet[argc>1?std::atoi(argv[1]):0];
+  core::FaultSpec fault;
+  const char* tgt = argc>2?argv[2]:"gyro";
+  const char* typ = argc>3?argv[3]:"zeros";
+  fault.target = !strcmp(tgt,"acc")?core::FaultTarget::kAccelerometer:!strcmp(tgt,"gyro")?core::FaultTarget::kGyrometer:core::FaultTarget::kImu;
+  fault.type = !strcmp(typ,"fixed")?core::FaultType::kFixed:!strcmp(typ,"zeros")?core::FaultType::kZeros:!strcmp(typ,"freeze")?core::FaultType::kFreeze:!strcmp(typ,"random")?core::FaultType::kRandom:!strcmp(typ,"min")?core::FaultType::kMin:!strcmp(typ,"max")?core::FaultType::kMax:core::FaultType::kNoise;
+  fault.duration_s = argc>4?std::atof(argv[4]):2.0;
+  uav::Uav u(uav::MakeUavConfig(spec), spec.plan, fault, uav::ExperimentSeed(2024, argc>1?std::atoi(argv[1]):0, fault));
+  double next_print = 88.0;
+  while (u.time() < 120.0 && !u.crash_detector().crashed()) {
+    u.Step();
+    if (u.time() >= next_print) {
+      next_print += 0.5;
+      const auto& tr = u.quad().state();
+      const auto& es = u.ekf().state();
+      std::printf("t=%6.1f alt=%6.2f tilt_true=%5.1f tilt_est=%5.1f omega=%6.2f thrust=%.2f mode=%s\n",
+        u.time(), -tr.pos.z, math::RadToDeg(tr.att.Tilt()), math::RadToDeg(es.att.Tilt()),
+        tr.omega.Norm(), u.last_thrust_cmd(), nav::ToString(u.commander().mode()));
+    }
+  }
+  if (u.crash_detector().crashed()) std::printf("CRASH %s at %.2f\n", u.crash_detector().reason().c_str(), u.crash_detector().crash_time());
+}
