@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_cli.dir/uavres.cpp.o"
+  "CMakeFiles/uavres_cli.dir/uavres.cpp.o.d"
+  "uavres"
+  "uavres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

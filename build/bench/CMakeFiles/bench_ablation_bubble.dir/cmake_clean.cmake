@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bubble.dir/bench_ablation_bubble.cpp.o"
+  "CMakeFiles/bench_ablation_bubble.dir/bench_ablation_bubble.cpp.o.d"
+  "bench_ablation_bubble"
+  "bench_ablation_bubble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

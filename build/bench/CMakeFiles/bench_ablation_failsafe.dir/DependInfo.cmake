@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_failsafe.cpp" "bench/CMakeFiles/bench_ablation_failsafe.dir/bench_ablation_failsafe.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_failsafe.dir/bench_ablation_failsafe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uavres_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/uavres_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uavres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nav/CMakeFiles/uavres_nav.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/uavres_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/uavres_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/uavres_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/uavres_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uavres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/uavres_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_failsafe.dir/bench_ablation_failsafe.cpp.o"
+  "CMakeFiles/bench_ablation_failsafe.dir/bench_ablation_failsafe.cpp.o.d"
+  "bench_ablation_failsafe"
+  "bench_ablation_failsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_failsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_actuator_wind.dir/bench_actuator_wind.cpp.o"
+  "CMakeFiles/bench_actuator_wind.dir/bench_actuator_wind.cpp.o.d"
+  "bench_actuator_wind"
+  "bench_actuator_wind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_actuator_wind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conflict.dir/bench_conflict.cpp.o"
+  "CMakeFiles/bench_conflict.dir/bench_conflict.cpp.o.d"
+  "bench_conflict"
+  "bench_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

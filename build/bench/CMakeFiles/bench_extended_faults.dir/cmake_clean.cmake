@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_faults.dir/bench_extended_faults.cpp.o"
+  "CMakeFiles/bench_extended_faults.dir/bench_extended_faults.cpp.o.d"
+  "bench_extended_faults"
+  "bench_extended_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

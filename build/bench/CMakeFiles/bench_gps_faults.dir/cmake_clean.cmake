@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gps_faults.dir/bench_gps_faults.cpp.o"
+  "CMakeFiles/bench_gps_faults.dir/bench_gps_faults.cpp.o.d"
+  "bench_gps_faults"
+  "bench_gps_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gps_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

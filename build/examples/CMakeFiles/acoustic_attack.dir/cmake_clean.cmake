@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_attack.dir/acoustic_attack.cpp.o"
+  "CMakeFiles/acoustic_attack.dir/acoustic_attack.cpp.o.d"
+  "acoustic_attack"
+  "acoustic_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

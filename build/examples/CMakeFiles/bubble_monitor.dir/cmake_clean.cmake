@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bubble_monitor.dir/bubble_monitor.cpp.o"
+  "CMakeFiles/bubble_monitor.dir/bubble_monitor.cpp.o.d"
+  "bubble_monitor"
+  "bubble_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bubble_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_mini.dir/campaign_mini.cpp.o"
+  "CMakeFiles/campaign_mini.dir/campaign_mini.cpp.o.d"
+  "campaign_mini"
+  "campaign_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_demo.dir/fault_demo.cpp.o"
+  "CMakeFiles/fault_demo.dir/fault_demo.cpp.o.d"
+  "fault_demo"
+  "fault_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspace_monitor.dir/uspace_monitor.cpp.o"
+  "CMakeFiles/uspace_monitor.dir/uspace_monitor.cpp.o.d"
+  "uspace_monitor"
+  "uspace_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspace_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("math")
+subdirs("telemetry")
+subdirs("sim")
+subdirs("sensors")
+subdirs("estimation")
+subdirs("control")
+subdirs("nav")
+subdirs("core")
+subdirs("uav")
+subdirs("uspace")
+subdirs("app")

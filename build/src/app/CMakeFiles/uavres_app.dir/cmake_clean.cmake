@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_app.dir/command_line.cpp.o"
+  "CMakeFiles/uavres_app.dir/command_line.cpp.o.d"
+  "libuavres_app.a"
+  "libuavres_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

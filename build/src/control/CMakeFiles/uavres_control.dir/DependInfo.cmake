@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/attitude_controller.cpp" "src/control/CMakeFiles/uavres_control.dir/attitude_controller.cpp.o" "gcc" "src/control/CMakeFiles/uavres_control.dir/attitude_controller.cpp.o.d"
+  "/root/repo/src/control/mixer.cpp" "src/control/CMakeFiles/uavres_control.dir/mixer.cpp.o" "gcc" "src/control/CMakeFiles/uavres_control.dir/mixer.cpp.o.d"
+  "/root/repo/src/control/position_controller.cpp" "src/control/CMakeFiles/uavres_control.dir/position_controller.cpp.o" "gcc" "src/control/CMakeFiles/uavres_control.dir/position_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/uavres_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uavres_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

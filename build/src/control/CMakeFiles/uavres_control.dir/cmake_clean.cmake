@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_control.dir/attitude_controller.cpp.o"
+  "CMakeFiles/uavres_control.dir/attitude_controller.cpp.o.d"
+  "CMakeFiles/uavres_control.dir/mixer.cpp.o"
+  "CMakeFiles/uavres_control.dir/mixer.cpp.o.d"
+  "CMakeFiles/uavres_control.dir/position_controller.cpp.o"
+  "CMakeFiles/uavres_control.dir/position_controller.cpp.o.d"
+  "libuavres_control.a"
+  "libuavres_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_campaign.dir/campaign.cpp.o"
+  "CMakeFiles/uavres_campaign.dir/campaign.cpp.o.d"
+  "CMakeFiles/uavres_campaign.dir/tables.cpp.o"
+  "CMakeFiles/uavres_campaign.dir/tables.cpp.o.d"
+  "libuavres_campaign.a"
+  "libuavres_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

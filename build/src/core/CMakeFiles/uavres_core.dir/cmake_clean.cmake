@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_core.dir/bubble.cpp.o"
+  "CMakeFiles/uavres_core.dir/bubble.cpp.o.d"
+  "CMakeFiles/uavres_core.dir/fault_injector.cpp.o"
+  "CMakeFiles/uavres_core.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/uavres_core.dir/fault_model.cpp.o"
+  "CMakeFiles/uavres_core.dir/fault_model.cpp.o.d"
+  "CMakeFiles/uavres_core.dir/gps_fault_injector.cpp.o"
+  "CMakeFiles/uavres_core.dir/gps_fault_injector.cpp.o.d"
+  "CMakeFiles/uavres_core.dir/metrics.cpp.o"
+  "CMakeFiles/uavres_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/uavres_core.dir/scenario.cpp.o"
+  "CMakeFiles/uavres_core.dir/scenario.cpp.o.d"
+  "libuavres_core.a"
+  "libuavres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/complementary_filter.cpp" "src/estimation/CMakeFiles/uavres_estimation.dir/complementary_filter.cpp.o" "gcc" "src/estimation/CMakeFiles/uavres_estimation.dir/complementary_filter.cpp.o.d"
+  "/root/repo/src/estimation/ekf.cpp" "src/estimation/CMakeFiles/uavres_estimation.dir/ekf.cpp.o" "gcc" "src/estimation/CMakeFiles/uavres_estimation.dir/ekf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/uavres_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/uavres_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uavres_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

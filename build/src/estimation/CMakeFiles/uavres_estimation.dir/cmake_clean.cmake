@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_estimation.dir/complementary_filter.cpp.o"
+  "CMakeFiles/uavres_estimation.dir/complementary_filter.cpp.o.d"
+  "CMakeFiles/uavres_estimation.dir/ekf.cpp.o"
+  "CMakeFiles/uavres_estimation.dir/ekf.cpp.o.d"
+  "libuavres_estimation.a"
+  "libuavres_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_math.dir/geo.cpp.o"
+  "CMakeFiles/uavres_math.dir/geo.cpp.o.d"
+  "CMakeFiles/uavres_math.dir/rng.cpp.o"
+  "CMakeFiles/uavres_math.dir/rng.cpp.o.d"
+  "libuavres_math.a"
+  "libuavres_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

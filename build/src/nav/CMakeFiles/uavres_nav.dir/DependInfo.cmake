@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nav/commander.cpp" "src/nav/CMakeFiles/uavres_nav.dir/commander.cpp.o" "gcc" "src/nav/CMakeFiles/uavres_nav.dir/commander.cpp.o.d"
+  "/root/repo/src/nav/crash_detector.cpp" "src/nav/CMakeFiles/uavres_nav.dir/crash_detector.cpp.o" "gcc" "src/nav/CMakeFiles/uavres_nav.dir/crash_detector.cpp.o.d"
+  "/root/repo/src/nav/health_monitor.cpp" "src/nav/CMakeFiles/uavres_nav.dir/health_monitor.cpp.o" "gcc" "src/nav/CMakeFiles/uavres_nav.dir/health_monitor.cpp.o.d"
+  "/root/repo/src/nav/trajectory_gen.cpp" "src/nav/CMakeFiles/uavres_nav.dir/trajectory_gen.cpp.o" "gcc" "src/nav/CMakeFiles/uavres_nav.dir/trajectory_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/uavres_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uavres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/uavres_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/uavres_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/uavres_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/uavres_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_nav.dir/commander.cpp.o"
+  "CMakeFiles/uavres_nav.dir/commander.cpp.o.d"
+  "CMakeFiles/uavres_nav.dir/crash_detector.cpp.o"
+  "CMakeFiles/uavres_nav.dir/crash_detector.cpp.o.d"
+  "CMakeFiles/uavres_nav.dir/health_monitor.cpp.o"
+  "CMakeFiles/uavres_nav.dir/health_monitor.cpp.o.d"
+  "CMakeFiles/uavres_nav.dir/trajectory_gen.cpp.o"
+  "CMakeFiles/uavres_nav.dir/trajectory_gen.cpp.o.d"
+  "libuavres_nav.a"
+  "libuavres_nav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_nav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

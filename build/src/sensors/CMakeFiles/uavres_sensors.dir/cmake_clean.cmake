@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_sensors.dir/imu.cpp.o"
+  "CMakeFiles/uavres_sensors.dir/imu.cpp.o.d"
+  "libuavres_sensors.a"
+  "libuavres_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_sim.dir/quadrotor.cpp.o"
+  "CMakeFiles/uavres_sim.dir/quadrotor.cpp.o.d"
+  "CMakeFiles/uavres_sim.dir/rigid_body.cpp.o"
+  "CMakeFiles/uavres_sim.dir/rigid_body.cpp.o.d"
+  "libuavres_sim.a"
+  "libuavres_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/csv_writer.cpp" "src/telemetry/CMakeFiles/uavres_telemetry.dir/csv_writer.cpp.o" "gcc" "src/telemetry/CMakeFiles/uavres_telemetry.dir/csv_writer.cpp.o.d"
+  "/root/repo/src/telemetry/flight_log.cpp" "src/telemetry/CMakeFiles/uavres_telemetry.dir/flight_log.cpp.o" "gcc" "src/telemetry/CMakeFiles/uavres_telemetry.dir/flight_log.cpp.o.d"
+  "/root/repo/src/telemetry/flight_recorder.cpp" "src/telemetry/CMakeFiles/uavres_telemetry.dir/flight_recorder.cpp.o" "gcc" "src/telemetry/CMakeFiles/uavres_telemetry.dir/flight_recorder.cpp.o.d"
+  "/root/repo/src/telemetry/trajectory.cpp" "src/telemetry/CMakeFiles/uavres_telemetry.dir/trajectory.cpp.o" "gcc" "src/telemetry/CMakeFiles/uavres_telemetry.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/uavres_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

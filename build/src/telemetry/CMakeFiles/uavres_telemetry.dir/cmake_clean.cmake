@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_telemetry.dir/csv_writer.cpp.o"
+  "CMakeFiles/uavres_telemetry.dir/csv_writer.cpp.o.d"
+  "CMakeFiles/uavres_telemetry.dir/flight_log.cpp.o"
+  "CMakeFiles/uavres_telemetry.dir/flight_log.cpp.o.d"
+  "CMakeFiles/uavres_telemetry.dir/flight_recorder.cpp.o"
+  "CMakeFiles/uavres_telemetry.dir/flight_recorder.cpp.o.d"
+  "CMakeFiles/uavres_telemetry.dir/trajectory.cpp.o"
+  "CMakeFiles/uavres_telemetry.dir/trajectory.cpp.o.d"
+  "libuavres_telemetry.a"
+  "libuavres_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_uav.dir/simulation_runner.cpp.o"
+  "CMakeFiles/uavres_uav.dir/simulation_runner.cpp.o.d"
+  "CMakeFiles/uavres_uav.dir/uav.cpp.o"
+  "CMakeFiles/uavres_uav.dir/uav.cpp.o.d"
+  "libuavres_uav.a"
+  "libuavres_uav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

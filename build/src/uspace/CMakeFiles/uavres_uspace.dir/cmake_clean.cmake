@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavres_uspace.dir/broker.cpp.o"
+  "CMakeFiles/uavres_uspace.dir/broker.cpp.o.d"
+  "CMakeFiles/uavres_uspace.dir/conflict.cpp.o"
+  "CMakeFiles/uavres_uspace.dir/conflict.cpp.o.d"
+  "CMakeFiles/uavres_uspace.dir/multi_runner.cpp.o"
+  "CMakeFiles/uavres_uspace.dir/multi_runner.cpp.o.d"
+  "CMakeFiles/uavres_uspace.dir/tracking.cpp.o"
+  "CMakeFiles/uavres_uspace.dir/tracking.cpp.o.d"
+  "libuavres_uspace.a"
+  "libuavres_uspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavres_uspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control.dir/control/attitude_controller_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/attitude_controller_test.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/mixer_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/mixer_test.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/pid_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/pid_test.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/position_controller_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/position_controller_test.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/stability_sweep_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/stability_sweep_test.cpp.o.d"
+  "test_control"
+  "test_control.pdb"
+  "test_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

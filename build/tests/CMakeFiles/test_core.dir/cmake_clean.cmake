@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/bubble_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/bubble_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/bubble_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/bubble_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/fault_injector_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/fault_injector_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/fault_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/fault_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/gps_fault_injector_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/gps_fault_injector_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/stats_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/stats_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tables_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tables_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

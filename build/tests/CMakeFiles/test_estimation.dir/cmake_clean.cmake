@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimation.dir/estimation/complementary_test.cpp.o"
+  "CMakeFiles/test_estimation.dir/estimation/complementary_test.cpp.o.d"
+  "CMakeFiles/test_estimation.dir/estimation/ekf_consistency_test.cpp.o"
+  "CMakeFiles/test_estimation.dir/estimation/ekf_consistency_test.cpp.o.d"
+  "CMakeFiles/test_estimation.dir/estimation/ekf_fault_response_test.cpp.o"
+  "CMakeFiles/test_estimation.dir/estimation/ekf_fault_response_test.cpp.o.d"
+  "CMakeFiles/test_estimation.dir/estimation/ekf_test.cpp.o"
+  "CMakeFiles/test_estimation.dir/estimation/ekf_test.cpp.o.d"
+  "test_estimation"
+  "test_estimation.pdb"
+  "test_estimation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nav.dir/nav/commander_test.cpp.o"
+  "CMakeFiles/test_nav.dir/nav/commander_test.cpp.o.d"
+  "CMakeFiles/test_nav.dir/nav/crash_detector_test.cpp.o"
+  "CMakeFiles/test_nav.dir/nav/crash_detector_test.cpp.o.d"
+  "CMakeFiles/test_nav.dir/nav/health_monitor_test.cpp.o"
+  "CMakeFiles/test_nav.dir/nav/health_monitor_test.cpp.o.d"
+  "CMakeFiles/test_nav.dir/nav/mission_test.cpp.o"
+  "CMakeFiles/test_nav.dir/nav/mission_test.cpp.o.d"
+  "CMakeFiles/test_nav.dir/nav/trajectory_gen_test.cpp.o"
+  "CMakeFiles/test_nav.dir/nav/trajectory_gen_test.cpp.o.d"
+  "test_nav"
+  "test_nav.pdb"
+  "test_nav[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry.dir/telemetry/csv_writer_test.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/csv_writer_test.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/flight_log_test.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/flight_log_test.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/flight_recorder_test.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/flight_recorder_test.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/trajectory_test.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/trajectory_test.cpp.o.d"
+  "test_telemetry"
+  "test_telemetry.pdb"
+  "test_telemetry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

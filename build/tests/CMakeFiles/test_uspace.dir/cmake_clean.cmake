@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uspace.dir/uspace/broker_test.cpp.o"
+  "CMakeFiles/test_uspace.dir/uspace/broker_test.cpp.o.d"
+  "CMakeFiles/test_uspace.dir/uspace/conflict_test.cpp.o"
+  "CMakeFiles/test_uspace.dir/uspace/conflict_test.cpp.o.d"
+  "CMakeFiles/test_uspace.dir/uspace/multi_runner_test.cpp.o"
+  "CMakeFiles/test_uspace.dir/uspace/multi_runner_test.cpp.o.d"
+  "CMakeFiles/test_uspace.dir/uspace/shared_frame_test.cpp.o"
+  "CMakeFiles/test_uspace.dir/uspace/shared_frame_test.cpp.o.d"
+  "CMakeFiles/test_uspace.dir/uspace/tracking_test.cpp.o"
+  "CMakeFiles/test_uspace.dir/uspace/tracking_test.cpp.o.d"
+  "test_uspace"
+  "test_uspace.pdb"
+  "test_uspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
