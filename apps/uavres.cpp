@@ -39,7 +39,11 @@ int Usage() {
       "  inject [mission] [acc|gyro|imu] [fixed|zeros|freeze|random|min|max|noise]\n"
       "         [duration_s] [--seed N]     inject one fault\n"
       "  campaign [--missions N] [--durations 2,5,10,30] [--threads N]\n"
-      "                                     run the grid, print Tables II-IV\n"
+      "           [--cache-dir DIR] [--no-cache] [--cache-stats]\n"
+      "                                     run the grid, print Tables II-IV;\n"
+      "                                     completed runs persist to the cache\n"
+      "                                     (also via UAVRES_CACHE_DIR) so an\n"
+      "                                     interrupted campaign resumes\n"
       "  convoy [--spacing M] [--drones N]  multi-UAV U-space conflict demo\n"
       "  export [mission] [file.csv] [--rate HZ]\n"
       "                                     dump a gold trajectory as CSV\n"
@@ -143,6 +147,8 @@ int CmdCampaign(const app::CommandLine& cl) {
     const auto list = app::ParseDoubleList(*d);
     if (!list.empty()) cfg.durations = list;
   }
+  if (const auto dir = cl.Flag("cache-dir")) cfg.cache_dir = *dir;
+  if (cl.HasFlag("no-cache")) cfg.cache_dir.clear();
   const core::Campaign campaign(cfg);
   const auto results = campaign.Run([](std::size_t done, std::size_t total) {
     if (done % 50 == 0 || done == total) {
@@ -150,6 +156,15 @@ int CmdCampaign(const app::CommandLine& cl) {
       if (done == total) std::fprintf(stderr, "\n");
     }
   });
+  if (!cfg.cache_dir.empty() || cl.HasFlag("cache-stats")) {
+    std::fprintf(stderr,
+                 "cache [%s]: %llu hits, %llu misses (%llu corrupt), %llu stored\n",
+                 cfg.cache_dir.empty() ? "disabled" : cfg.cache_dir.c_str(),
+                 static_cast<unsigned long long>(results.cache.hits),
+                 static_cast<unsigned long long>(results.cache.misses),
+                 static_cast<unsigned long long>(results.cache.corrupt),
+                 static_cast<unsigned long long>(results.cache.stores));
+  }
   std::fputs(core::FormatSummaryTable("\nTable II form (by duration)", "Injection Duration",
                                       core::BuildTable2(results))
                  .c_str(),

@@ -10,7 +10,9 @@
 namespace uavres::bench {
 
 /// Run the full campaign with environment-based overrides (UAVRES_FAST,
-/// UAVRES_MISSIONS, UAVRES_THREADS) and a stderr progress meter.
+/// UAVRES_MISSIONS, UAVRES_THREADS, UAVRES_CACHE_DIR) and a stderr progress
+/// meter. With UAVRES_CACHE_DIR set, every table/figure bench shares one
+/// result store, so regenerating all tables simulates the grid only once.
 inline core::CampaignResults RunCampaignFromEnv() {
   const auto cfg = core::CampaignConfig::FromEnvironment();
   const core::Campaign campaign(cfg);
@@ -22,6 +24,13 @@ inline core::CampaignResults RunCampaignFromEnv() {
       if (done == total) std::fprintf(stderr, "\n");
     }
   });
+  if (!cfg.cache_dir.empty()) {
+    std::fprintf(stderr, "  cache [%s]: %llu hits, %llu misses (%llu corrupt), %llu stored\n",
+                 cfg.cache_dir.c_str(), static_cast<unsigned long long>(results.cache.hits),
+                 static_cast<unsigned long long>(results.cache.misses),
+                 static_cast<unsigned long long>(results.cache.corrupt),
+                 static_cast<unsigned long long>(results.cache.stores));
+  }
   return results;
 }
 

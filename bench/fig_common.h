@@ -7,10 +7,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/result_store.h"
 #include "core/scenario.h"
 #include "telemetry/csv_writer.h"
 #include "uav/simulation_runner.h"
@@ -56,7 +59,10 @@ inline void PrintAsciiTrack(const telemetry::Trajectory& gold,
   for (const auto& line : grid) std::printf("|%s|\n", line.c_str());
 }
 
-/// Run one figure scenario and dump `<csv_path>` with both series.
+/// Run one figure scenario and dump `<csv_path>` with both series. With
+/// UAVRES_CACHE_DIR set, both the gold and the faulty trajectory come from /
+/// go to the shared result store, so re-generating a figure is free once
+/// any bench has simulated the pair.
 inline FigureResult RunFigure(int mission_index, const core::FaultSpec& fault,
                               const std::string& csv_path) {
   const auto fleet = core::BuildValenciaScenario();
@@ -66,8 +72,36 @@ inline FigureResult RunFigure(int mission_index, const core::FaultSpec& fault,
   run_cfg.record_rate_hz = 5.0;  // dense series for plotting
   const uav::SimulationRunner runner(run_cfg);
 
-  const auto gold = runner.RunGold(spec, mission_index, 2024);
-  const auto faulty = runner.RunWithFault(spec, mission_index, fault, gold.trajectory, 2024);
+  const char* cache_env = std::getenv("UAVRES_CACHE_DIR");
+  core::ResultStore store(cache_env ? cache_env : "");
+  constexpr std::uint64_t kSeedBase = 2024;
+
+  const auto RunCached = [&](const std::optional<core::FaultSpec>& f,
+                             const telemetry::Trajectory* gold_ref) {
+    const std::uint64_t key =
+        core::ExperimentCacheKey(run_cfg, spec, mission_index, kSeedBase, f);
+    if (auto cached = store.Load(key, /*require_trajectory=*/true)) {
+      uav::RunOutput out;
+      out.result = cached->result;
+      out.trajectory = std::move(*cached->trajectory);
+      return out;
+    }
+    auto out = f ? runner.RunWithFault(spec, mission_index, *f, *gold_ref, kSeedBase)
+                 : runner.RunGold(spec, mission_index, kSeedBase);
+    if (store.enabled()) store.Store(key, {out.result, out.trajectory});
+    return out;
+  };
+
+  const auto gold = RunCached(std::nullopt, nullptr);
+  const auto faulty = RunCached(fault, &gold.trajectory);
+  if (store.enabled()) {
+    const auto stats = store.stats();
+    std::fprintf(stderr, "cache [%s]: %llu hits, %llu misses (%llu corrupt), %llu stored\n",
+                 store.dir().c_str(), static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.corrupt),
+                 static_cast<unsigned long long>(stats.stores));
+  }
 
   std::ofstream os(csv_path);
   telemetry::CsvWriter csv(os);

@@ -212,7 +212,12 @@ apps/CMakeFiles/uavres_cli.dir/uavres.cpp.o: /root/repo/apps/uavres.cpp \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/math/quat.h \
  /root/repo/src/sensors/samples.h /root/repo/src/sensors/imu.h \
  /root/repo/src/math/rng.h /root/repo/src/sensors/noise_model.h \
- /root/repo/src/sim/rigid_body.h /root/repo/src/core/scenario.h \
+ /root/repo/src/sim/rigid_body.h /root/repo/src/core/result_store.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/scenario.h \
  /root/repo/src/core/bubble.h /root/repo/src/math/geo.h \
  /root/repo/src/nav/mission.h /root/repo/src/sim/quadrotor.h \
  /root/repo/src/sim/environment.h /root/repo/src/sim/motor.h \
@@ -250,7 +255,6 @@ apps/CMakeFiles/uavres_cli.dir/uavres.cpp.o: /root/repo/apps/uavres.cpp \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \

@@ -115,8 +115,8 @@ bench/CMakeFiles/bench_ablation_bubble.dir/bench_ablation_bubble.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /root/repo/src/core/fault_model.h \
- /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
@@ -138,7 +138,8 @@ bench/CMakeFiles/bench_ablation_bubble.dir/bench_ablation_bubble.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/core/metrics.h \
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/core/fault_model.h /root/repo/src/core/metrics.h \
  /root/repo/src/nav/health_monitor.h /root/repo/src/estimation/ekf.h \
  /root/repo/src/math/matrix.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
@@ -207,11 +208,17 @@ bench/CMakeFiles/bench_ablation_bubble.dir/bench_ablation_bubble.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/math/quat.h \
  /root/repo/src/sensors/samples.h /root/repo/src/sensors/imu.h \
  /root/repo/src/math/rng.h /root/repo/src/sensors/noise_model.h \
- /root/repo/src/sim/rigid_body.h /root/repo/src/core/scenario.h \
- /root/repo/src/core/bubble.h /root/repo/src/math/geo.h \
- /root/repo/src/nav/mission.h /root/repo/src/sim/quadrotor.h \
- /root/repo/src/sim/environment.h /root/repo/src/sim/motor.h \
- /root/repo/src/telemetry/trajectory.h /usr/include/c++/12/optional \
+ /root/repo/src/sim/rigid_body.h /root/repo/src/core/result_store.h \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
+ /root/repo/src/core/scenario.h /root/repo/src/core/bubble.h \
+ /root/repo/src/math/geo.h /root/repo/src/nav/mission.h \
+ /root/repo/src/sim/quadrotor.h /root/repo/src/sim/environment.h \
+ /root/repo/src/sim/motor.h /root/repo/src/telemetry/trajectory.h \
  /root/repo/src/uav/simulation_runner.h \
  /root/repo/src/telemetry/flight_log.h /root/repo/src/uav/uav.h \
  /usr/include/c++/12/memory \
@@ -245,7 +252,6 @@ bench/CMakeFiles/bench_ablation_bubble.dir/bench_ablation_bubble.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \

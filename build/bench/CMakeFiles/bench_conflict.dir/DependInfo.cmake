@@ -18,9 +18,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/uavres_core.dir/DependInfo.cmake"
   "/root/repo/build/src/uspace/CMakeFiles/uavres_uspace.dir/DependInfo.cmake"
   "/root/repo/build/src/nav/CMakeFiles/uavres_nav.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/uavres_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/estimation/CMakeFiles/uavres_estimation.dir/DependInfo.cmake"
   "/root/repo/build/src/control/CMakeFiles/uavres_control.dir/DependInfo.cmake"
-  "/root/repo/build/src/telemetry/CMakeFiles/uavres_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/sensors/CMakeFiles/uavres_sensors.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/uavres_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/math/CMakeFiles/uavres_math.dir/DependInfo.cmake"

@@ -212,8 +212,14 @@ bench/CMakeFiles/bench_extended_faults.dir/bench_extended_faults.cpp.o: \
  /root/repo/src/nav/health_monitor.h /root/repo/src/estimation/ekf.h \
  /root/repo/src/math/matrix.h /usr/include/c++/12/cstddef \
  /root/repo/src/sensors/samples.h /root/repo/src/sensors/imu.h \
- /root/repo/src/sensors/noise_model.h \
- /root/repo/src/telemetry/trajectory.h /usr/include/c++/12/optional \
+ /root/repo/src/sensors/noise_model.h /root/repo/src/core/result_store.h \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
+ /root/repo/src/telemetry/trajectory.h \
  /root/repo/src/uav/simulation_runner.h \
  /root/repo/src/telemetry/flight_log.h /root/repo/src/uav/uav.h \
  /usr/include/c++/12/memory \
@@ -247,7 +253,6 @@ bench/CMakeFiles/bench_extended_faults.dir/bench_extended_faults.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \

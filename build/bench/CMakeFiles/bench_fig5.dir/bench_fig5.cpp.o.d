@@ -165,13 +165,23 @@ bench/CMakeFiles/bench_fig5.dir/bench_fig5.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/scenario.h \
- /root/repo/src/core/bubble.h /root/repo/src/math/vec3.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/result_store.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/metrics.h \
+ /root/repo/src/core/fault_model.h /usr/include/c++/12/array \
+ /root/repo/src/nav/health_monitor.h /root/repo/src/estimation/ekf.h \
+ /root/repo/src/math/matrix.h /usr/include/c++/12/cstddef \
+ /root/repo/src/math/mat3.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -181,8 +191,7 @@ bench/CMakeFiles/bench_fig5.dir/bench_fig5.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -193,31 +202,25 @@ bench/CMakeFiles/bench_fig5.dir/bench_fig5.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/math/num.h \
- /root/repo/src/math/geo.h /root/repo/src/nav/mission.h \
- /root/repo/src/sim/quadrotor.h /usr/include/c++/12/array \
- /root/repo/src/sim/environment.h /root/repo/src/math/rng.h \
- /root/repo/src/sim/motor.h /root/repo/src/sim/rigid_body.h \
- /root/repo/src/math/mat3.h /root/repo/src/math/quat.h \
- /root/repo/src/telemetry/csv_writer.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/math/vec3.h \
+ /root/repo/src/math/num.h /root/repo/src/math/quat.h \
+ /root/repo/src/sensors/samples.h /root/repo/src/sensors/imu.h \
+ /root/repo/src/math/rng.h /root/repo/src/sensors/noise_model.h \
+ /root/repo/src/sim/rigid_body.h /root/repo/src/core/scenario.h \
+ /root/repo/src/core/bubble.h /root/repo/src/math/geo.h \
+ /root/repo/src/nav/mission.h /root/repo/src/sim/quadrotor.h \
+ /root/repo/src/sim/environment.h /root/repo/src/sim/motor.h \
+ /root/repo/src/telemetry/trajectory.h \
  /root/repo/src/uav/simulation_runner.h /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
- /root/repo/src/core/fault_model.h /root/repo/src/core/metrics.h \
- /root/repo/src/nav/health_monitor.h /root/repo/src/estimation/ekf.h \
- /root/repo/src/math/matrix.h /usr/include/c++/12/cstddef \
- /root/repo/src/sensors/samples.h /root/repo/src/sensors/imu.h \
- /root/repo/src/sensors/noise_model.h \
- /root/repo/src/telemetry/flight_log.h \
- /root/repo/src/telemetry/trajectory.h /root/repo/src/uav/uav.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/telemetry/flight_log.h /root/repo/src/uav/uav.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -249,7 +252,6 @@ bench/CMakeFiles/bench_fig5.dir/bench_fig5.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
@@ -262,4 +264,5 @@ bench/CMakeFiles/bench_fig5.dir/bench_fig5.cpp.o: \
  /root/repo/src/core/gps_fault_injector.h /root/repo/src/nav/commander.h \
  /root/repo/src/nav/trajectory_gen.h /root/repo/src/nav/crash_detector.h \
  /root/repo/src/sensors/barometer.h /root/repo/src/sensors/gps.h \
- /root/repo/src/sensors/magnetometer.h /root/repo/src/sim/battery.h
+ /root/repo/src/sensors/magnetometer.h /root/repo/src/sim/battery.h \
+ /root/repo/src/telemetry/csv_writer.h

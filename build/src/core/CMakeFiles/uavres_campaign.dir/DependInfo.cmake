@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/uavres_campaign.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/uavres_campaign.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/result_store.cpp" "src/core/CMakeFiles/uavres_campaign.dir/result_store.cpp.o" "gcc" "src/core/CMakeFiles/uavres_campaign.dir/result_store.cpp.o.d"
   "/root/repo/src/core/tables.cpp" "src/core/CMakeFiles/uavres_campaign.dir/tables.cpp.o" "gcc" "src/core/CMakeFiles/uavres_campaign.dir/tables.cpp.o.d"
   )
 
@@ -16,12 +17,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/uavres_core.dir/DependInfo.cmake"
   "/root/repo/build/src/uav/CMakeFiles/uavres_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/uavres_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/nav/CMakeFiles/uavres_nav.dir/DependInfo.cmake"
   "/root/repo/build/src/estimation/CMakeFiles/uavres_estimation.dir/DependInfo.cmake"
   "/root/repo/build/src/sensors/CMakeFiles/uavres_sensors.dir/DependInfo.cmake"
   "/root/repo/build/src/control/CMakeFiles/uavres_control.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/uavres_sim.dir/DependInfo.cmake"
-  "/root/repo/build/src/telemetry/CMakeFiles/uavres_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/math/CMakeFiles/uavres_math.dir/DependInfo.cmake"
   )
 

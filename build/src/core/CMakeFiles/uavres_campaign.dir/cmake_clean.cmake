@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/uavres_campaign.dir/campaign.cpp.o"
   "CMakeFiles/uavres_campaign.dir/campaign.cpp.o.d"
+  "CMakeFiles/uavres_campaign.dir/result_store.cpp.o"
+  "CMakeFiles/uavres_campaign.dir/result_store.cpp.o.d"
   "CMakeFiles/uavres_campaign.dir/tables.cpp.o"
   "CMakeFiles/uavres_campaign.dir/tables.cpp.o.d"
   "libuavres_campaign.a"

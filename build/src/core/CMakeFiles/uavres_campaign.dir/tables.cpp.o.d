@@ -208,11 +208,17 @@ src/core/CMakeFiles/uavres_campaign.dir/tables.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/math/quat.h \
  /root/repo/src/sensors/samples.h /root/repo/src/sensors/imu.h \
  /root/repo/src/math/rng.h /root/repo/src/sensors/noise_model.h \
- /root/repo/src/sim/rigid_body.h /root/repo/src/core/scenario.h \
- /root/repo/src/core/bubble.h /root/repo/src/math/geo.h \
- /root/repo/src/nav/mission.h /root/repo/src/sim/quadrotor.h \
- /root/repo/src/sim/environment.h /root/repo/src/sim/motor.h \
- /root/repo/src/telemetry/trajectory.h /usr/include/c++/12/optional \
+ /root/repo/src/sim/rigid_body.h /root/repo/src/core/result_store.h \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
+ /root/repo/src/core/scenario.h /root/repo/src/core/bubble.h \
+ /root/repo/src/math/geo.h /root/repo/src/nav/mission.h \
+ /root/repo/src/sim/quadrotor.h /root/repo/src/sim/environment.h \
+ /root/repo/src/sim/motor.h /root/repo/src/telemetry/trajectory.h \
  /root/repo/src/uav/simulation_runner.h \
  /root/repo/src/telemetry/flight_log.h /root/repo/src/uav/uav.h \
  /usr/include/c++/12/memory \
@@ -246,7 +252,6 @@ src/core/CMakeFiles/uavres_campaign.dir/tables.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
@@ -263,5 +268,4 @@ src/core/CMakeFiles/uavres_campaign.dir/tables.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/telemetry/flight_log.cpp" "src/telemetry/CMakeFiles/uavres_telemetry.dir/flight_log.cpp.o" "gcc" "src/telemetry/CMakeFiles/uavres_telemetry.dir/flight_log.cpp.o.d"
   "/root/repo/src/telemetry/flight_recorder.cpp" "src/telemetry/CMakeFiles/uavres_telemetry.dir/flight_recorder.cpp.o" "gcc" "src/telemetry/CMakeFiles/uavres_telemetry.dir/flight_recorder.cpp.o.d"
   "/root/repo/src/telemetry/trajectory.cpp" "src/telemetry/CMakeFiles/uavres_telemetry.dir/trajectory.cpp.o" "gcc" "src/telemetry/CMakeFiles/uavres_telemetry.dir/trajectory.cpp.o.d"
+  "/root/repo/src/telemetry/trajectory_codec.cpp" "src/telemetry/CMakeFiles/uavres_telemetry.dir/trajectory_codec.cpp.o" "gcc" "src/telemetry/CMakeFiles/uavres_telemetry.dir/trajectory_codec.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/uavres_telemetry.dir/flight_recorder.cpp.o.d"
   "CMakeFiles/uavres_telemetry.dir/trajectory.cpp.o"
   "CMakeFiles/uavres_telemetry.dir/trajectory.cpp.o.d"
+  "CMakeFiles/uavres_telemetry.dir/trajectory_codec.cpp.o"
+  "CMakeFiles/uavres_telemetry.dir/trajectory_codec.cpp.o.d"
   "libuavres_telemetry.a"
   "libuavres_telemetry.pdb"
 )

@@ -200,4 +200,6 @@ src/telemetry/CMakeFiles/uavres_telemetry.dir/flight_recorder.cpp.o: \
  /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc
+ /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/telemetry/binary_io.h \
+ /root/repo/src/telemetry/trajectory_codec.h

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/fault_model_test.cpp" "tests/CMakeFiles/test_core.dir/core/fault_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/fault_model_test.cpp.o.d"
   "/root/repo/tests/core/gps_fault_injector_test.cpp" "tests/CMakeFiles/test_core.dir/core/gps_fault_injector_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/gps_fault_injector_test.cpp.o.d"
   "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/result_store_test.cpp" "tests/CMakeFiles/test_core.dir/core/result_store_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/result_store_test.cpp.o.d"
   "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
   "/root/repo/tests/core/stats_test.cpp" "tests/CMakeFiles/test_core.dir/core/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/stats_test.cpp.o.d"
   "/root/repo/tests/core/tables_test.cpp" "tests/CMakeFiles/test_core.dir/core/tables_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tables_test.cpp.o.d"

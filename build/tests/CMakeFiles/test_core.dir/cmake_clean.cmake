@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_core.dir/core/gps_fault_injector_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
   "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/result_store_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/result_store_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/scenario_test.cpp.o"
   "CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/stats_test.cpp.o"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/campaign_cache_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/campaign_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/campaign_cache_test.cpp.o.d"
   "/root/repo/tests/integration/campaign_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/campaign_test.cpp.o.d"
   "/root/repo/tests/integration/extension_flight_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/extension_flight_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/extension_flight_test.cpp.o.d"
   "/root/repo/tests/integration/fault_flight_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/fault_flight_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/fault_flight_test.cpp.o.d"

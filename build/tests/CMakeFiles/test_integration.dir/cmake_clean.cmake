@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/campaign_cache_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/campaign_cache_test.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/campaign_test.cpp.o"
   "CMakeFiles/test_integration.dir/integration/campaign_test.cpp.o.d"
   "CMakeFiles/test_integration.dir/integration/extension_flight_test.cpp.o"

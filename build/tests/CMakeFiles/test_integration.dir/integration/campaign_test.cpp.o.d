@@ -326,10 +326,13 @@ tests/CMakeFiles/test_integration.dir/integration/campaign_test.cpp.o: \
  /root/repo/src/math/quat.h /root/repo/src/sensors/samples.h \
  /root/repo/src/sensors/imu.h /root/repo/src/math/rng.h \
  /root/repo/src/sensors/noise_model.h /root/repo/src/sim/rigid_body.h \
- /root/repo/src/core/scenario.h /root/repo/src/core/bubble.h \
- /root/repo/src/math/geo.h /root/repo/src/nav/mission.h \
- /root/repo/src/sim/quadrotor.h /root/repo/src/sim/environment.h \
- /root/repo/src/sim/motor.h /root/repo/src/telemetry/trajectory.h \
+ /root/repo/src/core/result_store.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/scenario.h \
+ /root/repo/src/core/bubble.h /root/repo/src/math/geo.h \
+ /root/repo/src/nav/mission.h /root/repo/src/sim/quadrotor.h \
+ /root/repo/src/sim/environment.h /root/repo/src/sim/motor.h \
+ /root/repo/src/telemetry/trajectory.h \
  /root/repo/src/uav/simulation_runner.h \
  /root/repo/src/telemetry/flight_log.h /root/repo/src/uav/uav.h \
  /root/repo/src/control/attitude_controller.h \

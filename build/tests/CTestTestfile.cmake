@@ -17,12 +17,12 @@ include("/root/repo/build/tests/test_app[1]_include.cmake")
 include("/root/repo/build/tests/test_uspace[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "0")
-set_tests_properties(smoke_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;54;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(smoke_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;55;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(smoke_fault_demo "/root/repo/build/examples/fault_demo" "0" "gyro" "max" "2")
-set_tests_properties(smoke_fault_demo PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;55;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(smoke_fault_demo PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(smoke_cli_list "/root/repo/build/apps/uavres" "list")
-set_tests_properties(smoke_cli_list PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(smoke_cli_list PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;57;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(smoke_cli_fly "/root/repo/build/apps/uavres" "fly" "0")
-set_tests_properties(smoke_cli_fly PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;57;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(smoke_cli_fly PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;58;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(smoke_cli_usage "/root/repo/build/apps/uavres")
-set_tests_properties(smoke_cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;58;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(smoke_cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;59;add_test;/root/repo/tests/CMakeLists.txt;0;")

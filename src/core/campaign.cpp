@@ -17,6 +17,9 @@ CampaignConfig CampaignConfig::FromEnvironment() {
   if (const char* threads = std::getenv("UAVRES_THREADS")) {
     cfg.num_threads = std::atoi(threads);
   }
+  if (const char* cache = std::getenv("UAVRES_CACHE_DIR")) {
+    cfg.cache_dir = cache;
+  }
   return cfg;
 }
 
@@ -54,6 +57,10 @@ CampaignResults Campaign::Run(
   const uav::SimulationRunner faulty_runner(faulty_cfg);
   const auto grid = GridFaults();
 
+  // The mutator is an opaque callable the cache key cannot cover; a store
+  // fed by mutated runs would poison every other consumer of the directory.
+  ResultStore store(cfg_.run.uav_config_mutator ? std::string{} : cfg_.cache_dir);
+
   CampaignResults results;
   results.gold.resize(fleet_.size());
   results.gold_trajectories.resize(fleet_.size());
@@ -71,14 +78,26 @@ CampaignResults Campaign::Run(
     if (progress) progress(d, total);
   };
 
-  // Phase 1: gold runs (references needed before any faulty run).
+  // Phase 1: gold runs (references needed before any faulty run). Cached
+  // entries must carry their trajectory — it is the bubble reference for
+  // every dependent faulty run.
   {
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
       for (std::size_t i = next.fetch_add(1); i < fleet_.size(); i = next.fetch_add(1)) {
-        auto out = runner.RunGold(fleet_[i], static_cast<int>(i), cfg_.seed_base);
-        results.gold[i] = out.result;
-        results.gold_trajectories[i] = std::move(out.trajectory);
+        const std::uint64_t key = ExperimentCacheKey(
+            cfg_.run, fleet_[i], static_cast<int>(i), cfg_.seed_base, std::nullopt);
+        if (auto cached = store.Load(key, /*require_trajectory=*/true)) {
+          results.gold[i] = cached->result;
+          results.gold_trajectories[i] = std::move(*cached->trajectory);
+        } else {
+          auto out = runner.RunGold(fleet_[i], static_cast<int>(i), cfg_.seed_base);
+          results.gold[i] = out.result;
+          results.gold_trajectories[i] = std::move(out.trajectory);
+          if (store.enabled()) {
+            store.Store(key, {results.gold[i], results.gold_trajectories[i]});
+          }
+        }
         report();
       }
     };
@@ -88,7 +107,9 @@ CampaignResults Campaign::Run(
     for (auto& th : pool) th.join();
   }
 
-  // Phase 2: faulty runs, flat (mission, fault) grid.
+  // Phase 2: faulty runs, flat (mission, fault) grid. Metrics-only entries;
+  // each is persisted as its worker finishes (checkpointing), so a killed
+  // campaign resumes with only the missing runs recomputed.
   {
     std::atomic<std::size_t> next{0};
     const std::size_t n_jobs = results.faulty.size();
@@ -96,10 +117,18 @@ CampaignResults Campaign::Run(
       for (std::size_t j = next.fetch_add(1); j < n_jobs; j = next.fetch_add(1)) {
         const std::size_t mission = j / grid.size();
         const std::size_t fault = j % grid.size();
-        auto out = faulty_runner.RunWithFault(fleet_[mission], static_cast<int>(mission),
-                                       grid[fault], results.gold_trajectories[mission],
-                                       cfg_.seed_base);
-        results.faulty[j] = out.result;
+        const std::uint64_t key =
+            ExperimentCacheKey(faulty_cfg, fleet_[mission], static_cast<int>(mission),
+                               cfg_.seed_base, grid[fault]);
+        if (auto cached = store.Load(key)) {
+          results.faulty[j] = cached->result;
+        } else {
+          auto out = faulty_runner.RunWithFault(fleet_[mission], static_cast<int>(mission),
+                                         grid[fault], results.gold_trajectories[mission],
+                                         cfg_.seed_base);
+          results.faulty[j] = out.result;
+          if (store.enabled()) store.Store(key, {results.faulty[j], std::nullopt});
+        }
         report();
       }
     };
@@ -109,6 +138,7 @@ CampaignResults Campaign::Run(
     for (auto& th : pool) th.join();
   }
 
+  results.cache = store.stats();
   return results;
 }
 

@@ -9,8 +9,11 @@
 #include <functional>
 #include <vector>
 
+#include <string>
+
 #include "core/fault_model.h"
 #include "core/metrics.h"
+#include "core/result_store.h"
 #include "core/scenario.h"
 #include "telemetry/trajectory.h"
 #include "uav/simulation_runner.h"
@@ -24,10 +27,15 @@ struct CampaignConfig {
   double injection_start_s{kInjectionStartS};
   int num_threads{0};        ///< 0: hardware_concurrency
   int mission_limit{0};      ///< 0: all 10; N > 0: first N missions (dev mode)
+  /// Result-store directory; empty disables caching. Completed runs are
+  /// persisted as workers finish and cached runs are skipped on the next
+  /// invocation, so an interrupted campaign resumes where it left off.
+  /// Ignored when `run.uav_config_mutator` is set (opaque, unhashable).
+  std::string cache_dir;
   uav::RunConfig run;
 
-  /// Reads UAVRES_FAST / UAVRES_MISSIONS / UAVRES_THREADS from the
-  /// environment for quick developer runs (see DESIGN.md §4).
+  /// Reads UAVRES_FAST / UAVRES_MISSIONS / UAVRES_THREADS / UAVRES_CACHE_DIR
+  /// from the environment for quick developer runs (see DESIGN.md §4).
   static CampaignConfig FromEnvironment();
 };
 
@@ -36,6 +44,7 @@ struct CampaignResults {
   std::vector<MissionResult> gold;
   std::vector<MissionResult> faulty;
   std::vector<telemetry::Trajectory> gold_trajectories;  ///< by mission index
+  CacheStats cache;  ///< result-store accounting (all zeros when disabled)
 
   std::size_t TotalRuns() const { return gold.size() + faulty.size(); }
 };

@@ -1,0 +1,267 @@
+#include "core/result_store.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "telemetry/binary_io.h"
+#include "telemetry/trajectory_codec.h"
+
+namespace uavres::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[4] = {'U', 'V', 'R', 'S'};
+constexpr std::uint32_t kFooter = 0x5AFEC0DE;
+constexpr std::uint32_t kMaxNameLen = 4096;
+
+/// Process-unique-ish token for temp-file names: distinct campaign processes
+/// writing the same directory must not collide on the temp path.
+std::uint64_t TempToken() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto salt = reinterpret_cast<std::uintptr_t>(&counter);  // per-process (ASLR)
+  return static_cast<std::uint64_t>(salt) ^ (counter.fetch_add(1) << 48);
+}
+
+std::string KeyHex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
+
+CacheKeyHasher& CacheKeyHasher::Mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (8 * i)) & 0xFF;
+    h_ *= 1099511628211ULL;  // FNV-1a prime
+  }
+  return *this;
+}
+
+CacheKeyHasher& CacheKeyHasher::Mix(double v) {
+  return Mix(std::bit_cast<std::uint64_t>(v));
+}
+
+CacheKeyHasher& CacheKeyHasher::Mix(const std::string& s) {
+  Mix(static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) {
+    h_ ^= static_cast<unsigned char>(c);
+    h_ *= 1099511628211ULL;
+  }
+  return *this;
+}
+
+std::uint64_t ExperimentCacheKey(const uav::RunConfig& run, const DroneSpec& spec,
+                                 int mission_index, std::uint64_t seed_base,
+                                 const std::optional<FaultSpec>& fault) {
+  CacheKeyHasher h;
+  h.Mix(static_cast<std::uint64_t>(kResultStoreSchemaVersion));
+
+  // Harness configuration (gold sample density feeds the faulty-run bubble
+  // reference, so recording parameters are outcome inputs too).
+  h.Mix(run.tracking_interval_s)
+      .Mix(run.bubble_risk_factor)
+      .Mix(run.record_rate_hz)
+      .Mix(run.extra_time_s)
+      .Mix(static_cast<std::uint64_t>(run.record_trajectory));
+
+  // Full drone spec, including the mission geometry.
+  h.Mix(spec.name)
+      .Mix(spec.cruise_speed_kmh)
+      .Mix(spec.mass_kg)
+      .Mix(spec.wingspan_m)
+      .Mix(spec.safety_distance_m)
+      .Mix(spec.top_speed_factor)
+      .Mix(static_cast<std::uint64_t>(spec.has_turning_points))
+      .Mix(spec.home_geo.lat_deg)
+      .Mix(spec.home_geo.lon_deg)
+      .Mix(spec.home_geo.alt_m);
+  h.Mix(spec.plan.cruise_speed_ms)
+      .Mix(spec.plan.acceptance_radius_m)
+      .Mix(spec.plan.takeoff_altitude_m)
+      .Mix(spec.plan.home.x)
+      .Mix(spec.plan.home.y)
+      .Mix(spec.plan.home.z)
+      .Mix(static_cast<std::uint64_t>(spec.plan.waypoints.size()));
+  for (const auto& wp : spec.plan.waypoints) h.Mix(wp.x).Mix(wp.y).Mix(wp.z);
+
+  // Seed inputs (mission index is folded into ExperimentSeed) and fault.
+  h.Mix(static_cast<std::uint64_t>(mission_index)).Mix(seed_base);
+  h.Mix(static_cast<std::uint64_t>(fault.has_value()));
+  if (fault) {
+    h.Mix(static_cast<std::uint64_t>(fault->type))
+        .Mix(static_cast<std::uint64_t>(fault->target))
+        .Mix(fault->start_time_s)
+        .Mix(fault->duration_s);
+  }
+  return h.digest();
+}
+
+void WriteMissionResult(std::ostream& os, const MissionResult& r) {
+  using telemetry::PutF64;
+  using telemetry::PutI32;
+  using telemetry::PutString;
+  using telemetry::PutU8;
+  PutI32(os, r.mission_index);
+  PutString(os, r.mission_name);
+  PutU8(os, r.is_gold ? 1 : 0);
+  PutU8(os, static_cast<std::uint8_t>(r.fault.type));
+  PutU8(os, static_cast<std::uint8_t>(r.fault.target));
+  PutF64(os, r.fault.start_time_s);
+  PutF64(os, r.fault.duration_s);
+  PutU8(os, static_cast<std::uint8_t>(r.outcome));
+  PutF64(os, r.flight_duration_s);
+  PutF64(os, r.distance_km);
+  PutI32(os, r.inner_violations);
+  PutI32(os, r.outer_violations);
+  PutF64(os, r.max_deviation_m);
+  PutU8(os, static_cast<std::uint8_t>(r.failsafe_reason));
+  PutF64(os, r.failsafe_time_s);
+  PutString(os, r.crash_reason);
+  PutF64(os, r.crash_time_s);
+}
+
+bool ReadMissionResult(std::istream& is, MissionResult& r) {
+  using telemetry::GetF64;
+  using telemetry::GetI32;
+  using telemetry::GetString;
+  using telemetry::GetU8;
+  std::uint8_t is_gold = 0, fault_type = 0, fault_target = 0, outcome = 0, reason = 0;
+  if (!GetI32(is, r.mission_index) || !GetString(is, r.mission_name, kMaxNameLen) ||
+      !GetU8(is, is_gold) || !GetU8(is, fault_type) || !GetU8(is, fault_target) ||
+      !GetF64(is, r.fault.start_time_s) || !GetF64(is, r.fault.duration_s) ||
+      !GetU8(is, outcome) || !GetF64(is, r.flight_duration_s) ||
+      !GetF64(is, r.distance_km) || !GetI32(is, r.inner_violations) ||
+      !GetI32(is, r.outer_violations) || !GetF64(is, r.max_deviation_m) ||
+      !GetU8(is, reason) || !GetF64(is, r.failsafe_time_s) ||
+      !GetString(is, r.crash_reason, kMaxNameLen) || !GetF64(is, r.crash_time_s)) {
+    return false;
+  }
+  if (fault_type > static_cast<std::uint8_t>(FaultType::kDrift)) return false;
+  if (fault_target > static_cast<std::uint8_t>(FaultTarget::kImu)) return false;
+  if (outcome > static_cast<std::uint8_t>(MissionOutcome::kTimeout)) return false;
+  if (reason > static_cast<std::uint8_t>(nav::FailsafeReason::kEstimatorFailure)) {
+    return false;
+  }
+  r.is_gold = (is_gold != 0);
+  r.fault.type = static_cast<FaultType>(fault_type);
+  r.fault.target = static_cast<FaultTarget>(fault_target);
+  r.outcome = static_cast<MissionOutcome>(outcome);
+  r.failsafe_reason = static_cast<nav::FailsafeReason>(reason);
+  return true;
+}
+
+void WriteStoredRun(std::ostream& os, std::uint64_t key, const StoredRun& run) {
+  os.write(kMagic, 4);
+  telemetry::PutU32(os, kResultStoreSchemaVersion);
+  telemetry::PutU64(os, key);
+  WriteMissionResult(os, run.result);
+  telemetry::PutU8(os, run.trajectory.has_value() ? 1 : 0);
+  if (run.trajectory) telemetry::WriteTrajectory(os, *run.trajectory);
+  telemetry::PutU32(os, kFooter);
+}
+
+std::optional<StoredRun> ReadStoredRun(std::istream& is, std::uint64_t expected_key) {
+  char magic[4];
+  if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) return std::nullopt;
+  std::uint32_t version = 0;
+  std::uint64_t key = 0;
+  if (!telemetry::GetU32(is, version) || version != kResultStoreSchemaVersion) {
+    return std::nullopt;
+  }
+  if (!telemetry::GetU64(is, key) || key != expected_key) return std::nullopt;
+
+  StoredRun run;
+  if (!ReadMissionResult(is, run.result)) return std::nullopt;
+  std::uint8_t has_trajectory = 0;
+  if (!telemetry::GetU8(is, has_trajectory)) return std::nullopt;
+  if (has_trajectory != 0) {
+    auto trajectory = telemetry::ReadTrajectory(is);
+    if (!trajectory) return std::nullopt;
+    run.trajectory = std::move(*trajectory);
+  }
+  std::uint32_t footer = 0;
+  if (!telemetry::GetU32(is, footer) || footer != kFooter) return std::nullopt;
+  if (is.peek() != std::istream::traits_type::eof()) return std::nullopt;  // trailing junk
+  return run;
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_, ec)) {
+    std::fprintf(stderr, "result store: cannot open %s (%s); caching disabled\n",
+                 dir_.c_str(), ec.message().c_str());
+    dir_.clear();
+  }
+}
+
+std::string ResultStore::EntryPath(std::uint64_t key) const {
+  return dir_ + "/" + KeyHex(key) + ".uvrs";
+}
+
+std::optional<StoredRun> ResultStore::Load(std::uint64_t key, bool require_trajectory) {
+  if (!enabled()) return std::nullopt;
+  const std::string path = EntryPath(key);
+  std::optional<StoredRun> run;
+  bool existed = false;
+  {
+    std::ifstream is(path, std::ios::binary);
+    existed = static_cast<bool>(is);
+    if (existed) {
+      run = ReadStoredRun(is, key);
+      if (run && require_trajectory && !run->trajectory) run.reset();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (run) {
+    ++stats_.hits;
+    return run;
+  }
+  ++stats_.misses;
+  if (existed) {
+    ++stats_.corrupt;
+    std::error_code ec;
+    fs::remove(path, ec);  // make room for the recomputed entry
+  }
+  return std::nullopt;
+}
+
+bool ResultStore::Store(std::uint64_t key, const StoredRun& run) {
+  if (!enabled()) return false;
+  const std::string tmp = dir_ + "/tmp-" + KeyHex(key) + "-" + KeyHex(TempToken());
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    WriteStoredRun(os, key, run);
+    if (!os) {
+      os.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, EntryPath(key), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  return true;
+}
+
+CacheStats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace uavres::core

@@ -1,0 +1,130 @@
+// Persistent, content-addressed campaign result store.
+//
+// Every experiment in the 850-run grid is a pure function of (run harness
+// config, drone spec, optional fault spec, seed base). This store keys each
+// completed run by a stable 64-bit FNV-1a hash of those inputs plus a schema
+// version, and persists the MissionResult (plus, for gold/reference runs,
+// the recorded Trajectory) to one file per key in a cache directory.
+//
+// Properties:
+//   * Writes are atomic (temp file + rename), so a campaign killed mid-run
+//     leaves only complete entries behind and simply resumes on restart.
+//   * Corrupt, truncated or schema-mismatched entries are detected via
+//     framing checks, deleted, counted, and reported as misses — the run is
+//     recomputed rather than trusted.
+//   * All bench/table/figure binaries pointed at one directory (e.g. via
+//     UAVRES_CACHE_DIR) share a single cache instead of re-simulating.
+//
+// Entry layout (little-endian, see telemetry/binary_io.h):
+//   magic "UVRS" | u32 schema | u64 key | MissionResult | u8 has_trajectory
+//   | [Trajectory] | u32 footer 0x5AFEC0DE | EOF
+//
+// Schema-version bump rules: bump kResultStoreSchemaVersion whenever the
+// serialized layout changes OR any simulation-affecting semantics change
+// that the key inputs cannot express (physics step, controller constants,
+// fault injection semantics, ...). Old entries then read as mismatched and
+// are recomputed; mixing schema versions in one directory is safe.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/scenario.h"
+#include "telemetry/trajectory.h"
+#include "uav/simulation_runner.h"
+
+namespace uavres::core {
+
+inline constexpr std::uint32_t kResultStoreSchemaVersion = 1;
+
+/// Streaming FNV-1a over typed fields. Stable across platforms and builds
+/// (doubles are mixed by IEEE-754 bit pattern, strings byte-wise).
+class CacheKeyHasher {
+ public:
+  CacheKeyHasher& Mix(std::uint64_t v);
+  CacheKeyHasher& Mix(double v);
+  CacheKeyHasher& Mix(const std::string& s);
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_{14695981039346656037ULL};  // FNV-1a offset basis
+};
+
+/// Stable cache key for one experiment. Covers everything the simulation
+/// outcome depends on: schema version, harness config, the full drone spec
+/// (including mission waypoints), mission index (a seed input), seed base,
+/// and the fault spec (or its absence, for gold runs).
+///
+/// `run.uav_config_mutator` is an opaque callable and CANNOT be hashed —
+/// callers that set it must bypass the cache (Campaign::Run does).
+std::uint64_t ExperimentCacheKey(const uav::RunConfig& run, const DroneSpec& spec,
+                                 int mission_index, std::uint64_t seed_base,
+                                 const std::optional<FaultSpec>& fault);
+
+/// Hit/miss accounting; `corrupt` counts entries that existed but failed
+/// validation (also reported as misses).
+struct CacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t corrupt{0};
+  std::uint64_t stores{0};
+
+  std::uint64_t Lookups() const { return hits + misses; }
+};
+
+/// One cached experiment. Gold entries carry their trajectory so dependent
+/// faulty runs (bubble-violation references) and the figure benches can
+/// reuse it; metrics-only entries leave it empty.
+struct StoredRun {
+  MissionResult result;
+  std::optional<telemetry::Trajectory> trajectory;
+};
+
+/// Thread-safe persistent store. All methods may be called concurrently
+/// from campaign worker threads; distinct keys map to distinct files and
+/// same-key writers race benignly (rename is last-writer-wins with
+/// identical deterministic content).
+class ResultStore {
+ public:
+  /// Opens the store over `dir`, creating the directory if needed. An empty
+  /// `dir` (or an uncreatable one) disables the store: every lookup misses
+  /// and every write is dropped.
+  explicit ResultStore(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Loads the entry for `key`. Returns nullopt on absence, corruption, or
+  /// (when `require_trajectory`) an entry without trajectory data; corrupt
+  /// entries are deleted so the recomputed run can replace them.
+  std::optional<StoredRun> Load(std::uint64_t key, bool require_trajectory = false);
+
+  /// Atomically persists the entry (temp file in `dir` + rename). Returns
+  /// false — never throws — on IO failure; the campaign still completes.
+  bool Store(std::uint64_t key, const StoredRun& run);
+
+  CacheStats stats() const;
+
+ private:
+  std::string EntryPath(std::uint64_t key) const;
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  CacheStats stats_;
+};
+
+/// Serialization of one MissionResult (exposed for tests and for comparing
+/// results bit-exactly across thread schedules).
+void WriteMissionResult(std::ostream& os, const MissionResult& r);
+bool ReadMissionResult(std::istream& is, MissionResult& r);
+
+/// Serialization of a full store entry (exposed for tests).
+void WriteStoredRun(std::ostream& os, std::uint64_t key, const StoredRun& run);
+std::optional<StoredRun> ReadStoredRun(std::istream& is, std::uint64_t expected_key);
+
+}  // namespace uavres::core

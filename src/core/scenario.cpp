@@ -95,8 +95,11 @@ std::vector<DroneSpec> BuildValenciaScenario() {
   // 3 drones at 14 km/h; one with a turning point.
   fleet.push_back(MakeSpec("VLC-07 S-N", 14.0, 1.7, 0.60, offset(-2300, 800),
                            {{1750, 0}}, false));
+  // VLC-08's northbound leg stops 200 m short of VLC-09's west-east corridor
+  // (shared-frame north = 0); the longer final leg keeps the 1624 m path and
+  // ~490 s nominal duration intact.
   fleet.push_back(MakeSpec("VLC-08 diagonal turn", 14.0, 1.7, 0.60, offset(-1200, -1800),
-                           {{300, 300}, {1300, 300}, {1300, 500}}, true));
+                           {{300, 300}, {1000, 300}, {1000, 800}}, true));
   fleet.push_back(MakeSpec("VLC-09 W-E", 14.0, 1.8, 0.60, offset(0, -2400),
                            {{0, 1750}}, false));
 

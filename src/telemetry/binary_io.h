@@ -1,0 +1,112 @@
+// Shared little-endian binary stream primitives.
+//
+// Every on-disk artifact in this repository (flight records, the campaign
+// result store) uses the same framing conventions: explicit little-endian
+// integers, IEEE-754 doubles written natively (static_assert'd to 8 bytes),
+// and length-prefixed strings with a caller-supplied sanity bound. Readers
+// return false on any framing failure so callers can treat short/garbage
+// files as corrupt rather than trusting partial data.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "math/quat.h"
+#include "math/vec3.h"
+
+namespace uavres::telemetry {
+
+inline void PutU8(std::ostream& os, std::uint8_t v) {
+  os.write(reinterpret_cast<const char*>(&v), 1);
+}
+
+inline bool GetU8(std::istream& is, std::uint8_t& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), 1));
+}
+
+inline void PutU32(std::ostream& os, std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  os.write(reinterpret_cast<const char*>(b), 4);
+}
+
+inline bool GetU32(std::istream& is, std::uint32_t& v) {
+  unsigned char b[4];
+  if (!is.read(reinterpret_cast<char*>(b), 4)) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return true;
+}
+
+inline void PutU64(std::ostream& os, std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+  os.write(reinterpret_cast<const char*>(b), 8);
+}
+
+inline bool GetU64(std::istream& is, std::uint64_t& v) {
+  unsigned char b[8];
+  if (!is.read(reinterpret_cast<char*>(b), 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return true;
+}
+
+inline void PutI32(std::ostream& os, std::int32_t v) {
+  PutU32(os, static_cast<std::uint32_t>(v));
+}
+
+inline bool GetI32(std::istream& is, std::int32_t& v) {
+  std::uint32_t u = 0;
+  if (!GetU32(is, u)) return false;
+  v = static_cast<std::int32_t>(u);
+  return true;
+}
+
+inline void PutF64(std::ostream& os, double v) {
+  static_assert(sizeof(double) == 8);
+  os.write(reinterpret_cast<const char*>(&v), 8);
+}
+
+inline bool GetF64(std::istream& is, double& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), 8));
+}
+
+/// Length-prefixed string. Readers reject lengths above `max_len` (a corrupt
+/// length field must not trigger a multi-gigabyte allocation).
+inline void PutString(std::ostream& os, const std::string& s) {
+  PutU32(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline bool GetString(std::istream& is, std::string& s, std::uint32_t max_len) {
+  std::uint32_t len = 0;
+  if (!GetU32(is, len) || len > max_len) return false;
+  s.assign(len, '\0');
+  return len == 0 || static_cast<bool>(is.read(s.data(), static_cast<std::streamsize>(len)));
+}
+
+inline void PutVec3(std::ostream& os, const math::Vec3& v) {
+  PutF64(os, v.x);
+  PutF64(os, v.y);
+  PutF64(os, v.z);
+}
+
+inline bool GetVec3(std::istream& is, math::Vec3& v) {
+  return GetF64(is, v.x) && GetF64(is, v.y) && GetF64(is, v.z);
+}
+
+inline void PutQuat(std::ostream& os, const math::Quat& q) {
+  PutF64(os, q.w);
+  PutF64(os, q.x);
+  PutF64(os, q.y);
+  PutF64(os, q.z);
+}
+
+inline bool GetQuat(std::istream& is, math::Quat& q) {
+  return GetF64(is, q.w) && GetF64(is, q.x) && GetF64(is, q.y) && GetF64(is, q.z);
+}
+
+}  // namespace uavres::telemetry

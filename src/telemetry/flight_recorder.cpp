@@ -3,59 +3,15 @@
 #include <cstring>
 #include <fstream>
 
+#include "telemetry/binary_io.h"
+#include "telemetry/trajectory_codec.h"
+
 namespace uavres::telemetry {
 namespace {
 
 constexpr char kMagic[4] = {'U', 'V', 'R', 'L'};
-// A flight at 5 Hz for an hour is ~18k samples; anything beyond these
-// bounds is a corrupt or hostile file, not a real recording.
-constexpr std::uint32_t kMaxSamples = 50'000'000;
 constexpr std::uint32_t kMaxEvents = 1'000'000;
 constexpr std::uint32_t kMaxMessageLen = 65'536;
-
-void PutU32(std::ostream& os, std::uint32_t v) {
-  unsigned char b[4];
-  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
-  os.write(reinterpret_cast<const char*>(b), 4);
-}
-
-bool GetU32(std::istream& is, std::uint32_t& v) {
-  unsigned char b[4];
-  if (!is.read(reinterpret_cast<char*>(b), 4)) return false;
-  v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
-  return true;
-}
-
-void PutF64(std::ostream& os, double v) {
-  static_assert(sizeof(double) == 8);
-  os.write(reinterpret_cast<const char*>(&v), 8);
-}
-
-bool GetF64(std::istream& is, double& v) {
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), 8));
-}
-
-void PutQuat(std::ostream& os, const math::Quat& q) {
-  PutF64(os, q.w);
-  PutF64(os, q.x);
-  PutF64(os, q.y);
-  PutF64(os, q.z);
-}
-
-bool GetQuat(std::istream& is, math::Quat& q) {
-  return GetF64(is, q.w) && GetF64(is, q.x) && GetF64(is, q.y) && GetF64(is, q.z);
-}
-
-void PutVec3(std::ostream& os, const math::Vec3& v) {
-  PutF64(os, v.x);
-  PutF64(os, v.y);
-  PutF64(os, v.z);
-}
-
-bool GetVec3(std::istream& is, math::Vec3& v) {
-  return GetF64(is, v.x) && GetF64(is, v.y) && GetF64(is, v.z);
-}
 
 }  // namespace
 
@@ -65,25 +21,12 @@ bool WriteFlightRecord(std::ostream& os, const FlightRecord& record) {
   PutU32(os, static_cast<std::uint32_t>(record.trajectory.Size()));
   PutU32(os, static_cast<std::uint32_t>(record.log.Events().size()));
 
-  for (const auto& s : record.trajectory.Samples()) {
-    PutF64(os, s.t);
-    PutVec3(os, s.pos_true);
-    PutVec3(os, s.pos_est);
-    PutVec3(os, s.vel_true);
-    PutVec3(os, s.vel_est);
-    PutQuat(os, s.att_true);
-    PutQuat(os, s.att_est);
-    PutF64(os, s.airspeed_est);
-    const char fault = s.fault_active ? 1 : 0;
-    os.write(&fault, 1);
-  }
+  WriteTrajectorySamples(os, record.trajectory);
 
   for (const auto& e : record.log.Events()) {
     PutF64(os, e.t);
-    const char level = static_cast<char>(e.level);
-    os.write(&level, 1);
-    PutU32(os, static_cast<std::uint32_t>(e.message.size()));
-    os.write(e.message.data(), static_cast<std::streamsize>(e.message.size()));
+    PutU8(os, static_cast<std::uint8_t>(e.level));
+    PutString(os, e.message);
   }
   return static_cast<bool>(os);
 }
@@ -93,35 +36,20 @@ std::optional<FlightRecord> ReadFlightRecord(std::istream& is) {
   if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) return std::nullopt;
   std::uint32_t version = 0, n_samples = 0, n_events = 0;
   if (!GetU32(is, version) || version != kFlightRecordVersion) return std::nullopt;
-  if (!GetU32(is, n_samples) || n_samples > kMaxSamples) return std::nullopt;
+  if (!GetU32(is, n_samples) || n_samples > kMaxTrajectorySamples) return std::nullopt;
   if (!GetU32(is, n_events) || n_events > kMaxEvents) return std::nullopt;
 
   FlightRecord record;
-  record.trajectory.Reserve(n_samples);
-  for (std::uint32_t i = 0; i < n_samples; ++i) {
-    TrajectorySample s;
-    char fault = 0;
-    if (!GetF64(is, s.t) || !GetVec3(is, s.pos_true) || !GetVec3(is, s.pos_est) ||
-        !GetVec3(is, s.vel_true) || !GetVec3(is, s.vel_est) || !GetQuat(is, s.att_true) ||
-        !GetQuat(is, s.att_est) || !GetF64(is, s.airspeed_est) || !is.read(&fault, 1)) {
-      return std::nullopt;
-    }
-    s.fault_active = (fault != 0);
-    record.trajectory.Add(s);
-  }
+  if (!ReadTrajectorySamples(is, n_samples, record.trajectory)) return std::nullopt;
 
   for (std::uint32_t i = 0; i < n_events; ++i) {
     double t = 0.0;
-    char level = 0;
-    std::uint32_t len = 0;
-    if (!GetF64(is, t) || !is.read(&level, 1) || !GetU32(is, len) || len > kMaxMessageLen) {
+    std::uint8_t level = 0;
+    std::string message;
+    if (!GetF64(is, t) || !GetU8(is, level) || !GetString(is, message, kMaxMessageLen)) {
       return std::nullopt;
     }
-    std::string message(len, '\0');
-    if (len > 0 && !is.read(message.data(), static_cast<std::streamsize>(len))) {
-      return std::nullopt;
-    }
-    if (level < 0 || level > static_cast<char>(LogLevel::kCritical)) return std::nullopt;
+    if (level > static_cast<std::uint8_t>(LogLevel::kCritical)) return std::nullopt;
     record.log.Add(t, static_cast<LogLevel>(level), std::move(message));
   }
   return record;

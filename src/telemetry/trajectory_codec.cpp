@@ -1,0 +1,50 @@
+#include "telemetry/trajectory_codec.h"
+
+#include "telemetry/binary_io.h"
+
+namespace uavres::telemetry {
+
+void WriteTrajectorySamples(std::ostream& os, const Trajectory& trajectory) {
+  for (const auto& s : trajectory.Samples()) {
+    PutF64(os, s.t);
+    PutVec3(os, s.pos_true);
+    PutVec3(os, s.pos_est);
+    PutVec3(os, s.vel_true);
+    PutVec3(os, s.vel_est);
+    PutQuat(os, s.att_true);
+    PutQuat(os, s.att_est);
+    PutF64(os, s.airspeed_est);
+    PutU8(os, s.fault_active ? 1 : 0);
+  }
+}
+
+bool ReadTrajectorySamples(std::istream& is, std::uint32_t count, Trajectory& out) {
+  out.Reserve(out.Size() + count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TrajectorySample s;
+    std::uint8_t fault = 0;
+    if (!GetF64(is, s.t) || !GetVec3(is, s.pos_true) || !GetVec3(is, s.pos_est) ||
+        !GetVec3(is, s.vel_true) || !GetVec3(is, s.vel_est) || !GetQuat(is, s.att_true) ||
+        !GetQuat(is, s.att_est) || !GetF64(is, s.airspeed_est) || !GetU8(is, fault)) {
+      return false;
+    }
+    s.fault_active = (fault != 0);
+    out.Add(s);
+  }
+  return true;
+}
+
+void WriteTrajectory(std::ostream& os, const Trajectory& trajectory) {
+  PutU32(os, static_cast<std::uint32_t>(trajectory.Size()));
+  WriteTrajectorySamples(os, trajectory);
+}
+
+std::optional<Trajectory> ReadTrajectory(std::istream& is) {
+  std::uint32_t count = 0;
+  if (!GetU32(is, count) || count > kMaxTrajectorySamples) return std::nullopt;
+  Trajectory out;
+  if (!ReadTrajectorySamples(is, count, out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace uavres::telemetry

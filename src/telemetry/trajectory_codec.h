@@ -1,0 +1,38 @@
+// Binary (de)serialization of Trajectory data.
+//
+// Two layers: the sample-array codec (count supplied externally — the framing
+// used inside flight records, format-compatible with UVRL v1) and a
+// self-framed whole-trajectory codec (count prefix) used by the campaign
+// result store. Readers return failure on any truncation or implausible
+// count so corrupt files surface as misses, never as silent wrong data.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+
+#include "telemetry/trajectory.h"
+
+namespace uavres::telemetry {
+
+/// Upper bound accepted by the readers: a flight at 5 Hz for an hour is
+/// ~18k samples; anything beyond this is a corrupt or hostile file.
+inline constexpr std::uint32_t kMaxTrajectorySamples = 50'000'000;
+
+/// Bytes one serialized sample occupies (20 doubles + 1 fault byte).
+inline constexpr std::size_t kTrajectorySampleBytes = 20 * 8 + 1;
+
+/// Write the sample array only (no count prefix).
+void WriteTrajectorySamples(std::ostream& os, const Trajectory& trajectory);
+
+/// Read `count` samples into `out` (appended). False on truncation.
+bool ReadTrajectorySamples(std::istream& is, std::uint32_t count, Trajectory& out);
+
+/// Self-framed: u32 sample count followed by the sample array.
+void WriteTrajectory(std::ostream& os, const Trajectory& trajectory);
+
+/// Reads a self-framed trajectory; nullopt on bad count or truncation.
+std::optional<Trajectory> ReadTrajectory(std::istream& is);
+
+}  // namespace uavres::telemetry

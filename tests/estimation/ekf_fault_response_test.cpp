@@ -94,14 +94,35 @@ TEST_P(EkfFaultSweep, ImuFaultKeepsNumericsFinite) {
   EXPECT_LT(out.pos_err_final, 5.0) << core::ToString(Type());
 }
 
+// Large-reset expectations per fault type. The GPS large-reset path fires
+// only when the position/velocity innovation exceeds large_reset_{pos,vel}
+// (20 m / 10 m/s). Between 10 Hz GPS fixes an accelerometer error grows the
+// velocity estimate by at most |a_err| * 0.1 s, which splits the fault model
+// three ways:
+//   * kFixed / kMin / kMax pin the output anywhere up to the ±156.9 m/s²
+//     sensor limit, ~15 m/s of innovation per fix interval -> large resets
+//     are guaranteed (asserted > 0).
+//   * kZeros / kFreeze / kNoise leave the error bounded by ~g (losing the
+//     gravity term is the worst case), ~1 m/s per fix interval -> ordinary
+//     Kalman updates absorb it and the large-reset path never fires
+//     (asserted == 0).
+//   * kRandom is zero-mean with heavy tails: the count depends entirely on
+//     the draw (measured 0-1 across seeds/targets), so neither bound is a
+//     stable expectation and the case is skipped with this rationale.
 TEST_P(EkfFaultSweep, ExtremeFaultsTriggerLargeResets) {
   const auto type = Type();
-  if (type != core::FaultType::kMin && type != core::FaultType::kMax &&
-      type != core::FaultType::kFixed) {
-    GTEST_SKIP() << "only extreme-value faults guarantee large resets";
+  if (type == core::FaultType::kRandom) {
+    GTEST_SKIP() << "kRandom is zero-mean: large resets depend on the draw "
+                    "(see expectation table above)";
   }
   const Outcome out = RunFaulted(type, core::FaultTarget::kAccelerometer);
-  EXPECT_GT(out.large_resets, 0) << core::ToString(type);
+  const bool extreme = type == core::FaultType::kMin || type == core::FaultType::kMax ||
+                       type == core::FaultType::kFixed;
+  if (extreme) {
+    EXPECT_GT(out.large_resets, 0) << core::ToString(type);
+  } else {
+    EXPECT_EQ(out.large_resets, 0) << core::ToString(type);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperFaults, EkfFaultSweep, ::testing::Range(0, 7));

@@ -1,0 +1,149 @@
+// Campaign-level cache behaviour: a re-run against a warm store performs
+// zero simulations and returns bit-identical results, an interrupted (here:
+// truncated-grid) campaign resumes with only the missing runs computed, and
+// corrupt entries are recomputed rather than trusted. Bit-identity is
+// asserted on the canonical serialization, which is exactly what the store
+// persists — if these bytes match, the cache is trustworthy.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/result_store.h"
+
+namespace uavres::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+CampaignConfig SmallConfig() {
+  CampaignConfig cfg;
+  cfg.mission_limit = 1;
+  cfg.durations = {2.0};
+  return cfg;
+}
+
+std::string MakeCacheDir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "uavres_campaign_cache_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Canonical bytes of every result in campaign order (gold then faulty).
+std::string SerializeAll(const CampaignResults& results) {
+  std::ostringstream os(std::ios::binary);
+  for (const auto& r : results.gold) WriteMissionResult(os, r);
+  for (const auto& r : results.faulty) WriteMissionResult(os, r);
+  return os.str();
+}
+
+TEST(CampaignCache, SecondRunIsAllHitsAndBitIdentical) {
+  auto cfg = SmallConfig();
+  cfg.cache_dir = MakeCacheDir("rerun");
+
+  const auto cold = Campaign(cfg).Run();
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_EQ(cold.cache.misses, cold.TotalRuns());
+  EXPECT_EQ(cold.cache.stores, cold.TotalRuns());
+
+  const auto warm = Campaign(cfg).Run();
+  EXPECT_EQ(warm.cache.hits, warm.TotalRuns());  // zero simulations
+  EXPECT_EQ(warm.cache.misses, 0u);
+  EXPECT_EQ(warm.cache.stores, 0u);
+  EXPECT_EQ(SerializeAll(warm), SerializeAll(cold));
+
+  // And the cached results equal a from-scratch, cache-free run.
+  auto uncached_cfg = SmallConfig();
+  const auto uncached = Campaign(uncached_cfg).Run();
+  EXPECT_EQ(uncached.cache.Lookups(), 0u);
+  EXPECT_EQ(SerializeAll(warm), SerializeAll(uncached));
+
+  // Gold trajectories survive the round trip sample-for-sample.
+  ASSERT_EQ(warm.gold_trajectories.size(), uncached.gold_trajectories.size());
+  ASSERT_EQ(warm.gold_trajectories[0].Size(), uncached.gold_trajectories[0].Size());
+}
+
+TEST(CampaignCache, ResumesAfterPartialCampaign) {
+  // Stand-in for a killed campaign: a 1-mission run leaves a partial cache;
+  // the full 2-mission run then recomputes only the remaining mission.
+  const std::string dir = MakeCacheDir("resume");
+
+  auto partial_cfg = SmallConfig();
+  partial_cfg.cache_dir = dir;
+  const auto partial = Campaign(partial_cfg).Run();
+  const std::size_t partial_runs = partial.TotalRuns();
+
+  auto full_cfg = partial_cfg;
+  full_cfg.mission_limit = 2;
+  const auto resumed = Campaign(full_cfg).Run();
+  EXPECT_EQ(resumed.cache.hits, partial_runs);
+  EXPECT_EQ(resumed.cache.misses, resumed.TotalRuns() - partial_runs);
+
+  // The already-cached mission's rows are byte-identical to the first run
+  // (faulty results are mission-major, so mission 0 occupies the first
+  // grid-size rows).
+  auto bytes = [](const MissionResult& r) {
+    std::ostringstream os(std::ios::binary);
+    WriteMissionResult(os, r);
+    return os.str();
+  };
+  EXPECT_EQ(bytes(resumed.gold[0]), bytes(partial.gold[0]));
+  for (std::size_t j = 0; j < partial.faulty.size(); ++j) {
+    EXPECT_EQ(bytes(resumed.faulty[j]), bytes(partial.faulty[j])) << j;
+  }
+}
+
+TEST(CampaignCache, CorruptEntryIsRecomputed) {
+  auto cfg = SmallConfig();
+  cfg.cache_dir = MakeCacheDir("corrupt");
+  const auto cold = Campaign(cfg).Run();
+
+  // Truncate one arbitrary entry.
+  fs::directory_iterator it(cfg.cache_dir);
+  ASSERT_NE(it, fs::directory_iterator{});
+  fs::resize_file(it->path(), fs::file_size(it->path()) / 3);
+
+  const auto warm = Campaign(cfg).Run();
+  EXPECT_EQ(warm.cache.corrupt, 1u);
+  EXPECT_EQ(warm.cache.misses, 1u);
+  EXPECT_EQ(warm.cache.hits, warm.TotalRuns() - 1);
+  EXPECT_EQ(warm.cache.stores, 1u);  // recomputed entry re-persisted
+  EXPECT_EQ(SerializeAll(warm), SerializeAll(cold));
+}
+
+TEST(CampaignCache, ConfigMutatorBypassesCache) {
+  auto cfg = SmallConfig();
+  cfg.cache_dir = MakeCacheDir("mutator");
+  cfg.run.uav_config_mutator = [](uav::UavConfig&) {};  // opaque: unhashable
+  const auto results = Campaign(cfg).Run();
+  EXPECT_EQ(results.cache.Lookups(), 0u);
+  EXPECT_EQ(results.cache.stores, 0u);
+  EXPECT_FALSE(fs::exists(cfg.cache_dir));  // store never even opened it
+}
+
+TEST(Campaign, ThreadScheduleIndependenceFastGrid) {
+  // UAVRES_FAST-sized fleet (3 missions), full 21-fault grid at one
+  // duration, executed with 1 and 4 worker threads: the MissionResult
+  // vectors must be bit-identical, which is what makes cached results
+  // thread-schedule-independent and therefore trustworthy.
+  CampaignConfig base;
+  base.mission_limit = 3;
+  base.durations = {2.0};
+
+  auto one = base;
+  one.num_threads = 1;
+  auto four = base;
+  four.num_threads = 4;
+
+  const auto a = Campaign(one).Run();
+  const auto b = Campaign(four).Run();
+  ASSERT_EQ(a.gold.size(), 3u);
+  ASSERT_EQ(a.faulty.size(), 63u);
+  EXPECT_EQ(SerializeAll(a), SerializeAll(b));
+}
+
+}  // namespace
+}  // namespace uavres::core
