@@ -10,6 +10,7 @@
 //   uavres replay [file.uvrl]
 //   uavres list
 //   uavres help
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,6 +23,8 @@
 #include "core/tables.h"
 #include "telemetry/csv_writer.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
 #include "uav/simulation_runner.h"
 #include "uspace/multi_runner.h"
 
@@ -49,7 +52,12 @@ int Usage() {
       "                                     dump a gold trajectory as CSV\n"
       "  record [mission] [file.uvrl] [--target acc|gyro|imu --type random\n"
       "         --duration S] [--rate HZ]   record a flight (binary log)\n"
-      "  replay [file.uvrl]                 summarize a recorded flight\n");
+      "  replay [file.uvrl]                 summarize a recorded flight\n"
+      "\n"
+      "observability (any command; see DESIGN.md §10):\n"
+      "  --trace-out FILE                   write a Chrome-trace/Perfetto JSON\n"
+      "  --metrics-out FILE                 write the metrics registry as JSON\n"
+      "  --progress                         live per-run campaign progress line\n");
   return 1;
 }
 
@@ -150,12 +158,28 @@ int CmdCampaign(const app::CommandLine& cl) {
   if (const auto dir = cl.Flag("cache-dir")) cfg.cache_dir = *dir;
   if (cl.HasFlag("no-cache")) cfg.cache_dir.clear();
   const core::Campaign campaign(cfg);
-  const auto results = campaign.Run([](std::size_t done, std::size_t total) {
-    if (done % 50 == 0 || done == total) {
-      std::fprintf(stderr, "\r%zu / %zu runs", done, total);
-      if (done == total) std::fprintf(stderr, "\n");
-    }
-  });
+
+  // Progress reporting: `--progress` updates a live line on every completed
+  // run (percentage + wall-clock ETA); the default only prints milestones.
+  const bool live_progress = cl.HasFlag("progress");
+  const auto campaign_start = std::chrono::steady_clock::now();
+  const auto results =
+      campaign.Run([live_progress, campaign_start](std::size_t done, std::size_t total) {
+        if (live_progress) {
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            campaign_start)
+                  .count();
+          const double eta =
+              done > 0 ? elapsed * static_cast<double>(total - done) / done : 0.0;
+          std::fprintf(stderr, "\r[campaign] %zu/%zu runs (%.1f%%) eta %.0fs   ", done,
+                       total, 100.0 * static_cast<double>(done) / total, eta);
+          if (done == total) std::fprintf(stderr, "\n");
+        } else if (done % 50 == 0 || done == total) {
+          std::fprintf(stderr, "\r%zu / %zu runs", done, total);
+          if (done == total) std::fprintf(stderr, "\n");
+        }
+      });
   if (!cfg.cache_dir.empty() || cl.HasFlag("cache-stats")) {
     std::fprintf(stderr,
                  "cache [%s]: %llu hits, %llu misses (%llu corrupt), %llu stored\n",
@@ -177,6 +201,7 @@ int CmdCampaign(const app::CommandLine& cl) {
                                       core::BuildTable4(results))
                  .c_str(),
              stdout);
+  std::printf("\n%s", telemetry::MetricsRegistry::Global().FormatSummaryTable().c_str());
   return 0;
 }
 
@@ -291,10 +316,9 @@ int CmdReplay(const app::CommandLine& cl) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  const auto cl = uavres::app::ParseCommandLine(args);
+namespace {
 
+int Dispatch(const uavres::app::CommandLine& cl) {
   if (cl.command == "list") return CmdList();
   if (cl.command == "fly") return CmdFly(cl);
   if (cl.command == "inject") return CmdInject(cl);
@@ -304,4 +328,45 @@ int main(int argc, char** argv) {
   if (cl.command == "record") return CmdRecord(cl);
   if (cl.command == "replay") return CmdReplay(cl);
   return Usage();
+}
+
+/// Writes `text_fn(os)` to `path`; downgrades failures to a warning so a
+/// bad output path never discards the completed command's work.
+template <typename WriteFn>
+void WriteObservabilityFile(const std::string& path, const char* what, WriteFn&& fn) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s file %s\n", what, path.c_str());
+    return;
+  }
+  fn(os);
+  std::fprintf(stderr, "wrote %s -> %s\n", what, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const auto cl = uavres::app::ParseCommandLine(args);
+
+  // Tracing must be live before the command runs; both outputs are written
+  // after it finishes (and after campaign workers have joined).
+  const auto trace_out = cl.Flag("trace-out");
+  const auto metrics_out = cl.Flag("metrics-out");
+  if (trace_out) uavres::telemetry::TraceRecorder::Global().Enable();
+
+  const int rc = Dispatch(cl);
+
+  if (trace_out) {
+    uavres::telemetry::TraceRecorder::Global().Disable();
+    WriteObservabilityFile(*trace_out, "trace", [](std::ostream& os) {
+      uavres::telemetry::TraceRecorder::Global().WriteChromeTrace(os);
+    });
+  }
+  if (metrics_out) {
+    WriteObservabilityFile(*metrics_out, "metrics", [](std::ostream& os) {
+      uavres::telemetry::MetricsRegistry::Global().WriteJson(os);
+    });
+  }
+  return rc;
 }

@@ -4,7 +4,34 @@
 #include <cstdlib>
 #include <thread>
 
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
+
 namespace uavres::core {
+
+namespace {
+
+/// Campaign-level tallies cover every result — computed AND cache-loaded —
+/// so the metrics JSON matches the reported run/outcome totals exactly.
+void CountCampaignResult(const MissionResult& r) {
+  UAVRES_COUNT("campaign.runs");
+  switch (r.outcome) {
+    case MissionOutcome::kCompleted:
+      UAVRES_COUNT("campaign.outcome.completed");
+      break;
+    case MissionOutcome::kCrashed:
+      UAVRES_COUNT("campaign.outcome.crashed");
+      break;
+    case MissionOutcome::kFailsafe:
+      UAVRES_COUNT("campaign.outcome.failsafe");
+      break;
+    case MissionOutcome::kTimeout:
+      UAVRES_COUNT("campaign.outcome.timeout");
+      break;
+  }
+}
+
+}  // namespace
 
 CampaignConfig CampaignConfig::FromEnvironment() {
   CampaignConfig cfg;
@@ -50,6 +77,7 @@ std::vector<FaultSpec> Campaign::GridFaults() const {
 
 CampaignResults Campaign::Run(
     const std::function<void(std::size_t, std::size_t)>& progress) const {
+  UAVRES_TRACE_SCOPE("campaign/run");
   const uav::SimulationRunner runner(cfg_.run);
   // Faulty runs only need metrics; skip trajectory recording to bound memory.
   uav::RunConfig faulty_cfg = cfg_.run;
@@ -82,9 +110,12 @@ CampaignResults Campaign::Run(
   // entries must carry their trajectory — it is the bubble reference for
   // every dependent faulty run.
   {
+    UAVRES_TRACE_SCOPE("campaign/gold-phase");
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
+      UAVRES_TRACE_SCOPE("campaign/gold-worker");
       for (std::size_t i = next.fetch_add(1); i < fleet_.size(); i = next.fetch_add(1)) {
+        UAVRES_TRACE_SCOPE("campaign/gold-run");
         const std::uint64_t key = ExperimentCacheKey(
             cfg_.run, fleet_[i], static_cast<int>(i), cfg_.seed_base, std::nullopt);
         if (auto cached = store.Load(key, /*require_trajectory=*/true)) {
@@ -98,6 +129,7 @@ CampaignResults Campaign::Run(
             store.Store(key, {results.gold[i], results.gold_trajectories[i]});
           }
         }
+        CountCampaignResult(results.gold[i]);
         report();
       }
     };
@@ -111,10 +143,13 @@ CampaignResults Campaign::Run(
   // each is persisted as its worker finishes (checkpointing), so a killed
   // campaign resumes with only the missing runs recomputed.
   {
+    UAVRES_TRACE_SCOPE("campaign/faulty-phase");
     std::atomic<std::size_t> next{0};
     const std::size_t n_jobs = results.faulty.size();
     auto worker = [&] {
+      UAVRES_TRACE_SCOPE("campaign/faulty-worker");
       for (std::size_t j = next.fetch_add(1); j < n_jobs; j = next.fetch_add(1)) {
+        UAVRES_TRACE_SCOPE("campaign/faulty-run");
         const std::size_t mission = j / grid.size();
         const std::size_t fault = j % grid.size();
         const std::uint64_t key =
@@ -129,6 +164,7 @@ CampaignResults Campaign::Run(
           results.faulty[j] = out.result;
           if (store.enabled()) store.Store(key, {results.faulty[j], std::nullopt});
         }
+        CountCampaignResult(results.faulty[j]);
         report();
       }
     };

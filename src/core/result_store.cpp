@@ -9,6 +9,8 @@
 #include <system_error>
 
 #include "telemetry/binary_io.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
 #include "telemetry/trajectory_codec.h"
 
 namespace uavres::core {
@@ -209,6 +211,7 @@ std::string ResultStore::EntryPath(std::uint64_t key) const {
 
 std::optional<StoredRun> ResultStore::Load(std::uint64_t key, bool require_trajectory) {
   if (!enabled()) return std::nullopt;
+  UAVRES_TRACE_SCOPE("cache/load");
   const std::string path = EntryPath(key);
   std::optional<StoredRun> run;
   bool existed = false;
@@ -223,11 +226,14 @@ std::optional<StoredRun> ResultStore::Load(std::uint64_t key, bool require_traje
   std::lock_guard<std::mutex> lock(mutex_);
   if (run) {
     ++stats_.hits;
+    UAVRES_COUNT("cache.hits");
     return run;
   }
   ++stats_.misses;
+  UAVRES_COUNT("cache.misses");
   if (existed) {
     ++stats_.corrupt;
+    UAVRES_COUNT("cache.corrupt");
     std::error_code ec;
     fs::remove(path, ec);  // make room for the recomputed entry
   }
@@ -236,6 +242,7 @@ std::optional<StoredRun> ResultStore::Load(std::uint64_t key, bool require_traje
 
 bool ResultStore::Store(std::uint64_t key, const StoredRun& run) {
   if (!enabled()) return false;
+  UAVRES_TRACE_SCOPE("cache/store");
   const std::string tmp = dir_ + "/tmp-" + KeyHex(key) + "-" + KeyHex(TempToken());
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
@@ -256,6 +263,7 @@ bool ResultStore::Store(std::uint64_t key, const StoredRun& run) {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
+  UAVRES_COUNT("cache.stores");
   return true;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "math/num.h"
+#include "telemetry/metrics_registry.h"
 
 namespace uavres::estimation {
 
@@ -54,6 +55,7 @@ void Ekf::InitAtRest(const Vec3& pos, double yaw_rad) {
 }
 
 void Ekf::PredictImu(const sensors::ImuSample& imu, double dt) {
+  UAVRES_COUNT("ekf.predicts");
   time_ = imu.t;
   status_.time_since_gps_accept_s = time_ - last_gps_accept_time_;
 
@@ -152,6 +154,7 @@ void Ekf::InjectErrorState(const VecN<kN>& dx) {
 
 void Ekf::FuseGps(const sensors::GpsSample& gps) {
   if (!gps.valid) return;
+  UAVRES_COUNT("ekf.gps_fusions");
 
   double worst_pos = 0.0;
   double worst_vel = 0.0;
@@ -171,8 +174,10 @@ void Ekf::FuseGps(const sensors::GpsSample& gps) {
     P_(row, row) = Sq(noise);
     state = value;
     ++status_.gps_reset_count;
+    UAVRES_COUNT("ekf.gps_resets");
     if (std::abs(innovation) > large_limit || !math::IsFinite(innovation)) {
       ++status_.gps_large_reset_count;
+      UAVRES_COUNT("ekf.gps_large_resets");
     }
   };
 
@@ -286,6 +291,7 @@ void Ekf::MaybeResetAttitude(const Vec3& accel_meas, double dt) {
     P_(kTh + i, kTh + i) = Sq(0.25);
   }
   ++status_.attitude_reset_count;
+  UAVRES_COUNT("ekf.attitude_resets");
 }
 
 double Ekf::HorizontalPosStd() const {

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "math/num.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
 
 namespace uavres::nav {
 
@@ -57,6 +59,8 @@ void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfS
     confirm_time_ = t;
     next_switch_time_ = t + cfg_.isolation_per_unit_s;
     isolation_switches_ = 0;
+    UAVRES_COUNT("hm.confirmations");
+    UAVRES_TRACE_INSTANT("hm/anomaly-confirmed");
   }
 
   if (confirmed_) {
@@ -65,12 +69,15 @@ void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfS
       confirmed_ = false;
       active_unit_ = 0;
       stuck_accum_ = 0.0;
+      UAVRES_COUNT("hm.standdowns");
     } else if (isolation_switches_ < cfg_.redundant_units - 1) {
       // Isolation phase: cycle to the next redundant unit.
       if (t >= next_switch_time_) {
         ++isolation_switches_;
         active_unit_ = (active_unit_ + 1) % cfg_.redundant_units;
         next_switch_time_ = t + cfg_.isolation_per_unit_s;
+        UAVRES_COUNT("hm.isolation_switches");
+        UAVRES_TRACE_INSTANT("hm/isolation-switch");
       }
     } else {
       // All redundant units tried and the anomaly persists.
@@ -79,6 +86,8 @@ void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfS
       if (since_confirm >= isolation_total + cfg_.post_isolation_persistence_s) {
         reason_ = FailsafeReason::kSensorFault;
         failsafe_time_ = t;
+        UAVRES_COUNT("hm.failsafe.sensor-fault");
+        UAVRES_TRACE_INSTANT("hm/failsafe");
         return;
       }
     }
@@ -89,6 +98,8 @@ void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfS
   if (cfg_.enable_attitude_fd && tilt_consecutive_s_ >= cfg_.tilt_confirm_s) {
     reason_ = FailsafeReason::kAttitudeFailure;
     failsafe_time_ = t;
+    UAVRES_COUNT("hm.failsafe.attitude-failure");
+    UAVRES_TRACE_INSTANT("hm/failsafe");
     return;
   }
 
@@ -104,6 +115,8 @@ void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfS
         t - reset_window_start_ <= cfg_.ekf_reset_window_s) {
       reason_ = FailsafeReason::kEstimatorFailure;
       failsafe_time_ = t;
+      UAVRES_COUNT("hm.failsafe.estimator-failure");
+      UAVRES_TRACE_INSTANT("hm/failsafe");
       return;
     }
   }
@@ -112,6 +125,8 @@ void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfS
   if (!ekf.numerically_healthy) {
     reason_ = FailsafeReason::kEstimatorFailure;
     failsafe_time_ = t;
+    UAVRES_COUNT("hm.failsafe.estimator-failure");
+    UAVRES_TRACE_INSTANT("hm/failsafe");
   }
 }
 

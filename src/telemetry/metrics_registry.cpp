@@ -1,0 +1,170 @@
+#include "telemetry/metrics_registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace uavres::telemetry {
+
+int Counter::ShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(slot % kShards);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  std::uint64_t new_bits;
+  do {
+    new_bits = std::bit_cast<std::uint64_t>(std::bit_cast<double>(old_bits) + value);
+  } while (!sum_bits_.compare_exchange_weak(old_bits, new_bits, std::memory_order_relaxed));
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(std::string(name), std::move(upper_bounds))
+      .first->second;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.Reset();
+  for (auto& [name, hist] : histograms_) hist.Reset();
+}
+
+std::vector<CounterSnapshot> MetricsRegistry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(CounterSnapshot{name, counter.Value()});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+namespace {
+
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    WriteJsonString(os, name);
+    os << ": " << counter.Value();
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    WriteJsonString(os, name);
+    os << ": {\"count\": " << hist.Count() << ", \"sum\": " << FormatDouble(hist.Sum())
+       << ", \"buckets\": [";
+    const auto& bounds = hist.upper_bounds();
+    const auto counts = hist.BucketCounts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < bounds.size()) {
+        os << FormatDouble(bounds[i]);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << counts[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "\n  }\n}\n";
+}
+
+std::string MetricsRegistry::FormatSummaryTable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "metrics summary\n";
+  char line[160];
+  for (const auto& [name, counter] : counters_) {
+    const std::uint64_t v = counter.Value();
+    if (v == 0) continue;
+    std::snprintf(line, sizeof line, "  %-38s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::uint64_t n = hist.Count();
+    if (n == 0) continue;
+    std::snprintf(line, sizeof line, "  %-38s count=%llu mean=%s\n", name.c_str(),
+                  static_cast<unsigned long long>(n),
+                  FormatDouble(hist.Sum() / static_cast<double>(n)).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace uavres::telemetry

@@ -1,0 +1,120 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+#include <string>
+
+namespace uavres::telemetry {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::Enable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    epoch_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_release);
+  }
+}
+
+void TraceRecorder::Disable() { enabled_.store(false, std::memory_order_release); }
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->events.clear();
+  }
+}
+
+std::uint64_t TraceRecorder::NowUs() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+TraceRecorder::ThreadLog& TraceRecorder::LocalLog() {
+  thread_local ThreadLog* local = nullptr;
+  if (local == nullptr) {
+    auto log = std::make_unique<ThreadLog>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    log->tid = static_cast<std::uint32_t>(logs_.size());
+    local = logs_.emplace_back(std::move(log)).get();
+  }
+  return *local;
+}
+
+void TraceRecorder::Emit(const char* name, char phase) {
+  ThreadLog& log = LocalLog();
+  const std::uint64_t ts = NowUs();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  log.events.push_back(TraceEvent{name, phase, ts});
+}
+
+std::size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    n += log->events.size();
+  }
+  return n;
+}
+
+namespace {
+
+// Event names are string literals under our control, but escape defensively
+// so the emitted document is always valid JSON.
+void WriteJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    for (const TraceEvent& e : log->events) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"name\":";
+      WriteJsonString(os, e.name);
+      os << ",\"ph\":\"" << e.phase << "\"";
+      if (e.phase == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+      os << ",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":" << log->tid << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace uavres::telemetry

@@ -1,9 +1,13 @@
 #include "uav/simulation_runner.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 
 #include "core/bubble.h"
 #include "math/num.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
 
 namespace uavres::uav {
 
@@ -47,6 +51,9 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
                                 std::optional<core::FaultSpec> fault,
                                 const telemetry::Trajectory* gold,
                                 std::uint64_t seed_base) const {
+  UAVRES_TRACE_SCOPE("sim/run");
+  UAVRES_COUNT("sim.runs");
+  const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t seed = ExperimentSeed(seed_base, mission_index, fault);
   UavConfig uav_cfg = MakeUavConfig(spec);
   if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
@@ -84,9 +91,11 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
 
   double end_time = max_time;
   MissionOutcome outcome = MissionOutcome::kTimeout;
+  std::uint64_t steps = 0;
 
   while (uav.time() < max_time) {
     uav.Step();
+    ++steps;
     const double t = uav.time();
     const auto& truth = uav.quad().state();
     const auto& est = uav.ekf().state();
@@ -154,6 +163,31 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
   out.result.crash_reason = uav.crash_detector().reason();
   out.result.crash_time_s = uav.crash_detector().crash_time();
   out.log = uav.log();
+
+  // Per-run accounting: the step count and outcome tallies are deterministic
+  // oracles (the golden-trace test asserts on them); the wall-clock histogram
+  // is the profiling signal.
+  UAVRES_COUNT_N("sim.steps", steps);
+  switch (outcome) {
+    case MissionOutcome::kCompleted:
+      UAVRES_COUNT("sim.outcome.completed");
+      break;
+    case MissionOutcome::kCrashed:
+      UAVRES_COUNT("sim.outcome.crashed");
+      break;
+    case MissionOutcome::kFailsafe:
+      UAVRES_COUNT("sim.outcome.failsafe");
+      break;
+    case MissionOutcome::kTimeout:
+      UAVRES_COUNT("sim.outcome.timeout");
+      break;
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
+  UAVRES_OBSERVE("sim.run_wall_ms", wall_ms, 50, 100, 250, 500, 1000, 2500, 5000,
+                 10000, 30000);
   return out;
 }
 
