@@ -8,6 +8,7 @@
 //   uavres record [mission] [file.uvrl] [--rate HZ] [--target acc|gyro|imu
 //                 --type <fault> --duration S]
 //   uavres replay [file.uvrl]
+//   uavres fuzz [--runs N] [--seed N] [--out DIR] [--replay file.repro]
 //   uavres list
 //   uavres help
 #include <chrono>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "app/command_line.h"
+#include "app/fuzzer.h"
 #include "core/campaign.h"
 #include "core/scenario.h"
 #include "core/tables.h"
@@ -53,6 +55,13 @@ int Usage() {
       "  record [mission] [file.uvrl] [--target acc|gyro|imu --type random\n"
       "         --duration S] [--rate HZ]   record a flight (binary log)\n"
       "  replay [file.uvrl]                 summarize a recorded flight\n"
+      "  fuzz [--runs N] [--seed N] [--out DIR] [--shrink-budget N]\n"
+      "       [--determinism-every N] [--verbose]\n"
+      "                                     randomized fault-campaign fuzzing:\n"
+      "                                     every run checked against runtime\n"
+      "                                     invariants + metamorphic oracles;\n"
+      "                                     failures shrunk to DIR/*.repro\n"
+      "  fuzz --replay file.repro           re-execute a minimized repro\n"
       "\n"
       "observability (any command; see DESIGN.md §10):\n"
       "  --trace-out FILE                   write a Chrome-trace/Perfetto JSON\n"
@@ -314,6 +323,47 @@ int CmdReplay(const app::CommandLine& cl) {
   return 0;
 }
 
+int CmdFuzz(const app::CommandLine& cl) {
+  if (const auto file = cl.Flag("replay")) {
+    std::string err;
+    const auto c = app::LoadRepro(*file, &err);
+    if (!c) {
+      std::fprintf(stderr, "fuzz: %s\n", err.c_str());
+      return 2;
+    }
+    app::FuzzOptions opts;
+    opts.out_dir.clear();  // a replay never re-minimizes
+    const app::Fuzzer fuzzer(opts);
+    const auto res = fuzzer.RunCase(*c, /*with_determinism=*/true);
+    std::printf("replay     : %s\n", file->c_str());
+    std::printf("fault      : %s for %.2f s at t=%.2f s\n",
+                core::FaultLabel(c->fault.target, c->fault.type).c_str(),
+                c->fault.duration_s, c->fault.start_time_s);
+    PrintResult(res.result);
+    for (const auto& f : res.failures) {
+      std::printf("FAILURE    : [%s] %s\n", app::ToString(f.kind), f.detail.c_str());
+    }
+    if (res.failures.empty()) std::printf("no oracle failures reproduced\n");
+    return res.failed() ? 1 : 0;
+  }
+
+  app::FuzzOptions opts;
+  opts.base_seed = static_cast<std::uint64_t>(cl.FlagInt("seed", 1));
+  opts.runs = cl.FlagInt("runs", 100);
+  opts.out_dir = cl.Flag("out").value_or("fuzz-repros");
+  opts.shrink_budget = cl.FlagInt("shrink-budget", 32);
+  opts.determinism_every = cl.FlagInt("determinism-every", 8);
+  opts.verbose = cl.HasFlag("verbose");
+  const app::Fuzzer fuzzer(opts);
+  const auto rep = fuzzer.Run();
+  std::printf("fuzz       : %d cases, %d failed (%d shrink runs)\n", rep.cases,
+              rep.failed_cases, rep.shrink_runs);
+  for (const auto& path : rep.repro_files) {
+    std::printf("repro      : %s\n", path.c_str());
+  }
+  return rep.failed_cases == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 namespace {
@@ -327,6 +377,7 @@ int Dispatch(const uavres::app::CommandLine& cl) {
   if (cl.command == "export") return CmdExport(cl);
   if (cl.command == "record") return CmdRecord(cl);
   if (cl.command == "replay") return CmdReplay(cl);
+  if (cl.command == "fuzz") return CmdFuzz(cl);
   return Usage();
 }
 

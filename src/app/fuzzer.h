@@ -1,0 +1,146 @@
+// Randomized fault-campaign fuzzer with invariant + metamorphic oracles and
+// failing-case minimization (`uavres fuzz`).
+//
+// Each case is one complete flight drawn from a seeded generator: a short
+// synthetic cruise path grafted onto one of the ten scenario drones, a
+// primary IMU fault with randomized type/target/onset/duration, optionally a
+// second overlapping fault window, randomized fault magnitudes and wind.
+// Every case is checked against
+//
+//   * the runtime invariant checker (core/invariants.h) in kRecord mode, and
+//   * metamorphic oracles that need no ground truth:
+//       - determinism: re-running the identical case (and, once per session,
+//         its fault-free twin) must reproduce the serialized result and
+//         trajectory byte-for-byte;
+//       - axis-permutation symmetry: a gyro-targeted fault corrupts the gyro
+//         identically whether or not the accelerometer is faulted too
+//         (guaranteed by the injector's per-axis RNG streams);
+//       - time-shift invariance: shifting a fault window by a constant
+//         offset shifts its corruption sequence by exactly that offset;
+//       - cache round-trip: a ResultStore entry read back from bytes must
+//         re-serialize to the same bytes and carry the same metrics (a cache
+//         hit is indistinguishable from a recompute).
+//
+// A failing case is shrunk greedily — drop the second fault, halve the fault
+// duration, halve magnitudes, remove wind, drop waypoints — re-running after
+// each candidate step and keeping it only if the same failure signature
+// reproduces. The minimized case is written to a `.repro` file that
+// `uavres fuzz --replay file.repro` re-executes exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fault_model.h"
+#include "core/invariants.h"
+#include "math/vec3.h"
+#include "uav/simulation_runner.h"
+
+namespace uavres::app {
+
+/// One generated fuzz case. Every field is plain data so a case serializes
+/// to a `.repro` file and shrinks field-by-field.
+struct FuzzCase {
+  std::uint64_t seed{1};            ///< per-case simulation seed base
+  int mission{0};                   ///< scenario drone index [0, 10)
+  std::vector<math::Vec3> waypoints;  ///< replaces the mission's cruise path (NED)
+  core::FaultSpec fault;            ///< primary fault window
+  std::optional<core::FaultSpec> second_fault;  ///< overlapping window (maybe)
+  double noise_accel_sigma{35.0};   ///< kNoise magnitude [m/s^2]
+  double noise_gyro_sigma{1.2};     ///< kNoise magnitude [rad/s]
+  double scale_factor{1.8};         ///< kScale gain
+  double wind_n{0.0}, wind_e{0.0};  ///< mean wind [m/s]
+  double gust{0.0};                 ///< gust intensity [m/s]
+};
+
+/// Which oracle a case failed.
+enum class FuzzFailureKind : std::uint8_t {
+  kInvariant,
+  kDeterminism,
+  kAxisPermutation,
+  kTimeShift,
+  kCacheRoundTrip,
+};
+const char* ToString(FuzzFailureKind k);
+
+/// One oracle failure. `invariant` is meaningful only for kInvariant; a
+/// failure signature (kind, invariant) is what shrinking must preserve.
+struct FuzzFailure {
+  FuzzFailureKind kind{FuzzFailureKind::kInvariant};
+  core::InvariantId invariant{core::InvariantId::kStateFinite};
+  std::string detail;
+
+  bool SameSignature(const FuzzFailure& o) const {
+    return kind == o.kind &&
+           (kind != FuzzFailureKind::kInvariant || invariant == o.invariant);
+  }
+};
+
+/// Outcome of running one case through all oracles.
+struct FuzzCaseResult {
+  std::vector<FuzzFailure> failures;
+  core::MissionResult result;
+
+  bool failed() const { return !failures.empty(); }
+};
+
+struct FuzzOptions {
+  std::uint64_t base_seed{1};
+  int runs{100};
+  std::string out_dir{"fuzz-repros"};  ///< where .repro files land ("" = off)
+  int shrink_budget{32};     ///< max extra simulations spent minimizing a case
+  int determinism_every{8};  ///< full re-run determinism oracle cadence (cost)
+  bool verbose{false};       ///< per-case progress on stdout
+  /// Invariant thresholds; mode is forced to kRecord internally.
+  core::InvariantConfig invariants;
+  /// Test-only tap forwarded to RunConfig::invariant_tap — mutation checks
+  /// corrupt the sampled state here to prove the pipeline catches, shrinks
+  /// and replays a defect.
+  std::function<void(core::InvariantSample&)> invariant_tap;
+};
+
+/// Session summary.
+struct FuzzReport {
+  int cases{0};
+  int failed_cases{0};
+  int shrink_runs{0};                    ///< extra simulations spent shrinking
+  std::vector<std::string> repro_files;  ///< one per failing case (if out_dir)
+  std::vector<FuzzFailure> failures;     ///< first failure of each failing case
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzOptions opts);
+
+  /// Deterministically generate the `index`-th case of this session.
+  FuzzCase Generate(int index) const;
+
+  /// Run one case through the simulator and every oracle.
+  /// `with_determinism` additionally re-runs the identical case and compares
+  /// serialized outputs (one extra simulation).
+  FuzzCaseResult RunCase(const FuzzCase& c, bool with_determinism) const;
+
+  /// Greedy minimization preserving `failure`'s signature. `runs_used`
+  /// (optional) receives the number of candidate simulations spent.
+  FuzzCase Shrink(const FuzzCase& c, const FuzzFailure& failure,
+                  int* runs_used = nullptr) const;
+
+  /// Full session: generate, run, shrink failures, write .repro files.
+  FuzzReport Run() const;
+
+  const FuzzOptions& options() const { return opts_; }
+
+ private:
+  FuzzOptions opts_;
+};
+
+/// `.repro` file format (plain text, one field per line; see fuzzer.cpp).
+std::string SerializeRepro(const FuzzCase& c, const FuzzFailure& failure);
+std::optional<FuzzCase> ParseRepro(std::istream& is, std::string* error = nullptr);
+std::optional<FuzzCase> LoadRepro(const std::string& path, std::string* error = nullptr);
+
+}  // namespace uavres::app

@@ -10,10 +10,27 @@ using sensors::ImuSample;
 FaultInjector::FaultInjector(const FaultSpec& spec, const sensors::ImuRanges& ranges,
                              math::Rng rng, const FaultNoiseConfig& noise,
                              const ExtendedFaultConfig& ext)
-    : spec_(spec), ranges_(ranges), rng_(rng), noise_(noise), ext_(ext) {
+    : spec_(spec), ranges_(ranges), noise_(noise), ext_(ext) {
+  // One independent stream per sensor axis, forked in a fixed order so the
+  // same seed yields the same per-axis sequences regardless of which axes
+  // the fault ends up touching.
+  for (int sensor = 0; sensor < 2; ++sensor) {
+    for (int axis = 0; axis < 3; ++axis) axis_rng_[sensor][axis] = rng.Fork();
+  }
   // kFixed draws its constant once per experiment — "a Random constant value".
-  fixed_accel_ = rng_.UniformVec3(-ranges_.accel.limit, ranges_.accel.limit);
-  fixed_gyro_ = rng_.UniformVec3(-ranges_.gyro.limit, ranges_.gyro.limit);
+  fixed_accel_ = UniformPerAxis(true, -ranges_.accel.limit, ranges_.accel.limit);
+  fixed_gyro_ = UniformPerAxis(false, -ranges_.gyro.limit, ranges_.gyro.limit);
+}
+
+Vec3 FaultInjector::UniformPerAxis(bool is_accel, double lo, double hi) {
+  return {AxisRng(is_accel, 0).Uniform(lo, hi), AxisRng(is_accel, 1).Uniform(lo, hi),
+          AxisRng(is_accel, 2).Uniform(lo, hi)};
+}
+
+Vec3 FaultInjector::GaussianPerAxis(bool is_accel, double sigma) {
+  return {AxisRng(is_accel, 0).Gaussian(0.0, sigma),
+          AxisRng(is_accel, 1).Gaussian(0.0, sigma),
+          AxisRng(is_accel, 2).Gaussian(0.0, sigma)};
 }
 
 Vec3 FaultInjector::CorruptAxis(const Vec3& truth, bool is_accel, int unit, double t) {
@@ -30,14 +47,14 @@ Vec3 FaultInjector::CorruptAxis(const Vec3& truth, bool is_accel, int unit, doub
       // sample is this one (first in-window sample), so pass it through.
       return truth;
     case FaultType::kRandom:
-      return rng_.UniformVec3(-limit, limit);
+      return UniformPerAxis(is_accel, -limit, limit);
     case FaultType::kMin:
       return {-limit, -limit, -limit};
     case FaultType::kMax:
       return {limit, limit, limit};
     case FaultType::kNoise: {
       const double sigma = is_accel ? noise_.accel_sigma_mps2 : noise_.gyro_sigma_rads;
-      return (truth + rng_.GaussianVec3(sigma)).CwiseClamp(-limit, limit);
+      return (truth + GaussianPerAxis(is_accel, sigma)).CwiseClamp(-limit, limit);
     }
     case FaultType::kScale:
       return (truth * ext_.scale_factor).CwiseClamp(-limit, limit);
@@ -48,7 +65,7 @@ Vec3 FaultInjector::CorruptAxis(const Vec3& truth, bool is_accel, int unit, doub
       const double phase =
           std::fmod(t - spec_.start_time_s, ext_.intermittent_period_s);
       if (phase < ext_.intermittent_duty * ext_.intermittent_period_s) {
-        return rng_.UniformVec3(-limit, limit);  // burst
+        return UniformPerAxis(is_accel, -limit, limit);  // burst
       }
       return truth;  // healthy gap
     }

@@ -37,6 +37,14 @@ struct ExtendedFaultConfig {
 };
 
 /// Applies one FaultSpec to the redundant IMU stream.
+///
+/// Randomized faults (kFixed's constant, kRandom, kNoise, kIntermittent
+/// bursts) draw from one RNG stream per sensor axis — six streams forked
+/// deterministically from the seed. Axis draws are therefore independent:
+/// corrupting the accelerometer never perturbs the gyro's draw sequence and
+/// vice versa, which is what the fuzzer's axis-permutation metamorphic
+/// oracle asserts (a gyro-targeted fault produces the same gyro corruption
+/// whether or not the accelerometer is faulted too).
 class FaultInjector {
  public:
   static constexpr int kMaxUnits = sensors::RedundantImu::kNumUnits;
@@ -63,9 +71,16 @@ class FaultInjector {
  private:
   math::Vec3 CorruptAxis(const math::Vec3& truth, bool is_accel, int unit, double t);
 
+  /// Per-axis stream: sensor 0 = accelerometer, 1 = gyrometer.
+  math::Rng& AxisRng(bool is_accel, int axis) {
+    return axis_rng_[is_accel ? 0 : 1][axis];
+  }
+  math::Vec3 UniformPerAxis(bool is_accel, double lo, double hi);
+  math::Vec3 GaussianPerAxis(bool is_accel, double sigma);
+
   FaultSpec spec_;
   sensors::ImuRanges ranges_;
-  math::Rng rng_;
+  math::Rng axis_rng_[2][3];  ///< [sensor][axis] independent streams
   FaultNoiseConfig noise_;
   ExtendedFaultConfig ext_;
 

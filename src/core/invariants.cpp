@@ -1,0 +1,249 @@
+#include "core/invariants.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "math/num.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
+
+namespace uavres::core {
+
+using estimation::Ekf;
+using math::IsFinite;
+
+const char* ToString(InvariantId id) {
+  switch (id) {
+    case InvariantId::kStateFinite: return "state-finite";
+    case InvariantId::kCommandBounds: return "command-bounds";
+    case InvariantId::kQuatNorm: return "quat-norm";
+    case InvariantId::kCovSymmetry: return "cov-symmetry";
+    case InvariantId::kCovPsd: return "cov-psd";
+    case InvariantId::kCovTrace: return "cov-trace";
+    case InvariantId::kEnergyRate: return "energy-rate";
+    case InvariantId::kBubbleOrder: return "bubble-order";
+    case InvariantId::kFailsafeLatency: return "failsafe-latency";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Telemetry requires literal names per call site; map ids to literals once.
+void CountViolation(InvariantId id) {
+  UAVRES_COUNT("invariant.violations");
+  switch (id) {
+    case InvariantId::kStateFinite:
+      UAVRES_COUNT("invariant.state-finite");
+      UAVRES_TRACE_INSTANT("invariant/state-finite");
+      break;
+    case InvariantId::kCommandBounds:
+      UAVRES_COUNT("invariant.command-bounds");
+      UAVRES_TRACE_INSTANT("invariant/command-bounds");
+      break;
+    case InvariantId::kQuatNorm:
+      UAVRES_COUNT("invariant.quat-norm");
+      UAVRES_TRACE_INSTANT("invariant/quat-norm");
+      break;
+    case InvariantId::kCovSymmetry:
+      UAVRES_COUNT("invariant.cov-symmetry");
+      UAVRES_TRACE_INSTANT("invariant/cov-symmetry");
+      break;
+    case InvariantId::kCovPsd:
+      UAVRES_COUNT("invariant.cov-psd");
+      UAVRES_TRACE_INSTANT("invariant/cov-psd");
+      break;
+    case InvariantId::kCovTrace:
+      UAVRES_COUNT("invariant.cov-trace");
+      UAVRES_TRACE_INSTANT("invariant/cov-trace");
+      break;
+    case InvariantId::kEnergyRate:
+      UAVRES_COUNT("invariant.energy-rate");
+      UAVRES_TRACE_INSTANT("invariant/energy-rate");
+      break;
+    case InvariantId::kBubbleOrder:
+      UAVRES_COUNT("invariant.bubble-order");
+      UAVRES_TRACE_INSTANT("invariant/bubble-order");
+      break;
+    case InvariantId::kFailsafeLatency:
+      UAVRES_COUNT("invariant.failsafe-latency");
+      UAVRES_TRACE_INSTANT("invariant/failsafe-latency");
+      break;
+  }
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(const InvariantConfig& cfg) : cfg_(cfg) {}
+
+std::size_t InvariantChecker::CountFor(InvariantId id) const {
+  return per_id_[static_cast<std::size_t>(id)];
+}
+
+void InvariantChecker::Report(InvariantId id, double t, double value, double bound,
+                              std::string detail) {
+  ++total_;
+  ++per_id_[static_cast<std::size_t>(id)];
+  CountViolation(id);
+  if (violations_.size() < cfg_.max_recorded) {
+    violations_.push_back({id, t, value, bound, std::move(detail)});
+  }
+  if (cfg_.mode == InvariantMode::kFatal) {
+    std::fprintf(stderr,
+                 "FATAL invariant violation [%s] at t=%.3f s: %s (value %.6g, bound "
+                 "%.6g)\n",
+                 ToString(id), t, violations_.empty() ? "" : violations_.back().detail.c_str(),
+                 value, bound);
+    std::abort();
+  }
+}
+
+void InvariantChecker::CheckCovariance(const InvariantSample& s) {
+  if (s.cov == nullptr) return;
+  const auto& P = *s.cov;
+
+  double trace = 0.0;
+  double min_diag = 0.0;
+  double worst_asym = 0.0;
+  double worst_cs = 0.0;
+  for (int i = 0; i < Ekf::kN; ++i) {
+    const double di = P(i, i);
+    if (!IsFinite(di)) {
+      Report(InvariantId::kCovPsd, s.t, di, 0.0,
+             "covariance diagonal non-finite at row " + std::to_string(i));
+      return;
+    }
+    trace += di;
+    min_diag = std::min(min_diag, di);
+    for (int j = i + 1; j < Ekf::kN; ++j) {
+      const double pij = P(i, j);
+      const double pji = P(j, i);
+      if (!IsFinite(pij) || !IsFinite(pji)) {
+        Report(InvariantId::kCovSymmetry, s.t, pij, 0.0,
+               "covariance off-diagonal non-finite at (" + std::to_string(i) + "," +
+                   std::to_string(j) + ")");
+        return;
+      }
+      const double asym = std::abs(pij - pji) / std::max(1.0, std::abs(pij));
+      worst_asym = std::max(worst_asym, asym);
+      // Cauchy-Schwarz: |P_ij| <= sqrt(P_ii P_jj) — necessary for PSD.
+      const double cs_bound = std::sqrt(std::max(0.0, di) * std::max(0.0, P(j, j)));
+      worst_cs = std::max(worst_cs, std::abs(pij) - cs_bound);
+    }
+  }
+
+  if (worst_asym > cfg_.cov_symmetry_tol) {
+    Report(InvariantId::kCovSymmetry, s.t, worst_asym, cfg_.cov_symmetry_tol,
+           "covariance asymmetry beyond tolerance");
+  }
+  if (min_diag < -cfg_.cov_psd_tol) {
+    Report(InvariantId::kCovPsd, s.t, min_diag, 0.0, "negative covariance variance");
+  } else if (worst_cs > cfg_.cov_psd_tol * std::max(1.0, trace)) {
+    Report(InvariantId::kCovPsd, s.t, worst_cs, cfg_.cov_psd_tol,
+           "covariance violates Cauchy-Schwarz bound");
+  }
+  if (!(trace <= cfg_.cov_trace_max)) {  // catches NaN as well
+    Report(InvariantId::kCovTrace, s.t, trace, cfg_.cov_trace_max,
+           "covariance trace beyond plausibility bound");
+  }
+
+  // Transient events the EKF's own strict checks caught between our samples.
+  if (s.ekf_status != nullptr) {
+    if (s.ekf_status->cov_asymmetry_events > last_cov_asym_events_) {
+      Report(InvariantId::kCovSymmetry, s.t,
+             static_cast<double>(s.ekf_status->cov_asymmetry_events -
+                                 last_cov_asym_events_),
+             0.0, "EKF in-situ check: covariance asymmetry between samples");
+      last_cov_asym_events_ = s.ekf_status->cov_asymmetry_events;
+    }
+    if (s.ekf_status->cov_negative_variance_events > last_cov_neg_var_events_) {
+      Report(InvariantId::kCovPsd, s.t,
+             static_cast<double>(s.ekf_status->cov_negative_variance_events -
+                                 last_cov_neg_var_events_),
+             0.0, "EKF in-situ check: negative variance between samples");
+      last_cov_neg_var_events_ = s.ekf_status->cov_negative_variance_events;
+    }
+  }
+}
+
+void InvariantChecker::CheckStep(const InvariantSample& s) {
+  if (cfg_.mode == InvariantMode::kOff) return;
+
+  // --- NaN/Inf guards on state and commands. ---
+  if (!s.pos_true.AllFinite() || !s.vel_true.AllFinite() || !s.att_true.AllFinite()) {
+    Report(InvariantId::kStateFinite, s.t, 0.0, 0.0, "truth state non-finite");
+  }
+  if (!s.pos_est.AllFinite() || !s.vel_est.AllFinite() || !s.att_est.AllFinite()) {
+    Report(InvariantId::kStateFinite, s.t, 0.0, 0.0, "estimated state non-finite");
+  }
+  if (!IsFinite(s.thrust_cmd) || s.thrust_cmd < cfg_.thrust_cmd_min ||
+      s.thrust_cmd > cfg_.thrust_cmd_max) {
+    Report(InvariantId::kCommandBounds, s.t, s.thrust_cmd, cfg_.thrust_cmd_max,
+           "collective thrust command out of actuator bounds");
+  }
+
+  // --- Quaternion normalization (truth and estimate). ---
+  if (s.att_true.AllFinite()) {
+    const double err = std::abs(s.att_true.Norm() - 1.0);
+    if (err > cfg_.quat_norm_tol) {
+      Report(InvariantId::kQuatNorm, s.t, err, cfg_.quat_norm_tol,
+             "truth attitude quaternion denormalized");
+    }
+  }
+  if (s.att_est.AllFinite()) {
+    const double err = std::abs(s.att_est.Norm() - 1.0);
+    if (err > cfg_.quat_norm_tol) {
+      Report(InvariantId::kQuatNorm, s.t, err, cfg_.quat_norm_tol,
+             "estimated attitude quaternion denormalized");
+    }
+  }
+
+  // --- EKF covariance invariants. ---
+  CheckCovariance(s);
+
+  // --- Energy-rate plausibility on the truth state. ---
+  if (IsFinite(s.energy_j)) {
+    if (have_prev_energy_ && s.dt > 1e-9) {
+      const double rate = (s.energy_j - prev_energy_j_) / s.dt;
+      const double bound = cfg_.energy_rate_margin_w_per_kg * s.mass_kg;
+      if (rate > bound) {
+        Report(InvariantId::kEnergyRate, s.t, rate, bound,
+               "mechanical energy rising faster than the powertrain allows");
+      }
+    }
+    prev_energy_j_ = s.energy_j;
+    have_prev_energy_ = true;
+  }
+
+  // --- Bubble-layer containment ordering. ---
+  if (s.bubble_tracked) {
+    if (!(s.bubble_inner_m > 0.0) || !(s.bubble_outer_m >= s.bubble_inner_m)) {
+      Report(InvariantId::kBubbleOrder, s.t, s.bubble_outer_m, s.bubble_inner_m,
+             "outer bubble radius below inner radius (containment ordering)");
+    }
+  }
+}
+
+void InvariantChecker::CheckEnd(const InvariantEndSample& s) {
+  if (cfg_.mode == InvariantMode::kOff) return;
+  // Sensor-fault failsafes go through confirm + isolation + persistence;
+  // completing that pipeline faster than its structural floor means the
+  // detection logic is broken. The floor only binds when the pipeline was
+  // uncharged at fault onset: a failsafe that fired *before* the fault is a
+  // monitor false positive (not attributable to the injection), and a
+  // pre-charged confirm integrator legitimately shortens the apparent
+  // latency.
+  if (s.fault_injected && s.failsafe_sensor_fault &&
+      s.failsafe_time_s >= s.fault_start_s && s.anomaly_at_onset <= 1e-3) {
+    const double latency = s.failsafe_time_s - s.fault_start_s;
+    const double floor = cfg_.failsafe_min_latency_s - cfg_.failsafe_latency_tol_s;
+    if (latency < floor) {
+      Report(InvariantId::kFailsafeLatency, s.failsafe_time_s, latency,
+             cfg_.failsafe_min_latency_s,
+             "sensor-fault failsafe beat the detection pipeline floor");
+    }
+  }
+}
+
+}  // namespace uavres::core

@@ -40,7 +40,10 @@
 
 namespace uavres::core {
 
-inline constexpr std::uint32_t kResultStoreSchemaVersion = 1;
+// v2: fault injection draws from one RNG stream per sensor axis (axis-
+// independent randomized faults), changing every kFixed/kRandom/kNoise/
+// kIntermittent trajectory.
+inline constexpr std::uint32_t kResultStoreSchemaVersion = 2;
 
 /// Streaming FNV-1a over typed fields. Stable across platforms and builds
 /// (doubles are mixed by IEEE-754 bit pattern, strings byte-wise).

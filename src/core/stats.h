@@ -8,8 +8,23 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 namespace uavres::core {
+
+/// Exact sample quantile with linear interpolation between order statistics
+/// (the R-7 / NumPy default). `q` is clamped to [0, 1]; an empty set yields
+/// 0. The input is taken by value and sorted.
+inline double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double h = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  return values[lo] +
+         (h - static_cast<double>(lo)) * (values[hi] - values[lo]);
+}
 
 /// One-pass mean/variance/min/max accumulator.
 class RunningStats {

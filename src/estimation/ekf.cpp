@@ -303,6 +303,26 @@ void Ekf::CheckNumerics() {
       !P_.AllFinite()) {
     status_.numerically_healthy = false;
   }
+  if (!cfg_.strict_invariant_checks) return;
+
+  // In-situ covariance invariants (core/invariants.h surfaces the counts):
+  // symmetry and non-negative variances must hold after every update.
+  double trace = 0.0;
+  bool asym = false;
+  bool neg_var = false;
+  for (int i = 0; i < kN; ++i) {
+    const double di = P_(i, i);
+    trace += di;
+    if (di < -1e-9) neg_var = true;
+    for (int j = i + 1; j < kN; ++j) {
+      if (std::abs(P_(i, j) - P_(j, i)) > 1e-9 * std::max(1.0, std::abs(P_(i, j)))) {
+        asym = true;
+      }
+    }
+  }
+  if (asym) ++status_.cov_asymmetry_events;
+  if (neg_var) ++status_.cov_negative_variance_events;
+  if (trace > status_.cov_trace_peak) status_.cov_trace_peak = trace;
 }
 
 }  // namespace uavres::estimation

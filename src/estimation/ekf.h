@@ -55,6 +55,12 @@ struct EkfConfig {
   /// every sample). N=2 at 250 Hz matches EKF2's decimated covariance rate.
   int cov_decimation{2};
 
+  /// In-situ invariant checking (core/invariants.h): after each covariance
+  /// update, scan P for asymmetry and negative variances and account the
+  /// events in EkfStatus, catching transients between the runner's coarser
+  /// sampling instants. Off by default (~200 extra compares per update).
+  bool strict_invariant_checks{false};
+
   // --- Optional mitigation (paper §IV-D, "software-based mitigation") ---
   /// When the accelerometer's gravity direction disagrees with the predicted
   /// attitude by more than `att_reset_err_rad` for `att_reset_window_s`
@@ -80,6 +86,11 @@ struct EkfStatus {
   /// Gravity re-alignments performed (only with enable_attitude_reset).
   int attitude_reset_count{0};
   bool numerically_healthy{true};  ///< false once any state/covariance is non-finite
+
+  // In-situ invariant accounting (only with strict_invariant_checks).
+  int cov_asymmetry_events{0};         ///< covariance asymmetry beyond 1e-9
+  int cov_negative_variance_events{0};  ///< negative diagonal entries seen
+  double cov_trace_peak{0.0};          ///< largest trace(P) observed
 };
 
 /// Estimated vehicle state exposed to the controllers.

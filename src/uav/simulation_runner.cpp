@@ -47,6 +47,13 @@ RunOutput SimulationRunner::RunWithFault(const core::DroneSpec& spec, int missio
   return Run(spec, mission_index, fault, &gold, seed_base);
 }
 
+RunOutput SimulationRunner::RunCase(const core::DroneSpec& spec, int mission_index,
+                                    const std::optional<core::FaultSpec>& fault,
+                                    const telemetry::Trajectory* gold,
+                                    std::uint64_t seed_base) const {
+  return Run(spec, mission_index, fault, gold, seed_base);
+}
+
 RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
                                 std::optional<core::FaultSpec> fault,
                                 const telemetry::Trajectory* gold,
@@ -57,6 +64,8 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
   const std::uint64_t seed = ExperimentSeed(seed_base, mission_index, fault);
   UavConfig uav_cfg = MakeUavConfig(spec);
   if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
+  core::InvariantChecker checker(cfg_.invariants);
+  if (checker.enabled()) uav_cfg.ekf.strict_invariant_checks = true;
   Uav uav(uav_cfg, spec.plan, fault, seed);
 
   const double max_time = spec.plan.ExpectedDuration() + cfg_.extra_time_s;
@@ -79,6 +88,7 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
 
   double next_record = 0.0;
   double next_track = cfg_.tracking_interval_s;  // first instant after takeoff starts
+  double last_check_t = 0.0;                     // previous invariant-check instant
   Vec3 last_est_pos = spec.plan.home;
   double distance_est = 0.0;
 
@@ -92,11 +102,17 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
   double end_time = max_time;
   MissionOutcome outcome = MissionOutcome::kTimeout;
   std::uint64_t steps = 0;
+  // Health-monitor confirm charge just before fault onset: the failsafe-
+  // latency invariant only binds when the pipeline starts uncharged.
+  double anomaly_at_onset = 0.0;
 
   while (uav.time() < max_time) {
     uav.Step();
     ++steps;
     const double t = uav.time();
+    if (fault && t < fault->start_time_s) {
+      anomaly_at_onset = uav.health().anomaly_level();
+    }
     const auto& truth = uav.quad().state();
     const auto& est = uav.ekf().state();
 
@@ -121,10 +137,37 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
           std::min((est.pos - last_est_pos).Norm(), max_step_dist);
       distance_est += step_dist;
       last_est_pos = est.pos;
-      if (gold != nullptr && uav.airborne_seen()) {
-        const double deviation = gold->DistanceToTruePath(truth.pos);
+      // Radii are tracked even without a gold reference (the containment-
+      // ordering invariant needs them); deviations only count against one.
+      if (uav.airborne_seen()) {
+        const double deviation =
+            gold != nullptr ? gold->DistanceToTruePath(truth.pos) : 0.0;
         const double airspeed = std::min(est.vel.Norm(), max_speed_plausible);
         bubbles.Track(deviation, airspeed, step_dist);
+      }
+
+      if (checker.enabled()) {
+        core::InvariantSample inv;
+        inv.t = t;
+        inv.dt = t - last_check_t;
+        inv.pos_true = truth.pos;
+        inv.vel_true = truth.vel;
+        inv.att_true = truth.att;
+        inv.pos_est = est.pos;
+        inv.vel_est = est.vel;
+        inv.att_est = est.att;
+        inv.thrust_cmd = uav.last_thrust_cmd();
+        inv.mass_kg = uav_cfg.airframe.mass_kg;
+        inv.energy_j = 0.5 * uav_cfg.airframe.mass_kg * truth.vel.NormSq() +
+                       uav_cfg.airframe.mass_kg * math::kGravity * (-truth.pos.z);
+        inv.bubble_inner_m = bubbles.inner_radius();
+        inv.bubble_outer_m = bubbles.last_outer_radius();
+        inv.bubble_tracked = bubbles.instants_tracked() > 0;
+        inv.cov = &uav.ekf().covariance();
+        inv.ekf_status = &uav.ekf().status();
+        if (cfg_.invariant_tap) cfg_.invariant_tap(inv);
+        checker.CheckStep(inv);
+        last_check_t = t;
       }
     }
 
@@ -163,6 +206,22 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
   out.result.crash_reason = uav.crash_detector().reason();
   out.result.crash_time_s = uav.crash_detector().crash_time();
   out.log = uav.log();
+
+  if (checker.enabled()) {
+    core::InvariantEndSample end;
+    end.fault_injected = fault.has_value();
+    if (fault) {
+      end.fault_start_s = fault->start_time_s;
+      end.fault_duration_s = fault->duration_s;
+    }
+    end.failsafe_sensor_fault =
+        uav.health().reason() == nav::FailsafeReason::kSensorFault;
+    end.failsafe_time_s = uav.health().failsafe_time();
+    end.anomaly_at_onset = anomaly_at_onset;
+    checker.CheckEnd(end);
+    out.violations = checker.violations();
+    out.total_violations = checker.total_violations();
+  }
 
   // Per-run accounting: the step count and outcome tallies are deterministic
   // oracles (the golden-trace test asserts on them); the wall-clock histogram

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "core/fault_model.h"
+#include "core/invariants.h"
 #include "core/metrics.h"
 #include "core/scenario.h"
 #include "telemetry/flight_log.h"
@@ -25,6 +26,15 @@ struct RunConfig {
   /// Optional hook applied to the derived UavConfig before each run; the
   /// ablation benches use it to vary failsafe/EKF parameters.
   std::function<void(UavConfig&)> uav_config_mutator;
+
+  /// Runtime invariant checking (core/invariants.h). kOff by default; the
+  /// fuzzer and correctness tests turn it on. When enabled, the EKF's
+  /// in-situ strict checks are enabled too.
+  core::InvariantConfig invariants;
+  /// Test-only tap: invoked with each InvariantSample before evaluation,
+  /// letting mutation tests emulate a defect (e.g. a denormalized attitude
+  /// quaternion) without patching the simulator.
+  std::function<void(core::InvariantSample&)> invariant_tap;
 };
 
 /// Full output of one experiment.
@@ -32,6 +42,10 @@ struct RunOutput {
   core::MissionResult result;
   telemetry::Trajectory trajectory;
   telemetry::FlightLog log;
+  /// Invariant violations (empty unless RunConfig::invariants enables checks;
+  /// recording capped at InvariantConfig::max_recorded).
+  std::vector<core::InvariantViolation> violations;
+  std::size_t total_violations{0};
 };
 
 /// Default flight-stack configuration derived from a scenario drone spec.
@@ -55,6 +69,14 @@ class SimulationRunner {
   RunOutput RunWithFault(const core::DroneSpec& spec, int mission_index,
                          const core::FaultSpec& fault, const telemetry::Trajectory& gold,
                          std::uint64_t seed_base) const;
+
+  /// General entry point (the fuzzer's): optional fault, optional gold
+  /// reference. Without a gold trajectory bubble radii are still tracked
+  /// (for the containment-ordering invariant) but deviations are not
+  /// counted as violations.
+  RunOutput RunCase(const core::DroneSpec& spec, int mission_index,
+                    const std::optional<core::FaultSpec>& fault,
+                    const telemetry::Trajectory* gold, std::uint64_t seed_base) const;
 
  private:
   RunOutput Run(const core::DroneSpec& spec, int mission_index,

@@ -45,7 +45,13 @@ Uav::Uav(const UavConfig& cfg, const nav::MissionPlan& plan,
       crash_(cfg.crash),
       battery_(cfg.battery) {
   if (fault) {
-    injector_.emplace(*fault, cfg.imu_ranges, Rng{math::HashCombine(seed, 0x06)});
+    injectors_.emplace_back(*fault, cfg.imu_ranges, Rng{math::HashCombine(seed, 0x06)},
+                            cfg.fault_noise, cfg.fault_ext);
+  }
+  for (std::size_t i = 0; i < cfg.extra_faults.size(); ++i) {
+    injectors_.emplace_back(cfg.extra_faults[i], cfg.imu_ranges,
+                            Rng{math::HashCombine(seed, 0x60 + i)}, cfg.fault_noise,
+                            cfg.fault_ext);
   }
   if (cfg.gps_fault) {
     gps_injector_.emplace(*cfg.gps_fault, Rng{math::HashCombine(seed, 0x07)});
@@ -68,12 +74,12 @@ void Uav::Step() {
 
   // --- Sense (fault injection happens at the sensor-output boundary). ---
   auto samples = imu_.SampleAll(quad_->state(), time_, dt_);
-  if (injector_) {
-    samples = injector_->ApplyAll(samples, time_);
-    if (!fault_logged_ && injector_->ActiveAt(time_)) {
+  for (auto& injector : injectors_) {
+    samples = injector.ApplyAll(samples, time_);
+    if (!fault_logged_ && injector.ActiveAt(time_)) {
       fault_logged_ = true;
       log_.Warn(time_, "fault injection window opened: " +
-                           core::FaultLabel(injector_->spec().target, injector_->spec().type));
+                           core::FaultLabel(injector.spec().target, injector.spec().type));
     }
   }
   const sensors::ImuSample& selected = samples[static_cast<std::size_t>(

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "control/attitude_controller.h"
 #include "control/mixer.h"
@@ -49,6 +50,13 @@ struct UavConfig {
   nav::CommanderConfig commander;
   nav::CrashDetectorConfig crash;
   sim::BatteryParams battery;
+  /// Magnitude parameters for randomized/extended IMU faults (the fuzzer
+  /// varies them; the paper's campaign uses the defaults).
+  core::FaultNoiseConfig fault_noise;
+  core::ExtendedFaultConfig fault_ext;
+  /// Additional IMU fault windows applied after the primary fault, possibly
+  /// overlapping it (fuzzing extension; the paper injects exactly one).
+  std::vector<core::FaultSpec> extra_faults;
   /// Optional GNSS fault (extension; the paper's campaign never sets this).
   std::optional<core::GpsFaultSpec> gps_fault;
   /// Optional actuator fault (extension): rotor `motor_fault_index` fails
@@ -79,7 +87,12 @@ class Uav {
   const UavConfig& config() const { return cfg_; }
   const sim::Battery& battery() const { return battery_; }
 
-  bool fault_active() const { return injector_ && injector_->ActiveAt(time_); }
+  bool fault_active() const {
+    for (const auto& inj : injectors_) {
+      if (inj.ActiveAt(time_)) return true;
+    }
+    return false;
+  }
   bool airborne_seen() const { return airborne_seen_; }
 
   /// Last normalized collective thrust command (telemetry/tests).
@@ -100,7 +113,9 @@ class Uav {
   sensors::Gps gps_;
   sensors::Barometer baro_;
   sensors::Magnetometer mag_;
-  std::optional<core::FaultInjector> injector_;
+  /// Primary fault (if any) first, then extra windows, applied in order at
+  /// the sensor-output boundary.
+  std::vector<core::FaultInjector> injectors_;
   std::optional<core::GpsFaultInjector> gps_injector_;
 
   estimation::Ekf ekf_;

@@ -174,6 +174,43 @@ TEST(FaultInjector, DeterministicForSameSeed) {
   }
 }
 
+// Regression: randomized faults draw from one RNG stream per sensor axis,
+// so the corruption of one sensor is independent of whether the other is
+// faulted too. Before per-axis streams, an IMU-wide kRandom fault consumed
+// draws for the accelerometer first, shifting the gyro's sequence relative
+// to a gyro-only fault with the same seed.
+TEST(FaultInjector, PerAxisStreamsMakeTargetsIndependent) {
+  for (const FaultType type :
+       {FaultType::kFixed, FaultType::kRandom, FaultType::kNoise}) {
+    FaultInjector both(Spec(type, FaultTarget::kImu), ImuRanges{}, Rng{77});
+    FaultInjector acc_only(Spec(type, FaultTarget::kAccelerometer), ImuRanges{},
+                           Rng{77});
+    FaultInjector gyro_only(Spec(type, FaultTarget::kGyrometer), ImuRanges{},
+                            Rng{77});
+    for (int i = 0; i < 200; ++i) {
+      const double t = 100.0 + i * 0.004;
+      const auto s_both = both.Apply(Truth(t), 0, t);
+      const auto s_acc = acc_only.Apply(Truth(t), 0, t);
+      const auto s_gyro = gyro_only.Apply(Truth(t), 0, t);
+      ASSERT_TRUE(math::ApproxEq(s_both.accel_mps2, s_acc.accel_mps2, 0.0))
+          << ToString(type) << " at sample " << i;
+      ASSERT_TRUE(math::ApproxEq(s_both.gyro_rads, s_gyro.gyro_rads, 0.0))
+          << ToString(type) << " at sample " << i;
+    }
+  }
+}
+
+// Per-axis independence within one sensor: the x-axis draw sequence does not
+// depend on how many draws the other axes consumed (stream forking is done
+// once, in a fixed order, at construction).
+TEST(FaultInjector, FixedConstantsIdenticalAcrossTargets) {
+  FaultInjector both(Spec(FaultType::kFixed, FaultTarget::kImu), ImuRanges{}, Rng{5});
+  FaultInjector acc(Spec(FaultType::kFixed, FaultTarget::kAccelerometer), ImuRanges{},
+                    Rng{5});
+  EXPECT_TRUE(math::ApproxEq(both.fixed_accel(), acc.fixed_accel(), 0.0));
+  EXPECT_TRUE(math::ApproxEq(both.fixed_gyro(), acc.fixed_gyro(), 0.0));
+}
+
 
 // ---- Extended fault model (kScale / kStuckAxis / kIntermittent / kDrift) ----
 

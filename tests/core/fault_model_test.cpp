@@ -60,5 +60,46 @@ TEST(FaultModel, LabelsMatchTable3Rows) {
   EXPECT_EQ(FaultLabel(FaultTarget::kImu, FaultType::kFixed), "IMU Fixed Value");
 }
 
+// ---- Edge parameters (fuzzer-generated extremes) ----
+
+// A zero-duration window is never active — not even at its own start
+// instant (the window is half-open: [start, start + duration)).
+TEST(FaultSpec, ZeroDurationNeverActive) {
+  FaultSpec f;
+  f.start_time_s = 90.0;
+  f.duration_s = 0.0;
+  EXPECT_FALSE(f.ActiveAt(90.0));
+  EXPECT_FALSE(f.ActiveAt(90.0 - 1e-9));
+  EXPECT_FALSE(f.ActiveAt(90.0 + 1e-9));
+}
+
+// Onset at t = 0 is valid: the fault is live from the very first sample
+// (pre-takeoff), and still closes after its duration.
+TEST(FaultSpec, OnsetAtTimeZero) {
+  FaultSpec f;
+  f.start_time_s = 0.0;
+  f.duration_s = 5.0;
+  EXPECT_TRUE(f.ActiveAt(0.0));
+  EXPECT_TRUE(f.ActiveAt(4.999));
+  EXPECT_FALSE(f.ActiveAt(5.0));
+  EXPECT_FALSE(f.ActiveAt(-0.001));
+}
+
+// A window entirely past the mission's end never activates during flight;
+// a window opening in-flight but outlasting the mission stays active for
+// every remaining instant.
+TEST(FaultSpec, WindowBeyondMissionEnd) {
+  FaultSpec late;
+  late.start_time_s = 1.0e4;  // far beyond any flight
+  late.duration_s = 30.0;
+  for (double t = 0.0; t < 600.0; t += 7.3) EXPECT_FALSE(late.ActiveAt(t));
+
+  FaultSpec outlasting;
+  outlasting.start_time_s = 90.0;
+  outlasting.duration_s = 1.0e6;
+  EXPECT_TRUE(outlasting.ActiveAt(90.0));
+  EXPECT_TRUE(outlasting.ActiveAt(599.0));  // still on at mission timeout
+}
+
 }  // namespace
 }  // namespace uavres::core

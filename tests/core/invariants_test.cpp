@@ -1,0 +1,257 @@
+// Unit tests for the runtime invariant checker: each invariant has a clean
+// sample that passes and a corrupted sample that is caught, plus mode and
+// accounting semantics.
+#include "core/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace uavres::core {
+namespace {
+
+using math::Quat;
+using math::Vec3;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+InvariantConfig RecordConfig() {
+  InvariantConfig cfg;
+  cfg.mode = InvariantMode::kRecord;
+  return cfg;
+}
+
+/// A sample every step-level invariant accepts.
+InvariantSample CleanSample(double t = 10.0) {
+  InvariantSample s;
+  s.t = t;
+  s.dt = 0.5;
+  s.pos_true = Vec3{1.0, 2.0, -20.0};
+  s.vel_true = Vec3{3.0, 0.0, 0.0};
+  s.pos_est = s.pos_true;
+  s.vel_est = s.vel_true;
+  s.thrust_cmd = 0.5;
+  s.mass_kg = 1.5;
+  s.energy_j = 0.5 * 1.5 * 9.0 + 1.5 * 9.80665 * 20.0;
+  return s;
+}
+
+TEST(InvariantChecker, CleanSampleProducesNoViolations) {
+  InvariantChecker checker(RecordConfig());
+  checker.CheckStep(CleanSample(10.0));
+  checker.CheckStep(CleanSample(10.5));
+  EXPECT_TRUE(checker.ok());
+  EXPECT_EQ(checker.total_violations(), 0u);
+}
+
+TEST(InvariantChecker, OffModeChecksNothing) {
+  InvariantChecker checker{InvariantConfig{}};  // default mode: kOff
+  EXPECT_FALSE(checker.enabled());
+  auto s = CleanSample();
+  s.pos_true.x = kNan;
+  checker.CheckStep(s);
+  EXPECT_EQ(checker.total_violations(), 0u);
+}
+
+TEST(InvariantChecker, CatchesNonFiniteState) {
+  InvariantChecker checker(RecordConfig());
+  auto s = CleanSample();
+  s.vel_est.z = kNan;
+  checker.CheckStep(s);
+  EXPECT_EQ(checker.CountFor(InvariantId::kStateFinite), 1u);
+}
+
+TEST(InvariantChecker, CatchesThrustCommandOutOfBounds) {
+  InvariantChecker checker(RecordConfig());
+  auto s = CleanSample();
+  s.thrust_cmd = 2.0;  // beyond the normalized actuator ceiling
+  checker.CheckStep(s);
+  EXPECT_EQ(checker.CountFor(InvariantId::kCommandBounds), 1u);
+}
+
+TEST(InvariantChecker, CatchesDenormalizedQuaternion) {
+  InvariantChecker checker(RecordConfig());
+  auto s = CleanSample();
+  s.att_est = Quat{1.01, 0.0, 0.0, 0.0};  // |q| = 1.01
+  checker.CheckStep(s);
+  EXPECT_EQ(checker.CountFor(InvariantId::kQuatNorm), 1u);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(InvariantChecker, CovarianceSymmetryAndPsd) {
+  using Cov = math::Matrix<estimation::Ekf::kN, estimation::Ekf::kN>;
+
+  {  // Healthy: identity covariance.
+    InvariantChecker checker(RecordConfig());
+    const Cov P = Cov::Identity();
+    auto s = CleanSample();
+    s.cov = &P;
+    checker.CheckStep(s);
+    EXPECT_TRUE(checker.ok());
+  }
+  {  // Asymmetric off-diagonal.
+    InvariantChecker checker(RecordConfig());
+    Cov P = Cov::Identity();
+    P(0, 1) = 0.5;
+    P(1, 0) = -0.5;
+    auto s = CleanSample();
+    s.cov = &P;
+    checker.CheckStep(s);
+    EXPECT_EQ(checker.CountFor(InvariantId::kCovSymmetry), 1u);
+  }
+  {  // Negative variance.
+    InvariantChecker checker(RecordConfig());
+    Cov P = Cov::Identity();
+    P(3, 3) = -0.1;
+    auto s = CleanSample();
+    s.cov = &P;
+    checker.CheckStep(s);
+    EXPECT_EQ(checker.CountFor(InvariantId::kCovPsd), 1u);
+  }
+  {  // Cauchy-Schwarz: |P01| > sqrt(P00 * P11) while diag stays positive.
+    InvariantChecker checker(RecordConfig());
+    Cov P = Cov::Identity();
+    P(0, 1) = P(1, 0) = 5.0;
+    auto s = CleanSample();
+    s.cov = &P;
+    checker.CheckStep(s);
+    EXPECT_EQ(checker.CountFor(InvariantId::kCovPsd), 1u);
+  }
+  {  // Exploding trace.
+    InvariantChecker checker(RecordConfig());
+    Cov P = Cov::Identity();
+    P(0, 0) = 1.0e9;
+    auto s = CleanSample();
+    s.cov = &P;
+    checker.CheckStep(s);
+    EXPECT_EQ(checker.CountFor(InvariantId::kCovTrace), 1u);
+  }
+}
+
+TEST(InvariantChecker, SurfacesEkfInSituEventDeltas) {
+  using Cov = math::Matrix<estimation::Ekf::kN, estimation::Ekf::kN>;
+  InvariantChecker checker(RecordConfig());
+  const Cov P = Cov::Identity();
+  estimation::EkfStatus status;
+  status.cov_asymmetry_events = 2;
+  auto s = CleanSample();
+  s.cov = &P;
+  s.ekf_status = &status;
+  checker.CheckStep(s);
+  EXPECT_EQ(checker.CountFor(InvariantId::kCovSymmetry), 1u);
+  // Unchanged counters do not re-report.
+  s.t += 0.5;
+  checker.CheckStep(s);
+  EXPECT_EQ(checker.CountFor(InvariantId::kCovSymmetry), 1u);
+}
+
+TEST(InvariantChecker, CatchesImplausibleEnergyRate) {
+  InvariantChecker checker(RecordConfig());
+  auto s = CleanSample(10.0);
+  checker.CheckStep(s);
+  auto s2 = CleanSample(10.5);
+  // +10 kJ in half a second on a 1.5 kg airframe: far beyond the margin.
+  s2.energy_j = s.energy_j + 1.0e4;
+  checker.CheckStep(s2);
+  EXPECT_EQ(checker.CountFor(InvariantId::kEnergyRate), 1u);
+
+  // Energy *loss* at any rate is always allowed (crashes dissipate).
+  auto s3 = CleanSample(11.0);
+  s3.energy_j = s.energy_j - 1.0e5;
+  checker.CheckStep(s3);
+  EXPECT_EQ(checker.CountFor(InvariantId::kEnergyRate), 1u);
+}
+
+TEST(InvariantChecker, CatchesBubbleOrderingInversion) {
+  InvariantChecker checker(RecordConfig());
+  auto s = CleanSample();
+  s.bubble_tracked = true;
+  s.bubble_inner_m = 5.0;
+  s.bubble_outer_m = 3.0;  // outer must contain inner
+  checker.CheckStep(s);
+  EXPECT_EQ(checker.CountFor(InvariantId::kBubbleOrder), 1u);
+
+  s.bubble_outer_m = 7.0;
+  checker.CheckStep(s);
+  EXPECT_EQ(checker.CountFor(InvariantId::kBubbleOrder), 1u);
+}
+
+TEST(InvariantChecker, FailsafeLatencyFloor) {
+  {  // Too fast after onset with an uncharged pipeline: violation.
+    InvariantChecker checker(RecordConfig());
+    InvariantEndSample end;
+    end.fault_injected = true;
+    end.fault_start_s = 90.0;
+    end.failsafe_sensor_fault = true;
+    end.failsafe_time_s = 91.0;
+    checker.CheckEnd(end);
+    EXPECT_EQ(checker.CountFor(InvariantId::kFailsafeLatency), 1u);
+  }
+  {  // At/above the floor: fine.
+    InvariantChecker checker(RecordConfig());
+    InvariantEndSample end;
+    end.fault_injected = true;
+    end.fault_start_s = 90.0;
+    end.failsafe_sensor_fault = true;
+    end.failsafe_time_s = 92.7;
+    checker.CheckEnd(end);
+    EXPECT_TRUE(checker.ok());
+  }
+  {  // Failsafe before onset: a monitor false positive, not a latency bug.
+    InvariantChecker checker(RecordConfig());
+    InvariantEndSample end;
+    end.fault_injected = true;
+    end.fault_start_s = 90.0;
+    end.failsafe_sensor_fault = true;
+    end.failsafe_time_s = 3.0;
+    checker.CheckEnd(end);
+    EXPECT_TRUE(checker.ok());
+  }
+  {  // Pre-charged confirm integrator legitimately shortens the latency.
+    InvariantChecker checker(RecordConfig());
+    InvariantEndSample end;
+    end.fault_injected = true;
+    end.fault_start_s = 90.0;
+    end.failsafe_sensor_fault = true;
+    end.failsafe_time_s = 91.0;
+    end.anomaly_at_onset = 0.8;
+    checker.CheckEnd(end);
+    EXPECT_TRUE(checker.ok());
+  }
+}
+
+TEST(InvariantChecker, RecordingCapsButCountingContinues) {
+  InvariantConfig cfg = RecordConfig();
+  cfg.max_recorded = 3;
+  InvariantChecker checker(cfg);
+  for (int i = 0; i < 10; ++i) {
+    auto s = CleanSample(10.0 + 0.5 * i);
+    s.thrust_cmd = 2.0;
+    checker.CheckStep(s);
+  }
+  EXPECT_EQ(checker.violations().size(), 3u);
+  EXPECT_EQ(checker.total_violations(), 10u);
+}
+
+TEST(InvariantCheckerDeathTest, FatalModeAborts) {
+  InvariantConfig cfg;
+  cfg.mode = InvariantMode::kFatal;
+  auto corrupt = CleanSample();
+  corrupt.thrust_cmd = kNan;
+  EXPECT_DEATH(
+      {
+        InvariantChecker checker(cfg);
+        checker.CheckStep(corrupt);
+      },
+      "FATAL invariant violation");
+}
+
+TEST(InvariantId, NamesAreStable) {
+  EXPECT_STREQ(ToString(InvariantId::kQuatNorm), "quat-norm");
+  EXPECT_STREQ(ToString(InvariantId::kFailsafeLatency), "failsafe-latency");
+  EXPECT_STREQ(ToString(InvariantId::kCovPsd), "cov-psd");
+}
+
+}  // namespace
+}  // namespace uavres::core

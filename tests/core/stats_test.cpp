@@ -92,5 +92,75 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
 }
 
+// ---- Property tests ----
+
+// Quantile is monotone in q: for any sample set, q1 <= q2 implies
+// Quantile(q1) <= Quantile(q2), and the extremes hit min/max exactly.
+TEST(Quantile, MonotoneInQ) {
+  math::Rng rng{2024};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> values;
+    const int n = 1 + static_cast<int>(rng.UniformInt(200));
+    for (int i = 0; i < n; ++i) values.push_back(rng.Gaussian(0.0, 50.0));
+    double prev = -std::numeric_limits<double>::infinity();
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+      const double v = Quantile(values, q);
+      EXPECT_GE(v, prev) << "q=" << q << " n=" << n;
+      prev = v;
+    }
+    EXPECT_DOUBLE_EQ(Quantile(values, 0.0),
+                     *std::min_element(values.begin(), values.end()));
+    EXPECT_DOUBLE_EQ(Quantile(values, 1.0),
+                     *std::max_element(values.begin(), values.end()));
+  }
+}
+
+TEST(Quantile, KnownValuesAndEdges) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 3.0}, 0.5), 2.0);  // interpolated
+  // Out-of-range q clamps rather than reading out of bounds.
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0}, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0}, 1.5), 2.0);
+}
+
+// Merge is associative (up to floating-point noise): (A + B) + C and
+// A + (B + C) agree with each other and with one sequential pass.
+TEST(RunningStats, MergeAssociativity) {
+  math::Rng rng{7};
+  for (int trial = 0; trial < 10; ++trial) {
+    RunningStats a, b, c, sequential;
+    auto fill = [&](RunningStats& s, int n, double mean, double sigma) {
+      for (int i = 0; i < n; ++i) {
+        const double x = rng.Gaussian(mean, sigma);
+        s.Add(x);
+        sequential.Add(x);
+      }
+    };
+    fill(a, 1 + static_cast<int>(rng.UniformInt(50)), -10.0, 3.0);
+    fill(b, 1 + static_cast<int>(rng.UniformInt(50)), 40.0, 20.0);
+    fill(c, 1 + static_cast<int>(rng.UniformInt(50)), 0.0, 0.5);
+
+    RunningStats left = a;   // (A + B) + C
+    left.Merge(b);
+    left.Merge(c);
+    RunningStats bc = b;     // A + (B + C)
+    bc.Merge(c);
+    RunningStats right = a;
+    right.Merge(bc);
+
+    for (const RunningStats* s : {&left, &right}) {
+      EXPECT_EQ(s->Count(), sequential.Count());
+      EXPECT_NEAR(s->Mean(), sequential.Mean(), 1e-9 * std::abs(sequential.Mean()));
+      EXPECT_NEAR(s->Variance(), sequential.Variance(),
+                  1e-8 * sequential.Variance());
+      EXPECT_DOUBLE_EQ(s->Min(), sequential.Min());
+      EXPECT_DOUBLE_EQ(s->Max(), sequential.Max());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace uavres::core

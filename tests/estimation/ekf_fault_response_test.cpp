@@ -106,16 +106,20 @@ TEST_P(EkfFaultSweep, ImuFaultKeepsNumericsFinite) {
 //     gravity term is the worst case), ~1 m/s per fix interval -> ordinary
 //     Kalman updates absorb it and the large-reset path never fires
 //     (asserted == 0).
-//   * kRandom is zero-mean with heavy tails: the count depends entirely on
-//     the draw (measured 0-1 across seeds/targets), so neither bound is a
-//     stable expectation and the case is skipped with this rationale.
+//   * kRandom is zero-mean with heavy tails: the exact count depends on the
+//     draw, but with the fixed injector seed it is deterministic and
+//     distributionally it stays far below the guaranteed-reset regime of the
+//     pinned faults (measured 0-1 across seeds; the hard ceiling is the ~50
+//     GPS fix intervals inside the window), so a loose upper bound is the
+//     stable expectation.
 TEST_P(EkfFaultSweep, ExtremeFaultsTriggerLargeResets) {
   const auto type = Type();
-  if (type == core::FaultType::kRandom) {
-    GTEST_SKIP() << "kRandom is zero-mean: large resets depend on the draw "
-                    "(see expectation table above)";
-  }
   const Outcome out = RunFaulted(type, core::FaultTarget::kAccelerometer);
+  if (type == core::FaultType::kRandom) {
+    EXPECT_LE(out.large_resets, 10) << core::ToString(type);
+    EXPECT_TRUE(out.healthy) << core::ToString(type);
+    return;
+  }
   const bool extreme = type == core::FaultType::kMin || type == core::FaultType::kMax ||
                        type == core::FaultType::kFixed;
   if (extreme) {
