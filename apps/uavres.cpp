@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -55,7 +56,7 @@ int Usage() {
       "  record [mission] [file.uvrl] [--target acc|gyro|imu --type random\n"
       "         --duration S] [--rate HZ]   record a flight (binary log)\n"
       "  replay [file.uvrl]                 summarize a recorded flight\n"
-      "  fuzz [--runs N] [--seed N] [--out DIR] [--shrink-budget N]\n"
+      "  fuzz [--runs N] [--seed N] [--out DIR] [--shrink-budget N] [--threads N]\n"
       "       [--determinism-every N] [--verbose]\n"
       "                                     randomized fault-campaign fuzzing:\n"
       "                                     every run checked against runtime\n"
@@ -112,7 +113,7 @@ void PrintResult(const core::MissionResult& r) {
 }
 
 int CmdList() {
-  const auto fleet = core::BuildValenciaScenario();
+  const auto& fleet = core::SharedValenciaScenario();
   std::printf("%-4s %-22s %8s %8s %8s %6s\n", "id", "name", "km/h", "path[m]", "~dur[s]",
               "turns");
   for (std::size_t i = 0; i < fleet.size(); ++i) {
@@ -125,18 +126,18 @@ int CmdList() {
 }
 
 int CmdFly(const app::CommandLine& cl) {
-  const auto fleet = core::BuildValenciaScenario();
+  const auto& fleet = core::SharedValenciaScenario();
   const int mission = MissionIndex(cl, 0);
   const auto seed = static_cast<std::uint64_t>(cl.FlagInt("seed", 2024));
   const uav::SimulationRunner runner;
-  const auto out = runner.RunGold(fleet[static_cast<std::size_t>(mission)], mission, seed);
+  const auto out = runner.Run({fleet[static_cast<std::size_t>(mission)], mission, std::nullopt, seed});
   std::printf("mission    : %s\n", fleet[static_cast<std::size_t>(mission)].name.c_str());
   PrintResult(out.result);
   return out.result.Completed() ? 0 : 1;
 }
 
 int CmdInject(const app::CommandLine& cl) {
-  const auto fleet = core::BuildValenciaScenario();
+  const auto& fleet = core::SharedValenciaScenario();
   const int mission = MissionIndex(cl, 0);
   core::FaultSpec fault;
   fault.target = ParseTarget(cl.Positional(1, "imu"));
@@ -146,8 +147,8 @@ int CmdInject(const app::CommandLine& cl) {
 
   const auto& spec = fleet[static_cast<std::size_t>(mission)];
   const uav::SimulationRunner runner;
-  const auto gold = runner.RunGold(spec, mission, seed);
-  const auto out = runner.RunWithFault(spec, mission, fault, gold.trajectory, seed);
+  const auto gold = runner.Run({spec, mission, std::nullopt, seed});
+  const auto out = runner.Run({spec, mission, fault, seed, &gold.trajectory});
   std::printf("mission    : %s\n", spec.name.c_str());
   std::printf("fault      : %s for %.0f s at t=%.0f s\n",
               core::FaultLabel(fault.target, fault.type).c_str(), fault.duration_s,
@@ -157,15 +158,27 @@ int CmdInject(const app::CommandLine& cl) {
 }
 
 int CmdCampaign(const app::CommandLine& cl) {
-  core::CampaignConfig cfg = core::CampaignConfig::FromEnvironment();
-  cfg.mission_limit = cl.FlagInt("missions", cfg.mission_limit);
-  cfg.num_threads = cl.FlagInt("threads", cfg.num_threads);
+  // Precedence: CLI flag > environment variable > built-in default (see
+  // src/app/command_line.cpp). FromEnvironment() layers the env values over
+  // the defaults; explicit flags are applied on top via the validating
+  // builder, which rejects ill-formed combinations before any run starts.
+  const core::CampaignConfig env = core::CampaignConfig::FromEnvironment();
+  core::CampaignConfig::Builder builder(env);
+  builder.Missions(cl.FlagInt("missions", env.mission_limit))
+      .Threads(cl.FlagInt("threads", env.num_threads));
   if (const auto d = cl.Flag("durations")) {
     const auto list = app::ParseDoubleList(*d);
-    if (!list.empty()) cfg.durations = list;
+    if (!list.empty()) builder.Durations(list);
   }
-  if (const auto dir = cl.Flag("cache-dir")) cfg.cache_dir = *dir;
-  if (cl.HasFlag("no-cache")) cfg.cache_dir.clear();
+  if (const auto dir = cl.Flag("cache-dir")) builder.CacheDir(*dir);
+  if (cl.HasFlag("no-cache")) builder.CacheDir("");
+  core::CampaignConfig cfg;
+  try {
+    cfg = builder.Build();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "campaign: %s\n", e.what());
+    return 2;
+  }
   const core::Campaign campaign(cfg);
 
   // Progress reporting: `--progress` updates a live line on every completed
@@ -237,13 +250,13 @@ int CmdConvoy(const app::CommandLine& cl) {
 }
 
 int CmdExport(const app::CommandLine& cl) {
-  const auto fleet = core::BuildValenciaScenario();
+  const auto& fleet = core::SharedValenciaScenario();
   const int mission = MissionIndex(cl, 0);
   const std::string path = cl.Positional(1, "trajectory.csv");
   uav::RunConfig run_cfg;
   run_cfg.record_rate_hz = cl.FlagDouble("rate", 5.0);
   const uav::SimulationRunner runner(run_cfg);
-  const auto out = runner.RunGold(fleet[static_cast<std::size_t>(mission)], mission, 2024);
+  const auto out = runner.Run({fleet[static_cast<std::size_t>(mission)], mission, std::nullopt, 2024});
 
   std::ofstream os(path);
   if (!os) {
@@ -261,7 +274,7 @@ int CmdExport(const app::CommandLine& cl) {
 }
 
 int CmdRecord(const app::CommandLine& cl) {
-  const auto fleet = core::BuildValenciaScenario();
+  const auto& fleet = core::SharedValenciaScenario();
   const int mission = MissionIndex(cl, 0);
   const std::string path = cl.Positional(1, "flight.uvrl");
   uav::RunConfig run_cfg;
@@ -275,10 +288,10 @@ int CmdRecord(const app::CommandLine& cl) {
     fault.target = ParseTarget(cl.Flag("target").value_or("imu"));
     fault.type = ParseType(cl.Flag("type").value_or("random"));
     fault.duration_s = cl.FlagDouble("duration", 10.0);
-    const auto gold = runner.RunGold(spec, mission, 2024);
-    out = runner.RunWithFault(spec, mission, fault, gold.trajectory, 2024);
+    const auto gold = runner.Run({spec, mission, std::nullopt, 2024});
+    out = runner.Run({spec, mission, fault, 2024, &gold.trajectory});
   } else {
-    out = runner.RunGold(spec, mission, 2024);
+    out = runner.Run({spec, mission, std::nullopt, 2024});
   }
 
   telemetry::FlightRecord record;
@@ -353,6 +366,7 @@ int CmdFuzz(const app::CommandLine& cl) {
   opts.out_dir = cl.Flag("out").value_or("fuzz-repros");
   opts.shrink_budget = cl.FlagInt("shrink-budget", 32);
   opts.determinism_every = cl.FlagInt("determinism-every", 8);
+  opts.num_threads = cl.FlagInt("threads", 0);
   opts.verbose = cl.HasFlag("verbose");
   const app::Fuzzer fuzzer(opts);
   const auto rep = fuzzer.Run();

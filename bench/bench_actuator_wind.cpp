@@ -33,7 +33,7 @@ int main() {
   std::vector<telemetry::Trajectory> golds;
   const uav::SimulationRunner base;
   for (std::size_t i = 0; i < fleet.size(); ++i) {
-    golds.push_back(base.RunGold(fleet[i], static_cast<int>(i), 2024).trajectory);
+    golds.push_back(base.Run({fleet[i], static_cast<int>(i), std::nullopt, 2024}).trajectory);
   }
 
   core::FaultSpec no_imu_fault;
@@ -50,8 +50,7 @@ int main() {
       cfg.uav_config_mutator = [rotor](uav::UavConfig& u) {
         u.motor_fault_index = rotor;
       };
-      const auto out = uav::SimulationRunner(cfg).RunWithFault(
-          fleet[i], static_cast<int>(i), no_imu_fault, golds[i], 2024);
+      const auto out = uav::SimulationRunner(cfg).Run({fleet[i], static_cast<int>(i), no_imu_fault, 2024, &golds[i]});
       completed += out.result.Completed();
       end_sum += out.result.flight_duration_s;
       dev_sum += out.result.max_deviation_m;
@@ -74,8 +73,7 @@ int main() {
         u.wind.mean_wind_ned = {wind * 0.8, -wind * 0.6, 0.0};
         u.wind.gust_stddev = 0.15 * wind;
       };
-      const auto out = uav::SimulationRunner(cfg).RunWithFault(
-          fleet[i], static_cast<int>(i), no_imu_fault, golds[i], 2024);
+      const auto out = uav::SimulationRunner(cfg).Run({fleet[i], static_cast<int>(i), no_imu_fault, 2024, &golds[i]});
       completed += out.result.Completed();
       dur_sum += out.result.flight_duration_s;
       inner_sum += out.result.inner_violations;

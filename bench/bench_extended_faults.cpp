@@ -32,7 +32,7 @@ int main() {
   std::vector<telemetry::Trajectory> golds;
   core::CampaignResults results;
   for (std::size_t i = 0; i < fleet.size(); ++i) {
-    auto out = runner.RunGold(fleet[i], static_cast<int>(i), 2024);
+    auto out = runner.Run({fleet[i], static_cast<int>(i), std::nullopt, 2024});
     results.gold.push_back(out.result);
     golds.push_back(std::move(out.trajectory));
   }
@@ -48,7 +48,7 @@ int main() {
           fault.target = target;
           fault.duration_s = duration;
           results.faulty.push_back(
-              runner.RunWithFault(fleet[i], static_cast<int>(i), fault, golds[i], 2024)
+              runner.Run({fleet[i], static_cast<int>(i), fault, 2024, &golds[i]})
                   .result);
         }
       }

@@ -35,7 +35,7 @@ int main() {
   std::vector<telemetry::Trajectory> golds;
   std::vector<core::MissionResult> gold_results;
   for (std::size_t i = 0; i < fleet.size(); ++i) {
-    auto out = base_runner.RunGold(fleet[i], static_cast<int>(i), 2024);
+    auto out = base_runner.Run({fleet[i], static_cast<int>(i), std::nullopt, 2024});
     gold_results.push_back(out.result);
     golds.push_back(std::move(out.trajectory));
   }
@@ -59,8 +59,7 @@ int main() {
         // flight as "faulty" against the gold reference.
         core::FaultSpec imu_noop;
         imu_noop.duration_s = 0.0;
-        const auto out = uav::SimulationRunner(cfg).RunWithFault(
-            fleet[i], static_cast<int>(i), imu_noop, golds[i], 2024);
+        const auto out = uav::SimulationRunner(cfg).Run({fleet[i], static_cast<int>(i), imu_noop, 2024, &golds[i]});
         completed += out.result.Completed();
         dur_sum += out.result.flight_duration_s;
         dist_sum += out.result.distance_km;

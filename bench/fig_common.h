@@ -86,8 +86,7 @@ inline FigureResult RunFigure(int mission_index, const core::FaultSpec& fault,
       out.trajectory = std::move(*cached->trajectory);
       return out;
     }
-    auto out = f ? runner.RunWithFault(spec, mission_index, *f, *gold_ref, kSeedBase)
-                 : runner.RunGold(spec, mission_index, kSeedBase);
+    auto out = runner.Run({spec, mission_index, f, kSeedBase, gold_ref});
     if (store.enabled()) store.Store(key, {out.result, out.trajectory});
     return out;
   };

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
               spec.cruise_speed_kmh);
 
   const uav::SimulationRunner runner;
-  const auto gold = runner.RunGold(spec, mission, 2024);
+  const auto gold = runner.Run({spec, mission, std::nullopt, 2024});
 
   struct Case {
     const char* label;
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       fault.type = core::FaultType::kRandom;  // paper's mapping for acoustics
       fault.target = c.target;
       fault.duration_s = exposure;
-      const auto out = runner.RunWithFault(spec, mission, fault, gold.trajectory, 2024);
+      const auto out = runner.Run({spec, mission, fault, 2024, &gold.trajectory});
       std::printf("%-36s %9.1fs %12s %11.1fs %9.1fm\n", c.label, exposure,
                   core::ToString(out.result.outcome), out.result.flight_duration_s,
                   out.result.max_deviation_m);

@@ -32,13 +32,13 @@ int main(int argc, char** argv) {
   uav::RunConfig cfg;
   cfg.record_rate_hz = 1.0 / cfg.tracking_interval_s;
   const uav::SimulationRunner runner(cfg);
-  const auto gold = runner.RunGold(spec, mission, 2024);
+  const auto gold = runner.Run({spec, mission, std::nullopt, 2024});
 
   core::FaultSpec fault;
   fault.target = core::FaultTarget::kAccelerometer;
   fault.type = core::FaultType::kRandom;  // survivable here, but deviates hard
   fault.duration_s = 10.0;
-  const auto faulty = runner.RunWithFault(spec, mission, fault, gold.trajectory, 2024);
+  const auto faulty = runner.Run({spec, mission, fault, 2024, &gold.trajectory});
 
   // Re-derive the per-instant bubble series from the recorded trajectory to
   // show the dynamic outer bubble at work around the fault window.

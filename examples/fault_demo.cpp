@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
   fault.duration_s = duration;
 
   const uav::SimulationRunner runner;
-  const auto gold = runner.RunGold(spec, mission, 2024);
-  const auto out = runner.RunWithFault(spec, mission, fault, gold.trajectory, 2024);
+  const auto gold = runner.Run({spec, mission, std::nullopt, 2024});
+  const auto out = runner.Run({spec, mission, fault, 2024, &gold.trajectory});
 
   std::cout << "Mission   : " << spec.name << "\n"
             << "Fault     : " << core::FaultLabel(fault.target, fault.type) << " for "

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
             << "  expected     : ~" << spec.plan.ExpectedDuration() << " s\n\n";
 
   const uav::SimulationRunner runner;
-  const auto out = runner.RunGold(spec, mission, /*seed_base=*/2024);
+  const auto out = runner.Run({spec, mission, std::nullopt, /*seed_base=*/2024});
 
   std::cout << "Outcome      : " << core::ToString(out.result.outcome) << "\n"
             << "Duration     : " << out.result.flight_duration_s << " s\n"

@@ -1,3 +1,15 @@
+// Configuration precedence (single source of truth for every command):
+//
+//   CLI flag  >  environment variable  >  built-in default
+//
+// Commands materialize this by starting from the defaults, layering
+// environment overrides (CampaignConfig::FromEnvironment reads UAVRES_FAST /
+// UAVRES_MISSIONS / UAVRES_THREADS / UAVRES_CACHE_DIR, warning once per
+// set-but-ineffective variable), and finally applying parsed flags on top —
+// typically through CampaignConfig::Builder, whose Build() validates the
+// combined result. A flag the user passes therefore always wins over an
+// environment variable, which always wins over a default; nothing else
+// consults the environment.
 #include "app/command_line.h"
 
 #include <cstdlib>

@@ -10,6 +10,7 @@
 #include "core/fault_injector.h"
 #include "core/result_store.h"
 #include "core/scenario.h"
+#include "core/scheduler.h"
 #include "math/rng.h"
 #include "sensors/imu.h"
 #include "telemetry/metrics_registry.h"
@@ -99,7 +100,9 @@ bool ParseFault(std::istringstream& is, FaultSpec& out) {
 // Case assembly.
 
 core::DroneSpec SpecFor(const FuzzCase& c) {
-  const auto fleet = core::BuildValenciaScenario();
+  // Shared immutable fleet: cases (and every shrink candidate) borrow it
+  // instead of rebuilding the ten-mission scenario per simulation.
+  const auto& fleet = core::SharedValenciaScenario();
   core::DroneSpec spec = fleet[static_cast<std::size_t>(c.mission) % fleet.size()];
   if (!c.waypoints.empty()) spec.plan.waypoints = c.waypoints;
   return spec;
@@ -124,7 +127,7 @@ uav::RunConfig RunConfigFor(const FuzzCase& c, const FuzzOptions& opts) {
 
 uav::RunOutput Simulate(const FuzzCase& c, const FuzzOptions& opts) {
   uav::SimulationRunner runner(RunConfigFor(c, opts));
-  return runner.RunCase(SpecFor(c), c.mission, c.fault, nullptr, c.seed);
+  return runner.Run({SpecFor(c), c.mission, c.fault, c.seed, nullptr});
 }
 
 /// Serialized bytes of (result, trajectory) — the determinism and cache
@@ -291,7 +294,7 @@ Fuzzer::Fuzzer(FuzzOptions opts) : opts_(std::move(opts)) {}
 
 FuzzCase Fuzzer::Generate(int index) const {
   Rng rng{math::HashCombine(opts_.base_seed, 0xF000u + static_cast<std::uint64_t>(index))};
-  const auto fleet = core::BuildValenciaScenario();
+  const auto& fleet = core::SharedValenciaScenario();
 
   FuzzCase c;
   c.seed = rng.NextU64();
@@ -460,13 +463,29 @@ FuzzReport Fuzzer::Run() const {
     }
   }
 
+  // Phase 1: every case runs through the oracles in parallel (work-stealing
+  // scheduler, core/scheduler.h). Results land in index-addressed slots, so
+  // the sequential phase below reports, shrinks and writes .repro files in
+  // case order — identical output for every thread count.
+  std::vector<FuzzCaseResult> results(
+      static_cast<std::size_t>(std::max(opts_.runs, 0)));
+  core::SchedulerOptions sched;
+  sched.num_threads = opts_.num_threads;
+  core::ParallelFor(
+      results.size(),
+      [&](std::size_t i) {
+        const bool det = opts_.determinism_every > 0 &&
+                         static_cast<int>(i) % opts_.determinism_every == 0;
+        results[i] = RunCase(Generate(static_cast<int>(i)), det);
+        UAVRES_COUNT("fuzz.cases");
+      },
+      sched);
+
+  // Phase 2: sequential, deterministic reporting and minimization.
   for (int i = 0; i < opts_.runs; ++i) {
     const FuzzCase c = Generate(i);
-    const bool det =
-        opts_.determinism_every > 0 && i % opts_.determinism_every == 0;
-    const FuzzCaseResult res = RunCase(c, det);
+    const FuzzCaseResult& res = results[static_cast<std::size_t>(i)];
     ++rep.cases;
-    UAVRES_COUNT("fuzz.cases");
     if (opts_.verbose) {
       std::printf("case %4d  seed=%016llx  %-12s %-4s  outcome=%s%s\n", i,
                   static_cast<unsigned long long>(c.seed),

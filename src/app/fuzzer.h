@@ -94,6 +94,11 @@ struct FuzzOptions {
   std::string out_dir{"fuzz-repros"};  ///< where .repro files land ("" = off)
   int shrink_budget{32};     ///< max extra simulations spent minimizing a case
   int determinism_every{8};  ///< full re-run determinism oracle cadence (cost)
+  /// Worker threads for the case-execution phase (0 = hardware concurrency).
+  /// Cases run through the oracles in parallel on the core/scheduler.h pool;
+  /// reporting, shrinking and .repro writing stay sequential in case order,
+  /// so the session output is identical for every thread count.
+  int num_threads{0};
   bool verbose{false};       ///< per-case progress on stdout
   /// Invariant thresholds; mode is forced to kRecord internally.
   core::InvariantConfig invariants;

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <thread>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
 
+#include "core/scheduler.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/trace.h"
 
@@ -31,26 +34,86 @@ void CountCampaignResult(const MissionResult& r) {
   }
 }
 
+void WarnIneffectiveEnv(const char* name, const std::string& why) {
+  std::cerr << "uavres: warning: " << name << " is set but has no effect (" << why
+            << ")\n";
+}
+
 }  // namespace
 
 CampaignConfig CampaignConfig::FromEnvironment() {
   CampaignConfig cfg;
-  if (const char* fast = std::getenv("UAVRES_FAST"); fast && fast[0] != '0') {
-    cfg.mission_limit = 3;
+  if (const char* fast = std::getenv("UAVRES_FAST")) {
+    if (fast[0] != '0') {
+      cfg.mission_limit = 3;
+    } else {
+      WarnIneffectiveEnv("UAVRES_FAST", "value '0' disables it; unset it instead");
+    }
   }
   if (const char* missions = std::getenv("UAVRES_MISSIONS")) {
-    cfg.mission_limit = std::atoi(missions);
+    const int limit = std::atoi(missions);
+    if (limit > 0) {
+      cfg.mission_limit = limit;
+    } else {
+      WarnIneffectiveEnv("UAVRES_MISSIONS",
+                         "expects a positive mission count, got '" +
+                             std::string(missions) + "'");
+    }
   }
   if (const char* threads = std::getenv("UAVRES_THREADS")) {
-    cfg.num_threads = std::atoi(threads);
+    const int n = std::atoi(threads);
+    if (n > 0) {
+      cfg.num_threads = n;
+    } else {
+      WarnIneffectiveEnv("UAVRES_THREADS", "expects a positive thread count, got '" +
+                                               std::string(threads) + "'");
+    }
   }
   if (const char* cache = std::getenv("UAVRES_CACHE_DIR")) {
-    cfg.cache_dir = cache;
+    if (cache[0] != '\0') {
+      cfg.cache_dir = cache;
+    } else {
+      WarnIneffectiveEnv("UAVRES_CACHE_DIR", "empty path disables caching, the default");
+    }
   }
   return cfg;
 }
 
-Campaign::Campaign(const CampaignConfig& cfg) : cfg_(cfg), fleet_(BuildValenciaScenario()) {
+std::optional<std::string> CampaignConfig::Validate() const {
+  if (num_threads < 0) {
+    return "num_threads must be >= 0 (0 = hardware concurrency), got " +
+           std::to_string(num_threads);
+  }
+  if (mission_limit < 0) {
+    return "mission_limit must be >= 0 (0 = all missions), got " +
+           std::to_string(mission_limit);
+  }
+  if (durations.empty()) {
+    return std::string("durations must not be empty (the fault grid needs at least "
+                       "one injection duration)");
+  }
+  for (double d : durations) {
+    if (!(d > 0.0)) {
+      return "injection durations must be positive, got " + std::to_string(d);
+    }
+  }
+  if (!(injection_start_s >= 0.0)) {
+    return "injection_start_s must be >= 0, got " + std::to_string(injection_start_s);
+  }
+  return std::nullopt;
+}
+
+CampaignConfig CampaignConfig::Builder::Build() const {
+  if (auto error = cfg_.Validate()) {
+    throw std::invalid_argument("CampaignConfig: " + *error);
+  }
+  return cfg_;
+}
+
+Campaign::Campaign(const CampaignConfig& cfg) : cfg_(cfg), fleet_(SharedValenciaScenario()) {
+  if (auto error = cfg_.Validate()) {
+    throw std::invalid_argument("CampaignConfig: " + *error);
+  }
   if (cfg_.mission_limit > 0 &&
       static_cast<std::size_t>(cfg_.mission_limit) < fleet_.size()) {
     fleet_.resize(static_cast<std::size_t>(cfg_.mission_limit));
@@ -96,47 +159,49 @@ CampaignResults Campaign::Run(
 
   const std::size_t total = results.gold.size() + results.faulty.size();
   std::atomic<std::size_t> done{0};
-
-  unsigned n_threads = cfg_.num_threads > 0 ? static_cast<unsigned>(cfg_.num_threads)
-                                            : std::thread::hardware_concurrency();
-  if (n_threads == 0) n_threads = 2;
-
   auto report = [&] {
-    const std::size_t d = ++done;
+    const std::size_t d = done.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (progress) progress(d, total);
   };
+
+  SchedulerOptions sched;
+  sched.num_threads = cfg_.num_threads;
+
+  // A run's wall time tracks its flight time, and a mission flies for (at
+  // most) its expected duration plus the grace window — a cost model the
+  // scheduler uses to deal long missions first so they can't straggle.
+  std::vector<double> mission_cost(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    mission_cost[i] = fleet_[i].plan.ExpectedDuration() + cfg_.run.extra_time_s;
+  }
 
   // Phase 1: gold runs (references needed before any faulty run). Cached
   // entries must carry their trajectory — it is the bubble reference for
   // every dependent faulty run.
   {
     UAVRES_TRACE_SCOPE("campaign/gold-phase");
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      UAVRES_TRACE_SCOPE("campaign/gold-worker");
-      for (std::size_t i = next.fetch_add(1); i < fleet_.size(); i = next.fetch_add(1)) {
-        UAVRES_TRACE_SCOPE("campaign/gold-run");
-        const std::uint64_t key = ExperimentCacheKey(
-            cfg_.run, fleet_[i], static_cast<int>(i), cfg_.seed_base, std::nullopt);
-        if (auto cached = store.Load(key, /*require_trajectory=*/true)) {
-          results.gold[i] = cached->result;
-          results.gold_trajectories[i] = std::move(*cached->trajectory);
-        } else {
-          auto out = runner.RunGold(fleet_[i], static_cast<int>(i), cfg_.seed_base);
-          results.gold[i] = out.result;
-          results.gold_trajectories[i] = std::move(out.trajectory);
-          if (store.enabled()) {
-            store.Store(key, {results.gold[i], results.gold_trajectories[i]});
+    ParallelFor(
+        fleet_.size(), mission_cost,
+        [&](std::size_t i) {
+          UAVRES_TRACE_SCOPE("campaign/gold-run");
+          const uav::ExperimentSpec espec{fleet_[i], static_cast<int>(i), std::nullopt,
+                                          cfg_.seed_base, nullptr};
+          const std::uint64_t key = ExperimentCacheKey(cfg_.run, espec);
+          if (auto cached = store.Load(key, /*require_trajectory=*/true)) {
+            results.gold[i] = cached->result;
+            results.gold_trajectories[i] = std::move(*cached->trajectory);
+          } else {
+            auto out = runner.Run(espec);
+            results.gold[i] = out.result;
+            results.gold_trajectories[i] = std::move(out.trajectory);
+            if (store.enabled()) {
+              store.Store(key, {results.gold[i], results.gold_trajectories[i]});
+            }
           }
-        }
-        CountCampaignResult(results.gold[i]);
-        report();
-      }
-    };
-    std::vector<std::thread> pool;
-    for (unsigned t = 0; t + 1 < n_threads; ++t) pool.emplace_back(worker);
-    worker();
-    for (auto& th : pool) th.join();
+          CountCampaignResult(results.gold[i]);
+          report();
+        },
+        sched);
   }
 
   // Phase 2: faulty runs, flat (mission, fault) grid. Metrics-only entries;
@@ -144,34 +209,33 @@ CampaignResults Campaign::Run(
   // campaign resumes with only the missing runs recomputed.
   {
     UAVRES_TRACE_SCOPE("campaign/faulty-phase");
-    std::atomic<std::size_t> next{0};
     const std::size_t n_jobs = results.faulty.size();
-    auto worker = [&] {
-      UAVRES_TRACE_SCOPE("campaign/faulty-worker");
-      for (std::size_t j = next.fetch_add(1); j < n_jobs; j = next.fetch_add(1)) {
-        UAVRES_TRACE_SCOPE("campaign/faulty-run");
-        const std::size_t mission = j / grid.size();
-        const std::size_t fault = j % grid.size();
-        const std::uint64_t key =
-            ExperimentCacheKey(faulty_cfg, fleet_[mission], static_cast<int>(mission),
-                               cfg_.seed_base, grid[fault]);
-        if (auto cached = store.Load(key)) {
-          results.faulty[j] = cached->result;
-        } else {
-          auto out = faulty_runner.RunWithFault(fleet_[mission], static_cast<int>(mission),
-                                         grid[fault], results.gold_trajectories[mission],
-                                         cfg_.seed_base);
-          results.faulty[j] = out.result;
-          if (store.enabled()) store.Store(key, {results.faulty[j], std::nullopt});
-        }
-        CountCampaignResult(results.faulty[j]);
-        report();
-      }
-    };
-    std::vector<std::thread> pool;
-    for (unsigned t = 0; t + 1 < n_threads; ++t) pool.emplace_back(worker);
-    worker();
-    for (auto& th : pool) th.join();
+    std::vector<double> costs(n_jobs);
+    for (std::size_t j = 0; j < n_jobs; ++j) costs[j] = mission_cost[j / grid.size()];
+    ParallelFor(
+        n_jobs, costs,
+        [&](std::size_t j) {
+          UAVRES_TRACE_SCOPE("campaign/faulty-run");
+          const std::size_t mission = j / grid.size();
+          const std::size_t fault = j % grid.size();
+          const uav::ExperimentSpec espec{fleet_[mission], static_cast<int>(mission),
+                                          grid[fault], cfg_.seed_base,
+                                          &results.gold_trajectories[mission]};
+          const std::uint64_t key = ExperimentCacheKey(faulty_cfg, espec);
+          if (auto cached = store.Load(key)) {
+            results.faulty[j] = cached->result;
+          } else {
+            // Per-worker scratch: RunInto clears but keeps buffer capacity,
+            // so each worker pays the output allocations once, not per run.
+            thread_local uav::RunOutput scratch;
+            faulty_runner.RunInto(espec, scratch);
+            results.faulty[j] = scratch.result;
+            if (store.enabled()) store.Store(key, {results.faulty[j], std::nullopt});
+          }
+          CountCampaignResult(results.faulty[j]);
+          report();
+        },
+        sched);
   }
 
   results.cache = store.stats();

@@ -7,9 +7,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <vector>
-
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/fault_model.h"
 #include "core/metrics.h"
@@ -21,6 +22,10 @@
 namespace uavres::core {
 
 /// Campaign configuration.
+///
+/// Precedence when assembling one (see also src/app/command_line.cpp):
+/// CLI flag > environment variable > built-in default. CLI commands start
+/// from `FromEnvironment()` and apply parsed flags on top.
 struct CampaignConfig {
   std::uint64_t seed_base{2024};
   std::vector<double> durations{kInjectionDurations.begin(), kInjectionDurations.end()};
@@ -34,9 +39,51 @@ struct CampaignConfig {
   std::string cache_dir;
   uav::RunConfig run;
 
+  class Builder;
+
   /// Reads UAVRES_FAST / UAVRES_MISSIONS / UAVRES_THREADS / UAVRES_CACHE_DIR
   /// from the environment for quick developer runs (see DESIGN.md §4).
+  /// Prints a one-line stderr warning for any set-but-ineffective variable
+  /// (unparseable or equal to the value already in force).
   static CampaignConfig FromEnvironment();
+
+  /// Validates invariants the aggregate fields cannot enforce. Returns an
+  /// error description, or nullopt when the config is well-formed. Called
+  /// by Builder::Build and Campaign's constructor.
+  std::optional<std::string> Validate() const;
+};
+
+/// Fluent construction with fail-fast validation:
+///
+///   auto cfg = CampaignConfig::Builder()
+///                  .Missions(3).Threads(8).CacheDir(".uavres-cache").Build();
+///
+/// Build() throws std::invalid_argument on a config Validate() rejects
+/// (negative thread counts, an empty/non-positive duration grid, ...).
+class CampaignConfig::Builder {
+ public:
+  /// Starts from the built-in defaults (full paper grid).
+  Builder() = default;
+  /// Starts from an existing config (e.g. FromEnvironment()).
+  explicit Builder(CampaignConfig base) : cfg_(std::move(base)) {}
+
+  Builder& SeedBase(std::uint64_t seed) { cfg_.seed_base = seed; return *this; }
+  Builder& Durations(std::vector<double> durations) {
+    cfg_.durations = std::move(durations);
+    return *this;
+  }
+  Builder& InjectionStart(double start_s) { cfg_.injection_start_s = start_s; return *this; }
+  Builder& Threads(int n) { cfg_.num_threads = n; return *this; }
+  Builder& Missions(int limit) { cfg_.mission_limit = limit; return *this; }
+  Builder& CacheDir(std::string dir) { cfg_.cache_dir = std::move(dir); return *this; }
+  Builder& Run(uav::RunConfig run) { cfg_.run = std::move(run); return *this; }
+
+  /// Validates and returns the config; throws std::invalid_argument with
+  /// Validate()'s description when it is ill-formed.
+  CampaignConfig Build() const;
+
+ private:
+  CampaignConfig cfg_;
 };
 
 /// All results of a campaign.
@@ -52,6 +99,8 @@ struct CampaignResults {
 /// Runs the grid deterministically (results independent of thread count).
 class Campaign {
  public:
+  /// Throws std::invalid_argument when `cfg` fails CampaignConfig::Validate
+  /// (prefer CampaignConfig::Builder, which rejects at construction time).
   explicit Campaign(const CampaignConfig& cfg = {});
 
   /// The fleet under test (possibly mission-limited).
@@ -62,6 +111,16 @@ class Campaign {
 
   /// Execute gold + faulty runs. `progress` (optional) is called with
   /// (completed, total) as runs finish.
+  ///
+  /// Thread-safety contract: `progress` is invoked CONCURRENTLY from up to
+  /// `num_threads` scheduler workers (one of which is the calling thread),
+  /// with no serialization or ordering guarantee beyond this: `completed`
+  /// values are unique, cover 1..total exactly once across the campaign,
+  /// and each call's value is a fresh atomic increment (so the largest
+  /// value seen is the true completion count). The callback must therefore
+  /// be thread-safe; it should also be fast, since it runs on the worker
+  /// that just finished a simulation. A plain relaxed-atomic store of
+  /// `completed` needs no mutex.
   CampaignResults Run(const std::function<void(std::size_t, std::size_t)>& progress = {}) const;
 
  private:

@@ -69,6 +69,15 @@ std::uint64_t ExperimentCacheKey(const uav::RunConfig& run, const DroneSpec& spe
                                  int mission_index, std::uint64_t seed_base,
                                  const std::optional<FaultSpec>& fault);
 
+/// ExperimentSpec form: hashes the spec's identity tuple (drone, mission
+/// index, fault, seed base) — `spec.gold` is derived data and excluded, so
+/// a spec with and without its reference attached keys identically.
+inline std::uint64_t ExperimentCacheKey(const uav::RunConfig& run,
+                                        const uav::ExperimentSpec& spec) {
+  return ExperimentCacheKey(run, spec.drone, spec.mission_index, spec.seed_base,
+                            spec.fault);
+}
+
 /// Hit/miss accounting; `corrupt` counts entries that existed but failed
 /// validation (also reported as misses).
 struct CacheStats {

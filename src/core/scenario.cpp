@@ -110,4 +110,9 @@ std::vector<DroneSpec> BuildValenciaScenario() {
   return fleet;
 }
 
+const std::vector<DroneSpec>& SharedValenciaScenario() {
+  static const std::vector<DroneSpec> fleet = BuildValenciaScenario();
+  return fleet;
+}
+
 }  // namespace uavres::core

@@ -42,6 +42,12 @@ math::GeoPoint ScenarioOrigin();
 /// Build the full 10-mission scenario. Deterministic.
 std::vector<DroneSpec> BuildValenciaScenario();
 
+/// Process-shared scenario, built once on first use (thread-safe). The
+/// fleet is immutable; per-run/per-case hot paths (fuzzer case assembly,
+/// campaign construction, CLI commands) borrow it instead of rebuilding
+/// the ten missions each time.
+const std::vector<DroneSpec>& SharedValenciaScenario();
+
 /// The scenario's altitude ceiling [m] (60 ft).
 double ScenarioCeilingM();
 

@@ -1,0 +1,64 @@
+// Chunked work-stealing scheduler for embarrassingly-parallel experiment
+// grids (DESIGN.md §12).
+//
+// The campaign and fuzzer both run N independent jobs whose results land in
+// index-addressed slots, so *placement* determinism is free — any schedule
+// produces byte-identical output vectors. What the scheduler adds over the
+// previous shared-atomic-counter pool:
+//
+//   * Per-worker chunk deques instead of one contended counter: workers pop
+//     from the back of their own deque (LIFO, cache-warm) and steal from the
+//     front of a victim's (FIFO, oldest work first), so the counter cache
+//     line stops bouncing between cores once per job.
+//   * Cost-model-aware chunking: callers may pass a relative cost estimate
+//     per job. Expensive jobs become singleton chunks and are dealt first
+//     (longest-processing-time greedy), so one 100x-cost run cannot hide at
+//     the end of a chunk behind cheap work and stretch the tail.
+//   * Steal-half: a thief takes half of the victim's remaining chunks in one
+//     lock acquisition, halving the number of steals needed to rebalance.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace uavres::core {
+
+/// Scheduler tuning. Defaults match the campaign's previous behaviour
+/// (hardware_concurrency workers, caller thread participates).
+struct SchedulerOptions {
+  /// Worker count; 0 resolves to hardware_concurrency (2 when unknown).
+  /// The calling thread is always one of the workers, so `num_threads = 1`
+  /// runs everything inline with zero thread spawns.
+  int num_threads{0};
+  /// Bounds on jobs per chunk for the uncosted overload. The costed overload
+  /// additionally forces singleton chunks for jobs above twice the mean cost.
+  std::size_t min_chunk{1};
+  std::size_t max_chunk{8};
+};
+
+/// Runs `fn(0) .. fn(n - 1)` across a transient worker pool, blocking until
+/// every job has finished.
+///
+/// Contract:
+///   * `fn` is called exactly once per index, concurrently from up to
+///     `num_threads` threads, in an unspecified order. It must be
+///     thread-safe with respect to itself and must not throw.
+///   * Results must be written to index-addressed storage; then the output
+///     is byte-identical for every thread count and steal schedule.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 const SchedulerOptions& opts = {});
+
+/// Cost-aware overload. `costs[i]` is a relative (unitless) estimate of job
+/// i's runtime; only ratios matter. Jobs costing more than twice the mean
+/// are scheduled as singleton chunks, and chunks are dealt to workers in
+/// descending cost order so the critical path starts immediately.
+/// `costs.size()` must equal `n`.
+void ParallelFor(std::size_t n, const std::vector<double>& costs,
+                 const std::function<void(std::size_t)>& fn,
+                 const SchedulerOptions& opts = {});
+
+/// The worker count `opts` resolves to on this machine.
+int ResolvedThreadCount(const SchedulerOptions& opts);
+
+}  // namespace uavres::core

@@ -73,24 +73,85 @@ void Ekf::PredictImu(const sensors::ImuSample& imu, double dt) {
 
   if (cfg_.enable_attitude_reset) MaybeResetAttitude(accel, dt);
 
-  // Covariance propagation (possibly decimated).
+  // Covariance propagation (possibly decimated). P is untouched on the
+  // decimated steps, so only the nominal state needs a numerics check there.
   if (++cov_step_counter_ < cfg_.cov_decimation) {
-    CheckNumerics();
+    CheckNumerics(/*covariance_changed=*/false);
     return;
   }
   const double cdt = cov_step_counter_ * dt;
   cov_step_counter_ = 0;
 
-  // F = I + A * cdt with the standard error-state Jacobian blocks.
-  Matrix<kN, kN> F = Matrix<kN, kN>::Identity();
-  const Mat3 I3 = Mat3::Identity();
-  F.SetBlock3(kP, kV, I3 * cdt);
-  F.SetBlock3(kV, kTh, (R * Mat3::Skew(accel)) * -cdt);
-  F.SetBlock3(kV, kBa, R * -cdt);
-  F.SetBlock3(kTh, kTh, I3 - Mat3::Skew(omega) * cdt);
-  F.SetBlock3(kTh, kBg, I3 * -cdt);
+  // F = I + A * cdt with the standard error-state Jacobian blocks:
+  //
+  //       kP      kV      kTh           kBg      kBa
+  //  kP [ I       I*cdt   0             0        0     ]
+  //  kV [ 0       I       -R[a]x*cdt    0        -R*cdt]
+  //  kTh[ 0       0       I-[w]x*cdt    -I*cdt   0     ]
+  //  kBg[ 0       0       0             I        0     ]
+  //  kBa[ 0       0       0             0        I     ]
+  //
+  // P <- F P F^T evaluated over this fixed sparsity pattern instead of two
+  // dense 15x15x15 products (the campaign's single hottest loop). The row
+  // list enumerates each row's nonzeros in ascending column order and both
+  // products accumulate in that order, so every floating-point sum below
+  // matches the dense `F * P_ * F.Transposed()` term-for-term on the nonzero
+  // entries and the propagated covariance is bit-identical.
+  const Mat3 B_vth = (R * Mat3::Skew(accel)) * -cdt;  // d(dv)/d(dtheta)
+  const Mat3 B_vba = R * -cdt;                        // d(dv)/d(db_a)
+  const Mat3 B_thth = Mat3::Identity() - Mat3::Skew(omega) * cdt;
 
-  P_ = F * P_ * F.Transposed();
+  // Per-row nonzero entries of F (max 7: velocity rows carry 1 + 3 + 3).
+  struct FRow {
+    int n{0};
+    int col[7];
+    double v[7];
+    void Add(int c, double val) {
+      if (val == 0.0) return;  // dense operator* skips exact zeros too
+      col[n] = c;
+      v[n] = val;
+      ++n;
+    }
+  };
+  FRow rows[kN];
+  for (int i = 0; i < 3; ++i) {
+    rows[kP + i].Add(kP + i, 1.0);
+    rows[kP + i].Add(kV + i, cdt);
+    rows[kV + i].Add(kV + i, 1.0);
+    for (int j = 0; j < 3; ++j) rows[kV + i].Add(kTh + j, B_vth(i, j));
+    for (int j = 0; j < 3; ++j) rows[kV + i].Add(kBa + j, B_vba(i, j));
+    for (int j = 0; j < 3; ++j) rows[kTh + i].Add(kTh + j, B_thth(i, j));
+    rows[kTh + i].Add(kBg + i, -cdt);
+    rows[kBg + i].Add(kBg + i, 1.0);
+    rows[kBa + i].Add(kBa + i, 1.0);
+  }
+
+  // FP = F * P (row-sparse left operand).
+  Matrix<kN, kN> FP;
+  for (int i = 0; i < kN; ++i) {
+    const FRow& row = rows[i];
+    for (int e = 0; e < row.n; ++e) {
+      const double a = row.v[e];
+      const int k = row.col[e];
+      for (int j = 0; j < kN; ++j) FP(i, j) += a * P_(k, j);
+    }
+  }
+  // P = FP * F^T (column-sparse right operand): P(i,j) = sum_k FP(i,k)*F(j,k).
+  Matrix<kN, kN> G;
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      const FRow& row = rows[j];
+      double s = 0.0;
+      for (int e = 0; e < row.n; ++e) {
+        const double fp = FP(i, row.col[e]);
+        if (fp == 0.0) continue;
+        s += fp * row.v[e];
+      }
+      G(i, j) = s;
+    }
+  }
+  P_ = G;
+
 
   const double qv = Sq(cfg_.accel_noise) * cdt;
   const double qth = Sq(cfg_.gyro_noise) * cdt;
@@ -107,15 +168,30 @@ void Ekf::PredictImu(const sensors::ImuSample& imu, double dt) {
 }
 
 double Ekf::FuseScalar(const VecN<kN>& H, double innovation, double r, double gate) {
+  // Every observation model in this filter is sparse (1 nonzero for GPS/baro
+  // axes, 3 for the magnetometer yaw row); gather the nonzeros once and run
+  // the fusion over them. Accumulation stays in ascending-index order, so
+  // the result matches the dense loops bit-for-bit on the nonzero terms.
+  int h_idx[kN];
+  double h_val[kN];
+  int nh = 0;
+  for (int j = 0; j < kN; ++j) {
+    if (H(j, 0) != 0.0) {
+      h_idx[nh] = j;
+      h_val[nh] = H(j, 0);
+      ++nh;
+    }
+  }
+
   // S = H P H^T + r
   VecN<kN> PHt;
   for (int i = 0; i < kN; ++i) {
     double s = 0.0;
-    for (int j = 0; j < kN; ++j) s += P_(i, j) * H(j, 0);
+    for (int t = 0; t < nh; ++t) s += P_(i, h_idx[t]) * h_val[t];
     PHt(i, 0) = s;
   }
   double S = r;
-  for (int i = 0; i < kN; ++i) S += H(i, 0) * PHt(i, 0);
+  for (int t = 0; t < nh; ++t) S += h_val[t] * PHt(h_idx[t], 0);
   if (S <= 0.0 || !math::IsFinite(S)) {
     status_.numerically_healthy = false;
     return 1e9;
@@ -128,10 +204,14 @@ double Ekf::FuseScalar(const VecN<kN>& H, double innovation, double r, double ga
   VecN<kN> dx;
   for (int i = 0; i < kN; ++i) dx(i, 0) = PHt(i, 0) / S * innovation;
 
-  // P <- P - K (H P); with K = PHt/S this is P - PHt PHt^T / S.
+  // P <- P - K (H P); with K = PHt/S this is P - PHt PHt^T / S. The rank-1
+  // term is symmetric (PHt_i * PHt_j commutes), so compute the upper
+  // triangle and mirror it — bit-identical to the full dense update.
   for (int i = 0; i < kN; ++i) {
-    for (int j = 0; j < kN; ++j) {
-      P_(i, j) -= PHt(i, 0) * PHt(j, 0) / S;
+    for (int j = i; j < kN; ++j) {
+      const double d = PHt(i, 0) * PHt(j, 0) / S;
+      P_(i, j) -= d;
+      if (i != j) P_(j, i) -= d;
     }
   }
   P_.Symmetrize();
@@ -298,12 +378,20 @@ double Ekf::HorizontalPosStd() const {
   return std::sqrt(std::max(0.0, P_(kP, kP) + P_(kP + 1, kP + 1)));
 }
 
-void Ekf::CheckNumerics() {
-  if (!nav_.pos.AllFinite() || !nav_.vel.AllFinite() || !nav_.att.AllFinite() ||
-      !P_.AllFinite()) {
+void Ekf::CheckNumerics(bool covariance_changed) {
+  if (!nav_.pos.AllFinite() || !nav_.vel.AllFinite() || !nav_.att.AllFinite()) {
     status_.numerically_healthy = false;
   }
-  if (!cfg_.strict_invariant_checks) return;
+  // The 225-entry covariance scan only runs when P was actually touched
+  // since the last check; a P that went non-finite stays flagged (the
+  // healthy bit is sticky), so transitions happen at the same steps as with
+  // an unconditional scan. Strict mode keeps the per-call scan because the
+  // asymmetry/negative-variance *event counts* are per-check oracles.
+  if (!cfg_.strict_invariant_checks) {
+    if (covariance_changed && !P_.AllFinite()) status_.numerically_healthy = false;
+    return;
+  }
+  if (!P_.AllFinite()) status_.numerically_healthy = false;
 
   // In-situ covariance invariants (core/invariants.h surfaces the counts):
   // symmetry and non-negative variances must hold after every update.

@@ -145,7 +145,9 @@ class Ekf {
   /// Mitigation: gravity-disagreement monitoring and attitude re-alignment.
   void MaybeResetAttitude(const math::Vec3& accel_meas, double dt);
 
-  void CheckNumerics();
+  /// `covariance_changed` lets callers on P-untouched paths (decimated
+  /// prediction steps) skip the 225-entry finiteness scan.
+  void CheckNumerics(bool covariance_changed = true);
 
   EkfConfig cfg_;
   NavState nav_;

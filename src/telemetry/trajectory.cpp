@@ -31,12 +31,24 @@ double Trajectory::EstimatedPathLength() const {
   return len;
 }
 
-double DistancePointToSegment(const Vec3& p, const Vec3& a, const Vec3& b) {
+namespace {
+
+/// Squared distance from p to segment [a, b]; sqrt is hoisted out of the
+/// per-segment loop below. `Norm() = sqrt(NormSq())` and sqrt is monotone
+/// and correctly rounded, so `sqrt(min(dsq...))` equals `min(sqrt(dsq)...)`
+/// bit-for-bit.
+double DistSqPointToSegment(const Vec3& p, const Vec3& a, const Vec3& b) {
   const Vec3 ab = b - a;
   const double len_sq = ab.NormSq();
-  if (len_sq < 1e-12) return (p - a).Norm();
+  if (len_sq < 1e-12) return (p - a).NormSq();
   const double t = std::clamp((p - a).Dot(ab) / len_sq, 0.0, 1.0);
-  return (p - (a + ab * t)).Norm();
+  return (p - (a + ab * t)).NormSq();
+}
+
+}  // namespace
+
+double DistancePointToSegment(const Vec3& p, const Vec3& a, const Vec3& b) {
+  return std::sqrt(DistSqPointToSegment(p, a, b));
 }
 
 double Trajectory::DistanceToTruePath(const Vec3& p) const {
@@ -44,10 +56,10 @@ double Trajectory::DistanceToTruePath(const Vec3& p) const {
   if (samples_.size() == 1) return (p - samples_[0].pos_true).Norm();
   double best = std::numeric_limits<double>::infinity();
   for (std::size_t i = 1; i < samples_.size(); ++i) {
-    best = std::min(best,
-                    DistancePointToSegment(p, samples_[i - 1].pos_true, samples_[i].pos_true));
+    best = std::min(best, DistSqPointToSegment(p, samples_[i - 1].pos_true,
+                                               samples_[i].pos_true));
   }
-  return best;
+  return std::sqrt(best);
 }
 
 }  // namespace uavres::telemetry

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <ostream>
 
 #include "core/bubble.h"
 #include "math/num.h"
@@ -35,33 +36,40 @@ std::uint64_t ExperimentSeed(std::uint64_t base, int mission_index,
   return s;
 }
 
-RunOutput SimulationRunner::RunGold(const core::DroneSpec& spec, int mission_index,
-                                    std::uint64_t seed_base) const {
-  return Run(spec, mission_index, std::nullopt, nullptr, seed_base);
+std::ostream& operator<<(std::ostream& os, const ExperimentSpec& spec) {
+  os << "mission " << spec.mission_index << " '" << spec.drone.name << "' ";
+  if (spec.fault) {
+    os << "fault=" << core::ToString(spec.fault->type) << '@'
+       << core::ToString(spec.fault->target) << " t=[" << spec.fault->start_time_s
+       << ',' << spec.fault->start_time_s + spec.fault->duration_s << ')';
+  } else {
+    os << "gold";
+  }
+  return os << " seed=" << spec.seed_base;
 }
 
-RunOutput SimulationRunner::RunWithFault(const core::DroneSpec& spec, int mission_index,
-                                         const core::FaultSpec& fault,
-                                         const telemetry::Trajectory& gold,
-                                         std::uint64_t seed_base) const {
-  return Run(spec, mission_index, fault, &gold, seed_base);
+RunOutput SimulationRunner::Run(const ExperimentSpec& espec) const {
+  RunOutput out;
+  RunInto(espec, out);
+  return out;
 }
 
-RunOutput SimulationRunner::RunCase(const core::DroneSpec& spec, int mission_index,
-                                    const std::optional<core::FaultSpec>& fault,
-                                    const telemetry::Trajectory* gold,
-                                    std::uint64_t seed_base) const {
-  return Run(spec, mission_index, fault, gold, seed_base);
-}
+void SimulationRunner::RunInto(const ExperimentSpec& espec, RunOutput& out) const {
+  const core::DroneSpec& spec = espec.drone;
+  const int mission_index = espec.mission_index;
+  const std::optional<core::FaultSpec>& fault = espec.fault;
+  const telemetry::Trajectory* gold = espec.gold;
 
-RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
-                                std::optional<core::FaultSpec> fault,
-                                const telemetry::Trajectory* gold,
-                                std::uint64_t seed_base) const {
+  // Reset scratch while keeping buffer capacity across runs.
+  out.result = core::MissionResult{};
+  out.trajectory.Clear();
+  out.violations.clear();
+  out.total_violations = 0;
+
   UAVRES_TRACE_SCOPE("sim/run");
   UAVRES_COUNT("sim.runs");
   const auto wall_start = std::chrono::steady_clock::now();
-  const std::uint64_t seed = ExperimentSeed(seed_base, mission_index, fault);
+  const std::uint64_t seed = espec.Seed();
   UavConfig uav_cfg = MakeUavConfig(spec);
   if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
   core::InvariantChecker checker(cfg_.invariants);
@@ -76,7 +84,6 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
   bubble_params.risk_factor = cfg_.bubble_risk_factor;
   core::BubbleMonitor bubbles(bubble_params);
 
-  RunOutput out;
   out.result.mission_index = mission_index;
   out.result.mission_name = spec.name;
   out.result.is_gold = !fault.has_value();
@@ -247,7 +254,6 @@ RunOutput SimulationRunner::Run(const core::DroneSpec& spec, int mission_index,
           .count();
   UAVRES_OBSERVE("sim.run_wall_ms", wall_ms, 50, 100, 250, 500, 1000, 2500, 5000,
                  10000, 30000);
-  return out;
 }
 
 }  // namespace uavres::uav

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 
 #include "core/fault_model.h"
@@ -55,34 +56,79 @@ UavConfig MakeUavConfig(const core::DroneSpec& spec);
 std::uint64_t ExperimentSeed(std::uint64_t base, int mission_index,
                              const std::optional<core::FaultSpec>& fault);
 
+/// Complete, self-describing specification of one experiment: which drone
+/// flies which mission, which fault (if any) is injected, and the seed base.
+/// This is the single argument of SimulationRunner::Run — the campaign,
+/// fuzzer and benches all build these instead of picking among per-shape
+/// entry points.
+///
+/// Identity: (drone, mission_index, fault, seed_base) fully determines the
+/// simulation outcome for a given RunConfig. `ExperimentCacheKey(run, spec)`
+/// (core/result_store.h) hashes exactly that tuple, and `operator<<` prints
+/// it. `gold` is derived data — the reference trajectory some *other*
+/// experiment produced — so it is deliberately excluded from both.
+struct ExperimentSpec {
+  core::DroneSpec drone;                 ///< drone + mission under test
+  int mission_index{0};                  ///< index in the scenario (seed input)
+  std::optional<core::FaultSpec> fault;  ///< nullopt = gold (fault-free) run
+  std::uint64_t seed_base{2024};
+  /// Optional gold reference for bubble-violation counting. Without it,
+  /// bubble radii are still tracked (the containment-ordering invariant
+  /// needs them) but deviations are not counted as violations. Non-owning;
+  /// must outlive the Run call.
+  const telemetry::Trajectory* gold{nullptr};
+
+  bool IsGold() const { return !fault.has_value(); }
+  /// The derived simulation seed (ExperimentSeed over the identity fields).
+  std::uint64_t Seed() const { return ExperimentSeed(seed_base, mission_index, fault); }
+};
+
+/// "mission 3 'VLC-04 W-E' fault=stuck@gyro t=[100,102) seed=2024" (gold
+/// runs print "gold" in place of the fault clause).
+std::ostream& operator<<(std::ostream& os, const ExperimentSpec& spec);
+
 /// Runs missions to termination, computing outcome classification, bubble
 /// violations against a gold reference, duration and EKF distance.
 class SimulationRunner {
  public:
   explicit SimulationRunner(const RunConfig& cfg = {}) : cfg_(cfg) {}
 
+  /// Runs one experiment. Thread-safe: `const`, and all mutable state lives
+  /// in the output.
+  RunOutput Run(const ExperimentSpec& spec) const;
+
+  /// Scratch-reusing variant for tight experiment loops: clears `out` but
+  /// keeps its buffers (trajectory sample storage, violation vectors), so a
+  /// worker cycling through many runs stops paying one reserve/free pair
+  /// per run. `out` must not alias `spec.gold`.
+  void RunInto(const ExperimentSpec& spec, RunOutput& out) const;
+
+  // --- Deprecated per-shape wrappers (one release; see ExperimentSpec). ---
+
   /// Fault-free reference flight.
+  [[deprecated("build an ExperimentSpec and call Run(spec)")]]
   RunOutput RunGold(const core::DroneSpec& spec, int mission_index,
-                    std::uint64_t seed_base) const;
+                    std::uint64_t seed_base) const {
+    return Run({spec, mission_index, std::nullopt, seed_base, nullptr});
+  }
 
   /// Fault-injected flight, evaluated against the gold trajectory.
+  [[deprecated("build an ExperimentSpec and call Run(spec)")]]
   RunOutput RunWithFault(const core::DroneSpec& spec, int mission_index,
                          const core::FaultSpec& fault, const telemetry::Trajectory& gold,
-                         std::uint64_t seed_base) const;
+                         std::uint64_t seed_base) const {
+    return Run({spec, mission_index, fault, seed_base, &gold});
+  }
 
-  /// General entry point (the fuzzer's): optional fault, optional gold
-  /// reference. Without a gold trajectory bubble radii are still tracked
-  /// (for the containment-ordering invariant) but deviations are not
-  /// counted as violations.
+  /// General entry point: optional fault, optional gold reference.
+  [[deprecated("build an ExperimentSpec and call Run(spec)")]]
   RunOutput RunCase(const core::DroneSpec& spec, int mission_index,
                     const std::optional<core::FaultSpec>& fault,
-                    const telemetry::Trajectory* gold, std::uint64_t seed_base) const;
+                    const telemetry::Trajectory* gold, std::uint64_t seed_base) const {
+    return Run({spec, mission_index, fault, seed_base, gold});
+  }
 
  private:
-  RunOutput Run(const core::DroneSpec& spec, int mission_index,
-                std::optional<core::FaultSpec> fault, const telemetry::Trajectory* gold,
-                std::uint64_t seed_base) const;
-
   RunConfig cfg_;
 };
 

@@ -15,7 +15,7 @@ struct Fx {
   std::vector<core::DroneSpec> fleet = core::BuildValenciaScenario();
   uav::SimulationRunner runner;
   telemetry::Trajectory gold0;
-  Fx() { gold0 = runner.RunGold(fleet[0], 0, kSeed).trajectory; }
+  Fx() { gold0 = runner.Run({fleet[0], 0, std::nullopt, kSeed}).trajectory; }
 };
 
 Fx& Shared() {
@@ -44,16 +44,14 @@ core::FaultSpec NoImuFault() {
 TEST(GpsFaultFlight, DropoutToleratedByInertialCoasting) {
   auto& fx = Shared();
   const auto cfg = WithGpsFault(core::GpsFaultType::kDropout, 30.0);
-  const auto out = uav::SimulationRunner(cfg).RunWithFault(fx.fleet[0], 0, NoImuFault(),
-                                                           fx.gold0, kSeed);
+  const auto out = uav::SimulationRunner(cfg).Run({fx.fleet[0], 0, NoImuFault(), kSeed, &fx.gold0});
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
 }
 
 TEST(GpsFaultFlight, ShortJumpSurvivedViaGating) {
   auto& fx = Shared();
   const auto cfg = WithGpsFault(core::GpsFaultType::kJump, 10.0);
-  const auto out = uav::SimulationRunner(cfg).RunWithFault(fx.fleet[0], 0, NoImuFault(),
-                                                           fx.gold0, kSeed);
+  const auto out = uav::SimulationRunner(cfg).Run({fx.fleet[0], 0, NoImuFault(), kSeed, &fx.gold0});
   // The 60 m spoof step is either rejected by the innovation gate or
   // absorbed via resets; the mission survives.
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
@@ -68,7 +66,7 @@ TEST(GpsFaultFlight, GpsFaultsFarMilderThanImuFaults) {
   imu_random.type = core::FaultType::kRandom;
   imu_random.duration_s = 10.0;
   const auto imu_out =
-      fx.runner.RunWithFault(fx.fleet[0], 0, imu_random, fx.gold0, kSeed);
+      fx.runner.Run({fx.fleet[0], 0, imu_random, kSeed, &fx.gold0});
   ASSERT_NE(imu_out.result.outcome, core::MissionOutcome::kCompleted);
 
   int gps_completed = 0;
@@ -76,8 +74,7 @@ TEST(GpsFaultFlight, GpsFaultsFarMilderThanImuFaults) {
        {core::GpsFaultType::kDropout, core::GpsFaultType::kFreeze,
         core::GpsFaultType::kJump, core::GpsFaultType::kDrift}) {
     const auto cfg = WithGpsFault(type, 10.0);
-    const auto out = uav::SimulationRunner(cfg).RunWithFault(fx.fleet[0], 0, NoImuFault(),
-                                                             fx.gold0, kSeed);
+    const auto out = uav::SimulationRunner(cfg).Run({fx.fleet[0], 0, NoImuFault(), kSeed, &fx.gold0});
     gps_completed += out.result.Completed();
   }
   EXPECT_GE(gps_completed, 3);
@@ -89,7 +86,7 @@ TEST(ExtendedFaultFlight, GyroScaleToleratedAccDriftNot) {
   scale.target = core::FaultTarget::kGyrometer;
   scale.type = core::FaultType::kScale;
   scale.duration_s = 30.0;
-  const auto scale_out = fx.runner.RunWithFault(fx.fleet[0], 0, scale, fx.gold0, kSeed);
+  const auto scale_out = fx.runner.Run({fx.fleet[0], 0, scale, kSeed, &fx.gold0});
   // A gain error keeps the rate loop's feedback sign: still stable.
   EXPECT_EQ(scale_out.result.outcome, core::MissionOutcome::kCompleted);
 
@@ -97,7 +94,7 @@ TEST(ExtendedFaultFlight, GyroScaleToleratedAccDriftNot) {
   drift.target = core::FaultTarget::kAccelerometer;
   drift.type = core::FaultType::kDrift;
   drift.duration_s = 30.0;
-  const auto drift_out = fx.runner.RunWithFault(fx.fleet[0], 0, drift, fx.gold0, kSeed);
+  const auto drift_out = fx.runner.Run({fx.fleet[0], 0, drift, kSeed, &fx.gold0});
   // A 3 m/s^2-per-second additive ramp saturates the estimator within the
   // window: the mission fails.
   EXPECT_NE(drift_out.result.outcome, core::MissionOutcome::kCompleted);
@@ -109,7 +106,7 @@ TEST(ExtendedFaultFlight, AccStuckAxisIsStealthy) {
   stuck.target = core::FaultTarget::kAccelerometer;
   stuck.type = core::FaultType::kStuckAxis;
   stuck.duration_s = 30.0;
-  const auto out = fx.runner.RunWithFault(fx.fleet[0], 0, stuck, fx.gold0, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[0], 0, stuck, kSeed, &fx.gold0});
   // One frozen axis with two healthy ones: survivable and undetected.
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
   EXPECT_EQ(out.result.failsafe_reason, nav::FailsafeReason::kNone);
@@ -126,8 +123,7 @@ TEST(RtlFlight, FailsafeReturnsHomeWhenConfigured) {
   fault.target = core::FaultTarget::kGyrometer;
   fault.type = core::FaultType::kNoise;
   fault.duration_s = 30.0;
-  const auto out = uav::SimulationRunner(cfg).RunWithFault(fx.fleet[0], 0, fault,
-                                                           fx.gold0, kSeed);
+  const auto out = uav::SimulationRunner(cfg).Run({fx.fleet[0], 0, fault, kSeed, &fx.gold0});
   if (out.result.outcome == core::MissionOutcome::kFailsafe) {
     EXPECT_TRUE(out.log.Contains("returning to launch"));
     if (out.result.crash_reason.empty()) {

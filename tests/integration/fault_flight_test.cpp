@@ -17,8 +17,8 @@ struct Fixture {
   telemetry::Trajectory gold9;
 
   Fixture() {
-    gold0 = runner.RunGold(fleet[0], 0, kSeed).trajectory;
-    gold9 = runner.RunGold(fleet[9], 9, kSeed).trajectory;
+    gold0 = runner.Run({fleet[0], 0, std::nullopt, kSeed}).trajectory;
+    gold9 = runner.Run({fleet[9], 9, std::nullopt, kSeed}).trajectory;
   }
 };
 
@@ -37,9 +37,7 @@ core::FaultSpec Spec(core::FaultTarget target, core::FaultType type, double dura
 
 TEST(FaultFlight, GyroMaxCrashesQuickly) {
   auto& fx = Shared();
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kMax, 2.0),
-      fx.gold0, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kMax, 2.0), kSeed, &fx.gold0});
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCrashed);
   // Crash within seconds of the 90 s injection ("immediate and severe").
   EXPECT_LT(out.result.flight_duration_s, 100.0);
@@ -49,17 +47,13 @@ TEST(FaultFlight, GyroMaxCrashesQuickly) {
 TEST(FaultFlight, AccZerosSurvives) {
   auto& fx = Shared();
   // "Acc Zeros ... drones deviated but were able to stabilize" (67.5%).
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[0], 0, Spec(core::FaultTarget::kAccelerometer, core::FaultType::kZeros, 10.0),
-      fx.gold0, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kAccelerometer, core::FaultType::kZeros, 10.0), kSeed, &fx.gold0});
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
 }
 
 TEST(FaultFlight, AccNoiseSurvivesWithDeviation) {
   auto& fx = Shared();
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[0], 0, Spec(core::FaultTarget::kAccelerometer, core::FaultType::kNoise, 10.0),
-      fx.gold0, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kAccelerometer, core::FaultType::kNoise, 10.0), kSeed, &fx.gold0});
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
 }
 
@@ -67,9 +61,7 @@ TEST(FaultFlight, ImuRandomFailsFast) {
   auto& fx = Shared();
   // "IMU Random resulted in complete mission failure even at 2 seconds."
   for (double duration : {2.0, 30.0}) {
-    const auto out = fx.runner.RunWithFault(
-        fx.fleet[0], 0, Spec(core::FaultTarget::kImu, core::FaultType::kRandom, duration),
-        fx.gold0, kSeed);
+    const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kImu, core::FaultType::kRandom, duration), kSeed, &fx.gold0});
     EXPECT_NE(out.result.outcome, core::MissionOutcome::kCompleted) << duration;
     EXPECT_LT(out.result.flight_duration_s, 130.0) << duration;
   }
@@ -77,18 +69,14 @@ TEST(FaultFlight, ImuRandomFailsFast) {
 
 TEST(FaultFlight, FaultWindowIsLogged) {
   auto& fx = Shared();
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kNoise, 5.0),
-      fx.gold0, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kNoise, 5.0), kSeed, &fx.gold0});
   EXPECT_TRUE(out.log.Contains("fault injection window opened"));
   EXPECT_TRUE(out.log.Contains("Gyro Noise"));
 }
 
 TEST(FaultFlight, DeviatingFaultViolatesBubbles) {
   auto& fx = Shared();
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[9], 9, Spec(core::FaultTarget::kAccelerometer, core::FaultType::kMax, 10.0),
-      fx.gold9, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[9], 9, Spec(core::FaultTarget::kAccelerometer, core::FaultType::kMax, 10.0), kSeed, &fx.gold9});
   EXPECT_GT(out.result.inner_violations, 0);
   EXPECT_GT(out.result.max_deviation_m, 5.0);
   EXPECT_GE(out.result.inner_violations, out.result.outer_violations);
@@ -97,10 +85,8 @@ TEST(FaultFlight, DeviatingFaultViolatesBubbles) {
 TEST(FaultFlight, FaultyRunsShorterThanGold) {
   auto& fx = Shared();
   const double gold_duration =
-      fx.runner.RunGold(fx.fleet[0], 0, kSeed).result.flight_duration_s;
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[0], 0, Spec(core::FaultTarget::kImu, core::FaultType::kMin, 30.0), fx.gold0,
-      kSeed);
+      fx.runner.Run({fx.fleet[0], 0, std::nullopt, kSeed}).result.flight_duration_s;
+  const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kImu, core::FaultType::kMin, 30.0), kSeed, &fx.gold0});
   EXPECT_NE(out.result.outcome, core::MissionOutcome::kCompleted);
   EXPECT_LT(out.result.flight_duration_s, gold_duration * 0.5);
 }
@@ -108,9 +94,7 @@ TEST(FaultFlight, FaultyRunsShorterThanGold) {
 TEST(FaultFlight, FailsafeOutcomeRecordsReasonAndTime) {
   auto& fx = Shared();
   // A long gyro-noise fault degrades slowly enough for detection to win.
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kNoise, 30.0),
-      fx.gold0, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kNoise, 30.0), kSeed, &fx.gold0});
   if (out.result.outcome == core::MissionOutcome::kFailsafe) {
     EXPECT_NE(out.result.failsafe_reason, nav::FailsafeReason::kNone);
     EXPECT_GT(out.result.failsafe_time_s, 90.0);
@@ -123,9 +107,7 @@ TEST(FaultFlight, FailsafeOutcomeRecordsReasonAndTime) {
 
 TEST(FaultFlight, CrashOutcomeRecordsReason) {
   auto& fx = Shared();
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kMin, 5.0),
-      fx.gold0, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kMin, 5.0), kSeed, &fx.gold0});
   ASSERT_EQ(out.result.outcome, core::MissionOutcome::kCrashed);
   EXPECT_FALSE(out.result.crash_reason.empty());
   EXPECT_GT(out.result.crash_time_s, 90.0);
@@ -134,8 +116,8 @@ TEST(FaultFlight, CrashOutcomeRecordsReason) {
 TEST(FaultFlight, DeterministicFaultRuns) {
   auto& fx = Shared();
   const auto spec = Spec(core::FaultTarget::kImu, core::FaultType::kRandom, 10.0);
-  const auto a = fx.runner.RunWithFault(fx.fleet[0], 0, spec, fx.gold0, kSeed);
-  const auto b = fx.runner.RunWithFault(fx.fleet[0], 0, spec, fx.gold0, kSeed);
+  const auto a = fx.runner.Run({fx.fleet[0], 0, spec, kSeed, &fx.gold0});
+  const auto b = fx.runner.Run({fx.fleet[0], 0, spec, kSeed, &fx.gold0});
   EXPECT_EQ(a.result.outcome, b.result.outcome);
   EXPECT_DOUBLE_EQ(a.result.flight_duration_s, b.result.flight_duration_s);
   EXPECT_EQ(a.result.inner_violations, b.result.inner_violations);
@@ -149,8 +131,7 @@ class ImuFaultSweep : public ::testing::TestWithParam<int> {};
 TEST_P(ImuFaultSweep, ImuFaultsAreSevere) {
   auto& fx = Shared();
   const auto type = core::kAllFaultTypes[static_cast<std::size_t>(GetParam())];
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[0], 0, Spec(core::FaultTarget::kImu, type, 30.0), fx.gold0, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kImu, type, 30.0), kSeed, &fx.gold0});
   EXPECT_NE(out.result.outcome, core::MissionOutcome::kCompleted)
       << core::ToString(type);
 }
@@ -164,9 +145,7 @@ class DurationSweep : public ::testing::TestWithParam<int> {};
 TEST_P(DurationSweep, GyroRandomFailsAtEveryDuration) {
   auto& fx = Shared();
   const double duration = core::kInjectionDurations[static_cast<std::size_t>(GetParam())];
-  const auto out = fx.runner.RunWithFault(
-      fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kRandom, duration),
-      fx.gold0, kSeed);
+  const auto out = fx.runner.Run({fx.fleet[0], 0, Spec(core::FaultTarget::kGyrometer, core::FaultType::kRandom, duration), kSeed, &fx.gold0});
   EXPECT_NE(out.result.outcome, core::MissionOutcome::kCompleted) << duration;
 }
 

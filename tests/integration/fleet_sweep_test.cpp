@@ -20,7 +20,7 @@ class FleetSweep : public ::testing::TestWithParam<int> {
 TEST_P(FleetSweep, GoldRunCompletesCleanly) {
   const int mission = GetParam();
   const uav::SimulationRunner runner;
-  const auto out = runner.RunGold(Spec(), mission, 2024);
+  const auto out = runner.Run({Spec(), mission, std::nullopt, 2024});
 
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted) << Spec().name;
   EXPECT_EQ(out.result.inner_violations, 0) << Spec().name;
@@ -46,7 +46,7 @@ TEST_P(FleetSweep, GoldRunStaysInsideOperationalEnvelope) {
   uav::RunConfig cfg;
   cfg.record_rate_hz = 2.0;
   const uav::SimulationRunner runner(cfg);
-  const auto out = runner.RunGold(Spec(), mission, 2024);
+  const auto out = runner.Run({Spec(), mission, std::nullopt, 2024});
   const double ceiling = core::ScenarioCeilingM();
   for (const auto& s : out.trajectory.Samples()) {
     EXPECT_LT(-s.pos_true.z, ceiling + 2.0) << Spec().name << " t=" << s.t;

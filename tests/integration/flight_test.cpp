@@ -14,7 +14,7 @@ constexpr std::uint64_t kSeed = 2024;
 TEST(GoldFlight, Mission0CompletesOnTime) {
   const auto fleet = core::BuildValenciaScenario();
   const uav::SimulationRunner runner;
-  const auto out = runner.RunGold(fleet[0], 0, kSeed);
+  const auto out = runner.Run({fleet[0], 0, std::nullopt, kSeed});
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
   // Nominal duration ~ 470 s for the slow N-S mission.
   EXPECT_NEAR(out.result.flight_duration_s, fleet[0].plan.ExpectedDuration(), 60.0);
@@ -27,7 +27,7 @@ TEST(GoldFlight, Mission0CompletesOnTime) {
 TEST(GoldFlight, FastestMissionCompletes) {
   const auto fleet = core::BuildValenciaScenario();
   const uav::SimulationRunner runner;
-  const auto out = runner.RunGold(fleet[9], 9, kSeed);
+  const auto out = runner.Run({fleet[9], 9, std::nullopt, kSeed});
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
   EXPECT_GT(out.result.distance_km, 2.5);  // 3.1 km path
 }
@@ -36,14 +36,14 @@ TEST(GoldFlight, TurningMissionCompletes) {
   const auto fleet = core::BuildValenciaScenario();
   ASSERT_TRUE(fleet[5].has_turning_points);
   const uav::SimulationRunner runner;
-  const auto out = runner.RunGold(fleet[5], 5, kSeed);
+  const auto out = runner.Run({fleet[5], 5, std::nullopt, kSeed});
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
 }
 
 TEST(GoldFlight, TrajectoryRecordedAndSane) {
   const auto fleet = core::BuildValenciaScenario();
   const uav::SimulationRunner runner;
-  const auto out = runner.RunGold(fleet[0], 0, kSeed);
+  const auto out = runner.Run({fleet[0], 0, std::nullopt, kSeed});
   ASSERT_GT(out.trajectory.Size(), 100u);
   // Monotonic time, bounded altitude, no fault flags on a gold run.
   double last_t = -1.0;
@@ -59,7 +59,7 @@ TEST(GoldFlight, TrajectoryRecordedAndSane) {
 TEST(GoldFlight, EkfTracksTruthInCruise) {
   const auto fleet = core::BuildValenciaScenario();
   const uav::SimulationRunner runner;
-  const auto out = runner.RunGold(fleet[0], 0, kSeed);
+  const auto out = runner.Run({fleet[0], 0, std::nullopt, kSeed});
   double worst = 0.0;
   for (const auto& s : out.trajectory.Samples()) {
     if (s.t < 20.0) continue;  // skip takeoff transients
@@ -71,8 +71,8 @@ TEST(GoldFlight, EkfTracksTruthInCruise) {
 TEST(GoldFlight, DeterministicAcrossRuns) {
   const auto fleet = core::BuildValenciaScenario();
   const uav::SimulationRunner runner;
-  const auto a = runner.RunGold(fleet[2], 2, kSeed);
-  const auto b = runner.RunGold(fleet[2], 2, kSeed);
+  const auto a = runner.Run({fleet[2], 2, std::nullopt, kSeed});
+  const auto b = runner.Run({fleet[2], 2, std::nullopt, kSeed});
   EXPECT_EQ(a.result.outcome, b.result.outcome);
   EXPECT_DOUBLE_EQ(a.result.flight_duration_s, b.result.flight_duration_s);
   EXPECT_DOUBLE_EQ(a.result.distance_km, b.result.distance_km);
@@ -83,8 +83,8 @@ TEST(GoldFlight, DeterministicAcrossRuns) {
 TEST(GoldFlight, DifferentSeedsDifferentNoiseSameOutcome) {
   const auto fleet = core::BuildValenciaScenario();
   const uav::SimulationRunner runner;
-  const auto a = runner.RunGold(fleet[0], 0, 111);
-  const auto b = runner.RunGold(fleet[0], 0, 222);
+  const auto a = runner.Run({fleet[0], 0, std::nullopt, 111});
+  const auto b = runner.Run({fleet[0], 0, std::nullopt, 222});
   EXPECT_EQ(a.result.outcome, core::MissionOutcome::kCompleted);
   EXPECT_EQ(b.result.outcome, core::MissionOutcome::kCompleted);
   EXPECT_FALSE(

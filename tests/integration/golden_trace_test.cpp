@@ -157,7 +157,7 @@ TEST(GoldenTrace, NominalFlightIsBitStable) {
   const auto fleet = core::BuildValenciaScenario();
   const uav::SimulationRunner runner;
   const auto before = CounterValues();
-  const auto out = runner.RunGold(fleet[kMission], kMission, kSeed);
+  const auto out = runner.Run({fleet[kMission], kMission, std::nullopt, kSeed});
   const auto after = CounterValues();
   CheckAgainstGolden("golden_nominal.txt", out, before, after,
                      "mission 0, fault-free, seed 2024");
@@ -166,7 +166,7 @@ TEST(GoldenTrace, NominalFlightIsBitStable) {
 TEST(GoldenTrace, GyroFixedFaultFlightIsBitStable) {
   const auto fleet = core::BuildValenciaScenario();
   const uav::SimulationRunner runner;
-  const auto gold = runner.RunGold(fleet[kMission], kMission, kSeed);
+  const auto gold = runner.Run({fleet[kMission], kMission, std::nullopt, kSeed});
 
   core::FaultSpec fault;
   fault.type = core::FaultType::kFixed;
@@ -176,7 +176,7 @@ TEST(GoldenTrace, GyroFixedFaultFlightIsBitStable) {
 
   const auto before = CounterValues();
   const auto out =
-      runner.RunWithFault(fleet[kMission], kMission, fault, gold.trajectory, kSeed);
+      runner.Run({fleet[kMission], kMission, fault, kSeed, &gold.trajectory});
   const auto after = CounterValues();
   CheckAgainstGolden("golden_gyro_fixed.txt", out, before, after,
                      "mission 0, gyro fixed-value fault for 10 s at t=90 s, seed 2024");

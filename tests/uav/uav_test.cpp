@@ -2,6 +2,9 @@
 // SimulationRunner configuration surface.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "core/result_store.h"
 #include "core/scenario.h"
 #include "uav/simulation_runner.h"
 #include "uav/uav.h"
@@ -12,6 +15,37 @@ namespace {
 const core::DroneSpec& Spec0() {
   static const auto fleet = core::BuildValenciaScenario();
   return fleet[0];
+}
+
+TEST(ExperimentSpec, PrintsGoldAndFaultVariants) {
+  std::ostringstream gold;
+  gold << ExperimentSpec{Spec0(), 0, std::nullopt, 2024};
+  EXPECT_NE(gold.str().find("gold"), std::string::npos) << gold.str();
+  EXPECT_NE(gold.str().find(Spec0().name), std::string::npos) << gold.str();
+
+  const core::FaultSpec fault{core::FaultType::kFreeze, core::FaultTarget::kGyrometer,
+                              core::kInjectionStartS, 10.0};
+  std::ostringstream faulty;
+  faulty << ExperimentSpec{Spec0(), 0, fault, 2024};
+  EXPECT_EQ(faulty.str().find("gold"), std::string::npos) << faulty.str();
+  EXPECT_NE(faulty.str().find("fault="), std::string::npos) << faulty.str();
+}
+
+TEST(ExperimentSpec, CacheKeyIgnoresDerivedGoldReference) {
+  const RunConfig run;
+  const core::FaultSpec fault{core::FaultType::kFreeze, core::FaultTarget::kGyrometer,
+                              core::kInjectionStartS, 10.0};
+  const telemetry::Trajectory gold_traj;
+  const ExperimentSpec without{Spec0(), 3, fault, 2024, nullptr};
+  const ExperimentSpec with{Spec0(), 3, fault, 2024, &gold_traj};
+  EXPECT_EQ(core::ExperimentCacheKey(run, without), core::ExperimentCacheKey(run, with));
+  // ...but every identity field participates in the key.
+  EXPECT_NE(core::ExperimentCacheKey(run, without),
+            core::ExperimentCacheKey(run, {Spec0(), 4, fault, 2024}));
+  EXPECT_NE(core::ExperimentCacheKey(run, without),
+            core::ExperimentCacheKey(run, {Spec0(), 3, fault, 2025}));
+  EXPECT_NE(core::ExperimentCacheKey(run, without),
+            core::ExperimentCacheKey(run, {Spec0(), 3, std::nullopt, 2024}));
 }
 
 TEST(MakeUavConfig, DerivesAirframeFromSpec) {
@@ -99,8 +133,8 @@ TEST(SimulationRunner, ConfigMutatorApplied) {
   fault.type = core::FaultType::kMax;
   fault.target = core::FaultTarget::kGyrometer;
   fault.duration_s = 2.0;
-  const auto gold = SimulationRunner{}.RunGold(Spec0(), 0, 2024);
-  (void)runner.RunWithFault(Spec0(), 0, fault, gold.trajectory, 2024);
+  const auto gold = SimulationRunner{}.Run({Spec0(), 0, std::nullopt, 2024});
+  (void)runner.Run({Spec0(), 0, fault, 2024, &gold.trajectory});
   EXPECT_TRUE(called);
 }
 
@@ -109,15 +143,15 @@ TEST(SimulationRunner, RecordRateControlsSampleCount) {
   slow.record_rate_hz = 0.5;
   RunConfig fast;
   fast.record_rate_hz = 5.0;
-  const auto a = SimulationRunner(slow).RunGold(Spec0(), 0, 2024);
-  const auto b = SimulationRunner(fast).RunGold(Spec0(), 0, 2024);
+  const auto a = SimulationRunner(slow).Run({Spec0(), 0, std::nullopt, 2024});
+  const auto b = SimulationRunner(fast).Run({Spec0(), 0, std::nullopt, 2024});
   EXPECT_GT(b.trajectory.Size(), a.trajectory.Size() * 8);
 }
 
 TEST(SimulationRunner, RecordingCanBeDisabled) {
   RunConfig cfg;
   cfg.record_trajectory = false;
-  const auto out = SimulationRunner(cfg).RunGold(Spec0(), 0, 2024);
+  const auto out = SimulationRunner(cfg).Run({Spec0(), 0, std::nullopt, 2024});
   EXPECT_TRUE(out.trajectory.Empty());
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
 }
@@ -130,13 +164,13 @@ TEST(SimulationRunner, RiskFactorReducesOuterViolations) {
   const auto fleet = core::BuildValenciaScenario();
   const auto& spec = fleet[9];
 
-  const auto gold = SimulationRunner{}.RunGold(spec, 9, 2024);
+  const auto gold = SimulationRunner{}.Run({spec, 9, std::nullopt, 2024});
   RunConfig low;
   low.bubble_risk_factor = 1.0;
   RunConfig high;
   high.bubble_risk_factor = 4.0;
-  const auto a = SimulationRunner(low).RunWithFault(spec, 9, fault, gold.trajectory, 2024);
-  const auto b = SimulationRunner(high).RunWithFault(spec, 9, fault, gold.trajectory, 2024);
+  const auto a = SimulationRunner(low).Run({spec, 9, fault, 2024, &gold.trajectory});
+  const auto b = SimulationRunner(high).Run({spec, 9, fault, 2024, &gold.trajectory});
   // Identical flight (same seed); only the outer bubble radius changed.
   EXPECT_EQ(a.result.inner_violations, b.result.inner_violations);
   EXPECT_GE(a.result.outer_violations, b.result.outer_violations);
@@ -157,7 +191,7 @@ TEST(Uav, DefaultBatteryOutlastsEveryMission) {
   // mission is ~480 s and the default pack holds ~15 min of hover.
   const auto fleet = core::BuildValenciaScenario();
   SimulationRunner runner;
-  const auto out = runner.RunGold(fleet[9], 9, 2024);  // heaviest+fastest drone
+  const auto out = runner.Run({fleet[9], 9, std::nullopt, 2024});  // heaviest+fastest drone
   EXPECT_EQ(out.result.outcome, core::MissionOutcome::kCompleted);
   EXPECT_FALSE(out.log.Contains("battery critical"));
 }

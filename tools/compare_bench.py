@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Gate campaign throughput against the committed BENCH_campaign.json baseline.
+
+Usage:
+    compare_bench.py CURRENT.json BASELINE.json [--max-regress 0.20]
+
+Exit codes:
+    0 — throughput within tolerance (or comparison skipped, see below)
+    1 — runs/sec regressed more than --max-regress vs the baseline
+    2 — bad input (missing file, malformed JSON, wrong schema)
+
+Comparison policy:
+    Throughput numbers are only meaningful on comparable hardware. The two
+    files record their environment (hardware_concurrency, threads, missions,
+    durations); when the environments differ the script prints a notice and
+    exits 0 instead of failing the build on an apples-to-oranges comparison.
+    The zero-allocation steady-state check is environment-independent and is
+    always enforced.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("bench") != "campaign_throughput" or doc.get("schema") != 1:
+        print(f"compare_bench: {path} is not a schema-1 campaign_throughput file",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-regress", type=float, default=0.20,
+                    help="maximum tolerated fractional runs/sec drop (default 0.20)")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+
+    # Environment-independent gate first: the hot path must stay allocation-free.
+    steady = cur.get("steady_state", {})
+    if steady.get("heap_allocs", 0) != 0:
+        print(f"compare_bench: FAIL — steady state performed "
+              f"{steady.get('heap_allocs')} heap allocations (expected 0)")
+        return 1
+
+    cur_env, base_env = cur.get("environment", {}), base.get("environment", {})
+    if cur_env != base_env:
+        print("compare_bench: environments differ, skipping throughput comparison")
+        print(f"  current : {cur_env}")
+        print(f"  baseline: {base_env}")
+        print("  (steady-state zero-allocation check still passed)")
+        return 0
+
+    cur_rps = cur.get("campaign", {}).get("runs_per_sec", 0.0)
+    base_rps = base.get("campaign", {}).get("runs_per_sec", 0.0)
+    if base_rps <= 0.0:
+        print("compare_bench: baseline has no runs_per_sec, skipping")
+        return 0
+
+    change = (cur_rps - base_rps) / base_rps
+    print(f"runs/sec: current {cur_rps:.3f} vs baseline {base_rps:.3f} "
+          f"({change:+.1%})")
+    if change < -args.max_regress:
+        print(f"compare_bench: FAIL — throughput regressed more than "
+              f"{args.max_regress:.0%}")
+        return 1
+    print("compare_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
