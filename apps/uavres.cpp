@@ -7,7 +7,9 @@
 //   uavres export [mission] [file.csv] [--rate HZ]
 //   uavres record [mission] [file.uvrl] [--rate HZ] [--target acc|gyro|imu
 //                 --type <fault> --duration S]
+//   uavres record [mission] [file.uvbs] [--bus]   (full bus-topic log)
 //   uavres replay [file.uvrl]
+//   uavres replay [file.uvbs] [--estimator ekf|comp]
 //   uavres fuzz [--runs N] [--seed N] [--out DIR] [--replay file.repro]
 //   uavres list
 //   uavres help
@@ -28,6 +30,7 @@
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/trace.h"
+#include "uav/bus_replay.h"
 #include "uav/simulation_runner.h"
 #include "uspace/multi_runner.h"
 
@@ -55,7 +58,13 @@ int Usage() {
       "                                     dump a gold trajectory as CSV\n"
       "  record [mission] [file.uvrl] [--target acc|gyro|imu --type random\n"
       "         --duration S] [--rate HZ]   record a flight (binary log)\n"
+      "  record [mission] [file.uvbs]       record the full bus-topic stream\n"
+      "         [--bus] [--seed N]          (a .uvbs path implies --bus)\n"
       "  replay [file.uvrl]                 summarize a recorded flight\n"
+      "  replay [file.uvbs] [--estimator ekf|comp]\n"
+      "                                     re-run an estimator offline from\n"
+      "                                     the recorded sensor topics; `ekf`\n"
+      "                                     must match the online run exactly\n"
       "  fuzz [--runs N] [--seed N] [--out DIR] [--shrink-budget N] [--threads N]\n"
       "       [--determinism-every N] [--verbose]\n"
       "                                     randomized fault-campaign fuzzing:\n"
@@ -273,10 +282,94 @@ int CmdExport(const app::CommandLine& cl) {
   return 0;
 }
 
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Bus-stream recording (`--bus` or a .uvbs path): every topic the modules
+/// publish, replayable offline with `uavres replay file.uvbs`.
+int CmdRecordBus(const app::CommandLine& cl, const core::DroneSpec& spec, int mission,
+                 const std::string& path) {
+  uav::ExperimentSpec espec{spec, mission, std::nullopt,
+                            static_cast<std::uint64_t>(cl.FlagInt("seed", 2024))};
+  if (cl.HasFlag("target") || cl.HasFlag("type")) {
+    core::FaultSpec fault;
+    fault.target = ParseTarget(cl.Flag("target").value_or("imu"));
+    fault.type = ParseType(cl.Flag("type").value_or("random"));
+    fault.duration_s = cl.FlagDouble("duration", 10.0);
+    espec.fault = fault;
+  }
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const auto stats = uav::RecordBusLog(espec, os);
+  if (!stats) {
+    std::fprintf(stderr, "bus recording failed writing %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("recorded %llu bus frames over %llu steps -> %s\n",
+              static_cast<unsigned long long>(stats->frames),
+              static_cast<unsigned long long>(stats->steps), path.c_str());
+  std::printf("outcome    : %s after %.1f s\n", core::ToString(stats->outcome),
+              stats->end_time_s);
+  return 0;
+}
+
+/// Offline estimator re-run from a bus-topic log.
+int CmdReplayBus(const app::CommandLine& cl, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  bus::BusLogHeader header;
+  if (!bus::ReadBusLogHeader(is, header)) {
+    std::fprintf(stderr, "cannot read %s (not a bus log?)\n", path.c_str());
+    return 1;
+  }
+  is.seekg(0);
+  const auto& fleet = core::SharedValenciaScenario();
+  if (header.mission_index < 0 || header.mission_index >= static_cast<int>(fleet.size())) {
+    std::fprintf(stderr, "bus log names unknown mission %d\n", header.mission_index);
+    return 1;
+  }
+  const auto& spec = fleet[static_cast<std::size_t>(header.mission_index)];
+  const std::string which = cl.Flag("estimator").value_or("ekf");
+  const auto kind = which == "comp" ? uav::ReplayEstimatorKind::kComplementary
+                                    : uav::ReplayEstimatorKind::kEkf;
+  const auto stats = uav::ReplayEstimator(is, spec, kind);
+  if (!stats) {
+    std::fprintf(stderr, "cannot replay %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("bus log    : mission %d '%s', seed base %llu%s\n", header.mission_index,
+              spec.name.c_str(), static_cast<unsigned long long>(header.seed_base),
+              header.has_fault ? " (fault injected)" : " (gold)");
+  std::printf("replayed   : %llu steps, %llu frames (%s estimator)\n",
+              static_cast<unsigned long long>(stats->steps),
+              static_cast<unsigned long long>(stats->frames),
+              kind == uav::ReplayEstimatorKind::kEkf ? "ekf" : "complementary");
+  if (kind == uav::ReplayEstimatorKind::kEkf) {
+    std::printf("pos error  : max %.3g m, final %.3g m vs online EKF\n", stats->max_pos_err_m,
+                stats->final_pos_err_m);
+    std::printf("att error  : max %.3g rad vs online EKF\n", stats->max_att_err_rad);
+    // The offline EKF consumes the exact sensor stream the online one did,
+    // so any divergence at all is a determinism defect.
+    return stats->max_pos_err_m <= 1e-9 ? 0 : 1;
+  }
+  std::printf("att error  : max %.3g rad vs online EKF\n", stats->max_att_err_rad);
+  return 0;
+}
+
 int CmdRecord(const app::CommandLine& cl) {
   const auto& fleet = core::SharedValenciaScenario();
   const int mission = MissionIndex(cl, 0);
   const std::string path = cl.Positional(1, "flight.uvrl");
+  if (cl.HasFlag("bus") || HasSuffix(path, ".uvbs")) {
+    return CmdRecordBus(cl, fleet[static_cast<std::size_t>(mission)], mission, path);
+  }
   uav::RunConfig run_cfg;
   run_cfg.record_rate_hz = cl.FlagDouble("rate", 5.0);
   const uav::SimulationRunner runner(run_cfg);
@@ -309,6 +402,7 @@ int CmdRecord(const app::CommandLine& cl) {
 
 int CmdReplay(const app::CommandLine& cl) {
   const std::string path = cl.Positional(0, "flight.uvrl");
+  if (HasSuffix(path, ".uvbs")) return CmdReplayBus(cl, path);
   const auto record = telemetry::LoadFlightRecord(path);
   if (!record) {
     std::fprintf(stderr, "cannot read %s (missing or corrupt)\n", path.c_str());

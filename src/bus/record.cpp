@@ -1,0 +1,301 @@
+#include "bus/record.h"
+
+#include "telemetry/binary_io.h"
+
+namespace uavres::bus {
+namespace {
+
+using telemetry::GetF64;
+using telemetry::GetI32;
+using telemetry::GetQuat;
+using telemetry::GetU32;
+using telemetry::GetU64;
+using telemetry::GetU8;
+using telemetry::GetVec3;
+using telemetry::PutF64;
+using telemetry::PutI32;
+using telemetry::PutQuat;
+using telemetry::PutU32;
+using telemetry::PutU64;
+using telemetry::PutU8;
+using telemetry::PutVec3;
+
+constexpr char kMagic[4] = {'U', 'V', 'B', 'S'};
+
+void PutBool(std::ostream& os, bool v) { PutU8(os, v ? 1 : 0); }
+
+bool GetBool(std::istream& is, bool& v) {
+  std::uint8_t u = 0;
+  if (!GetU8(is, u)) return false;
+  v = (u != 0);
+  return true;
+}
+
+// --- per-topic payload serializers (fixed layout, version 1) ---
+
+void PutImu(std::ostream& os, const ImuSignal& s) {
+  for (const auto& u : s.units) {
+    PutF64(os, u.t);
+    PutVec3(os, u.accel_mps2);
+    PutVec3(os, u.gyro_rads);
+  }
+}
+
+bool GetImu(std::istream& is, ImuSignal& s) {
+  for (auto& u : s.units) {
+    if (!GetF64(is, u.t) || !GetVec3(is, u.accel_mps2) || !GetVec3(is, u.gyro_rads)) return false;
+  }
+  return true;
+}
+
+void PutGps(std::ostream& os, const sensors::GpsSample& s) {
+  PutF64(os, s.t);
+  PutVec3(os, s.pos_ned_m);
+  PutVec3(os, s.vel_ned_mps);
+  PutBool(os, s.valid);
+}
+
+bool GetGps(std::istream& is, sensors::GpsSample& s) {
+  return GetF64(is, s.t) && GetVec3(is, s.pos_ned_m) && GetVec3(is, s.vel_ned_mps) &&
+         GetBool(is, s.valid);
+}
+
+void PutBaro(std::ostream& os, const sensors::BaroSample& s) {
+  PutF64(os, s.t);
+  PutF64(os, s.alt_m);
+}
+
+bool GetBaro(std::istream& is, sensors::BaroSample& s) {
+  return GetF64(is, s.t) && GetF64(is, s.alt_m);
+}
+
+void PutMag(std::ostream& os, const sensors::MagSample& s) {
+  PutF64(os, s.t);
+  PutVec3(os, s.field_body);
+}
+
+bool GetMag(std::istream& is, sensors::MagSample& s) {
+  return GetF64(is, s.t) && GetVec3(is, s.field_body);
+}
+
+void PutEstimate(std::ostream& os, const estimation::NavState& s) {
+  PutQuat(os, s.att);
+  PutVec3(os, s.vel);
+  PutVec3(os, s.pos);
+  PutVec3(os, s.gyro_bias);
+  PutVec3(os, s.accel_bias);
+  PutVec3(os, s.body_rate);
+}
+
+bool GetEstimate(std::istream& is, estimation::NavState& s) {
+  return GetQuat(is, s.att) && GetVec3(is, s.vel) && GetVec3(is, s.pos) &&
+         GetVec3(is, s.gyro_bias) && GetVec3(is, s.accel_bias) && GetVec3(is, s.body_rate);
+}
+
+void PutStatus(std::ostream& os, const estimation::EkfStatus& s) {
+  PutF64(os, s.gps_pos_test_ratio);
+  PutF64(os, s.gps_vel_test_ratio);
+  PutF64(os, s.baro_test_ratio);
+  PutF64(os, s.mag_test_ratio);
+  PutF64(os, s.time_since_gps_accept_s);
+  PutI32(os, s.gps_reset_count);
+  PutI32(os, s.gps_large_reset_count);
+  PutI32(os, s.attitude_reset_count);
+  PutBool(os, s.numerically_healthy);
+  PutI32(os, s.cov_asymmetry_events);
+  PutI32(os, s.cov_negative_variance_events);
+  PutF64(os, s.cov_trace_peak);
+}
+
+bool GetStatus(std::istream& is, estimation::EkfStatus& s) {
+  return GetF64(is, s.gps_pos_test_ratio) && GetF64(is, s.gps_vel_test_ratio) &&
+         GetF64(is, s.baro_test_ratio) && GetF64(is, s.mag_test_ratio) &&
+         GetF64(is, s.time_since_gps_accept_s) && GetI32(is, s.gps_reset_count) &&
+         GetI32(is, s.gps_large_reset_count) && GetI32(is, s.attitude_reset_count) &&
+         GetBool(is, s.numerically_healthy) && GetI32(is, s.cov_asymmetry_events) &&
+         GetI32(is, s.cov_negative_variance_events) && GetF64(is, s.cov_trace_peak);
+}
+
+void PutImuSelect(std::ostream& os, const ImuSelectSignal& s) { PutI32(os, s.unit); }
+
+bool GetImuSelect(std::istream& is, ImuSelectSignal& s) {
+  std::int32_t unit = 0;
+  if (!GetI32(is, unit)) return false;
+  s.unit = unit;
+  return true;
+}
+
+void PutHealth(std::ostream& os, const HealthSignal& s) {
+  PutBool(os, s.failsafe);
+  PutU8(os, s.reason);
+}
+
+bool GetHealth(std::istream& is, HealthSignal& s) {
+  return GetBool(is, s.failsafe) && GetU8(is, s.reason);
+}
+
+void PutSetpoint(std::ostream& os, const SetpointSignal& s) {
+  PutVec3(os, s.sp.pos);
+  PutVec3(os, s.sp.vel_ff);
+  PutF64(os, s.sp.yaw);
+  PutF64(os, s.sp.cruise_speed);
+  PutU8(os, s.flight_mode);
+  PutBool(os, s.landed);
+}
+
+bool GetSetpoint(std::istream& is, SetpointSignal& s) {
+  return GetVec3(is, s.sp.pos) && GetVec3(is, s.sp.vel_ff) && GetF64(is, s.sp.yaw) &&
+         GetF64(is, s.sp.cruise_speed) && GetU8(is, s.flight_mode) && GetBool(is, s.landed);
+}
+
+void PutActuator(std::ostream& os, const ActuatorSignal& s) {
+  for (double c : s.cmds) PutF64(os, c);
+  PutF64(os, s.collective);
+}
+
+bool GetActuator(std::istream& is, ActuatorSignal& s) {
+  for (double& c : s.cmds) {
+    if (!GetF64(is, c)) return false;
+  }
+  return GetF64(is, s.collective);
+}
+
+void PutTruth(std::ostream& os, const TruthSignal& s) {
+  PutVec3(os, s.state.pos);
+  PutVec3(os, s.state.vel);
+  PutQuat(os, s.state.att);
+  PutVec3(os, s.state.omega);
+  PutVec3(os, s.state.accel_world);
+  PutBool(os, s.on_ground);
+  PutF64(os, s.induced_power_w);
+}
+
+bool GetTruth(std::istream& is, TruthSignal& s) {
+  return GetVec3(is, s.state.pos) && GetVec3(is, s.state.vel) && GetQuat(is, s.state.att) &&
+         GetVec3(is, s.state.omega) && GetVec3(is, s.state.accel_world) &&
+         GetBool(is, s.on_ground) && GetF64(is, s.induced_power_w);
+}
+
+void PutBattery(std::ostream& os, const BatterySignal& s) {
+  PutBool(os, s.critical);
+  PutBool(os, s.empty);
+  PutF64(os, s.soc);
+}
+
+bool GetBattery(std::istream& is, BatterySignal& s) {
+  return GetBool(is, s.critical) && GetBool(is, s.empty) && GetF64(is, s.soc);
+}
+
+}  // namespace
+
+bool WriteBusLogHeader(std::ostream& os, const BusLogHeader& header) {
+  os.write(kMagic, 4);
+  PutU32(os, header.version);
+  PutI32(os, header.mission_index);
+  PutU64(os, header.seed_base);
+  PutF64(os, header.control_rate_hz);
+  PutBool(os, header.has_fault);
+  if (header.has_fault) {
+    PutU8(os, header.fault_type);
+    PutU8(os, header.fault_target);
+    PutF64(os, header.fault_start_s);
+    PutF64(os, header.fault_duration_s);
+  }
+  return static_cast<bool>(os);
+}
+
+bool ReadBusLogHeader(std::istream& is, BusLogHeader& header) {
+  char magic[4] = {};
+  if (!is.read(magic, 4)) return false;
+  for (int i = 0; i < 4; ++i) {
+    if (magic[i] != kMagic[i]) return false;
+  }
+  if (!GetU32(is, header.version) || header.version != kBusLogVersion) return false;
+  if (!GetI32(is, header.mission_index) || !GetU64(is, header.seed_base) ||
+      !GetF64(is, header.control_rate_hz) || !GetBool(is, header.has_fault)) {
+    return false;
+  }
+  if (header.has_fault) {
+    return GetU8(is, header.fault_type) && GetU8(is, header.fault_target) &&
+           GetF64(is, header.fault_start_s) && GetF64(is, header.fault_duration_s);
+  }
+  header.fault_type = 0;
+  header.fault_target = 0;
+  header.fault_start_s = 0.0;
+  header.fault_duration_s = 0.0;
+  return true;
+}
+
+void WriteBusFrame(std::ostream& os, const BusFrame& frame) {
+  PutU8(os, static_cast<std::uint8_t>(frame.id));
+  PutF64(os, frame.t);
+  switch (frame.id) {
+    case TopicId::kImu: PutImu(os, frame.imu); break;
+    case TopicId::kGps: PutGps(os, frame.gps); break;
+    case TopicId::kBaro: PutBaro(os, frame.baro); break;
+    case TopicId::kMag: PutMag(os, frame.mag); break;
+    case TopicId::kEstimate: PutEstimate(os, frame.estimate); break;
+    case TopicId::kEstimatorStatus: PutStatus(os, frame.estimator_status); break;
+    case TopicId::kImuSelect: PutImuSelect(os, frame.imu_select); break;
+    case TopicId::kHealth: PutHealth(os, frame.health); break;
+    case TopicId::kSetpoint: PutSetpoint(os, frame.setpoint); break;
+    case TopicId::kActuator: PutActuator(os, frame.actuator); break;
+    case TopicId::kTruth: PutTruth(os, frame.truth); break;
+    case TopicId::kBattery: PutBattery(os, frame.battery); break;
+  }
+}
+
+bool ReadBusFrame(std::istream& is, BusFrame& frame) {
+  std::uint8_t id = 0;
+  if (!GetU8(is, id) || id >= kNumTopics) return false;
+  frame.id = static_cast<TopicId>(id);
+  if (!GetF64(is, frame.t)) return false;
+  switch (frame.id) {
+    case TopicId::kImu: return GetImu(is, frame.imu);
+    case TopicId::kGps: return GetGps(is, frame.gps);
+    case TopicId::kBaro: return GetBaro(is, frame.baro);
+    case TopicId::kMag: return GetMag(is, frame.mag);
+    case TopicId::kEstimate: return GetEstimate(is, frame.estimate);
+    case TopicId::kEstimatorStatus: return GetStatus(is, frame.estimator_status);
+    case TopicId::kImuSelect: return GetImuSelect(is, frame.imu_select);
+    case TopicId::kHealth: return GetHealth(is, frame.health);
+    case TopicId::kSetpoint: return GetSetpoint(is, frame.setpoint);
+    case TopicId::kActuator: return GetActuator(is, frame.actuator);
+    case TopicId::kTruth: return GetTruth(is, frame.truth);
+    case TopicId::kBattery: return GetBattery(is, frame.battery);
+  }
+  return false;
+}
+
+void BusTap::Capture() {
+  if (bus_ == nullptr || os_ == nullptr) return;
+  BusFrame frame;
+  // Canonical TopicId order; each topic publishes at most once per step, so
+  // a generation diff of exactly one frame per changed topic is guaranteed.
+  const auto capture = [&](auto& topic, TopicId id, auto assign) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (topic.generation() == seen_[idx]) return;
+    seen_[idx] = topic.generation();
+    frame.id = id;
+    frame.t = topic.stamp();
+    assign();
+    WriteBusFrame(*os_, frame);
+    ++frames_written_;
+  };
+  capture(bus_->imu, TopicId::kImu, [&] { frame.imu = bus_->imu.Latest(); });
+  capture(bus_->gps, TopicId::kGps, [&] { frame.gps = bus_->gps.Latest(); });
+  capture(bus_->baro, TopicId::kBaro, [&] { frame.baro = bus_->baro.Latest(); });
+  capture(bus_->mag, TopicId::kMag, [&] { frame.mag = bus_->mag.Latest(); });
+  capture(bus_->estimate, TopicId::kEstimate, [&] { frame.estimate = bus_->estimate.Latest(); });
+  capture(bus_->estimator_status, TopicId::kEstimatorStatus,
+          [&] { frame.estimator_status = bus_->estimator_status.Latest(); });
+  capture(bus_->imu_select, TopicId::kImuSelect,
+          [&] { frame.imu_select = bus_->imu_select.Latest(); });
+  capture(bus_->health, TopicId::kHealth, [&] { frame.health = bus_->health.Latest(); });
+  capture(bus_->setpoint, TopicId::kSetpoint, [&] { frame.setpoint = bus_->setpoint.Latest(); });
+  capture(bus_->actuator, TopicId::kActuator, [&] { frame.actuator = bus_->actuator.Latest(); });
+  capture(bus_->truth, TopicId::kTruth, [&] { frame.truth = bus_->truth.Latest(); });
+  capture(bus_->battery, TopicId::kBattery, [&] { frame.battery = bus_->battery.Latest(); });
+}
+
+}  // namespace uavres::bus

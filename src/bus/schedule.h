@@ -1,0 +1,72 @@
+// Deterministic multi-rate module scheduler.
+//
+// Runs a fixed, registration-ordered list of modules once per control step;
+// a module registered with divider N only runs on steps where
+// `step % N == 0`. This subsumes the hand-rolled gps/baro/mag divider logic
+// the monolithic `Uav::Step()` carried: a 10 Hz GPS module on a 250 Hz bus
+// is simply `Add(&gps_module, 25)`.
+//
+// Determinism is the whole contract: same modules, same order, same
+// dividers, same seeds => bit-identical trajectories. There is no clock, no
+// thread, no reordering — the scheduler is a for-loop with rate gating, on
+// purpose.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace uavres::bus {
+
+/// Per-step context handed to every module.
+struct StepInfo {
+  std::int64_t step{0};  ///< control step index (0-based)
+  double t{0.0};         ///< simulation time at the start of the step [s]
+  double dt{0.0};        ///< base control period [s]
+};
+
+/// A schedulable flight-stack module. Modules own their domain objects
+/// (sensor models, the EKF, controllers, the airframe) and communicate
+/// exclusively over FlightBus topics.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Advance one (possibly decimated) period. `info.dt` is always the base
+  /// control period; a decimated module knows its own divider.
+  virtual void Step(const StepInfo& info) = 0;
+};
+
+/// Fixed-capacity, registration-ordered schedule.
+class Schedule {
+ public:
+  static constexpr int kMaxModules = 16;
+
+  /// Append `module` running every `divider`-th step. Returns false when
+  /// the table is full or the divider is invalid.
+  bool Add(Module* module, int divider = 1) {
+    if (count_ >= kMaxModules || module == nullptr || divider < 1) return false;
+    entries_[count_++] = {module, divider};
+    return true;
+  }
+
+  int module_count() const { return count_; }
+
+  /// Run one control step: every due module, in registration order.
+  void RunStep(std::int64_t step, double t, double dt) {
+    const StepInfo info{step, t, dt};
+    for (int i = 0; i < count_; ++i) {
+      if (step % entries_[i].divider == 0) entries_[i].module->Step(info);
+    }
+  }
+
+ private:
+  struct Entry {
+    Module* module{nullptr};
+    int divider{1};
+  };
+
+  std::array<Entry, kMaxModules> entries_{};
+  int count_{0};
+};
+
+}  // namespace uavres::bus

@@ -1,0 +1,114 @@
+// The FlightBus: fixed topic table of the modular flight stack.
+//
+// Every signal that crosses a module boundary is a topic here; modules
+// (src/uav/modules.h) own the domain objects and talk to each other only
+// through these topics. The table is fixed at compile time — adding a signal
+// means adding a member and a TopicId — which keeps the hot path free of any
+// lookup: a module reads `bus.gps.Latest()` as a direct member access.
+//
+// Payload types reuse the domain structs where one exists (sensor samples,
+// the EKF's NavState/EkfStatus, the position setpoint); bus-local structs
+// cover signals that had no first-class type inside the old monolithic
+// `Uav::Step()`. The bus layer sits above sensors/estimation/control and
+// below nav/core/uav — see tools/check_layering.py for the enforced DAG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bus/topic.h"
+#include "control/position_controller.h"
+#include "estimation/ekf.h"
+#include "sensors/samples.h"
+#include "sim/rigid_body.h"
+
+namespace uavres::bus {
+
+/// Ground-truth vehicle state, published by the physics module at the end of
+/// each step. Sensor modules sample from it at the *start* of the next step,
+/// which reproduces the classic sense -> act -> integrate loop ordering.
+struct TruthSignal {
+  sim::RigidBodyState state;
+  bool on_ground{true};
+  double induced_power_w{0.0};  ///< rotor aerodynamic power (battery model)
+};
+
+/// The redundant IMU set, one sample per physical unit. Fault interceptors
+/// corrupt all units at once (the paper's fault model).
+struct ImuSignal {
+  static constexpr int kUnits = 3;
+  std::array<sensors::ImuSample, kUnits> units{};
+};
+
+/// Which redundant IMU unit downstream consumers should trust; published by
+/// the health monitor (isolation cycling), consumed by the estimator on the
+/// *next* step — matching the one-step selection latency of the monolith.
+struct ImuSelectSignal {
+  int unit{0};
+};
+
+/// Health monitor verdict.
+struct HealthSignal {
+  bool failsafe{false};
+  std::uint8_t reason{0};  ///< nav::FailsafeReason (raw: bus sits below nav)
+};
+
+/// Battery state of charge, published post-drain each step.
+struct BatterySignal {
+  bool critical{false};
+  bool empty{false};
+  double soc{1.0};
+};
+
+/// Commander output: the outer-loop setpoint plus the flight mode the
+/// control cascade and battery model need.
+struct SetpointSignal {
+  control::PositionSetpoint sp;
+  std::uint8_t flight_mode{0};  ///< nav::FlightMode (raw: bus sits below nav)
+  bool landed{false};
+};
+
+/// Mixed rotor commands plus the collective thrust that produced them.
+struct ActuatorSignal {
+  std::array<double, 4> cmds{};
+  double collective{0.0};
+};
+
+/// Stable topic identifiers for the record/replay stream (record.h). The
+/// order is also the canonical intra-step serialization order and mirrors
+/// the module schedule: sensors, estimator, health, commander, control,
+/// physics, battery.
+enum class TopicId : std::uint8_t {
+  kImu = 0,
+  kGps = 1,
+  kBaro = 2,
+  kMag = 3,
+  kEstimate = 4,
+  kEstimatorStatus = 5,
+  kImuSelect = 6,
+  kHealth = 7,
+  kSetpoint = 8,
+  kActuator = 9,
+  kTruth = 10,
+  kBattery = 11,
+};
+inline constexpr int kNumTopics = 12;
+
+/// The complete topic table of one vehicle. One instance per Uav; modules
+/// hold a pointer to it and publish/read directly.
+struct FlightBus {
+  Topic<ImuSignal> imu;
+  Topic<sensors::GpsSample> gps;
+  Topic<sensors::BaroSample> baro;
+  Topic<sensors::MagSample> mag;
+  Topic<estimation::NavState> estimate;
+  Topic<estimation::EkfStatus> estimator_status;
+  Topic<ImuSelectSignal> imu_select;
+  Topic<HealthSignal> health;
+  Topic<SetpointSignal> setpoint;
+  Topic<ActuatorSignal> actuator;
+  Topic<TruthSignal> truth;
+  Topic<BatterySignal> battery;
+};
+
+}  // namespace uavres::bus

@@ -1,0 +1,98 @@
+#include "core/sensor_fault_injector.h"
+
+#include <algorithm>
+
+namespace uavres::core {
+
+using math::Vec3;
+using sensors::BaroSample;
+using sensors::MagSample;
+
+BaroFaultInjector::BaroFaultInjector(const FaultSpec& spec, math::Rng rng,
+                                     const BaroFaultConfig& cfg)
+    : spec_(spec), cfg_(cfg), rng_(rng) {
+  // kFixed draws its constant once per experiment — "a Random constant value".
+  fixed_alt_m_ = rng_.Uniform(cfg_.min_alt_m, cfg_.max_alt_m);
+}
+
+BaroSample BaroFaultInjector::Apply(const BaroSample& truth, double t) {
+  if (!spec_.ActiveAt(t)) {
+    frozen_alt_m_.reset();
+    return truth;
+  }
+  BaroSample out = truth;
+  switch (spec_.type) {
+    case FaultType::kFixed:
+      out.alt_m = fixed_alt_m_;
+      break;
+    case FaultType::kZeros:
+      out.alt_m = 0.0;
+      break;
+    case FaultType::kFreeze:
+      if (!frozen_alt_m_) frozen_alt_m_ = truth.alt_m;  // capture at injection start
+      out.alt_m = *frozen_alt_m_;
+      break;
+    case FaultType::kRandom:
+      out.alt_m = rng_.Uniform(cfg_.min_alt_m, cfg_.max_alt_m);
+      break;
+    case FaultType::kMin:
+      out.alt_m = cfg_.min_alt_m;
+      break;
+    case FaultType::kMax:
+      out.alt_m = cfg_.max_alt_m;
+      break;
+    case FaultType::kNoise:
+      out.alt_m = std::clamp(truth.alt_m + rng_.Gaussian(0.0, cfg_.noise_sigma_m),
+                             cfg_.min_alt_m, cfg_.max_alt_m);
+      break;
+    default:
+      // Extended IMU-specific behaviours (kScale etc.) are not part of the
+      // baro model; pass the sample through untouched.
+      break;
+  }
+  return out;
+}
+
+MagFaultInjector::MagFaultInjector(const FaultSpec& spec, math::Rng rng,
+                                   const MagFaultConfig& cfg)
+    : spec_(spec), cfg_(cfg), rng_(rng) {
+  fixed_field_ = rng_.UniformVec3(-cfg_.limit, cfg_.limit);
+}
+
+MagSample MagFaultInjector::Apply(const MagSample& truth, double t) {
+  if (!spec_.ActiveAt(t)) {
+    frozen_field_.reset();
+    return truth;
+  }
+  MagSample out = truth;
+  switch (spec_.type) {
+    case FaultType::kFixed:
+      out.field_body = fixed_field_;
+      break;
+    case FaultType::kZeros:
+      out.field_body = Vec3::Zero();
+      break;
+    case FaultType::kFreeze:
+      if (!frozen_field_) frozen_field_ = truth.field_body;  // capture at injection start
+      out.field_body = *frozen_field_;
+      break;
+    case FaultType::kRandom:
+      out.field_body = rng_.UniformVec3(-cfg_.limit, cfg_.limit);
+      break;
+    case FaultType::kMin:
+      out.field_body = {-cfg_.limit, -cfg_.limit, -cfg_.limit};
+      break;
+    case FaultType::kMax:
+      out.field_body = {cfg_.limit, cfg_.limit, cfg_.limit};
+      break;
+    case FaultType::kNoise:
+      out.field_body =
+          (truth.field_body + rng_.GaussianVec3(cfg_.noise_sigma)).CwiseClamp(-cfg_.limit, cfg_.limit);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace uavres::core

@@ -121,6 +121,21 @@ void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfS
     }
   }
 
+  // ---- Path 4 (optional): persistent baro rejection -> sensor fault ----
+  // A test ratio above 1 means the last fusion was gated out; a healthy baro
+  // recovers within a few samples, so sustained rejection marks a dead or
+  // lying altimeter (bus-boundary baro fault experiments).
+  if (cfg_.baro_reject_fail_s > 0.0) {
+    baro_reject_s_ = (ekf.baro_test_ratio > 1.0) ? baro_reject_s_ + dt : 0.0;
+    if (baro_reject_s_ >= cfg_.baro_reject_fail_s) {
+      reason_ = FailsafeReason::kSensorFault;
+      failsafe_time_ = t;
+      UAVRES_COUNT("hm.failsafe.baro-reject");
+      UAVRES_TRACE_INSTANT("hm/failsafe");
+      return;
+    }
+  }
+
   // A numerically broken filter is an immediate estimator failure.
   if (!ekf.numerically_healthy) {
     reason_ = FailsafeReason::kEstimatorFailure;

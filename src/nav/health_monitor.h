@@ -62,6 +62,13 @@ struct HealthMonitorConfig {
   // fault, so the limit expresses ~2 s of sustained estimator failure.
   int ekf_large_reset_limit{25};
   double ekf_reset_window_s{10.0};
+
+  /// Baro rejection failsafe: once the EKF's baro innovation test ratio has
+  /// stayed above 1 (every fusion rejected) for this long continuously,
+  /// declare a sensor fault. 0 disables — the default, because the paper's
+  /// campaign has no barometer faults and hard IMU faults also gate the baro;
+  /// the bus-boundary baro injection experiments switch it on.
+  double baro_reject_fail_s{0.0};
 };
 
 /// Which path declared failsafe (for logs and Table IV analysis).
@@ -124,6 +131,9 @@ class HealthMonitor {
   int last_large_reset_count_{0};
   double reset_window_start_{0.0};
   int resets_in_window_{0};
+
+  // Baro rejection (only accumulates when baro_reject_fail_s > 0).
+  double baro_reject_s_{0.0};
 };
 
 }  // namespace uavres::nav

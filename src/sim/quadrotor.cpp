@@ -48,10 +48,12 @@ void Quadrotor::ResetTo(const Vec3& pos, double yaw_rad) {
   touchdown_count_ = 0;
 }
 
-double Quadrotor::HoverThrustFraction() const {
-  const double max_total = kNumRotors * params_.rotor.max_thrust_n;
-  return Clamp(params_.mass_kg * kGravity / max_total, 0.0, 1.0);
+double HoverThrustFraction(const QuadrotorParams& params) {
+  const double max_total = Quadrotor::kNumRotors * params.rotor.max_thrust_n;
+  return Clamp(params.mass_kg * kGravity / max_total, 0.0, 1.0);
 }
+
+double Quadrotor::HoverThrustFraction() const { return sim::HoverThrustFraction(params_); }
 
 double Quadrotor::InducedPower() const {
   const double disk_area = math::kPi * math::Sq(params_.rotor_radius_m);

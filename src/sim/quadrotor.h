@@ -30,6 +30,11 @@ struct QuadrotorParams {
 /// thrust-to-weight ratio; used to derive per-mission airframes.
 QuadrotorParams MakeQuadrotorParams(double mass_kg, double thrust_to_weight = 2.0);
 
+/// Normalized collective that balances gravity when level. Free function so
+/// controller tuning can be derived from the parameter set alone, without
+/// constructing a throwaway Quadrotor.
+double HoverThrustFraction(const QuadrotorParams& params);
+
 /// Full quadrotor simulation. Motor commands are normalized [0,1].
 ///
 /// Rotor layout (X config, viewed from above, x forward / y right):

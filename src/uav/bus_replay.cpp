@@ -1,0 +1,139 @@
+#include "uav/bus_replay.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "estimation/complementary_filter.h"
+#include "estimation/ekf.h"
+#include "uav/modules.h"
+#include "uav/uav.h"
+
+namespace uavres::uav {
+
+std::optional<BusRecordStats> RecordBusLog(const ExperimentSpec& spec, std::ostream& os) {
+  const UavConfig cfg = MakeUavConfig(spec.drone);
+
+  bus::BusLogHeader header;
+  header.mission_index = spec.mission_index;
+  header.seed_base = spec.seed_base;
+  header.control_rate_hz = cfg.control_rate_hz;
+  header.has_fault = spec.fault.has_value();
+  if (spec.fault) {
+    header.fault_type = static_cast<std::uint8_t>(spec.fault->type);
+    header.fault_target = static_cast<std::uint8_t>(spec.fault->target);
+    header.fault_start_s = spec.fault->start_time_s;
+    header.fault_duration_s = spec.fault->duration_s;
+  }
+  if (!bus::WriteBusLogHeader(os, header)) return std::nullopt;
+
+  Uav uav(cfg, spec.drone.plan, spec.fault, spec.Seed());
+  uav.StartRecording(&os);
+
+  // Same termination rules as SimulationRunner::RunInto.
+  const double max_time = spec.drone.plan.ExpectedDuration() + RunConfig{}.extra_time_s;
+  BusRecordStats stats;
+  stats.end_time_s = max_time;
+  while (uav.time() < max_time) {
+    uav.Step();
+    ++stats.steps;
+    const TerminalVerdict verdict = EvaluateTerminal(uav, uav.time());
+    if (verdict.ended) {
+      stats.end_time_s = verdict.end_time;
+      stats.outcome = verdict.outcome;
+      break;
+    }
+  }
+  stats.frames = uav.recorded_frames();
+  if (!os.good()) return std::nullopt;
+  return stats;
+}
+
+std::optional<BusReplayStats> ReplayEstimator(std::istream& is, const core::DroneSpec& spec,
+                                              ReplayEstimatorKind kind) {
+  BusReplayStats stats;
+  if (!bus::ReadBusLogHeader(is, stats.header)) return std::nullopt;
+
+  const UavConfig cfg = MakeUavConfig(spec);
+  const double dt = 1.0 / stats.header.control_rate_hz;
+  const double yaw0 = InitialMissionYaw(spec.plan);
+
+  estimation::Ekf ekf(cfg.ekf);
+  ekf.InitAtRest(spec.plan.home, yaw0);
+  estimation::ComplementaryFilter comp;
+  comp.InitAtRest(yaw0);
+
+  // Streaming state. A step's frames arrive in TopicId order: the sensor
+  // topics first, then the estimate, then (via the health monitor) the IMU
+  // selection for the *next* step — which is exactly the one-step selection
+  // latency the online estimator has.
+  bus::BusFrame frame;
+  bus::ImuSignal imu;
+  std::optional<sensors::GpsSample> pending_gps;
+  std::optional<sensors::BaroSample> pending_baro;
+  std::optional<sensors::MagSample> pending_mag;
+  int selection = 0;
+  bool mag_seen = false;
+  double last_mag_t = 0.0;
+
+  while (bus::ReadBusFrame(is, frame)) {
+    ++stats.frames;
+    switch (frame.id) {
+      case bus::TopicId::kImu:
+        imu = frame.imu;
+        break;
+      case bus::TopicId::kGps:
+        pending_gps = frame.gps;
+        break;
+      case bus::TopicId::kBaro:
+        pending_baro = frame.baro;
+        break;
+      case bus::TopicId::kMag:
+        pending_mag = frame.mag;
+        break;
+      case bus::TopicId::kEstimate: {
+        // All of this step's sensor frames precede the estimate frame; run
+        // the offline filter and compare against the recorded online state.
+        const sensors::ImuSample& unit =
+            imu.units[static_cast<std::size_t>(selection % bus::ImuSignal::kUnits)];
+        if (kind == ReplayEstimatorKind::kEkf) {
+          ekf.PredictImu(unit, dt);
+          if (pending_gps) ekf.FuseGps(*pending_gps);
+          if (pending_baro) ekf.FuseBaro(*pending_baro);
+          if (pending_mag) ekf.FuseMag(*pending_mag);
+          const double pos_err = (ekf.state().pos - frame.estimate.pos).Norm();
+          stats.max_pos_err_m = std::max(stats.max_pos_err_m, pos_err);
+          stats.final_pos_err_m = pos_err;
+          stats.max_att_err_rad =
+              std::max(stats.max_att_err_rad, ekf.state().att.AngleTo(frame.estimate.att));
+        } else {
+          comp.Update(unit, dt);
+          if (pending_mag) {
+            // The mag period is not in the header; recover it from stamps.
+            const double mag_dt = mag_seen ? pending_mag->t - last_mag_t : dt;
+            comp.UpdateMag(*pending_mag, mag_dt);
+            last_mag_t = pending_mag->t;
+            mag_seen = true;
+          }
+          stats.max_att_err_rad =
+              std::max(stats.max_att_err_rad, comp.attitude().AngleTo(frame.estimate.att));
+        }
+        pending_gps.reset();
+        pending_baro.reset();
+        pending_mag.reset();
+        ++stats.steps;
+        break;
+      }
+      case bus::TopicId::kImuSelect:
+        // Published after the estimate frame each step: takes effect on the
+        // next step, reproducing the online selection latency.
+        selection = frame.imu_select.unit;
+        break;
+      default:
+        break;  // status/health/setpoint/actuator/truth/battery: not needed
+    }
+  }
+  return stats;
+}
+
+}  // namespace uavres::uav

@@ -1,0 +1,66 @@
+// Record/replay over the FlightBus — the ekf2-replay workflow (DESIGN.md
+// §13.4).
+//
+// `RecordBusLog` flies one experiment with a BusTap attached and writes the
+// complete topic stream (header + frames) to a stream. `ReplayEstimator`
+// re-runs an estimator offline from that stream: the EKF variant consumes
+// exactly the sensor topics the online filter consumed, in the same order,
+// with the same IMU-unit selection latency, and therefore reproduces the
+// online position trajectory bit-for-bit; the complementary-filter variant
+// runs an alternative attitude estimator over the same sensor data for
+// offline comparison.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+
+#include "bus/record.h"
+#include "core/metrics.h"
+#include "core/scenario.h"
+#include "uav/simulation_runner.h"
+
+namespace uavres::uav {
+
+/// Summary of one recording run.
+struct BusRecordStats {
+  std::uint64_t steps{0};
+  std::uint64_t frames{0};
+  double end_time_s{0.0};
+  core::MissionOutcome outcome{core::MissionOutcome::kTimeout};
+};
+
+/// Fly `spec`'s experiment (same config derivation, seeding and termination
+/// rules as SimulationRunner) and mirror all bus traffic into `os`. Returns
+/// nullopt when the stream fails.
+std::optional<BusRecordStats> RecordBusLog(const ExperimentSpec& spec, std::ostream& os);
+
+/// Which estimator to re-run offline.
+enum class ReplayEstimatorKind {
+  kEkf,            ///< the online filter, bit-exact
+  kComplementary,  ///< attitude-only complementary filter (comparison)
+};
+
+/// Summary of one replay run.
+struct BusReplayStats {
+  bus::BusLogHeader header;
+  std::uint64_t steps{0};
+  std::uint64_t frames{0};
+  /// Worst / final |replayed - recorded| position error [m] over all
+  /// estimate frames. For kEkf this must be exactly 0 (the acceptance gate
+  /// allows <= 1e-9); kComplementary has no position state, so both stay 0.
+  double max_pos_err_m{0.0};
+  double final_pos_err_m{0.0};
+  /// Worst attitude divergence vs the recorded online estimate [rad]. For
+  /// kEkf this is 0; for kComplementary it measures the alternative filter.
+  double max_att_err_rad{0.0};
+};
+
+/// Re-run an estimator from the recorded stream. `spec` must describe the
+/// same drone the log was recorded from (the config — EKF tuning, mission
+/// home/heading — is re-derived from it exactly as RecordBusLog derived it).
+/// Returns nullopt on a malformed header.
+std::optional<BusReplayStats> ReplayEstimator(std::istream& is, const core::DroneSpec& spec,
+                                              ReplayEstimatorKind kind);
+
+}  // namespace uavres::uav

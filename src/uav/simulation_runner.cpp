@@ -48,6 +48,26 @@ std::ostream& operator<<(std::ostream& os, const ExperimentSpec& spec) {
   return os << " seed=" << spec.seed_base;
 }
 
+TerminalVerdict EvaluateTerminal(const Uav& uav, double t) {
+  TerminalVerdict v;
+  if (uav.crash_detector().crashed()) {
+    v.ended = true;
+    v.end_time = uav.crash_detector().crash_time();
+    // Failsafe-first classification (Table IV): if the controller engaged
+    // failsafe before the physical crash, the run counts as a failsafe.
+    v.outcome = (uav.health().failsafe_active() &&
+                 uav.health().failsafe_time() <= v.end_time)
+                    ? MissionOutcome::kFailsafe
+                    : MissionOutcome::kCrashed;
+  } else if (uav.commander().landed()) {
+    v.ended = true;
+    v.end_time = uav.commander().landed_time().value_or(t);
+    v.outcome = uav.commander().MissionCompleted() ? MissionOutcome::kCompleted
+                                                   : MissionOutcome::kFailsafe;
+  }
+  return v;
+}
+
 RunOutput SimulationRunner::Run(const ExperimentSpec& espec) const {
   RunOutput out;
   RunInto(espec, out);
@@ -178,26 +198,11 @@ void SimulationRunner::RunInto(const ExperimentSpec& espec, RunOutput& out) cons
       }
     }
 
-    // --- Terminal conditions. ---
-    if (uav.crash_detector().crashed()) {
-      end_time = uav.crash_detector().crash_time();
-      // Failsafe-first classification (Table IV): if the controller engaged
-      // failsafe before the physical crash, the run counts as a failsafe.
-      if (uav.health().failsafe_active() &&
-          uav.health().failsafe_time() <= end_time) {
-        outcome = MissionOutcome::kFailsafe;
-      } else {
-        outcome = MissionOutcome::kCrashed;
-      }
-      break;
-    }
-    if (uav.commander().landed()) {
-      end_time = uav.commander().landed_time().value_or(t);
-      if (uav.commander().MissionCompleted()) {
-        outcome = MissionOutcome::kCompleted;
-      } else {
-        outcome = MissionOutcome::kFailsafe;
-      }
+    // --- Terminal conditions (shared with the multi-vehicle runner). ---
+    const TerminalVerdict verdict = EvaluateTerminal(uav, t);
+    if (verdict.ended) {
+      end_time = verdict.end_time;
+      outcome = verdict.outcome;
       break;
     }
   }

@@ -103,33 +103,23 @@ class SimulationRunner {
   /// per run. `out` must not alias `spec.gold`.
   void RunInto(const ExperimentSpec& spec, RunOutput& out) const;
 
-  // --- Deprecated per-shape wrappers (one release; see ExperimentSpec). ---
-
-  /// Fault-free reference flight.
-  [[deprecated("build an ExperimentSpec and call Run(spec)")]]
-  RunOutput RunGold(const core::DroneSpec& spec, int mission_index,
-                    std::uint64_t seed_base) const {
-    return Run({spec, mission_index, std::nullopt, seed_base, nullptr});
-  }
-
-  /// Fault-injected flight, evaluated against the gold trajectory.
-  [[deprecated("build an ExperimentSpec and call Run(spec)")]]
-  RunOutput RunWithFault(const core::DroneSpec& spec, int mission_index,
-                         const core::FaultSpec& fault, const telemetry::Trajectory& gold,
-                         std::uint64_t seed_base) const {
-    return Run({spec, mission_index, fault, seed_base, &gold});
-  }
-
-  /// General entry point: optional fault, optional gold reference.
-  [[deprecated("build an ExperimentSpec and call Run(spec)")]]
-  RunOutput RunCase(const core::DroneSpec& spec, int mission_index,
-                    const std::optional<core::FaultSpec>& fault,
-                    const telemetry::Trajectory* gold, std::uint64_t seed_base) const {
-    return Run({spec, mission_index, fault, seed_base, gold});
-  }
-
  private:
   RunConfig cfg_;
 };
+
+/// Terminal verdict on one stepping vehicle, shared by SimulationRunner and
+/// uspace::MultiUavRunner so single- and multi-vehicle experiments classify
+/// outcomes by exactly the same rules.
+struct TerminalVerdict {
+  bool ended{false};
+  core::MissionOutcome outcome{core::MissionOutcome::kTimeout};
+  double end_time{0.0};
+};
+
+/// Evaluate the terminal conditions for `uav` after a Step() at time `t`:
+/// a physical crash ends the run (failsafe-first classification, Table IV:
+/// if the controller engaged failsafe before the crash the run counts as a
+/// failsafe), and landing ends it as completed or failsafe.
+TerminalVerdict EvaluateTerminal(const Uav& uav, double t);
 
 }  // namespace uavres::uav

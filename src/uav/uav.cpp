@@ -6,13 +6,15 @@
 
 namespace uavres::uav {
 
-using math::Rng;
 using math::Vec3;
 
 namespace {
 
-int RateDivider(double control_rate_hz, double sensor_rate_hz) {
-  return std::max(1, static_cast<int>(std::lround(control_rate_hz / sensor_rate_hz)));
+control::PositionControlConfig WithHoverThrust(const UavConfig& cfg) {
+  auto pc = cfg.position_control;
+  // The collective mapping must know the real hover thrust fraction.
+  pc.hover_thrust = sim::HoverThrustFraction(cfg.airframe);
+  return pc;
 }
 
 }  // namespace
@@ -24,123 +26,46 @@ Uav::Uav(const UavConfig& cfg, const nav::MissionPlan& plan,
       gps_divider_(RateDivider(cfg.control_rate_hz, cfg.gps.rate_hz)),
       baro_divider_(RateDivider(cfg.control_rate_hz, cfg.baro.rate_hz)),
       mag_divider_(RateDivider(cfg.control_rate_hz, cfg.mag.rate_hz)),
-      env_(cfg.wind, Rng{math::HashCombine(seed, 0x01)}),
-      quad_(std::make_unique<sim::Quadrotor>(cfg.airframe, &env_)),
-      imu_(cfg.imu_noise, cfg.imu_ranges, Rng{math::HashCombine(seed, 0x02)}),
-      gps_(cfg.gps, Rng{math::HashCombine(seed, 0x03)}),
-      baro_(cfg.baro, Rng{math::HashCombine(seed, 0x04)}),
-      mag_(cfg.mag, Rng{math::HashCombine(seed, 0x05)}),
-      ekf_(cfg.ekf),
-      health_(cfg.health),
-      pos_ctrl_([&] {
-        auto pc = cfg.position_control;
-        // The collective mapping must know the real hover thrust fraction.
-        sim::Quadrotor tmp(cfg.airframe, nullptr);
-        pc.hover_thrust = tmp.HoverThrustFraction();
-        return pc;
-      }()),
-      att_ctrl_(cfg.attitude_control),
-      rate_ctrl_(cfg.rate_control),
-      mixer_(control::MixerConfigFromQuadrotor(cfg.airframe)),
-      crash_(cfg.crash),
-      battery_(cfg.battery) {
-  if (fault) {
-    injectors_.emplace_back(*fault, cfg.imu_ranges, Rng{math::HashCombine(seed, 0x06)},
-                            cfg.fault_noise, cfg.fault_ext);
-  }
-  for (std::size_t i = 0; i < cfg.extra_faults.size(); ++i) {
-    injectors_.emplace_back(cfg.extra_faults[i], cfg.imu_ranges,
-                            Rng{math::HashCombine(seed, 0x60 + i)}, cfg.fault_noise,
-                            cfg.fault_ext);
-  }
-  if (cfg.gps_fault) {
-    gps_injector_.emplace(*cfg.gps_fault, Rng{math::HashCombine(seed, 0x07)});
-  }
-
+      imu_mod_(cfg.imu_noise, cfg.imu_ranges, seed, &bus_),
+      gps_mod_(cfg.gps, seed, &bus_),
+      baro_mod_(cfg.baro, baro_divider_, seed, &bus_),
+      mag_mod_(cfg.mag, seed, &bus_),
+      estimator_(cfg.ekf, &bus_),
+      health_mod_(cfg.health, &bus_, &log_),
+      commander_mod_(plan, cfg.commander, &bus_, &log_),
+      control_mod_(WithHoverThrust(cfg), cfg.attitude_control, cfg.rate_control,
+                   control::MixerConfigFromQuadrotor(cfg.airframe), &bus_),
+      physics_(cfg, seed, &bus_, &log_),
+      battery_mod_(cfg.battery, &bus_),
+      faults_(cfg, fault, seed, &bus_, &log_) {
+  // Initial pose: at home, yawed along the first mission leg.
   const Vec3 start = plan.home;
-  home_ = start;
-  double yaw0 = 0.0;
-  if (plan.waypoints.size() > 1) {
-    const Vec3 dir = plan.waypoints[1] - plan.waypoints[0];
-    if (dir.NormXY() > 0.1) yaw0 = std::atan2(dir.y, dir.x);
-  }
-  quad_->ResetTo(start, yaw0);
-  ekf_.InitAtRest(start, yaw0);
-  commander_ = std::make_unique<nav::Commander>(plan, cfg.commander, &log_);
+  const double yaw0 = InitialMissionYaw(plan);
+  physics_.Reset(start, yaw0, 0.0);
+  estimator_.Init(start, yaw0);
+  // Seed the step-0 inputs that carry one-step latencies: the sensors read
+  // the initial truth, the estimator reads the monitor's initial selection,
+  // and the commander reads the fresh battery state.
+  battery_mod_.PublishState(0.0);
+  bus_.imu_select.Publish({health_mod_.monitor().active_imu_unit()}, 0.0);
+
+  // Fixed module order — the monolith's step order, made explicit.
+  schedule_.Add(&imu_mod_);
+  schedule_.Add(&gps_mod_, gps_divider_);
+  schedule_.Add(&baro_mod_, baro_divider_);
+  schedule_.Add(&mag_mod_, mag_divider_);
+  schedule_.Add(&estimator_);
+  schedule_.Add(&health_mod_);
+  schedule_.Add(&commander_mod_);
+  schedule_.Add(&control_mod_);
+  schedule_.Add(&physics_);
+  schedule_.Add(&battery_mod_);
 }
 
 void Uav::Step() {
   time_ = static_cast<double>(step_count_) * dt_;
-
-  // --- Sense (fault injection happens at the sensor-output boundary). ---
-  auto samples = imu_.SampleAll(quad_->state(), time_, dt_);
-  for (auto& injector : injectors_) {
-    samples = injector.ApplyAll(samples, time_);
-    if (!fault_logged_ && injector.ActiveAt(time_)) {
-      fault_logged_ = true;
-      log_.Warn(time_, "fault injection window opened: " +
-                           core::FaultLabel(injector.spec().target, injector.spec().type));
-    }
-  }
-  const sensors::ImuSample& selected = samples[static_cast<std::size_t>(
-      health_.active_imu_unit() % sensors::RedundantImu::kNumUnits)];
-
-  // --- Estimate. ---
-  ekf_.PredictImu(selected, dt_);
-  if (step_count_ % gps_divider_ == 0) {
-    sensors::GpsSample fix = gps_.Sample(quad_->state(), time_);
-    if (gps_injector_) fix = gps_injector_->Apply(fix, time_);
-    ekf_.FuseGps(fix);
-  }
-  if (step_count_ % baro_divider_ == 0) {
-    ekf_.FuseBaro(baro_.Sample(quad_->state(), time_, dt_ * baro_divider_));
-  }
-  if (step_count_ % mag_divider_ == 0) ekf_.FuseMag(mag_.Sample(quad_->state(), time_));
-
-  const estimation::NavState& est = ekf_.state();
-
-  // --- Monitor health / failsafe. ---
-  const bool was_failsafe = health_.failsafe_active();
-  health_.Update(selected, ekf_.status(), est.att.Tilt(), time_, dt_);
-  if (!was_failsafe && health_.failsafe_active()) {
-    log_.Critical(time_, std::string("health monitor: failsafe (") +
-                             nav::ToString(health_.reason()) + ")");
-  }
-
-  // --- Mode logic and control cascade. Low battery is a failsafe trigger
-  // (PX4's battery failsafe), alongside the health monitor. ---
-  const bool low_battery = battery_.Critical();
-  if (low_battery && !battery_warned_) {
-    battery_warned_ = true;
-    log_.Critical(time_, "battery critical: failsafe");
-  }
-  const auto sp =
-      commander_->Update(est, health_.failsafe_active() || low_battery, time_, dt_);
-  const auto att_sp = pos_ctrl_.Update(sp, est.pos, est.vel, dt_);
-  const Vec3 rate_sp = att_ctrl_.Update(att_sp.att, est.att);
-  const Vec3 ang_accel = rate_ctrl_.Update(rate_sp, est.body_rate, dt_);
-  auto cmds = mixer_.Mix(att_sp.thrust, ang_accel);
-  last_thrust_cmd_ = att_sp.thrust;
-
-  if (commander_->mode() == nav::FlightMode::kLanded || battery_.Empty()) {
-    cmds = {0.0, 0.0, 0.0, 0.0};  // disarmed / no power left
-  }
-
-  // --- Physics and energy. ---
-  if (cfg_.motor_fault_index >= 0 && time_ >= cfg_.motor_fault_time_s &&
-      !quad_->MotorFailed(cfg_.motor_fault_index)) {
-    quad_->FailMotor(cfg_.motor_fault_index);
-    log_.Critical(time_, "motor " + std::to_string(cfg_.motor_fault_index) + " failed");
-  }
-  quad_->Step(cmds, dt_);
-  if (commander_->mode() != nav::FlightMode::kLanded) {
-    const double electrical = cfg_.battery.avionics_load_w +
-                              quad_->InducedPower() / cfg_.battery.propulsive_efficiency;
-    battery_.Drain(electrical, dt_);
-  }
-  if (!quad_->on_ground()) airborne_seen_ = true;
-  crash_.Update(*quad_, home_, time_, airborne_seen_);
-
+  schedule_.RunStep(step_count_, time_, dt_);
+  if (tap_) tap_->Capture();
   ++step_count_;
 }
 

@@ -1,70 +1,27 @@
-// Full vehicle assembly: simulator + sensors + fault injector + flight stack.
+// Full vehicle assembly: the FlightBus modules behind a thin façade.
 //
-// One Uav owns everything a single flight needs and advances it in lockstep
-// at the control rate (250 Hz): sensing (with optional fault injection at the
-// sensor-output boundary), estimation, health monitoring, mode logic, the
-// control cascade, and the physics.
+// One Uav owns a FlightBus (bus/topics.h), the ten flight-stack modules
+// (uav/modules.h) and the deterministic multi-rate schedule that advances
+// them in lockstep at the control rate (250 Hz): sensing (with fault
+// injection intercepted at the topic boundary), estimation, health
+// monitoring, mode logic, the control cascade, physics and energy. The
+// public accessors are unchanged from the pre-bus monolith so call sites
+// outside src/uav need no churn.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
-#include <vector>
+#include <ostream>
 
-#include "control/attitude_controller.h"
-#include "control/mixer.h"
-#include "control/position_controller.h"
-#include "control/rate_controller.h"
-#include "core/fault_injector.h"
-#include "core/gps_fault_injector.h"
-#include "estimation/ekf.h"
-#include "nav/commander.h"
-#include "nav/crash_detector.h"
-#include "nav/health_monitor.h"
+#include "bus/record.h"
+#include "bus/schedule.h"
+#include "bus/topics.h"
 #include "nav/mission.h"
-#include "sensors/barometer.h"
-#include "sensors/gps.h"
-#include "sensors/imu.h"
-#include "sensors/magnetometer.h"
-#include "sim/battery.h"
-#include "sim/environment.h"
-#include "sim/quadrotor.h"
 #include "telemetry/flight_log.h"
+#include "uav/modules.h"
+#include "uav/uav_config.h"
 
 namespace uavres::uav {
-
-/// Aggregated configuration of one vehicle.
-struct UavConfig {
-  sim::QuadrotorParams airframe;
-  sim::WindParams wind;
-  sensors::ImuNoiseConfig imu_noise;
-  sensors::ImuRanges imu_ranges;
-  sensors::GpsConfig gps;
-  sensors::BaroConfig baro;
-  sensors::MagConfig mag;
-  estimation::EkfConfig ekf;
-  control::PositionControlConfig position_control;
-  control::AttitudeControlConfig attitude_control;
-  control::RateControlConfig rate_control;
-  nav::HealthMonitorConfig health;
-  nav::CommanderConfig commander;
-  nav::CrashDetectorConfig crash;
-  sim::BatteryParams battery;
-  /// Magnitude parameters for randomized/extended IMU faults (the fuzzer
-  /// varies them; the paper's campaign uses the defaults).
-  core::FaultNoiseConfig fault_noise;
-  core::ExtendedFaultConfig fault_ext;
-  /// Additional IMU fault windows applied after the primary fault, possibly
-  /// overlapping it (fuzzing extension; the paper injects exactly one).
-  std::vector<core::FaultSpec> extra_faults;
-  /// Optional GNSS fault (extension; the paper's campaign never sets this).
-  std::optional<core::GpsFaultSpec> gps_fault;
-  /// Optional actuator fault (extension): rotor `motor_fault_index` fails
-  /// permanently at `motor_fault_time_s`. Negative index disables.
-  int motor_fault_index{-1};
-  double motor_fault_time_s{90.0};
-  double control_rate_hz{250.0};
-};
 
 /// One simulated vehicle flying one mission, optionally under fault injection.
 class Uav {
@@ -72,31 +29,38 @@ class Uav {
   Uav(const UavConfig& cfg, const nav::MissionPlan& plan,
       std::optional<core::FaultSpec> fault, std::uint64_t seed);
 
-  /// Advance one control period.
+  /// Advance one control period (one schedule pass over all due modules).
   void Step();
 
   double time() const { return time_; }
   double dt() const { return dt_; }
 
-  const sim::Quadrotor& quad() const { return *quad_; }
-  const estimation::Ekf& ekf() const { return ekf_; }
-  const nav::Commander& commander() const { return *commander_; }
-  const nav::HealthMonitor& health() const { return health_; }
-  const nav::CrashDetector& crash_detector() const { return crash_; }
+  const sim::Quadrotor& quad() const { return physics_.quad(); }
+  const estimation::Ekf& ekf() const { return estimator_.ekf(); }
+  const nav::Commander& commander() const { return commander_mod_.commander(); }
+  const nav::HealthMonitor& health() const { return health_mod_.monitor(); }
+  const nav::CrashDetector& crash_detector() const { return physics_.crash_detector(); }
   const telemetry::FlightLog& log() const { return log_; }
   const UavConfig& config() const { return cfg_; }
-  const sim::Battery& battery() const { return battery_; }
+  const sim::Battery& battery() const { return battery_mod_.battery(); }
 
-  bool fault_active() const {
-    for (const auto& inj : injectors_) {
-      if (inj.ActiveAt(time_)) return true;
-    }
-    return false;
-  }
-  bool airborne_seen() const { return airborne_seen_; }
+  bool fault_active() const { return faults_.AnyImuActiveAt(time_); }
+  bool airborne_seen() const { return physics_.airborne_seen(); }
 
   /// Last normalized collective thrust command (telemetry/tests).
-  double last_thrust_cmd() const { return last_thrust_cmd_; }
+  double last_thrust_cmd() const { return bus_.actuator.Latest().collective; }
+
+  /// The vehicle's topic table (tests, observers). Read-only: publishing
+  /// belongs to the modules.
+  const bus::FlightBus& flight_bus() const { return bus_; }
+
+  /// Mirror all topic traffic into `os` from the next Step() on (the header
+  /// must already be written by the caller; see uav/bus_replay.h). Recording
+  /// never perturbs the flight — the tap snapshots after each step.
+  void StartRecording(std::ostream* os) { tap_.emplace(&bus_, os); }
+
+  /// Frames the recording tap has written so far (0 when not recording).
+  std::uint64_t recorded_frames() const { return tap_ ? tap_->frames_written() : 0; }
 
  private:
   UavConfig cfg_;
@@ -107,33 +71,23 @@ class Uav {
   int baro_divider_;
   int mag_divider_;
 
-  sim::Environment env_;
-  std::unique_ptr<sim::Quadrotor> quad_;
-  sensors::RedundantImu imu_;
-  sensors::Gps gps_;
-  sensors::Barometer baro_;
-  sensors::Magnetometer mag_;
-  /// Primary fault (if any) first, then extra windows, applied in order at
-  /// the sensor-output boundary.
-  std::vector<core::FaultInjector> injectors_;
-  std::optional<core::GpsFaultInjector> gps_injector_;
-
-  estimation::Ekf ekf_;
-  nav::HealthMonitor health_;
+  bus::FlightBus bus_;
   telemetry::FlightLog log_;
-  std::unique_ptr<nav::Commander> commander_;
-  control::PositionController pos_ctrl_;
-  control::AttitudeController att_ctrl_;
-  control::RateController rate_ctrl_;
-  control::Mixer mixer_;
-  nav::CrashDetector crash_;
-  sim::Battery battery_;
 
-  math::Vec3 home_;
-  bool airborne_seen_{false};
-  bool fault_logged_{false};
-  bool battery_warned_{false};
-  double last_thrust_cmd_{0.0};
+  ImuModule imu_mod_;
+  GpsModule gps_mod_;
+  BaroModule baro_mod_;
+  MagModule mag_mod_;
+  EstimatorModule estimator_;
+  HealthModule health_mod_;
+  CommanderModule commander_mod_;
+  ControlCascadeModule control_mod_;
+  PhysicsModule physics_;
+  BatteryModule battery_mod_;
+  FaultInterceptorStage faults_;
+
+  bus::Schedule schedule_;
+  std::optional<bus::BusTap> tap_;
 };
 
 }  // namespace uavres::uav

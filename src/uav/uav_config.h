@@ -1,0 +1,68 @@
+// Aggregated configuration of one vehicle (shared by the façade and the
+// FlightBus modules).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "control/attitude_controller.h"
+#include "control/mixer.h"
+#include "control/position_controller.h"
+#include "control/rate_controller.h"
+#include "core/fault_injector.h"
+#include "core/gps_fault_injector.h"
+#include "core/sensor_fault_injector.h"
+#include "estimation/ekf.h"
+#include "nav/commander.h"
+#include "nav/crash_detector.h"
+#include "nav/health_monitor.h"
+#include "sensors/barometer.h"
+#include "sensors/gps.h"
+#include "sensors/imu.h"
+#include "sensors/magnetometer.h"
+#include "sim/battery.h"
+#include "sim/environment.h"
+#include "sim/quadrotor.h"
+
+namespace uavres::uav {
+
+/// Aggregated configuration of one vehicle.
+struct UavConfig {
+  sim::QuadrotorParams airframe;
+  sim::WindParams wind;
+  sensors::ImuNoiseConfig imu_noise;
+  sensors::ImuRanges imu_ranges;
+  sensors::GpsConfig gps;
+  sensors::BaroConfig baro;
+  sensors::MagConfig mag;
+  estimation::EkfConfig ekf;
+  control::PositionControlConfig position_control;
+  control::AttitudeControlConfig attitude_control;
+  control::RateControlConfig rate_control;
+  nav::HealthMonitorConfig health;
+  nav::CommanderConfig commander;
+  nav::CrashDetectorConfig crash;
+  sim::BatteryParams battery;
+  /// Magnitude parameters for randomized/extended IMU faults (the fuzzer
+  /// varies them; the paper's campaign uses the defaults).
+  core::FaultNoiseConfig fault_noise;
+  core::ExtendedFaultConfig fault_ext;
+  /// Additional IMU fault windows applied after the primary fault, possibly
+  /// overlapping it (fuzzing extension; the paper injects exactly one).
+  std::vector<core::FaultSpec> extra_faults;
+  /// Optional GNSS fault (extension; the paper's campaign never sets this).
+  std::optional<core::GpsFaultSpec> gps_fault;
+  /// Optional barometer / magnetometer faults (bus-boundary extension; the
+  /// paper's campaign never sets these). The spec's `target` is ignored.
+  std::optional<core::FaultSpec> baro_fault;
+  std::optional<core::FaultSpec> mag_fault;
+  core::BaroFaultConfig baro_fault_cfg;
+  core::MagFaultConfig mag_fault_cfg;
+  /// Optional actuator fault (extension): rotor `motor_fault_index` fails
+  /// permanently at `motor_fault_time_s`. Negative index disables.
+  int motor_fault_index{-1};
+  double motor_fault_time_s{90.0};
+  double control_rate_hz{250.0};
+};
+
+}  // namespace uavres::uav

@@ -88,22 +88,12 @@ MultiRunOutput MultiUavRunner::Run(const std::vector<DroneSpec>& fleet,
       if (v.ended) continue;
       v.uav->Step();
 
-      // Terminal conditions per drone (same rules as SimulationRunner).
-      if (v.uav->crash_detector().crashed()) {
+      // Terminal conditions per drone: exactly SimulationRunner's rules.
+      const uav::TerminalVerdict verdict = uav::EvaluateTerminal(*v.uav, t);
+      if (verdict.ended) {
         v.ended = true;
-        v.result.flight_duration_s = v.uav->crash_detector().crash_time();
-        v.result.outcome = (v.uav->health().failsafe_active() &&
-                            v.uav->health().failsafe_time() <=
-                                v.uav->crash_detector().crash_time())
-                               ? MissionOutcome::kFailsafe
-                               : MissionOutcome::kCrashed;
-        tracker.Deregister(v.result.drone_id);
-      } else if (v.uav->commander().landed()) {
-        v.ended = true;
-        v.result.flight_duration_s = v.uav->commander().landed_time().value_or(t);
-        v.result.outcome = v.uav->commander().MissionCompleted()
-                               ? MissionOutcome::kCompleted
-                               : MissionOutcome::kFailsafe;
+        v.result.flight_duration_s = verdict.end_time;
+        v.result.outcome = verdict.outcome;
         tracker.Deregister(v.result.drone_id);
       }
     }

@@ -1,0 +1,223 @@
+// FlightBus unit tests: topic semantics, interceptor ordering, the
+// multi-rate schedule and the record framing round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "bus/record.h"
+#include "bus/schedule.h"
+#include "bus/topic.h"
+#include "bus/topics.h"
+
+namespace uavres::bus {
+namespace {
+
+struct Scalar {
+  double v{0.0};
+};
+
+TEST(Topic, GenerationIsStrictlyMonotonicAndLatestWins) {
+  Topic<Scalar> topic;
+  EXPECT_EQ(topic.generation(), 0u);
+
+  std::uint64_t prev = topic.generation();
+  for (int i = 1; i <= 100; ++i) {
+    topic.Publish({static_cast<double>(i)}, 0.004 * i);
+    EXPECT_GT(topic.generation(), prev);
+    EXPECT_EQ(topic.generation(), prev + 1);
+    prev = topic.generation();
+    EXPECT_DOUBLE_EQ(topic.Latest().v, static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(topic.stamp(), 0.004 * i);
+  }
+}
+
+TEST(Topic, DefaultValueReadableBeforeFirstPublish) {
+  Topic<Scalar> topic;
+  EXPECT_DOUBLE_EQ(topic.Latest().v, 0.0);
+  EXPECT_EQ(topic.generation(), 0u);
+}
+
+void AddOne(void* ctx, Scalar& s, double /*t*/) {
+  s.v += 1.0;
+  static_cast<std::vector<int>*>(ctx)->push_back(1);
+}
+void TimesTen(void* ctx, Scalar& s, double /*t*/) {
+  s.v *= 10.0;
+  static_cast<std::vector<int>*>(ctx)->push_back(2);
+}
+
+TEST(Topic, InterceptorsRunInRegistrationOrderEveryPublish) {
+  Topic<Scalar> topic;
+  std::vector<int> order;
+  ASSERT_TRUE(topic.AddInterceptor(&AddOne, &order));
+  ASSERT_TRUE(topic.AddInterceptor(&TimesTen, &order));
+
+  // (v + 1) * 10, not v * 10 + 1: registration order is application order.
+  topic.Publish({4.0}, 0.0);
+  EXPECT_DOUBLE_EQ(topic.Latest().v, 50.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+
+  // Deterministic across repeated publications.
+  for (int i = 0; i < 5; ++i) {
+    order.clear();
+    topic.Publish({4.0}, 0.004 * i);
+    EXPECT_DOUBLE_EQ(topic.Latest().v, 50.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  }
+}
+
+TEST(Topic, InterceptorTableRejectsOverflow) {
+  Topic<Scalar> topic;
+  std::vector<int> sink;
+  for (int i = 0; i < kMaxInterceptorsPerTopic; ++i) {
+    EXPECT_TRUE(topic.AddInterceptor(&AddOne, &sink));
+  }
+  EXPECT_FALSE(topic.AddInterceptor(&AddOne, &sink));
+  EXPECT_EQ(topic.interceptor_count(), kMaxInterceptorsPerTopic);
+}
+
+class CountingModule final : public Module {
+ public:
+  void Step(const StepInfo& info) override {
+    ++runs;
+    last_step = info.step;
+  }
+  int runs{0};
+  std::int64_t last_step{-1};
+};
+
+TEST(Schedule, DividersGateModulesDeterministically) {
+  Schedule sched;
+  CountingModule every, fifth, twentyfifth;
+  sched.Add(&every);
+  sched.Add(&fifth, 5);
+  sched.Add(&twentyfifth, 25);
+
+  const double dt = 0.004;
+  for (std::int64_t s = 0; s < 100; ++s) sched.RunStep(s, s * dt, dt);
+
+  EXPECT_EQ(every.runs, 100);
+  EXPECT_EQ(fifth.runs, 20);
+  EXPECT_EQ(twentyfifth.runs, 4);
+  // Step 0 runs everything (the monolith sampled all sensors at t=0 too).
+  EXPECT_EQ(twentyfifth.last_step, 75);
+}
+
+TEST(Record, HeaderRoundTripsAllFields) {
+  BusLogHeader in;
+  in.mission_index = 7;
+  in.seed_base = 0xDEADBEEFCAFEF00Dull;
+  in.control_rate_hz = 250.0;
+  in.has_fault = true;
+  in.fault_type = 3;
+  in.fault_target = 2;
+  in.fault_start_s = 100.0;
+  in.fault_duration_s = 12.5;
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteBusLogHeader(ss, in));
+  BusLogHeader out;
+  ASSERT_TRUE(ReadBusLogHeader(ss, out));
+  EXPECT_EQ(out.version, kBusLogVersion);
+  EXPECT_EQ(out.mission_index, in.mission_index);
+  EXPECT_EQ(out.seed_base, in.seed_base);
+  EXPECT_DOUBLE_EQ(out.control_rate_hz, in.control_rate_hz);
+  EXPECT_TRUE(out.has_fault);
+  EXPECT_EQ(out.fault_type, in.fault_type);
+  EXPECT_EQ(out.fault_target, in.fault_target);
+  EXPECT_DOUBLE_EQ(out.fault_start_s, in.fault_start_s);
+  EXPECT_DOUBLE_EQ(out.fault_duration_s, in.fault_duration_s);
+}
+
+TEST(Record, HeaderRejectsBadMagic) {
+  std::stringstream ss("XXXXGARBAGE");
+  BusLogHeader out;
+  EXPECT_FALSE(ReadBusLogHeader(ss, out));
+}
+
+TEST(Record, FramesRoundTripBitExactly) {
+  std::stringstream ss;
+
+  BusFrame imu;
+  imu.id = TopicId::kImu;
+  imu.t = 0.004;
+  for (int u = 0; u < ImuSignal::kUnits; ++u) {
+    imu.imu.units[static_cast<std::size_t>(u)] = {0.004, {0.1 * u, -9.81, 0.3}, {0.01, 0.02, 0.03 * u}};
+  }
+  WriteBusFrame(ss, imu);
+
+  BusFrame gps;
+  gps.id = TopicId::kGps;
+  gps.t = 0.1;
+  gps.gps = {0.1, {1.0, 2.0, -30.0}, {0.5, -0.5, 0.0}, true};
+  WriteBusFrame(ss, gps);
+
+  BusFrame est;
+  est.id = TopicId::kEstimate;
+  est.t = 0.004;
+  est.estimate.pos = {1.0 / 3.0, -2.0 / 7.0, -30.000000001};
+  est.estimate.att = {0.999, 0.001, -0.002, 0.04};
+  WriteBusFrame(ss, est);
+
+  BusFrame out;
+  ASSERT_TRUE(ReadBusFrame(ss, out));
+  EXPECT_EQ(out.id, TopicId::kImu);
+  EXPECT_EQ(out.t, imu.t);
+  for (int u = 0; u < ImuSignal::kUnits; ++u) {
+    const auto& a = imu.imu.units[static_cast<std::size_t>(u)];
+    const auto& b = out.imu.units[static_cast<std::size_t>(u)];
+    EXPECT_EQ(a.accel_mps2.x, b.accel_mps2.x);
+    EXPECT_EQ(a.gyro_rads.z, b.gyro_rads.z);
+  }
+  ASSERT_TRUE(ReadBusFrame(ss, out));
+  EXPECT_EQ(out.id, TopicId::kGps);
+  EXPECT_EQ(out.gps.pos_ned_m.z, gps.gps.pos_ned_m.z);
+  EXPECT_TRUE(out.gps.valid);
+  ASSERT_TRUE(ReadBusFrame(ss, out));
+  EXPECT_EQ(out.id, TopicId::kEstimate);
+  // Doubles round-trip bit-exactly through the binary format — the property
+  // the EKF replay's == comparison rests on.
+  EXPECT_EQ(out.estimate.pos.x, est.estimate.pos.x);
+  EXPECT_EQ(out.estimate.pos.z, est.estimate.pos.z);
+  EXPECT_EQ(out.estimate.att.w, est.estimate.att.w);
+  EXPECT_FALSE(ReadBusFrame(ss, out));  // clean EOF
+}
+
+TEST(Record, TapWritesOnlyTopicsWhoseGenerationAdvanced) {
+  FlightBus bus;
+  std::stringstream ss;
+  BusTap tap(&bus, &ss);
+
+  // Nothing published yet: nothing captured.
+  tap.Capture();
+  EXPECT_EQ(tap.frames_written(), 0u);
+
+  bus.baro.Publish({0.0, 29.5}, 0.0);
+  tap.Capture();
+  EXPECT_EQ(tap.frames_written(), 1u);
+
+  // Same generations again: no new frames.
+  tap.Capture();
+  EXPECT_EQ(tap.frames_written(), 1u);
+
+  bus.baro.Publish({0.02, 29.6}, 0.02);
+  bus.mag.Publish({0.02, {0.2, 0.0, 0.4}}, 0.02);
+  tap.Capture();
+  EXPECT_EQ(tap.frames_written(), 3u);
+
+  BusFrame f;
+  ASSERT_TRUE(ReadBusFrame(ss, f));
+  EXPECT_EQ(f.id, TopicId::kBaro);
+  EXPECT_EQ(f.baro.alt_m, 29.5);
+  ASSERT_TRUE(ReadBusFrame(ss, f));
+  EXPECT_EQ(f.id, TopicId::kBaro);
+  EXPECT_EQ(f.baro.alt_m, 29.6);
+  ASSERT_TRUE(ReadBusFrame(ss, f));
+  EXPECT_EQ(f.id, TopicId::kMag);
+  EXPECT_EQ(f.mag.field_body.z, 0.4);
+  EXPECT_FALSE(ReadBusFrame(ss, f));
+}
+
+}  // namespace
+}  // namespace uavres::bus

@@ -30,8 +30,7 @@ struct Loop {
       : quad(sim::MakeQuadrotorParams(mass_kg), &env),
         pos_ctrl([&] {
           PositionControlConfig cfg;
-          sim::Quadrotor tmp(sim::MakeQuadrotorParams(mass_kg), nullptr);
-          cfg.hover_thrust = tmp.HoverThrustFraction();
+          cfg.hover_thrust = sim::HoverThrustFraction(sim::MakeQuadrotorParams(mass_kg));
           return cfg;
         }()),
         mixer(MixerConfigFromQuadrotor(sim::MakeQuadrotorParams(mass_kg))) {}

@@ -1,0 +1,119 @@
+// Barometer / magnetometer fault injector behaviour (the paper's seven
+// fault types applied at the bus boundary to non-IMU sensors).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sensor_fault_injector.h"
+#include "math/rng.h"
+
+namespace uavres::core {
+namespace {
+
+FaultSpec Spec(FaultType type, double start = 10.0, double duration = 5.0) {
+  FaultSpec spec;
+  spec.type = type;
+  spec.start_time_s = start;
+  spec.duration_s = duration;
+  return spec;
+}
+
+sensors::BaroSample Baro(double t, double alt) { return {t, alt}; }
+sensors::MagSample Mag(double t, const math::Vec3& f) { return {t, f}; }
+
+TEST(BaroFaultInjector, IdentityOutsideWindow) {
+  BaroFaultInjector inj(Spec(FaultType::kZeros), math::Rng{42});
+  EXPECT_DOUBLE_EQ(inj.Apply(Baro(9.9, 30.0), 9.9).alt_m, 30.0);
+  EXPECT_DOUBLE_EQ(inj.Apply(Baro(15.0, 30.0), 15.0).alt_m, 30.0);
+  EXPECT_DOUBLE_EQ(inj.Apply(Baro(12.0, 30.0), 12.0).alt_m, 0.0);  // inside
+}
+
+TEST(BaroFaultInjector, SevenFaultTypesBehave) {
+  const double t = 12.0;
+  const auto truth = Baro(t, 31.5);
+  BaroFaultConfig cfg;
+
+  BaroFaultInjector fixed(Spec(FaultType::kFixed), math::Rng{1}, cfg);
+  const double c = fixed.fixed_alt_m();
+  EXPECT_DOUBLE_EQ(fixed.Apply(truth, t).alt_m, c);
+  EXPECT_DOUBLE_EQ(fixed.Apply(Baro(t, -5.0), t).alt_m, c);  // constant
+
+  BaroFaultInjector zeros(Spec(FaultType::kZeros), math::Rng{1}, cfg);
+  EXPECT_DOUBLE_EQ(zeros.Apply(truth, t).alt_m, 0.0);
+
+  BaroFaultInjector freeze(Spec(FaultType::kFreeze), math::Rng{1}, cfg);
+  EXPECT_DOUBLE_EQ(freeze.Apply(Baro(10.0, 28.0), 10.0).alt_m, 28.0);  // captured
+  EXPECT_DOUBLE_EQ(freeze.Apply(Baro(12.0, 31.5), 12.0).alt_m, 28.0);  // held
+  EXPECT_DOUBLE_EQ(freeze.Apply(Baro(16.0, 31.5), 16.0).alt_m, 31.5);  // released
+
+  BaroFaultInjector rnd(Spec(FaultType::kRandom), math::Rng{1}, cfg);
+  const double r1 = rnd.Apply(truth, t).alt_m;
+  const double r2 = rnd.Apply(truth, t).alt_m;
+  EXPECT_NE(r1, r2);  // fresh draw per sample
+  EXPECT_GE(r1, cfg.min_alt_m);
+  EXPECT_LE(r1, cfg.max_alt_m);
+
+  BaroFaultInjector mn(Spec(FaultType::kMin), math::Rng{1}, cfg);
+  EXPECT_DOUBLE_EQ(mn.Apply(truth, t).alt_m, cfg.min_alt_m);
+  BaroFaultInjector mx(Spec(FaultType::kMax), math::Rng{1}, cfg);
+  EXPECT_DOUBLE_EQ(mx.Apply(truth, t).alt_m, cfg.max_alt_m);
+
+  BaroFaultInjector noise(Spec(FaultType::kNoise), math::Rng{1}, cfg);
+  const double n = noise.Apply(truth, t).alt_m;
+  EXPECT_NE(n, truth.alt_m);
+  EXPECT_GE(n, cfg.min_alt_m);
+  EXPECT_LE(n, cfg.max_alt_m);
+}
+
+TEST(BaroFaultInjector, DeterministicForEqualSeeds) {
+  const auto spec = Spec(FaultType::kRandom);
+  BaroFaultInjector a(spec, math::Rng{77});
+  BaroFaultInjector b(spec, math::Rng{77});
+  for (double t = 10.0; t < 15.0; t += 0.02) {
+    EXPECT_DOUBLE_EQ(a.Apply(Baro(t, 30.0), t).alt_m, b.Apply(Baro(t, 30.0), t).alt_m);
+  }
+}
+
+TEST(MagFaultInjector, IdentityOutsideWindowAndTypesBehave) {
+  const double t = 12.0;
+  const math::Vec3 field{0.21, 0.0, 0.43};
+  MagFaultConfig cfg;
+
+  MagFaultInjector zeros(Spec(FaultType::kZeros), math::Rng{5}, cfg);
+  EXPECT_DOUBLE_EQ(zeros.Apply(Mag(5.0, field), 5.0).field_body.x, field.x);  // outside
+  const auto z = zeros.Apply(Mag(t, field), t).field_body;
+  EXPECT_DOUBLE_EQ(z.Norm(), 0.0);
+
+  MagFaultInjector fixed(Spec(FaultType::kFixed), math::Rng{5}, cfg);
+  const auto c = fixed.fixed_field();
+  const auto f1 = fixed.Apply(Mag(t, field), t).field_body;
+  EXPECT_DOUBLE_EQ(f1.x, c.x);
+  EXPECT_DOUBLE_EQ(f1.z, c.z);
+
+  MagFaultInjector freeze(Spec(FaultType::kFreeze), math::Rng{5}, cfg);
+  const auto first = freeze.Apply(Mag(10.0, {0.3, 0.1, 0.2}), 10.0).field_body;
+  const auto held = freeze.Apply(Mag(12.0, field), 12.0).field_body;
+  EXPECT_DOUBLE_EQ(held.x, first.x);
+  EXPECT_DOUBLE_EQ(held.y, first.y);
+
+  MagFaultInjector mn(Spec(FaultType::kMin), math::Rng{5}, cfg);
+  const auto lo = mn.Apply(Mag(t, field), t).field_body;
+  EXPECT_DOUBLE_EQ(lo.x, -cfg.limit);
+  EXPECT_DOUBLE_EQ(lo.z, -cfg.limit);
+  MagFaultInjector mx(Spec(FaultType::kMax), math::Rng{5}, cfg);
+  EXPECT_DOUBLE_EQ(mx.Apply(Mag(t, field), t).field_body.y, cfg.limit);
+
+  MagFaultInjector rnd(Spec(FaultType::kRandom), math::Rng{5}, cfg);
+  const auto r = rnd.Apply(Mag(t, field), t).field_body;
+  EXPECT_LE(std::abs(r.x), cfg.limit);
+  EXPECT_LE(std::abs(r.y), cfg.limit);
+  EXPECT_LE(std::abs(r.z), cfg.limit);
+
+  MagFaultInjector noise(Spec(FaultType::kNoise), math::Rng{5}, cfg);
+  const auto n = noise.Apply(Mag(t, field), t).field_body;
+  EXPECT_NE(n.x, field.x);
+  EXPECT_LE(std::abs(n.x), cfg.limit);
+}
+
+}  // namespace
+}  // namespace uavres::core

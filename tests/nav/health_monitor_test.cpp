@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "math/num.h"
 #include "math/rng.h"
 
@@ -267,6 +269,53 @@ TEST(HealthMonitor, FailsafeLatches) {
   }
   EXPECT_TRUE(mon.failsafe_active());
   EXPECT_DOUBLE_EQ(mon.failsafe_time(), trigger_time);
+}
+
+TEST(HealthMonitor, BaroRejectionPathDisabledByDefault) {
+  HealthMonitor mon;  // baro_reject_fail_s = 0: path off
+  math::Rng rng{13};
+  estimation::EkfStatus ekf;
+  ekf.baro_test_ratio = 5.0;  // every baro fusion rejected
+  double t = 0.0;
+  for (int i = 0; i < 10000; ++i, t += kDt) {
+    mon.Update(HealthyImu(rng), ekf, 0.05, t, kDt);
+  }
+  EXPECT_FALSE(mon.failsafe_active());
+}
+
+TEST(HealthMonitor, PersistentBaroRejectionTriggersSensorFaultWhenEnabled) {
+  HealthMonitorConfig cfg;
+  cfg.baro_reject_fail_s = 1.0;
+  HealthMonitor mon(cfg);
+  math::Rng rng{14};
+  estimation::EkfStatus ekf;
+  ekf.baro_test_ratio = 5.0;
+  const double onset = 10.0;
+  double t = onset;
+  while (t < onset + 5.0 && !mon.failsafe_active()) {
+    mon.Update(HealthyImu(rng), ekf, 0.05, t, kDt);
+    t += kDt;
+  }
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kSensorFault);
+  EXPECT_NEAR(t - onset, cfg.baro_reject_fail_s, 0.05);
+}
+
+TEST(HealthMonitor, IntermittentBaroRejectionDoesNotAccumulate) {
+  HealthMonitorConfig cfg;
+  cfg.baro_reject_fail_s = 1.0;
+  HealthMonitor mon(cfg);
+  math::Rng rng{15};
+  estimation::EkfStatus ekf;
+  double t = 0.0;
+  // 0.8 s rejected / 0.4 s accepted, repeating: the continuous-rejection
+  // accumulator must reset on every acceptance and never reach 1 s.
+  for (int i = 0; i < 50000; ++i, t += kDt) {
+    const double phase = std::fmod(t, 1.2);
+    ekf.baro_test_ratio = phase < 0.8 ? 3.0 : 0.2;
+    mon.Update(HealthyImu(rng), ekf, 0.05, t, kDt);
+  }
+  EXPECT_FALSE(mon.failsafe_active());
 }
 
 TEST(ToStringFailsafeReason, AllValuesNamed) {

@@ -13,9 +13,12 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/scenario.h"
 #include "estimation/ekf.h"
 #include "math/vec3.h"
 #include "sensors/samples.h"
+#include "uav/simulation_runner.h"
+#include "uav/uav.h"
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
@@ -88,6 +91,27 @@ TEST(AllocRegression, EkfPredictAndFusePerformZeroHeapAllocations) {
   EXPECT_EQ(allocs, 0u) << "EKF predict/update performed " << allocs
                         << " heap allocations over 10000 steps";
   EXPECT_TRUE(ekf.status().numerically_healthy);
+}
+
+// The full bus-decomposed flight stack must also be allocation-free in
+// cruise: every module publishes by value into preallocated topics, and the
+// flight log only allocates on events (fault windows, failsafes), none of
+// which fire in a nominal cruise. Constructors may allocate; Step() may not.
+TEST(AllocRegression, UavCruiseStepPerformsZeroHeapAllocations) {
+  const auto& spec = core::SharedValenciaScenario()[0];
+  uav::Uav uav(uav::MakeUavConfig(spec), spec.plan, std::nullopt, 2024);
+
+  // Warm-up: take off and settle into cruise (20 s at 250 Hz).
+  for (int i = 0; i < 5000; ++i) uav.Step();
+  ASSERT_TRUE(uav.airborne_seen());
+
+  const std::uint64_t before = Allocs();
+  for (int i = 0; i < 5000; ++i) uav.Step();
+  const std::uint64_t allocs = Allocs() - before;
+
+  EXPECT_EQ(allocs, 0u) << "Uav::Step performed " << allocs
+                        << " heap allocations over 5000 cruise steps";
+  EXPECT_TRUE(uav.ekf().status().numerically_healthy);
 }
 
 }  // namespace
