@@ -2,7 +2,7 @@
 //
 //   uavres fly [mission] [--seed N]
 //   uavres inject [mission] [target] [type] [duration] [--seed N]
-//   uavres campaign [--missions N] [--durations 2,5,10,30] [--threads N]
+//   uavres campaign [--missions N] [--durations 2,5,10,30] [--threads N] [--batch N]
 //   uavres convoy [--spacing M] [--drones N]
 //   uavres export [mission] [file.csv] [--rate HZ]
 //   uavres record [mission] [file.uvrl] [--rate HZ] [--target acc|gyro|imu
@@ -48,7 +48,7 @@ int Usage() {
       "  inject [mission] [acc|gyro|imu] [fixed|zeros|freeze|random|min|max|noise]\n"
       "         [duration_s] [--seed N]     inject one fault\n"
       "  campaign [--missions N] [--durations 2,5,10,30] [--threads N]\n"
-      "           [--cache-dir DIR] [--no-cache] [--cache-stats]\n"
+      "           [--batch N] [--cache-dir DIR] [--no-cache] [--cache-stats]\n"
       "                                     run the grid, print Tables II-IV;\n"
       "                                     completed runs persist to the cache\n"
       "                                     (also via UAVRES_CACHE_DIR) so an\n"
@@ -174,7 +174,8 @@ int CmdCampaign(const app::CommandLine& cl) {
   const core::CampaignConfig env = core::CampaignConfig::FromEnvironment();
   core::CampaignConfig::Builder builder(env);
   builder.Missions(cl.FlagInt("missions", env.mission_limit))
-      .Threads(cl.FlagInt("threads", env.num_threads));
+      .Threads(cl.FlagInt("threads", env.num_threads))
+      .Batch(cl.FlagInt("batch", env.batch_size));
   if (const auto d = cl.Flag("durations")) {
     const auto list = app::ParseDoubleList(*d);
     if (!list.empty()) builder.Durations(list);

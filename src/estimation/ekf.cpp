@@ -55,6 +55,14 @@ void Ekf::InitAtRest(const Vec3& pos, double yaw_rad) {
 }
 
 void Ekf::PredictImu(const sensors::ImuSample& imu, double dt) {
+  const std::optional<CovInputs> cov = PredictNominal(imu, dt);
+  if (!cov) return;
+  PropagateCovariance(*cov);
+  FinishCovariance(*cov);
+}
+
+std::optional<Ekf::CovInputs> Ekf::PredictNominal(const sensors::ImuSample& imu,
+                                                  double dt) {
   UAVRES_COUNT("ekf.predicts");
   time_ = imu.t;
   status_.time_since_gps_accept_s = time_ - last_gps_accept_time_;
@@ -77,10 +85,24 @@ void Ekf::PredictImu(const sensors::ImuSample& imu, double dt) {
   // decimated steps, so only the nominal state needs a numerics check there.
   if (++cov_step_counter_ < cfg_.cov_decimation) {
     CheckNumerics(/*covariance_changed=*/false);
-    return;
+    return std::nullopt;
   }
   const double cdt = cov_step_counter_ * dt;
   cov_step_counter_ = 0;
+
+  CovInputs in;
+  in.cdt = cdt;
+  in.B_vth = (R * Mat3::Skew(accel)) * -cdt;  // d(dv)/d(dtheta)
+  in.B_vba = R * -cdt;                        // d(dv)/d(db_a)
+  in.B_thth = Mat3::Identity() - Mat3::Skew(omega) * cdt;
+  return in;
+}
+
+void Ekf::PropagateCovariance(const CovInputs& in) {
+  const double cdt = in.cdt;
+  const Mat3& B_vth = in.B_vth;
+  const Mat3& B_vba = in.B_vba;
+  const Mat3& B_thth = in.B_thth;
 
   // F = I + A * cdt with the standard error-state Jacobian blocks:
   //
@@ -97,10 +119,7 @@ void Ekf::PredictImu(const sensors::ImuSample& imu, double dt) {
   // products accumulate in that order, so every floating-point sum below
   // matches the dense `F * P_ * F.Transposed()` term-for-term on the nonzero
   // entries and the propagated covariance is bit-identical.
-  const Mat3 B_vth = (R * Mat3::Skew(accel)) * -cdt;  // d(dv)/d(dtheta)
-  const Mat3 B_vba = R * -cdt;                        // d(dv)/d(db_a)
-  const Mat3 B_thth = Mat3::Identity() - Mat3::Skew(omega) * cdt;
-
+  //
   // Per-row nonzero entries of F (max 7: velocity rows carry 1 + 3 + 3).
   struct FRow {
     int n{0};
@@ -151,8 +170,10 @@ void Ekf::PredictImu(const sensors::ImuSample& imu, double dt) {
     }
   }
   P_ = G;
+}
 
-
+void Ekf::FinishCovariance(const CovInputs& in) {
+  const double cdt = in.cdt;
   const double qv = Sq(cfg_.accel_noise) * cdt;
   const double qth = Sq(cfg_.gyro_noise) * cdt;
   const double qbg = Sq(cfg_.gyro_bias_walk) * cdt;

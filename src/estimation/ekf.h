@@ -12,6 +12,8 @@
 // with dtheta a body-frame small-angle attitude error.
 #pragma once
 
+#include <optional>
+
 #include "math/matrix.h"
 #include "math/quat.h"
 #include "math/vec3.h"
@@ -110,6 +112,17 @@ class Ekf {
  public:
   static constexpr int kN = 15;
 
+  /// Inputs of one covariance-propagation step, produced by the nominal
+  /// prediction when the (decimated) covariance step is due. The Jacobian
+  /// blocks are computed once here so the scalar propagation and the batched
+  /// SoA kernel (EkfBatch) consume bit-identical values.
+  struct CovInputs {
+    double cdt{0.0};      ///< accumulated dt since the last covariance step
+    math::Mat3 B_vth;     ///< d(dv)/d(dtheta) block of F
+    math::Mat3 B_vba;     ///< d(dv)/d(db_a) block of F
+    math::Mat3 B_thth;    ///< d(dtheta)/d(dtheta) block of F
+  };
+
   explicit Ekf(const EkfConfig& cfg = {});
 
   /// Initialize at a known pose at rest (vehicle armed on the pad).
@@ -134,6 +147,26 @@ class Ekf {
   double HorizontalPosStd() const;
 
  private:
+  // The prediction seams below decompose PredictImu so the batched driver
+  // (EkfBatch) can interleave the per-lane scalar pieces with its own SoA
+  // F·P·Fᵀ kernel. PredictImu is exactly PredictNominal + (when due)
+  // PropagateCovariance + FinishCovariance; EkfBatch substitutes only the
+  // middle piece, so every other code path stays this reference code.
+  friend class EkfBatch;
+
+  /// Nominal-state propagation, attitude-reset monitoring and the covariance
+  /// decimation decision. Returns the covariance inputs when this step must
+  /// propagate P (and resets the decimation counter); nullopt otherwise.
+  std::optional<CovInputs> PredictNominal(const sensors::ImuSample& imu, double dt);
+
+  /// P <- F P Fᵀ over the fixed sparsity pattern (the campaign's single
+  /// hottest loop).
+  void PropagateCovariance(const CovInputs& in);
+
+  /// Additive process noise, symmetrization and the numerics check that
+  /// close a covariance-propagation step.
+  void FinishCovariance(const CovInputs& in);
+
   /// Fuse scalar measurement z = h + v with Jacobian row H and variance r.
   /// Returns the normalized innovation ratio; applies the update when the
   /// ratio passes `gate`.

@@ -1,0 +1,273 @@
+// Batched covariance propagation. See ekf_batch.h for the equivalence
+// argument; this file must be compiled with -ffp-contract=off so the wide
+// ISA clones cannot fuse the multiply-adds the scalar reference keeps
+// separate (src/estimation/CMakeLists.txt sets it).
+#include "estimation/ekf_batch.h"
+
+#include "math/num.h"
+
+namespace uavres::estimation {
+
+namespace {
+
+constexpr int kN = Ekf::kN;
+constexpr int kL = EkfBatch::kMaxLanes;
+
+constexpr int kP = 0;    // position error rows
+constexpr int kV = 3;    // velocity error rows
+constexpr int kTh = 6;   // attitude error rows
+constexpr int kBg = 9;   // gyro bias rows
+constexpr int kBa = 12;  // accel bias rows
+
+// The fixed F sparsity pattern, flattened in the exact per-row entry order
+// Ekf::PropagateCovariance builds its FRow lists (ascending columns):
+// position rows carry {diag, vel}, velocity rows {diag, dtheta x3, db_a x3},
+// attitude rows {dtheta x3, db_g}, bias rows {diag}. 45 entries total.
+struct Pattern {
+  std::array<int, kN + 1> begin{};
+  std::array<int, EkfBatch::kPatternEntries> col{};
+};
+
+constexpr Pattern BuildPattern() {
+  Pattern p{};
+  int q = 0;
+  for (int i = 0; i < kN; ++i) {
+    p.begin[i] = q;
+    if (i < kV) {
+      const int a = i - kP;
+      p.col[q++] = kP + a;
+      p.col[q++] = kV + a;
+    } else if (i < kTh) {
+      const int a = i - kV;
+      p.col[q++] = kV + a;
+      for (int j = 0; j < 3; ++j) p.col[q++] = kTh + j;
+      for (int j = 0; j < 3; ++j) p.col[q++] = kBa + j;
+    } else if (i < kBg) {
+      const int a = i - kTh;
+      for (int j = 0; j < 3; ++j) p.col[q++] = kTh + j;
+      p.col[q++] = kBg + a;
+    } else {
+      p.col[q++] = i;
+    }
+  }
+  p.begin[kN] = q;
+  return p;
+}
+
+constexpr Pattern kPat = BuildPattern();
+static_assert(BuildPattern().begin[kN] == EkfBatch::kPatternEntries);
+
+// Runtime ISA dispatch: the baseline build targets plain x86-64 (SSE2), but
+// the glibc ifunc resolver picks the widest clone the host supports, so the
+// inner lane loops run 4- or 8-wide where AVX2/AVX-512 exist.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define UAVRES_TARGET_CLONES \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
+#else
+#define UAVRES_TARGET_CLONES
+#endif
+
+// P <- F P Fᵀ for `nf` compacted lane slots at once. `fv` holds the 45
+// pattern-entry values per lane (lane-minor), `p` the lane covariances
+// (overwritten with the result), `fp` is the F·P scratch. Every partial sum
+// accumulates in the same order as the scalar loops, starting from an
+// explicit `0.0 + ...` first term, so each lane's result is bit-identical
+// to Ekf::PropagateCovariance on that lane (given finite inputs — the
+// caller screens for that).
+UAVRES_TARGET_CLONES
+void PropagateCovSoA(int nf, const double* __restrict fv, double* __restrict p,
+                     double* __restrict fp) {
+  // FP = F * P (row-sparse left operand over the fixed pattern).
+  for (int i = 0; i < kN; ++i) {
+    const int b = kPat.begin[i];
+    const int n = kPat.begin[i + 1];
+    for (int e = b; e < n; ++e) {
+      const int k = kPat.col[e];
+      const double* a = fv + static_cast<std::size_t>(e) * kL;
+      for (int j = 0; j < kN; ++j) {
+        double* out = fp + static_cast<std::size_t>(i * kN + j) * kL;
+        const double* pk = p + static_cast<std::size_t>(k * kN + j) * kL;
+        if (e == b) {
+          for (int s = 0; s < nf; ++s) out[s] = 0.0 + a[s] * pk[s];
+        } else {
+          for (int s = 0; s < nf; ++s) out[s] += a[s] * pk[s];
+        }
+      }
+    }
+  }
+  // P = FP * Fᵀ (column-sparse right operand): P(i,j) = sum_e FP(i,col)*v.
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      double* out = p + static_cast<std::size_t>(i * kN + j) * kL;
+      const int b = kPat.begin[j];
+      const int n = kPat.begin[j + 1];
+      {
+        const double* fe = fp + static_cast<std::size_t>(i * kN + kPat.col[b]) * kL;
+        const double* v = fv + static_cast<std::size_t>(b) * kL;
+        for (int s = 0; s < nf; ++s) out[s] = 0.0 + fe[s] * v[s];
+      }
+      for (int e = b + 1; e < n; ++e) {
+        const double* fe = fp + static_cast<std::size_t>(i * kN + kPat.col[e]) * kL;
+        const double* v = fv + static_cast<std::size_t>(e) * kL;
+        for (int s = 0; s < nf; ++s) out[s] += fe[s] * v[s];
+      }
+    }
+  }
+}
+
+bool FiniteMat3(const math::Mat3& m) {
+  bool ok = true;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) ok = ok && math::IsFinite(m(i, j));
+  return ok;
+}
+
+}  // namespace
+
+int EkfBatch::AddLane(const EkfConfig& cfg) {
+  const int lane = lanes_++;
+  lanes_ekf_[static_cast<std::size_t>(lane)] = Ekf(cfg);
+  return lane;
+}
+
+void EkfBatch::InitLane(int lane, const math::Vec3& pos, double yaw_rad) {
+  lanes_ekf_[static_cast<std::size_t>(lane)].InitAtRest(pos, yaw_rad);
+}
+
+void EkfBatch::BeginStep() {
+  for (int l = 0; l < lanes_; ++l) {
+    staged_[static_cast<std::size_t>(l)] = Staged{};
+  }
+}
+
+void EkfBatch::StageImu(int lane, const sensors::ImuSample& imu, double dt) {
+  auto& st = staged_[static_cast<std::size_t>(lane)];
+  st.imu = imu;
+  st.dt = dt;
+  st.has_imu = true;
+}
+
+void EkfBatch::StageGps(int lane, const sensors::GpsSample& gps) {
+  auto& st = staged_[static_cast<std::size_t>(lane)];
+  st.gps = gps;
+  st.has_gps = true;
+}
+
+void EkfBatch::StageBaro(int lane, const sensors::BaroSample& baro) {
+  auto& st = staged_[static_cast<std::size_t>(lane)];
+  st.baro = baro;
+  st.has_baro = true;
+}
+
+void EkfBatch::StageMag(int lane, const sensors::MagSample& mag) {
+  auto& st = staged_[static_cast<std::size_t>(lane)];
+  st.mag = mag;
+  st.has_mag = true;
+}
+
+void EkfBatch::Commit() {
+  // Per-lane covariance disposition this step.
+  enum : std::int8_t { kNone = 0, kKernel = 1, kFallback = 2 };
+  std::array<Ekf::CovInputs, kMaxLanes> cov_in;
+  std::array<std::int8_t, kMaxLanes> mode{};
+
+  // 1) Nominal prediction per lane (reference code; trig stays scalar) and
+  //    the covariance-decimation decision.
+  for (int l = 0; l < lanes_; ++l) {
+    const Staged& st = staged_[static_cast<std::size_t>(l)];
+    if (!st.has_imu) continue;
+    Ekf& e = lanes_ekf_[static_cast<std::size_t>(l)];
+    const auto in = e.PredictNominal(st.imu, st.dt);
+    if (!in) continue;
+    cov_in[static_cast<std::size_t>(l)] = *in;
+    const bool finite_f = math::IsFinite(in->cdt) && FiniteMat3(in->B_vth) &&
+                          FiniteMat3(in->B_vba) && FiniteMat3(in->B_thth);
+    mode[static_cast<std::size_t>(l)] =
+        (e.status().numerically_healthy && finite_f) ? kKernel : kFallback;
+  }
+
+  // 2) Gather kernel-eligible lanes into compacted SoA slots. The gather
+  //    touches every covariance entry anyway, so it doubles as the finite-P
+  //    screen the dense kernel needs (a non-finite P demotes the lane to the
+  //    scalar fallback, the path a standalone Ekf would run bit-for-bit).
+  std::array<int, kMaxLanes> slot_lane{};
+  int nf = 0;
+  for (int l = 0; l < lanes_; ++l) {
+    if (mode[static_cast<std::size_t>(l)] != kKernel) continue;
+    const Ekf& e = lanes_ekf_[static_cast<std::size_t>(l)];
+    bool finite = true;
+    const int s = nf;
+    for (int i = 0; i < kN; ++i) {
+      for (int j = 0; j < kN; ++j) {
+        const double v = e.P_(i, j);
+        finite = finite && math::IsFinite(v);
+        p_soa_[static_cast<std::size_t>((i * kN + j) * kMaxLanes + s)] = v;
+      }
+    }
+    if (!finite) {
+      mode[static_cast<std::size_t>(l)] = kFallback;
+      continue;
+    }
+    // Per-lane F values in flattened pattern order (see BuildPattern).
+    const Ekf::CovInputs& in = cov_in[static_cast<std::size_t>(l)];
+    int q = 0;
+    auto put = [&](double v) {
+      fv_soa_[static_cast<std::size_t>(q++ * kMaxLanes + s)] = v;
+    };
+    for (int a = 0; a < 3; ++a) {
+      put(1.0);
+      put(in.cdt);
+    }
+    for (int a = 0; a < 3; ++a) {
+      put(1.0);
+      for (int j = 0; j < 3; ++j) put(in.B_vth(a, j));
+      for (int j = 0; j < 3; ++j) put(in.B_vba(a, j));
+    }
+    for (int a = 0; a < 3; ++a) {
+      for (int j = 0; j < 3; ++j) put(in.B_thth(a, j));
+      put(-in.cdt);
+    }
+    for (int a = 0; a < 6; ++a) put(1.0);
+    slot_lane[static_cast<std::size_t>(s)] = l;
+    ++nf;
+  }
+
+  // 3) One vectorized F·P·Fᵀ over all gathered lanes, then scatter back and
+  //    close each lane's covariance step with the reference noise/symmetrize/
+  //    numerics code.
+  if (nf > 0) {
+    PropagateCovSoA(nf, fv_soa_.data(), p_soa_.data(), fp_soa_.data());
+    for (int s = 0; s < nf; ++s) {
+      const int l = slot_lane[static_cast<std::size_t>(s)];
+      Ekf& e = lanes_ekf_[static_cast<std::size_t>(l)];
+      for (int i = 0; i < kN; ++i) {
+        for (int j = 0; j < kN; ++j) {
+          e.P_(i, j) = p_soa_[static_cast<std::size_t>((i * kN + j) * kMaxLanes + s)];
+        }
+      }
+      e.FinishCovariance(cov_in[static_cast<std::size_t>(l)]);
+      ++kernel_lane_steps_;
+    }
+  }
+
+  // 4) Fallback lanes run the unmodified scalar propagation.
+  for (int l = 0; l < lanes_; ++l) {
+    if (mode[static_cast<std::size_t>(l)] != kFallback) continue;
+    Ekf& e = lanes_ekf_[static_cast<std::size_t>(l)];
+    e.PropagateCovariance(cov_in[static_cast<std::size_t>(l)]);
+    e.FinishCovariance(cov_in[static_cast<std::size_t>(l)]);
+    ++fallback_lane_steps_;
+  }
+
+  // 5) Measurement fusion per lane, in the scalar EstimatorModule's order.
+  //    Event-sparse (a few Hz against 250 Hz stepping), so it stays scalar.
+  for (int l = 0; l < lanes_; ++l) {
+    const Staged& st = staged_[static_cast<std::size_t>(l)];
+    Ekf& e = lanes_ekf_[static_cast<std::size_t>(l)];
+    if (st.has_gps) e.FuseGps(st.gps);
+    if (st.has_baro) e.FuseBaro(st.baro);
+    if (st.has_mag) e.FuseMag(st.mag);
+  }
+}
+
+}  // namespace uavres::estimation

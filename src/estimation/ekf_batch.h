@@ -1,0 +1,119 @@
+// Batched 15-state EKF: up to kMaxLanes independent filters stepped in
+// lockstep, with the covariance propagation — the campaign's single hottest
+// loop — evaluated once for all lanes over a lane-minor structure-of-arrays
+// pool so the inner loops auto-vectorize (one SIMD lane per drone).
+//
+// Equivalence contract (locked down by tests/estimation/ekf_batch_test.cpp
+// and the campaign batch-equivalence suite): every lane produces BITWISE the
+// same NavState / EkfStatus / covariance as an independent scalar Ekf fed
+// the same samples. The design makes this cheap to believe:
+//
+//   * Each lane IS a scalar Ekf instance. Nominal prediction (quaternion
+//     integration needs libm trig, which no SIMD lane can reproduce
+//     bit-exactly), measurement fusion (event-sparse; batching buys nothing)
+//     and every rare path run the unmodified reference code per lane.
+//   * Only F·P·Fᵀ is reimplemented: lane covariances are gathered into the
+//     SoA pool, propagated by a dense fixed-pattern kernel vectorized across
+//     lanes, and scattered back. The dense pattern adds exact-zero products
+//     where the scalar sparse loops skip entries; for finite P and F those
+//     additions cannot perturb any partial sum (a running sum is never -0.0
+//     in round-to-nearest, and x + ±0.0 == x otherwise), so the kernel is
+//     bit-identical to the scalar propagation.
+//   * A lane is routed through the kernel only while it is numerically
+//     healthy and this step's Jacobian blocks are finite; otherwise it falls
+//     back to the scalar Ekf::PropagateCovariance — the same code path a
+//     standalone filter would run — so even NaN-poisoned lanes stay bitwise
+//     equal to their scalar reference.
+//
+// The kernel translation unit is compiled with -ffp-contract=off so wide ISA
+// clones (AVX2/AVX-512) cannot fuse multiply-adds the baseline scalar build
+// would keep separate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "estimation/ekf.h"
+
+namespace uavres::estimation {
+
+/// Fixed-capacity lockstep pool of scalar EKFs with a batched covariance
+/// kernel. Zero heap allocations anywhere (all storage is inline).
+class EkfBatch {
+ public:
+  static constexpr int kN = Ekf::kN;
+  /// Capacity: 16 lanes = two AVX-512 vectors per inner iteration, and the
+  /// largest batch the campaign scheduler deals (CampaignConfig::batch_size).
+  static constexpr int kMaxLanes = 16;
+
+  /// Number of F nonzero-pattern entries per row (position 2, velocity 7,
+  /// attitude 4, bias rows 1) and the flattened pattern size.
+  static constexpr int kPatternEntries = 45;
+
+  EkfBatch() = default;
+
+  /// Registers a new lane initialized like a fresh scalar Ekf(cfg).
+  /// Returns the lane index. Lanes cannot be unregistered; callers stop
+  /// staging samples for lanes they retire.
+  int AddLane(const EkfConfig& cfg);
+
+  /// Re-initializes one lane at a known pose at rest (Ekf::InitAtRest).
+  void InitLane(int lane, const math::Vec3& pos, double yaw_rad);
+
+  int lanes() const { return lanes_; }
+
+  /// Scalar view of one lane: state(), status(), covariance(), config() —
+  /// stable references, safe to hold across steps.
+  const Ekf& lane(int i) const { return lanes_ekf_[static_cast<std::size_t>(i)]; }
+
+  // --- Lockstep stepping -------------------------------------------------
+  // One batch step is: BeginStep(); Stage*() any subset of lanes; Commit().
+  // Commit runs, per lane and in this order: IMU prediction, then GPS, baro
+  // and mag fusion for the staged samples — exactly the per-step order of
+  // the scalar EstimatorModule.
+
+  void BeginStep();
+  void StageImu(int lane, const sensors::ImuSample& imu, double dt);
+  void StageGps(int lane, const sensors::GpsSample& gps);
+  void StageBaro(int lane, const sensors::BaroSample& baro);
+  void StageMag(int lane, const sensors::MagSample& mag);
+  void Commit();
+
+  /// Telemetry: lane-steps whose covariance went through the vectorized SoA
+  /// kernel vs the per-lane scalar fallback. The equivalence tests assert
+  /// the kernel actually ran (a suite that silently fell back to scalar
+  /// everywhere would prove nothing).
+  std::uint64_t kernel_lane_steps() const { return kernel_lane_steps_; }
+  std::uint64_t fallback_lane_steps() const { return fallback_lane_steps_; }
+
+ private:
+  struct Staged {
+    sensors::ImuSample imu;
+    sensors::GpsSample gps;
+    sensors::BaroSample baro;
+    sensors::MagSample mag;
+    double dt{0.0};
+    bool has_imu{false};
+    bool has_gps{false};
+    bool has_baro{false};
+    bool has_mag{false};
+  };
+
+  int lanes_{0};
+  std::array<Ekf, kMaxLanes> lanes_ekf_;
+  std::array<Staged, kMaxLanes> staged_;
+  std::uint64_t kernel_lane_steps_{0};
+  std::uint64_t fallback_lane_steps_{0};
+
+  // Lane-minor SoA scratch for the kernel: element (i,j) of compacted lane
+  // slot s lives at [(i*kN + j)*kMaxLanes + s]. Compaction (only kernel-
+  // eligible lanes are gathered, into consecutive slots) keeps the inner
+  // loops dense with unit stride regardless of retired or fallback lanes.
+  alignas(64) std::array<double, static_cast<std::size_t>(kN) * kN * kMaxLanes> p_soa_{};
+  alignas(64) std::array<double, static_cast<std::size_t>(kN) * kN * kMaxLanes> fp_soa_{};
+  // Per-lane values of the 45 fixed-pattern F entries, lane-minor.
+  alignas(64) std::array<double, static_cast<std::size_t>(kPatternEntries) * kMaxLanes>
+      fv_soa_{};
+};
+
+}  // namespace uavres::estimation

@@ -1,0 +1,82 @@
+// Batched vehicle assembly: up to FleetPool::kMaxLanes independent vehicles
+// stepped in lockstep on one clock (DESIGN.md §14).
+//
+// Each lane owns the full scalar module stack — its own FlightBus, sensors,
+// fault interceptors, health, commander, control, physics and battery — so
+// per-lane behavior is the unmodified reference code. Only the estimator
+// differs: lanes stage samples into a shared EkfBatch through a
+// BatchEstimatorBridge, and one Commit() per step propagates every lane's
+// covariance through the vectorized SoA kernel. A step runs each lane's
+// pre-estimator schedule (sensing + staging), the batch commit, then each
+// lane's estimate publish and post-estimator schedule; within a lane the
+// module order and StepInfo are exactly the scalar Uav's, so every topic,
+// RNG draw and log line is bit-identical to stepping that lane alone
+// (tests/integration/campaign_batch_equivalence_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "nav/mission.h"
+#include "uav/fleet_pool.h"
+#include "uav/modules.h"
+#include "uav/uav_config.h"
+
+namespace uavres::uav {
+
+/// A fixed-capacity batch of vehicles advanced in lockstep. Lanes are added
+/// before stepping begins and retired individually as their runs end; the
+/// batch keeps stepping while any lane is active.
+class BatchedUav {
+ public:
+  static constexpr int kMaxLanes = FleetPool::kMaxLanes;
+
+  BatchedUav();
+  ~BatchedUav();
+  BatchedUav(const BatchedUav&) = delete;
+  BatchedUav& operator=(const BatchedUav&) = delete;
+
+  /// Adds one vehicle and returns its lane index. All lanes share the batch
+  /// clock, so every lane must use the same control rate as the first.
+  int AddLane(const UavConfig& cfg, const nav::MissionPlan& plan,
+              std::optional<core::FaultSpec> fault, std::uint64_t seed);
+
+  /// Advance every active lane one control period.
+  void Step();
+
+  /// Stop stepping a lane (its run ended); state freezes and stays readable.
+  void Retire(int lane);
+
+  int lanes() const { return pool_.lanes; }
+  bool lane_active(int lane) const { return pool_.active[static_cast<std::size_t>(lane)]; }
+  bool AnyActive() const { return pool_.AnyActive(); }
+
+  double time() const { return time_; }
+  double dt() const { return dt_; }
+
+  const FleetPool& pool() const { return pool_; }
+
+  // Per-lane views mirroring the scalar Uav façade.
+  const sim::Quadrotor& quad(int lane) const;
+  const estimation::Ekf& ekf(int lane) const { return pool_.ekf.lane(lane); }
+  const nav::Commander& commander(int lane) const;
+  const nav::HealthMonitor& health(int lane) const;
+  const nav::CrashDetector& crash_detector(int lane) const;
+  const telemetry::FlightLog& log(int lane) const;
+  bool fault_active(int lane) const;
+  bool airborne_seen(int lane) const;
+  double last_thrust_cmd(int lane) const;
+
+ private:
+  struct Lane;
+
+  double dt_{0.0};
+  double time_{0.0};
+  std::int64_t step_count_{0};
+  FleetPool pool_;
+  std::array<std::unique_ptr<Lane>, kMaxLanes> lanes_;
+};
+
+}  // namespace uavres::uav

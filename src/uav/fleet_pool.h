@@ -1,0 +1,44 @@
+// Fixed-capacity lane-indexed state pool behind BatchedUav (DESIGN.md §14).
+//
+// The pool aggregates everything the batched runner reads per step without
+// walking each lane's module stack: the shared EkfBatch (whose SoA covariance
+// pool is the vectorized hot loop, and whose per-lane Ekf views expose the
+// estimated state), a per-lane ground-truth snapshot refreshed at the end of
+// every BatchedUav::Step(), and the active-lane lifecycle flags. Capacity is
+// fixed and all storage is inline, so a warmed-up batch steps with zero heap
+// allocations (tests/perf/alloc_regression_test.cpp locks this down).
+#pragma once
+
+#include <array>
+
+#include "estimation/ekf_batch.h"
+#include "sim/rigid_body.h"
+
+namespace uavres::uav {
+
+struct FleetPool {
+  static constexpr int kMaxLanes = estimation::EkfBatch::kMaxLanes;
+
+  /// Estimator lanes plus the lane-minor SoA covariance pool.
+  estimation::EkfBatch ekf;
+
+  /// Registered lane count (monotonic; lanes retire by clearing `active`).
+  int lanes{0};
+
+  /// True while a lane is still being stepped. Retired lanes freeze: their
+  /// truth snapshot and estimator state stay readable but no longer advance.
+  std::array<bool, kMaxLanes> active{};
+
+  /// Ground-truth rigid-body state per lane, copied from each lane's physics
+  /// module after it steps (the same value Uav::quad().state() exposes).
+  std::array<sim::RigidBodyState, kMaxLanes> truth{};
+
+  int ActiveCount() const {
+    int n = 0;
+    for (int l = 0; l < lanes; ++l) n += active[static_cast<std::size_t>(l)] ? 1 : 0;
+    return n;
+  }
+  bool AnyActive() const { return ActiveCount() > 0; }
+};
+
+}  // namespace uavres::uav

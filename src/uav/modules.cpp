@@ -23,6 +23,12 @@ double InitialMissionYaw(const nav::MissionPlan& plan) {
   return 0.0;
 }
 
+control::PositionControlConfig PositionControlWithHoverThrust(const UavConfig& cfg) {
+  auto pc = cfg.position_control;
+  pc.hover_thrust = sim::HoverThrustFraction(cfg.airframe);
+  return pc;
+}
+
 // --- ImuModule ---
 
 ImuModule::ImuModule(const sensors::ImuNoiseConfig& noise, const sensors::ImuRanges& ranges,
@@ -89,6 +95,39 @@ void EstimatorModule::Step(const bus::StepInfo& info) {
   }
   bus_->estimate.Publish(ekf_.state(), info.t);
   bus_->estimator_status.Publish(ekf_.status(), info.t);
+}
+
+// --- BatchEstimatorBridge ---
+
+BatchEstimatorBridge::BatchEstimatorBridge(estimation::EkfBatch* batch, int lane,
+                                           bus::FlightBus* bus)
+    : batch_(batch), lane_(lane), bus_(bus) {}
+
+void BatchEstimatorBridge::Step(const bus::StepInfo& info) {
+  // Mirrors EstimatorModule::Step up to the EKF calls, which are staged into
+  // the shared batch instead of executed here.
+  const bus::ImuSignal& sig = bus_->imu.Latest();
+  const auto unit = static_cast<std::size_t>(bus_->imu_select.Latest().unit %
+                                             bus::ImuSignal::kUnits);
+  batch_->StageImu(lane_, sig.units[unit], info.dt);
+  if (bus_->gps.generation() != gps_gen_) {
+    gps_gen_ = bus_->gps.generation();
+    batch_->StageGps(lane_, bus_->gps.Latest());
+  }
+  if (bus_->baro.generation() != baro_gen_) {
+    baro_gen_ = bus_->baro.generation();
+    batch_->StageBaro(lane_, bus_->baro.Latest());
+  }
+  if (bus_->mag.generation() != mag_gen_) {
+    mag_gen_ = bus_->mag.generation();
+    batch_->StageMag(lane_, bus_->mag.Latest());
+  }
+}
+
+void BatchEstimatorBridge::PublishEstimate(const bus::StepInfo& info) {
+  const estimation::Ekf& e = batch_->lane(lane_);
+  bus_->estimate.Publish(e.state(), info.t);
+  bus_->estimator_status.Publish(e.status(), info.t);
 }
 
 // --- HealthModule ---

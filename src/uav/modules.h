@@ -23,6 +23,7 @@
 
 #include "bus/schedule.h"
 #include "bus/topics.h"
+#include "estimation/ekf_batch.h"
 #include "nav/mission.h"
 #include "telemetry/flight_log.h"
 #include "uav/uav_config.h"
@@ -91,6 +92,33 @@ class EstimatorModule final : public bus::Module {
 
  private:
   estimation::Ekf ekf_;
+  bus::FlightBus* bus_;
+  std::uint64_t gps_gen_{0};
+  std::uint64_t baro_gen_{0};
+  std::uint64_t mag_gen_{0};
+};
+
+/// One lane's bus adapter for the batched estimator (DESIGN.md §14): the
+/// EstimatorModule's step split at the EkfBatch commit barrier. Step() —
+/// scheduled exactly where the scalar EstimatorModule sits — stages this
+/// lane's IMU sample and any aiding topic whose generation advanced into the
+/// shared EkfBatch; PublishEstimate(), called by BatchedUav right after
+/// EkfBatch::Commit(), publishes the estimate and status topics with the
+/// values the scalar module would have published at the same instant.
+class BatchEstimatorBridge final : public bus::Module {
+ public:
+  BatchEstimatorBridge(estimation::EkfBatch* batch, int lane, bus::FlightBus* bus);
+  void Init(const math::Vec3& pos, double yaw_rad) {
+    batch_->InitLane(lane_, pos, yaw_rad);
+  }
+  void Step(const bus::StepInfo& info) override;
+  void PublishEstimate(const bus::StepInfo& info);
+
+  const estimation::Ekf& ekf() const { return batch_->lane(lane_); }
+
+ private:
+  estimation::EkfBatch* batch_;
+  int lane_;
   bus::FlightBus* bus_;
   std::uint64_t gps_gen_{0};
   std::uint64_t baro_gen_{0};
@@ -229,6 +257,11 @@ class FaultInterceptorStage {
 
 /// Rounded rate divider between the control loop and a sensor rate.
 int RateDivider(double control_rate_hz, double sensor_rate_hz);
+
+/// Position-control config with the airframe's actual hover thrust fraction
+/// filled in (the collective mapping must know it). Shared by the scalar and
+/// batched vehicle assemblies, which must configure control identically.
+control::PositionControlConfig PositionControlWithHoverThrust(const UavConfig& cfg);
 
 /// Initial heading: along the first mission leg when one exists (shared by
 /// the vehicle assembly and the offline estimator replay, which must

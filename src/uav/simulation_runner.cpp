@@ -1,20 +1,27 @@
 #include "uav/simulation_runner.h"
 
+#include <array>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <ostream>
 
 #include "core/bubble.h"
 #include "math/num.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/trace.h"
+#include "uav/batched_uav.h"
 
 namespace uavres::uav {
 
 using core::MissionOutcome;
 using core::MissionResult;
 using math::Vec3;
+
+static_assert(kMaxBatchLanes == BatchedUav::kMaxLanes,
+              "the header constant must mirror the fleet capacity");
 
 UavConfig MakeUavConfig(const core::DroneSpec& spec) {
   UavConfig cfg;
@@ -48,102 +55,143 @@ std::ostream& operator<<(std::ostream& os, const ExperimentSpec& spec) {
   return os << " seed=" << spec.seed_base;
 }
 
-TerminalVerdict EvaluateTerminal(const Uav& uav, double t) {
+TerminalVerdict EvaluateTerminal(const nav::CrashDetector& crash,
+                                 const nav::HealthMonitor& health,
+                                 const nav::Commander& commander, double t) {
   TerminalVerdict v;
-  if (uav.crash_detector().crashed()) {
+  if (crash.crashed()) {
     v.ended = true;
-    v.end_time = uav.crash_detector().crash_time();
+    v.end_time = crash.crash_time();
     // Failsafe-first classification (Table IV): if the controller engaged
     // failsafe before the physical crash, the run counts as a failsafe.
-    v.outcome = (uav.health().failsafe_active() &&
-                 uav.health().failsafe_time() <= v.end_time)
+    v.outcome = (health.failsafe_active() && health.failsafe_time() <= v.end_time)
                     ? MissionOutcome::kFailsafe
                     : MissionOutcome::kCrashed;
-  } else if (uav.commander().landed()) {
+  } else if (commander.landed()) {
     v.ended = true;
-    v.end_time = uav.commander().landed_time().value_or(t);
-    v.outcome = uav.commander().MissionCompleted() ? MissionOutcome::kCompleted
-                                                   : MissionOutcome::kFailsafe;
+    v.end_time = commander.landed_time().value_or(t);
+    v.outcome = commander.MissionCompleted() ? MissionOutcome::kCompleted
+                                             : MissionOutcome::kFailsafe;
   }
   return v;
 }
 
-RunOutput SimulationRunner::Run(const ExperimentSpec& espec) const {
-  RunOutput out;
-  RunInto(espec, out);
-  return out;
+TerminalVerdict EvaluateTerminal(const Uav& uav, double t) {
+  return EvaluateTerminal(uav.crash_detector(), uav.health(), uav.commander(), t);
 }
 
-void SimulationRunner::RunInto(const ExperimentSpec& espec, RunOutput& out) const {
-  const core::DroneSpec& spec = espec.drone;
-  const int mission_index = espec.mission_index;
-  const std::optional<core::FaultSpec>& fault = espec.fault;
-  const telemetry::Trajectory* gold = espec.gold;
+namespace {
 
-  // Reset scratch while keeping buffer capacity across runs.
-  out.result = core::MissionResult{};
-  out.trajectory.Clear();
-  out.violations.clear();
-  out.total_violations = 0;
+// Everything the per-step bookkeeping reads from one stepping vehicle,
+// regardless of whether it lives behind a Uav façade or a BatchedUav lane.
+struct VehicleView {
+  const sim::RigidBodyState* truth{nullptr};
+  const estimation::NavState* est{nullptr};
+  const math::Matrix<estimation::Ekf::kN, estimation::Ekf::kN>* cov{nullptr};
+  const estimation::EkfStatus* ekf_status{nullptr};
+  const nav::HealthMonitor* health{nullptr};
+  const nav::Commander* commander{nullptr};
+  const nav::CrashDetector* crash{nullptr};
+  const telemetry::FlightLog* log{nullptr};
+  double thrust_cmd{0.0};
+  bool fault_active{false};
+  bool airborne_seen{false};
+};
 
-  UAVRES_TRACE_SCOPE("sim/run");
-  UAVRES_COUNT("sim.runs");
-  const auto wall_start = std::chrono::steady_clock::now();
-  const std::uint64_t seed = espec.Seed();
-  UavConfig uav_cfg = MakeUavConfig(spec);
-  if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
-  core::InvariantChecker checker(cfg_.invariants);
-  if (checker.enabled()) uav_cfg.ekf.strict_invariant_checks = true;
-  Uav uav(uav_cfg, spec.plan, fault, seed);
+VehicleView ViewOf(const Uav& uav) {
+  VehicleView v;
+  v.truth = &uav.quad().state();
+  v.est = &uav.ekf().state();
+  v.cov = &uav.ekf().covariance();
+  v.ekf_status = &uav.ekf().status();
+  v.health = &uav.health();
+  v.commander = &uav.commander();
+  v.crash = &uav.crash_detector();
+  v.log = &uav.log();
+  v.thrust_cmd = uav.last_thrust_cmd();
+  v.fault_active = uav.fault_active();
+  v.airborne_seen = uav.airborne_seen();
+  return v;
+}
 
-  const double max_time = spec.plan.ExpectedDuration() + cfg_.extra_time_s;
-  const double record_interval = 1.0 / cfg_.record_rate_hz;
+VehicleView ViewOf(const BatchedUav& fleet, int lane) {
+  VehicleView v;
+  v.truth = &fleet.pool().truth[static_cast<std::size_t>(lane)];
+  v.est = &fleet.ekf(lane).state();
+  v.cov = &fleet.ekf(lane).covariance();
+  v.ekf_status = &fleet.ekf(lane).status();
+  v.health = &fleet.health(lane);
+  v.commander = &fleet.commander(lane);
+  v.crash = &fleet.crash_detector(lane);
+  v.log = &fleet.log(lane);
+  v.thrust_cmd = fleet.last_thrust_cmd(lane);
+  v.fault_active = fleet.fault_active(lane);
+  v.airborne_seen = fleet.airborne_seen(lane);
+  return v;
+}
 
-  core::BubbleParams bubble_params = spec.MakeBubbleParams();
-  bubble_params.tracking_interval_s = cfg_.tracking_interval_s;
-  bubble_params.risk_factor = cfg_.bubble_risk_factor;
-  core::BubbleMonitor bubbles(bubble_params);
+// One experiment's per-step metric accumulation and terminal classification,
+// factored out of the old RunInto body so the scalar loop and the batched
+// lanes run literally the same bookkeeping code (a precondition for the
+// byte-identical-output contract of RunBatchInto).
+class StepBookkeeper {
+ public:
+  StepBookkeeper(const RunConfig& cfg, const ExperimentSpec& espec,
+                 const UavConfig& uav_cfg, RunOutput& out)
+      : cfg_(cfg),
+        espec_(espec),
+        out_(out),
+        checker_(cfg.invariants),
+        max_time_(espec.drone.plan.ExpectedDuration() + cfg.extra_time_s),
+        record_interval_(1.0 / cfg.record_rate_hz),
+        bubble_params_(MakeBubbleParams(cfg, espec)),
+        bubbles_(bubble_params_),
+        mass_kg_(uav_cfg.airframe.mass_kg),
+        next_track_(cfg.tracking_interval_s),  // first instant after takeoff
+        last_est_pos_(espec.drone.plan.home),
+        // Plausibility cap applied by the tracking system: a drone cannot
+        // move faster than its physical top speed, so per-interval reported
+        // distance and airspeed are clamped even when the EKF output is
+        // fault-corrupted.
+        max_speed_plausible_(2.0 * bubble_params_.top_speed_ms),
+        max_step_dist_(max_speed_plausible_ * cfg.tracking_interval_s),
+        end_time_(max_time_),
+        wall_start_(std::chrono::steady_clock::now()) {
+    UAVRES_COUNT("sim.runs");
+    // Reset scratch while keeping buffer capacity across runs.
+    out_.result = core::MissionResult{};
+    out_.trajectory.Clear();
+    out_.violations.clear();
+    out_.total_violations = 0;
 
-  out.result.mission_index = mission_index;
-  out.result.mission_name = spec.name;
-  out.result.is_gold = !fault.has_value();
-  if (fault) out.result.fault = *fault;
+    out_.result.mission_index = espec.mission_index;
+    out_.result.mission_name = espec.drone.name;
+    out_.result.is_gold = !espec.fault.has_value();
+    if (espec.fault) out_.result.fault = *espec.fault;
 
-  if (cfg_.record_trajectory) {
-    out.trajectory.Reserve(static_cast<std::size_t>(max_time / record_interval) + 8);
+    if (cfg_.record_trajectory) {
+      out_.trajectory.Reserve(static_cast<std::size_t>(max_time_ / record_interval_) + 8);
+    }
   }
 
-  double next_record = 0.0;
-  double next_track = cfg_.tracking_interval_s;  // first instant after takeoff starts
-  double last_check_t = 0.0;                     // previous invariant-check instant
-  Vec3 last_est_pos = spec.plan.home;
-  double distance_est = 0.0;
+  bool checker_enabled() const { return checker_.enabled(); }
+  double max_time() const { return max_time_; }
+  bool ended() const { return ended_; }
 
-  // Plausibility cap applied by the tracking system: a drone cannot move
-  // faster than its physical top speed, so per-interval reported distance
-  // and airspeed are clamped even when the EKF output is fault-corrupted.
-  const double top_speed = bubble_params.top_speed_ms;
-  const double max_speed_plausible = 2.0 * top_speed;
-  const double max_step_dist = max_speed_plausible * cfg_.tracking_interval_s;
-
-  double end_time = max_time;
-  MissionOutcome outcome = MissionOutcome::kTimeout;
-  std::uint64_t steps = 0;
-  // Health-monitor confirm charge just before fault onset: the failsafe-
-  // latency invariant only binds when the pipeline starts uncharged.
-  double anomaly_at_onset = 0.0;
-
-  while (uav.time() < max_time) {
-    uav.Step();
-    ++steps;
-    const double t = uav.time();
+  // Runs after each Step() at post-step time `t` — the exact per-step block
+  // of the old scalar loop, against the view instead of the façade.
+  void AfterStep(double t, const VehicleView& v) {
+    ++steps_;
+    const std::optional<core::FaultSpec>& fault = espec_.fault;
     if (fault && t < fault->start_time_s) {
-      anomaly_at_onset = uav.health().anomaly_level();
+      // Health-monitor confirm charge just before fault onset: the failsafe-
+      // latency invariant only binds when the pipeline starts uncharged.
+      anomaly_at_onset_ = v.health->anomaly_level();
     }
-    const auto& truth = uav.quad().state();
-    const auto& est = uav.ekf().state();
+    const auto& truth = *v.truth;
+    const auto& est = *v.est;
 
-    if (cfg_.record_trajectory && t >= next_record) {
+    if (cfg_.record_trajectory && t >= next_record_) {
       telemetry::TrajectorySample s;
       s.t = t;
       s.pos_true = truth.pos;
@@ -153,112 +201,214 @@ void SimulationRunner::RunInto(const ExperimentSpec& espec, RunOutput& out) cons
       s.att_true = truth.att;
       s.att_est = est.att;
       s.airspeed_est = est.vel.Norm();
-      s.fault_active = uav.fault_active();
-      out.trajectory.Add(s);
-      next_record += record_interval;
+      s.fault_active = v.fault_active;
+      out_.trajectory.Add(s);
+      next_record_ += record_interval_;
     }
 
-    if (t >= next_track) {
-      next_track += cfg_.tracking_interval_s;
+    if (t >= next_track_) {
+      next_track_ += cfg_.tracking_interval_s;
       const double step_dist =
-          std::min((est.pos - last_est_pos).Norm(), max_step_dist);
-      distance_est += step_dist;
-      last_est_pos = est.pos;
+          std::min((est.pos - last_est_pos_).Norm(), max_step_dist_);
+      distance_est_ += step_dist;
+      last_est_pos_ = est.pos;
       // Radii are tracked even without a gold reference (the containment-
       // ordering invariant needs them); deviations only count against one.
-      if (uav.airborne_seen()) {
-        const double deviation =
-            gold != nullptr ? gold->DistanceToTruePath(truth.pos) : 0.0;
-        const double airspeed = std::min(est.vel.Norm(), max_speed_plausible);
-        bubbles.Track(deviation, airspeed, step_dist);
+      if (v.airborne_seen) {
+        const double deviation = espec_.gold != nullptr
+                                     ? espec_.gold->DistanceToTruePath(truth.pos)
+                                     : 0.0;
+        const double airspeed = std::min(est.vel.Norm(), max_speed_plausible_);
+        bubbles_.Track(deviation, airspeed, step_dist);
       }
 
-      if (checker.enabled()) {
+      if (checker_.enabled()) {
         core::InvariantSample inv;
         inv.t = t;
-        inv.dt = t - last_check_t;
+        inv.dt = t - last_check_t_;
         inv.pos_true = truth.pos;
         inv.vel_true = truth.vel;
         inv.att_true = truth.att;
         inv.pos_est = est.pos;
         inv.vel_est = est.vel;
         inv.att_est = est.att;
-        inv.thrust_cmd = uav.last_thrust_cmd();
-        inv.mass_kg = uav_cfg.airframe.mass_kg;
-        inv.energy_j = 0.5 * uav_cfg.airframe.mass_kg * truth.vel.NormSq() +
-                       uav_cfg.airframe.mass_kg * math::kGravity * (-truth.pos.z);
-        inv.bubble_inner_m = bubbles.inner_radius();
-        inv.bubble_outer_m = bubbles.last_outer_radius();
-        inv.bubble_tracked = bubbles.instants_tracked() > 0;
-        inv.cov = &uav.ekf().covariance();
-        inv.ekf_status = &uav.ekf().status();
+        inv.thrust_cmd = v.thrust_cmd;
+        inv.mass_kg = mass_kg_;
+        inv.energy_j = 0.5 * mass_kg_ * truth.vel.NormSq() +
+                       mass_kg_ * math::kGravity * (-truth.pos.z);
+        inv.bubble_inner_m = bubbles_.inner_radius();
+        inv.bubble_outer_m = bubbles_.last_outer_radius();
+        inv.bubble_tracked = bubbles_.instants_tracked() > 0;
+        inv.cov = v.cov;
+        inv.ekf_status = v.ekf_status;
         if (cfg_.invariant_tap) cfg_.invariant_tap(inv);
-        checker.CheckStep(inv);
-        last_check_t = t;
+        checker_.CheckStep(inv);
+        last_check_t_ = t;
       }
     }
 
     // --- Terminal conditions (shared with the multi-vehicle runner). ---
-    const TerminalVerdict verdict = EvaluateTerminal(uav, t);
+    const TerminalVerdict verdict =
+        EvaluateTerminal(*v.crash, *v.health, *v.commander, t);
     if (verdict.ended) {
-      end_time = verdict.end_time;
-      outcome = verdict.outcome;
-      break;
+      end_time_ = verdict.end_time;
+      outcome_ = verdict.outcome;
+      ended_ = true;
     }
   }
 
-  out.result.outcome = outcome;
-  out.result.flight_duration_s = end_time;
-  out.result.distance_km = distance_est / 1000.0;
-  out.result.inner_violations = bubbles.inner_violations();
-  out.result.outer_violations = bubbles.outer_violations();
-  out.result.max_deviation_m = bubbles.max_deviation();
-  out.result.failsafe_reason = uav.health().reason();
-  out.result.failsafe_time_s = uav.health().failsafe_time();
-  out.result.crash_reason = uav.crash_detector().reason();
-  out.result.crash_time_s = uav.crash_detector().crash_time();
-  out.log = uav.log();
+  // Finalizes the RunOutput once the vehicle stops stepping (terminal verdict
+  // or timeout) — the old scalar epilogue.
+  void Finish(const VehicleView& v) {
+    out_.result.outcome = outcome_;
+    out_.result.flight_duration_s = end_time_;
+    out_.result.distance_km = distance_est_ / 1000.0;
+    out_.result.inner_violations = bubbles_.inner_violations();
+    out_.result.outer_violations = bubbles_.outer_violations();
+    out_.result.max_deviation_m = bubbles_.max_deviation();
+    out_.result.failsafe_reason = v.health->reason();
+    out_.result.failsafe_time_s = v.health->failsafe_time();
+    out_.result.crash_reason = v.crash->reason();
+    out_.result.crash_time_s = v.crash->crash_time();
+    out_.log = *v.log;
 
-  if (checker.enabled()) {
-    core::InvariantEndSample end;
-    end.fault_injected = fault.has_value();
-    if (fault) {
-      end.fault_start_s = fault->start_time_s;
-      end.fault_duration_s = fault->duration_s;
+    if (checker_.enabled()) {
+      core::InvariantEndSample end;
+      end.fault_injected = espec_.fault.has_value();
+      if (espec_.fault) {
+        end.fault_start_s = espec_.fault->start_time_s;
+        end.fault_duration_s = espec_.fault->duration_s;
+      }
+      end.failsafe_sensor_fault =
+          v.health->reason() == nav::FailsafeReason::kSensorFault;
+      end.failsafe_time_s = v.health->failsafe_time();
+      end.anomaly_at_onset = anomaly_at_onset_;
+      checker_.CheckEnd(end);
+      out_.violations = checker_.violations();
+      out_.total_violations = checker_.total_violations();
     }
-    end.failsafe_sensor_fault =
-        uav.health().reason() == nav::FailsafeReason::kSensorFault;
-    end.failsafe_time_s = uav.health().failsafe_time();
-    end.anomaly_at_onset = anomaly_at_onset;
-    checker.CheckEnd(end);
-    out.violations = checker.violations();
-    out.total_violations = checker.total_violations();
+
+    // Per-run accounting: the step count and outcome tallies are
+    // deterministic oracles (the golden-trace test asserts on them); the
+    // wall-clock histogram is the profiling signal.
+    UAVRES_COUNT_N("sim.steps", steps_);
+    switch (outcome_) {
+      case MissionOutcome::kCompleted:
+        UAVRES_COUNT("sim.outcome.completed");
+        break;
+      case MissionOutcome::kCrashed:
+        UAVRES_COUNT("sim.outcome.crashed");
+        break;
+      case MissionOutcome::kFailsafe:
+        UAVRES_COUNT("sim.outcome.failsafe");
+        break;
+      case MissionOutcome::kTimeout:
+        UAVRES_COUNT("sim.outcome.timeout");
+        break;
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  wall_start_)
+            .count();
+    UAVRES_OBSERVE("sim.run_wall_ms", wall_ms, 50, 100, 250, 500, 1000, 2500, 5000,
+                   10000, 30000);
   }
 
-  // Per-run accounting: the step count and outcome tallies are deterministic
-  // oracles (the golden-trace test asserts on them); the wall-clock histogram
-  // is the profiling signal.
-  UAVRES_COUNT_N("sim.steps", steps);
-  switch (outcome) {
-    case MissionOutcome::kCompleted:
-      UAVRES_COUNT("sim.outcome.completed");
-      break;
-    case MissionOutcome::kCrashed:
-      UAVRES_COUNT("sim.outcome.crashed");
-      break;
-    case MissionOutcome::kFailsafe:
-      UAVRES_COUNT("sim.outcome.failsafe");
-      break;
-    case MissionOutcome::kTimeout:
-      UAVRES_COUNT("sim.outcome.timeout");
-      break;
+ private:
+  static core::BubbleParams MakeBubbleParams(const RunConfig& cfg,
+                                             const ExperimentSpec& espec) {
+    core::BubbleParams p = espec.drone.MakeBubbleParams();
+    p.tracking_interval_s = cfg.tracking_interval_s;
+    p.risk_factor = cfg.bubble_risk_factor;
+    return p;
   }
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                wall_start)
-          .count();
-  UAVRES_OBSERVE("sim.run_wall_ms", wall_ms, 50, 100, 250, 500, 1000, 2500, 5000,
-                 10000, 30000);
+
+  const RunConfig& cfg_;
+  const ExperimentSpec& espec_;
+  RunOutput& out_;
+  core::InvariantChecker checker_;
+  double max_time_;
+  double record_interval_;
+  core::BubbleParams bubble_params_;
+  core::BubbleMonitor bubbles_;
+  double mass_kg_;
+
+  double next_record_{0.0};
+  double next_track_;
+  double last_check_t_{0.0};  // previous invariant-check instant
+  Vec3 last_est_pos_;
+  double distance_est_{0.0};
+  double max_speed_plausible_;
+  double max_step_dist_;
+  double end_time_;
+  MissionOutcome outcome_{MissionOutcome::kTimeout};
+  std::uint64_t steps_{0};
+  double anomaly_at_onset_{0.0};
+  bool ended_{false};
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace
+
+RunOutput SimulationRunner::Run(const ExperimentSpec& espec) const {
+  RunOutput out;
+  RunInto(espec, out);
+  return out;
+}
+
+void SimulationRunner::RunInto(const ExperimentSpec& espec, RunOutput& out) const {
+  UAVRES_TRACE_SCOPE("sim/run");
+  UavConfig uav_cfg = MakeUavConfig(espec.drone);
+  if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
+  StepBookkeeper bk(cfg_, espec, uav_cfg, out);
+  if (bk.checker_enabled()) uav_cfg.ekf.strict_invariant_checks = true;
+  Uav uav(uav_cfg, espec.drone.plan, espec.fault, espec.Seed());
+
+  while (uav.time() < bk.max_time()) {
+    uav.Step();
+    bk.AfterStep(uav.time(), ViewOf(uav));
+    if (bk.ended()) break;
+  }
+  bk.Finish(ViewOf(uav));
+}
+
+void SimulationRunner::RunBatchInto(const ExperimentSpec* specs, std::size_t n,
+                                    RunOutput* const* outs) const {
+  if (n == 0) return;
+  if (n == 1) {  // scalar path: same outputs, no batch overhead
+    RunInto(specs[0], *outs[0]);
+    return;
+  }
+  assert(n <= static_cast<std::size_t>(kMaxBatchLanes));
+  UAVRES_TRACE_SCOPE("sim/run_batch");
+  auto fleet = std::make_unique<BatchedUav>();
+  std::array<std::optional<StepBookkeeper>, kMaxBatchLanes> bks;
+  for (std::size_t i = 0; i < n; ++i) {
+    UavConfig uav_cfg = MakeUavConfig(specs[i].drone);
+    if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
+    bks[i].emplace(cfg_, specs[i], uav_cfg, *outs[i]);
+    if (bks[i]->checker_enabled()) uav_cfg.ekf.strict_invariant_checks = true;
+    fleet->AddLane(uav_cfg, specs[i].drone.plan, specs[i].fault, specs[i].Seed());
+  }
+
+  // Lockstep: each lane sees exactly the step sequence the scalar loop gives
+  // it — it keeps stepping while its post-step time stays below its own
+  // deadline (the scalar loop's `while (uav.time() < max_time)` re-check) and
+  // retires on a terminal verdict or timeout with its output finalized.
+  while (fleet->AnyActive()) {
+    fleet->Step();
+    const double t = fleet->time();
+    for (std::size_t i = 0; i < n; ++i) {
+      const int lane = static_cast<int>(i);
+      if (!fleet->lane_active(lane)) continue;
+      StepBookkeeper& bk = *bks[i];
+      bk.AfterStep(t, ViewOf(*fleet, lane));
+      if (bk.ended() || t >= bk.max_time()) {
+        bk.Finish(ViewOf(*fleet, lane));
+        fleet->Retire(lane);
+      }
+    }
+  }
 }
 
 }  // namespace uavres::uav

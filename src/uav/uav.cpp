@@ -8,17 +8,6 @@ namespace uavres::uav {
 
 using math::Vec3;
 
-namespace {
-
-control::PositionControlConfig WithHoverThrust(const UavConfig& cfg) {
-  auto pc = cfg.position_control;
-  // The collective mapping must know the real hover thrust fraction.
-  pc.hover_thrust = sim::HoverThrustFraction(cfg.airframe);
-  return pc;
-}
-
-}  // namespace
-
 Uav::Uav(const UavConfig& cfg, const nav::MissionPlan& plan,
          std::optional<core::FaultSpec> fault, std::uint64_t seed)
     : cfg_(cfg),
@@ -33,7 +22,7 @@ Uav::Uav(const UavConfig& cfg, const nav::MissionPlan& plan,
       estimator_(cfg.ekf, &bus_),
       health_mod_(cfg.health, &bus_, &log_),
       commander_mod_(plan, cfg.commander, &bus_, &log_),
-      control_mod_(WithHoverThrust(cfg), cfg.attitude_control, cfg.rate_control,
+      control_mod_(PositionControlWithHoverThrust(cfg), cfg.attitude_control, cfg.rate_control,
                    control::MixerConfigFromQuadrotor(cfg.airframe), &bus_),
       physics_(cfg, seed, &bus_, &log_),
       battery_mod_(cfg.battery, &bus_),

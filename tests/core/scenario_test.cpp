@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "math/num.h"
 
@@ -128,6 +130,36 @@ TEST(Scenario, OriginIsValencia) {
   const auto origin = ScenarioOrigin();
   EXPECT_NEAR(origin.lat_deg, 39.47, 0.01);
   EXPECT_NEAR(origin.lon_deg, -0.376, 0.01);
+}
+
+// SharedValenciaScenario backs every campaign worker — and with batched
+// stepping, many lanes on one worker — through const references held across
+// whole runs. The function-local static must therefore hand every thread
+// the SAME object (stable addresses, no per-thread or racing copies), even
+// when the very first call happens concurrently from many threads.
+TEST(Scenario, SharedScenarioIsOneStableObjectAcrossConcurrentReaders) {
+  constexpr int kThreads = 8;
+  std::vector<const std::vector<DroneSpec>*> seen(kThreads, nullptr);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&seen, i] {
+        const auto& fleet = SharedValenciaScenario();
+        // Touch the data like batched lanes do (plan + airframe reads).
+        ASSERT_EQ(fleet.size(), 10u);
+        for (const auto& spec : fleet) {
+          ASSERT_FALSE(spec.plan.waypoints.empty());
+        }
+        seen[static_cast<std::size_t>(i)] = &fleet;
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], seen[0])
+        << "thread " << i << " observed a different scenario object";
+  }
 }
 
 }  // namespace

@@ -93,5 +93,36 @@ TEST(Scheduler, StarvationBigJobDoesNotSerializeGrid) {
   EXPECT_LE(wall_ms, 1.2 * 100.0) << "big job was starved behind cheap jobs";
 }
 
+// The batched campaign coarsens the faulty grid into per-batch jobs whose
+// scheduler cost is the SUM of the batch's lane costs (campaign.cpp). The
+// starvation bound must survive that coarsening: one expensive batch (e.g.
+// eight long-mission lanes summed to 100 units) dealt alongside many cheap
+// batches must still bound the wall clock by the expensive batch itself,
+// not the serialized grid.
+TEST(Scheduler, StarvationBoundHoldsForBatchedCampaignCosts) {
+  constexpr auto kUnit = std::chrono::milliseconds(1);
+  constexpr std::size_t kCheapBatches = 50;
+  // Batch-summed costs: batch 0 is 8 lanes of 12.5 units; the rest are
+  // 8 lanes of 0.125 units each.
+  std::vector<double> batch_costs(kCheapBatches + 1, 8 * 0.125);
+  batch_costs[0] = 8 * 12.5;
+
+  SchedulerOptions opts;
+  opts.num_threads = 2;
+  const auto t0 = std::chrono::steady_clock::now();
+  ParallelFor(
+      batch_costs.size(), batch_costs,
+      [&](std::size_t i) {
+        std::this_thread::sleep_for(kUnit * (i == 0 ? 100 : 1));
+      },
+      opts);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+
+  // Critical path: the 100-unit batch; the cheap batches (50 units total)
+  // run on the second worker in parallel. Allow 1.2x for overhead.
+  EXPECT_LE(wall_ms, 1.2 * 100.0) << "expensive batch was starved behind cheap batches";
+}
+
 }  // namespace
 }  // namespace uavres::core

@@ -14,8 +14,13 @@ Comparison policy:
     files record their environment (hardware_concurrency, threads, missions,
     durations); when the environments differ the script prints a notice and
     exits 0 instead of failing the build on an apples-to-oranges comparison.
-    The zero-allocation steady-state check is environment-independent and is
-    always enforced.
+    The zero-allocation steady-state checks (scalar and, when present,
+    batched) are environment-independent and are always enforced.
+
+    The batched campaign path ("campaign_batched", emitted by newer
+    bench_throughput builds) is gated with the same --max-regress threshold
+    whenever BOTH files carry it with matching batch sizes; files from before
+    the batched bench simply skip that gate.
 """
 
 import argparse
@@ -48,11 +53,17 @@ def main() -> int:
     cur = load(args.current)
     base = load(args.baseline)
 
-    # Environment-independent gate first: the hot path must stay allocation-free.
+    # Environment-independent gates first: the hot paths must stay
+    # allocation-free — the scalar cruise and, when measured, the batched one.
     steady = cur.get("steady_state", {})
     if steady.get("heap_allocs", 0) != 0:
         print(f"compare_bench: FAIL — steady state performed "
               f"{steady.get('heap_allocs')} heap allocations (expected 0)")
+        return 1
+    steady_batched = cur.get("steady_state_batched")
+    if steady_batched is not None and steady_batched.get("heap_allocs", 0) != 0:
+        print(f"compare_bench: FAIL — batched steady state performed "
+              f"{steady_batched.get('heap_allocs')} heap allocations (expected 0)")
         return 1
 
     cur_env, base_env = cur.get("environment", {}), base.get("environment", {})
@@ -76,6 +87,26 @@ def main() -> int:
         print(f"compare_bench: FAIL — throughput regressed more than "
               f"{args.max_regress:.0%}")
         return 1
+
+    cur_b, base_b = cur.get("campaign_batched"), base.get("campaign_batched")
+    if cur_b is None or base_b is None:
+        print("compare_bench: batched campaign not present in both files, "
+              "skipping batched gate")
+    elif cur_b.get("batch") != base_b.get("batch"):
+        print(f"compare_bench: batched batch sizes differ "
+              f"({cur_b.get('batch')} vs {base_b.get('batch')}), skipping batched gate")
+    else:
+        cur_brps = cur_b.get("runs_per_sec", 0.0)
+        base_brps = base_b.get("runs_per_sec", 0.0)
+        if base_brps > 0.0:
+            bchange = (cur_brps - base_brps) / base_brps
+            print(f"batched runs/sec: current {cur_brps:.3f} vs baseline "
+                  f"{base_brps:.3f} ({bchange:+.1%})")
+            if bchange < -args.max_regress:
+                print(f"compare_bench: FAIL — batched throughput regressed more "
+                      f"than {args.max_regress:.0%}")
+                return 1
+
     print("compare_bench: OK")
     return 0
 
