@@ -49,22 +49,29 @@ int Usage() {
       "         [duration_s] [--seed N]     inject one fault\n"
       "  campaign [--missions N] [--durations 2,5,10,30] [--threads N]\n"
       "           [--batch N] [--cache-dir DIR] [--no-cache] [--cache-stats]\n"
-      "                                     run the grid, print Tables II-IV;\n"
+      "           [--recovery on|off]        run the grid, print Tables II-IV;\n"
       "                                     completed runs persist to the cache\n"
       "                                     (also via UAVRES_CACHE_DIR) so an\n"
-      "                                     interrupted campaign resumes\n"
+      "                                     interrupted campaign resumes;\n"
+      "                                     --recovery on adds the IMU-fault\n"
+      "                                     detector + estimator failover and\n"
+      "                                     prints the recovery table\n"
       "  convoy [--spacing M] [--drones N]  multi-UAV U-space conflict demo\n"
       "  export [mission] [file.csv] [--rate HZ]\n"
       "                                     dump a gold trajectory as CSV\n"
       "  record [mission] [file.uvrl] [--target acc|gyro|imu --type random\n"
       "         --duration S] [--rate HZ]   record a flight (binary log)\n"
       "  record [mission] [file.uvbs]       record the full bus-topic stream\n"
-      "         [--bus] [--seed N]          (a .uvbs path implies --bus)\n"
+      "         [--bus] [--seed N]          (a .uvbs path implies --bus);\n"
+      "         [--recovery]                --recovery flies with the IMU-fault\n"
+      "                                     detector + failover enabled\n"
       "  replay [file.uvrl]                 summarize a recorded flight\n"
       "  replay [file.uvbs] [--estimator ekf|comp]\n"
       "                                     re-run an estimator offline from\n"
       "                                     the recorded sensor topics; `ekf`\n"
-      "                                     must match the online run exactly\n"
+      "                                     must match the online run exactly,\n"
+      "                                     and a --recovery log must replay\n"
+      "                                     its detector decisions bit-for-bit\n"
       "  fuzz [--runs N] [--seed N] [--out DIR] [--shrink-budget N] [--threads N]\n"
       "       [--determinism-every N] [--verbose]\n"
       "                                     randomized fault-campaign fuzzing:\n"
@@ -182,6 +189,11 @@ int CmdCampaign(const app::CommandLine& cl) {
   }
   if (const auto dir = cl.Flag("cache-dir")) builder.CacheDir(*dir);
   if (cl.HasFlag("no-cache")) builder.CacheDir("");
+  if (const auto rec = cl.Flag("recovery")) {
+    // Bare `--recovery` and `--recovery on|1` enable; `off|0` forces off
+    // (overriding UAVRES_RECOVERY).
+    builder.Recovery(*rec != "off" && *rec != "0");
+  }
   core::CampaignConfig cfg;
   try {
     cfg = builder.Build();
@@ -233,6 +245,12 @@ int CmdCampaign(const app::CommandLine& cl) {
                                       core::BuildTable4(results))
                  .c_str(),
              stdout);
+  if (cfg.run.recovery) {
+    std::fputs(core::FormatRecoveryTable("\nRecovery (IMU-fault detection + failover)",
+                                         core::BuildRecoveryTable(results))
+                   .c_str(),
+               stdout);
+  }
   std::printf("\n%s", telemetry::MetricsRegistry::Global().FormatSummaryTable().c_str());
   return 0;
 }
@@ -305,14 +323,16 @@ int CmdRecordBus(const app::CommandLine& cl, const core::DroneSpec& spec, int mi
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  const auto stats = uav::RecordBusLog(espec, os);
+  const bool recovery = cl.HasFlag("recovery");
+  const auto stats = uav::RecordBusLog(espec, os, recovery);
   if (!stats) {
     std::fprintf(stderr, "bus recording failed writing %s\n", path.c_str());
     return 1;
   }
-  std::printf("recorded %llu bus frames over %llu steps -> %s\n",
+  std::printf("recorded %llu bus frames over %llu steps%s -> %s\n",
               static_cast<unsigned long long>(stats->frames),
-              static_cast<unsigned long long>(stats->steps), path.c_str());
+              static_cast<unsigned long long>(stats->steps),
+              recovery ? " (recovery on)" : "", path.c_str());
   std::printf("outcome    : %s after %.1f s\n", core::ToString(stats->outcome),
               stats->end_time_s);
   return 0;
@@ -352,16 +372,29 @@ int CmdReplayBus(const app::CommandLine& cl, const std::string& path) {
               static_cast<unsigned long long>(stats->steps),
               static_cast<unsigned long long>(stats->frames),
               kind == uav::ReplayEstimatorKind::kEkf ? "ekf" : "complementary");
+  if (header.recovery) {
+    if (stats->detection_time_s >= 0.0) {
+      std::printf("detector   : %llu frames verified, %llu mismatches; confirmed at t=%.3f s\n",
+                  static_cast<unsigned long long>(stats->detector_frames),
+                  static_cast<unsigned long long>(stats->detector_mismatches),
+                  stats->detection_time_s);
+    } else {
+      std::printf("detector   : %llu frames verified, %llu mismatches; no confirm\n",
+                  static_cast<unsigned long long>(stats->detector_frames),
+                  static_cast<unsigned long long>(stats->detector_mismatches));
+    }
+  }
   if (kind == uav::ReplayEstimatorKind::kEkf) {
     std::printf("pos error  : max %.3g m, final %.3g m vs online EKF\n", stats->max_pos_err_m,
                 stats->final_pos_err_m);
     std::printf("att error  : max %.3g rad vs online EKF\n", stats->max_att_err_rad);
     // The offline EKF consumes the exact sensor stream the online one did,
-    // so any divergence at all is a determinism defect.
-    return stats->max_pos_err_m <= 1e-9 ? 0 : 1;
+    // so any divergence at all — estimate or detector decision — is a
+    // determinism defect.
+    return stats->max_pos_err_m <= 1e-9 && stats->detector_mismatches == 0 ? 0 : 1;
   }
   std::printf("att error  : max %.3g rad vs online EKF\n", stats->max_att_err_rad);
-  return 0;
+  return stats->detector_mismatches == 0 ? 0 : 1;
 }
 
 int CmdRecord(const app::CommandLine& cl) {

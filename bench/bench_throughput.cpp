@@ -11,7 +11,9 @@
 //      worker deal, default 8), reported as "campaign" / "campaign_batched".
 //   2. Step latency — per-step wall latency of one gold flight stepping the
 //      Uav directly (p50/p99/mean in microseconds), plus the per-lane step
-//      latency of a BatchedUav fleet in cruise.
+//      latency of a BatchedUav fleet in cruise, plus a detector-enabled
+//      repeat of the scalar flight ("step_latency_detector") whose delta is
+//      the per-step cost of the IMU-fault detection + failover layer.
 //   3. Steady-state allocations — this binary replaces global operator
 //      new/delete with counting wrappers; after a warm-up the cruise phase
 //      of a gold flight must execute ZERO heap allocations per step, scalar
@@ -95,11 +97,14 @@ struct StepStats {
 };
 
 /// One gold flight of mission 0, stepped directly: per-step latency
-/// distribution plus the steady-state (cruise) allocation count.
-StepStats MeasureSteps() {
+/// distribution plus the steady-state (cruise) allocation count. With
+/// `detector` the IMU-fault detection + failover layer runs too, so the
+/// delta against the plain measurement is the detector's per-step overhead.
+StepStats MeasureSteps(bool detector = false) {
   const auto& fleet = core::SharedValenciaScenario();
   const core::DroneSpec& spec = fleet[0];
   uav::UavConfig cfg = uav::MakeUavConfig(spec);
+  cfg.detector.enabled = detector;
   uav::Uav vehicle(cfg, spec.plan, std::nullopt, 2024);
 
   const double max_time = spec.plan.ExpectedDuration();
@@ -257,7 +262,12 @@ int main(int argc, char** argv) {
 
   // --- 2 + 3. Step latency and steady-state allocations. ---
   const StepStats steps = MeasureSteps();
+  const StepStats detector_steps = MeasureSteps(/*detector=*/true);
   const BatchStepStats batch_steps = MeasureBatchSteps(batch_lanes);
+  const double detector_overhead_pct =
+      steps.mean_us > 0.0
+          ? 100.0 * (detector_steps.mean_us - steps.mean_us) / steps.mean_us
+          : 0.0;
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -295,6 +305,14 @@ int main(int argc, char** argv) {
                "    \"mean\": %.3f,\n"
                "    \"steps\": %llu\n"
                "  },\n"
+               "  \"step_latency_detector\": {\n"
+               "    \"p50\": %.3f,\n"
+               "    \"p99\": %.3f,\n"
+               "    \"mean\": %.3f,\n"
+               "    \"steps\": %llu,\n"
+               "    \"heap_allocs\": %llu,\n"
+               "    \"overhead_pct\": %.2f\n"
+               "  },\n"
                "  \"steady_state\": {\n"
                "    \"steps\": %llu,\n"
                "    \"heap_allocs\": %llu,\n"
@@ -318,6 +336,10 @@ int main(int argc, char** argv) {
                batched_runs > 0 ? 1000.0 * batched_wall_s / batched_runs : 0.0,
                steps.p50_us, steps.p99_us, steps.mean_us,
                static_cast<unsigned long long>(steps.steps),
+               detector_steps.p50_us, detector_steps.p99_us, detector_steps.mean_us,
+               static_cast<unsigned long long>(detector_steps.steps),
+               static_cast<unsigned long long>(detector_steps.steady_allocs),
+               detector_overhead_pct,
                static_cast<unsigned long long>(steps.steady_steps),
                static_cast<unsigned long long>(steps.steady_allocs),
                steps.steady_allocs_per_step, batch_steps.lanes,
@@ -336,6 +358,9 @@ int main(int argc, char** argv) {
   std::printf("step       : p50 %.2fus  p99 %.2fus  mean %.2fus  (%llu steps)\n",
               steps.p50_us, steps.p99_us, steps.mean_us,
               static_cast<unsigned long long>(steps.steps));
+  std::printf("detector   : p50 %.2fus  p99 %.2fus  mean %.2fus  (%+.1f%% overhead)\n",
+              detector_steps.p50_us, detector_steps.p99_us, detector_steps.mean_us,
+              detector_overhead_pct);
   std::printf("batch step : p50 %.2fus/lane  mean %.2fus/lane  (%d lanes, %llu steps)\n",
               batch_steps.p50_us_per_lane, batch_steps.mean_us_per_lane,
               batch_steps.lanes, static_cast<unsigned long long>(batch_steps.steps));
@@ -356,6 +381,13 @@ int main(int argc, char** argv) {
                  "bench_throughput: FAIL — steady-state flight performed %llu heap "
                  "allocations (expected 0)\n",
                  static_cast<unsigned long long>(steps.steady_allocs));
+    return 1;
+  }
+  if (detector_steps.steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "bench_throughput: FAIL — detector-enabled steady-state flight "
+                 "performed %llu heap allocations (expected 0)\n",
+                 static_cast<unsigned long long>(detector_steps.steady_allocs));
     return 1;
   }
   if (batch_steps.steady_allocs != 0) {

@@ -186,6 +186,19 @@ bool GetBattery(std::istream& is, BatterySignal& s) {
   return GetBool(is, s.critical) && GetBool(is, s.empty) && GetF64(is, s.soc);
 }
 
+void PutDetector(std::ostream& os, const DetectorSignal& s) {
+  PutU8(os, s.state);
+  PutBool(os, s.failover);
+  PutF64(os, s.cusum);
+  PutF64(os, s.plausibility);
+  PutF64(os, s.first_confirm_time_s);
+}
+
+bool GetDetector(std::istream& is, DetectorSignal& s) {
+  return GetU8(is, s.state) && GetBool(is, s.failover) && GetF64(is, s.cusum) &&
+         GetF64(is, s.plausibility) && GetF64(is, s.first_confirm_time_s);
+}
+
 }  // namespace
 
 bool WriteBusLogHeader(std::ostream& os, const BusLogHeader& header) {
@@ -201,6 +214,7 @@ bool WriteBusLogHeader(std::ostream& os, const BusLogHeader& header) {
     PutF64(os, header.fault_start_s);
     PutF64(os, header.fault_duration_s);
   }
+  PutBool(os, header.recovery);
   return static_cast<bool>(os);
 }
 
@@ -216,14 +230,17 @@ bool ReadBusLogHeader(std::istream& is, BusLogHeader& header) {
     return false;
   }
   if (header.has_fault) {
-    return GetU8(is, header.fault_type) && GetU8(is, header.fault_target) &&
-           GetF64(is, header.fault_start_s) && GetF64(is, header.fault_duration_s);
+    if (!GetU8(is, header.fault_type) || !GetU8(is, header.fault_target) ||
+        !GetF64(is, header.fault_start_s) || !GetF64(is, header.fault_duration_s)) {
+      return false;
+    }
+  } else {
+    header.fault_type = 0;
+    header.fault_target = 0;
+    header.fault_start_s = 0.0;
+    header.fault_duration_s = 0.0;
   }
-  header.fault_type = 0;
-  header.fault_target = 0;
-  header.fault_start_s = 0.0;
-  header.fault_duration_s = 0.0;
-  return true;
+  return GetBool(is, header.recovery);
 }
 
 void WriteBusFrame(std::ostream& os, const BusFrame& frame) {
@@ -242,6 +259,7 @@ void WriteBusFrame(std::ostream& os, const BusFrame& frame) {
     case TopicId::kActuator: PutActuator(os, frame.actuator); break;
     case TopicId::kTruth: PutTruth(os, frame.truth); break;
     case TopicId::kBattery: PutBattery(os, frame.battery); break;
+    case TopicId::kDetector: PutDetector(os, frame.detector); break;
   }
 }
 
@@ -263,6 +281,7 @@ bool ReadBusFrame(std::istream& is, BusFrame& frame) {
     case TopicId::kActuator: return GetActuator(is, frame.actuator);
     case TopicId::kTruth: return GetTruth(is, frame.truth);
     case TopicId::kBattery: return GetBattery(is, frame.battery);
+    case TopicId::kDetector: return GetDetector(is, frame.detector);
   }
   return false;
 }
@@ -296,6 +315,7 @@ void BusTap::Capture() {
   capture(bus_->actuator, TopicId::kActuator, [&] { frame.actuator = bus_->actuator.Latest(); });
   capture(bus_->truth, TopicId::kTruth, [&] { frame.truth = bus_->truth.Latest(); });
   capture(bus_->battery, TopicId::kBattery, [&] { frame.battery = bus_->battery.Latest(); });
+  capture(bus_->detector, TopicId::kDetector, [&] { frame.detector = bus_->detector.Latest(); });
 }
 
 }  // namespace uavres::bus

@@ -11,8 +11,13 @@
 // Format (little-endian, telemetry/binary_io.h conventions):
 //   header : magic "UVBS", u32 version, i32 mission, u64 seed_base,
 //            f64 control_rate_hz, u8 has_fault,
-//            [u8 fault_type, u8 fault_target, f64 start_s, f64 duration_s]
+//            [u8 fault_type, u8 fault_target, f64 start_s, f64 duration_s],
+//            u8 recovery (v2+)
 //   frames : u8 topic_id, f64 stamp, fixed per-topic payload (see record.cpp)
+//
+// Version history: v1 had no recovery flag and no kDetector topic; v2 adds
+// both. Readers reject other versions outright — logs are regenerable test
+// artifacts, not archival data.
 //
 // Readers validate framing and return false at the first inconsistency, so
 // truncated or corrupt logs surface as "no more frames" rather than garbage.
@@ -27,7 +32,7 @@
 
 namespace uavres::bus {
 
-inline constexpr std::uint32_t kBusLogVersion = 1;
+inline constexpr std::uint32_t kBusLogVersion = 2;
 
 /// Provenance header of one bus log. Fault identity is stored as raw enum
 /// bytes (the bus layer sits below core's fault model; the uav layer
@@ -42,6 +47,10 @@ struct BusLogHeader {
   std::uint8_t fault_target{0};
   double fault_start_s{0.0};
   double fault_duration_s{0.0};
+  /// The run was recorded with the IMU-fault detector + failover enabled;
+  /// replay must then run the offline detector and verify its decisions
+  /// against the recorded kDetector frames.
+  bool recovery{false};
 };
 
 bool WriteBusLogHeader(std::ostream& os, const BusLogHeader& header);
@@ -64,6 +73,7 @@ struct BusFrame {
   ActuatorSignal actuator;
   TruthSignal truth;
   BatterySignal battery;
+  DetectorSignal detector;
 };
 
 /// Serialize one frame (topic id + stamp + payload selected by `id`).

@@ -74,6 +74,18 @@ struct ActuatorSignal {
   double collective{0.0};
 };
 
+/// IMU-fault detector verdict (estimation/detectors.h), published by the
+/// detector stage from inside the estimator-status publish. Only published
+/// when the detector is enabled: a disabled detector leaves this topic at
+/// generation 0, which is what keeps detector-off runs byte-identical.
+struct DetectorSignal {
+  std::uint8_t state{0};  ///< estimation::DetectorState (raw for serialization)
+  bool failover{false};   ///< attitude estimation is on the fallback filter
+  double cusum{0.0};
+  double plausibility{0.0};
+  double first_confirm_time_s{-1.0};
+};
+
 /// Stable topic identifiers for the record/replay stream (record.h). The
 /// order is also the canonical intra-step serialization order and mirrors
 /// the module schedule: sensors, estimator, health, commander, control,
@@ -91,8 +103,9 @@ enum class TopicId : std::uint8_t {
   kActuator = 9,
   kTruth = 10,
   kBattery = 11,
+  kDetector = 12,
 };
-inline constexpr int kNumTopics = 12;
+inline constexpr int kNumTopics = 13;
 
 /// The complete topic table of one vehicle. One instance per Uav; modules
 /// hold a pointer to it and publish/read directly.
@@ -109,6 +122,7 @@ struct FlightBus {
   Topic<ActuatorSignal> actuator;
   Topic<TruthSignal> truth;
   Topic<BatterySignal> battery;
+  Topic<DetectorSignal> detector;
 };
 
 }  // namespace uavres::bus

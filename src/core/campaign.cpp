@@ -89,6 +89,16 @@ CampaignConfig CampaignConfig::FromEnvironment() {
       WarnIneffectiveEnv("UAVRES_CACHE_DIR", "empty path disables caching, the default");
     }
   }
+  if (const char* recovery = std::getenv("UAVRES_RECOVERY")) {
+    const std::string v(recovery);
+    if (v == "1" || v == "on") {
+      cfg.run.recovery = true;
+    } else if (v == "0" || v == "off") {
+      WarnIneffectiveEnv("UAVRES_RECOVERY", "'" + v + "' is the default; unset it instead");
+    } else {
+      WarnIneffectiveEnv("UAVRES_RECOVERY", "expects 1/on or 0/off, got '" + v + "'");
+    }
+  }
   return cfg;
 }
 

@@ -48,7 +48,7 @@ struct CampaignConfig {
   class Builder;
 
   /// Reads UAVRES_FAST / UAVRES_MISSIONS / UAVRES_THREADS / UAVRES_BATCH /
-  /// UAVRES_CACHE_DIR
+  /// UAVRES_CACHE_DIR / UAVRES_RECOVERY
   /// from the environment for quick developer runs (see DESIGN.md §4).
   /// Prints a one-line stderr warning for any set-but-ineffective variable
   /// (unparseable or equal to the value already in force).
@@ -85,6 +85,10 @@ class CampaignConfig::Builder {
   Builder& Missions(int limit) { cfg_.mission_limit = limit; return *this; }
   Builder& CacheDir(std::string dir) { cfg_.cache_dir = std::move(dir); return *this; }
   Builder& Run(uav::RunConfig run) { cfg_.run = std::move(run); return *this; }
+  /// Recovery axis: online IMU-fault detection + estimator failover on every
+  /// run (RunConfig::recovery). Off keeps results and store keys byte-
+  /// identical to a pre-recovery build.
+  Builder& Recovery(bool on) { cfg_.run.recovery = on; return *this; }
 
   /// Validates and returns the config; throws std::invalid_argument with
   /// Validate()'s description when it is ill-formed.

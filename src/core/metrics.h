@@ -47,6 +47,15 @@ struct MissionResult {
   std::string crash_reason;
   double crash_time_s{0.0};
 
+  // --- Recovery campaign (DESIGN.md §15; all defaults when the online
+  // detector was off, so recovery-off results are unchanged). ---
+  bool detector_enabled{false};
+  double detection_time_s{-1.0};     ///< first detector confirmation, -1 = never
+  double detection_latency_s{-1.0};  ///< confirmation - fault onset, -1 = missed
+  int false_positives{0};            ///< confirmations with no fault active
+  bool recovery_engaged{false};      ///< estimator failover was activated
+  bool recovery_success{false};      ///< failover engaged and mission completed
+
   bool Completed() const { return outcome == MissionOutcome::kCompleted; }
   bool Failed() const { return !Completed(); }
 

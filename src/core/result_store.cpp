@@ -73,6 +73,11 @@ std::uint64_t ExperimentCacheKey(const uav::RunConfig& run, const DroneSpec& spe
       .Mix(run.extra_time_s)
       .Mix(static_cast<std::uint64_t>(run.record_trajectory));
 
+  // Recovery axis: mixed only when ON, so recovery-off keys stay bit-
+  // identical to every pre-recovery build of this repo (asserted against
+  // hardcoded historical keys in the campaign determinism tests).
+  if (run.recovery) h.Mix(static_cast<std::uint64_t>(0xD37EC7EDFA170BADULL));
+
   // Full drone spec, including the mission geometry.
   h.Mix(spec.name)
       .Mix(spec.cruise_speed_kmh)
@@ -127,6 +132,14 @@ void WriteMissionResult(std::ostream& os, const MissionResult& r) {
   PutF64(os, r.failsafe_time_s);
   PutString(os, r.crash_reason);
   PutF64(os, r.crash_time_s);
+  // Recovery fields (appended; entries written before they existed fail the
+  // footer check on read and are recomputed — the store is self-invalidating).
+  PutU8(os, r.detector_enabled ? 1 : 0);
+  PutF64(os, r.detection_time_s);
+  PutF64(os, r.detection_latency_s);
+  PutI32(os, r.false_positives);
+  PutU8(os, r.recovery_engaged ? 1 : 0);
+  PutU8(os, r.recovery_success ? 1 : 0);
 }
 
 bool ReadMissionResult(std::istream& is, MissionResult& r) {
@@ -135,6 +148,7 @@ bool ReadMissionResult(std::istream& is, MissionResult& r) {
   using telemetry::GetString;
   using telemetry::GetU8;
   std::uint8_t is_gold = 0, fault_type = 0, fault_target = 0, outcome = 0, reason = 0;
+  std::uint8_t detector_enabled = 0, recovery_engaged = 0, recovery_success = 0;
   if (!GetI32(is, r.mission_index) || !GetString(is, r.mission_name, kMaxNameLen) ||
       !GetU8(is, is_gold) || !GetU8(is, fault_type) || !GetU8(is, fault_target) ||
       !GetF64(is, r.fault.start_time_s) || !GetF64(is, r.fault.duration_s) ||
@@ -142,7 +156,10 @@ bool ReadMissionResult(std::istream& is, MissionResult& r) {
       !GetF64(is, r.distance_km) || !GetI32(is, r.inner_violations) ||
       !GetI32(is, r.outer_violations) || !GetF64(is, r.max_deviation_m) ||
       !GetU8(is, reason) || !GetF64(is, r.failsafe_time_s) ||
-      !GetString(is, r.crash_reason, kMaxNameLen) || !GetF64(is, r.crash_time_s)) {
+      !GetString(is, r.crash_reason, kMaxNameLen) || !GetF64(is, r.crash_time_s) ||
+      !GetU8(is, detector_enabled) || !GetF64(is, r.detection_time_s) ||
+      !GetF64(is, r.detection_latency_s) || !GetI32(is, r.false_positives) ||
+      !GetU8(is, recovery_engaged) || !GetU8(is, recovery_success)) {
     return false;
   }
   if (fault_type > static_cast<std::uint8_t>(FaultType::kDrift)) return false;
@@ -156,6 +173,9 @@ bool ReadMissionResult(std::istream& is, MissionResult& r) {
   r.fault.target = static_cast<FaultTarget>(fault_target);
   r.outcome = static_cast<MissionOutcome>(outcome);
   r.failsafe_reason = static_cast<nav::FailsafeReason>(reason);
+  r.detector_enabled = (detector_enabled != 0);
+  r.recovery_engaged = (recovery_engaged != 0);
+  r.recovery_success = (recovery_success != 0);
   return true;
 }
 

@@ -58,6 +58,41 @@ struct Accumulator {
   }
 };
 
+/// Accumulator for the recovery table's detection/failover cells.
+struct RecoveryAccumulator {
+  int detected{0};
+  double latency_sum{0.0};
+  int false_positive_runs{0};
+  int engaged{0};
+  int success{0};
+  int runs{0};
+
+  void Add(const MissionResult& r) {
+    if (r.detection_latency_s >= 0.0) {
+      ++detected;
+      latency_sum += r.detection_latency_s;
+    }
+    if (r.false_positives > 0) ++false_positive_runs;
+    if (r.recovery_engaged) ++engaged;
+    if (r.recovery_success) ++success;
+    ++runs;
+  }
+
+  RecoveryRow ToRow(std::string label) const {
+    RecoveryRow row;
+    row.label = std::move(label);
+    if (runs > 0) {
+      row.detected_pct = 100.0 * detected / runs;
+      row.false_positive_pct = 100.0 * false_positive_runs / runs;
+      row.engaged_pct = 100.0 * engaged / runs;
+    }
+    if (detected > 0) row.mean_latency_s = latency_sum / detected;
+    if (engaged > 0) row.success_pct = 100.0 * success / engaged;
+    row.runs = runs;
+    return row;
+  }
+};
+
 std::string DurationLabel(double d) {
   std::ostringstream os;
   os << static_cast<int>(d) << " seconds";
@@ -149,6 +184,29 @@ std::vector<FailureRow> BuildTable4(const CampaignResults& results) {
   return rows;
 }
 
+std::vector<RecoveryRow> BuildRecoveryTable(const CampaignResults& results) {
+  std::vector<RecoveryRow> rows;
+  RecoveryAccumulator gold;
+  for (const auto& r : results.gold) gold.Add(r);
+  rows.push_back(gold.ToRow("Gold Run"));
+
+  std::map<double, RecoveryAccumulator> by_duration;
+  std::map<int, RecoveryAccumulator> by_target;
+  for (const auto& r : results.faulty) {
+    by_duration[r.fault.duration_s].Add(r);
+    by_target[static_cast<int>(r.fault.target)].Add(r);
+  }
+  for (const auto& [duration, acc] : by_duration) {
+    rows.push_back(acc.ToRow(DurationLabel(duration)));
+  }
+  for (FaultTarget target : kAllFaultTargets) {
+    const auto it = by_target.find(static_cast<int>(target));
+    if (it == by_target.end()) continue;
+    rows.push_back(it->second.ToRow(ToString(target)));
+  }
+  return rows;
+}
+
 std::string FormatSummaryTable(const std::string& title, const std::string& group_header,
                                const std::vector<SummaryRow>& rows) {
   std::ostringstream os;
@@ -178,6 +236,23 @@ std::string FormatFailureTable(const std::string& title, const std::vector<Failu
   for (const auto& r : rows) {
     std::snprintf(buf, sizeof(buf), "%-18s %15.2f%% %11.2f%% %13.2f%% %6d\n", r.label.c_str(),
                   r.failed_pct, r.crash_pct, r.failsafe_pct, r.runs);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string FormatRecoveryTable(const std::string& title, const std::vector<RecoveryRow>& rows) {
+  std::ostringstream os;
+  os << title << '\n';
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-18s %12s %12s %12s %12s %12s %6s\n", "Group",
+                "Detect (%)", "Latency (s)", "FP (%)", "Engaged (%)", "Success (%)", "Runs");
+  os << buf;
+  os << std::string(90, '-') << '\n';
+  for (const auto& r : rows) {
+    std::snprintf(buf, sizeof(buf), "%-18s %11.2f%% %12.2f %11.2f%% %11.2f%% %11.2f%% %6d\n",
+                  r.label.c_str(), r.detected_pct, r.mean_latency_s, r.false_positive_pct,
+                  r.engaged_pct, r.success_pct, r.runs);
     os << buf;
   }
   return os.str();

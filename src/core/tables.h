@@ -44,9 +44,26 @@ std::vector<FailureRow> BuildTable4(const CampaignResults& results);
 /// Ordered by mission index; gold row first.
 std::vector<SummaryRow> BuildPerMissionTable(const CampaignResults& results);
 
+/// Recovery-campaign row (detector + estimator-failover axis, DESIGN.md §15).
+struct RecoveryRow {
+  std::string label;
+  double detected_pct{0.0};        ///< runs with a confirm at/after injection
+  double mean_latency_s{0.0};      ///< mean detection latency over detected runs
+  double false_positive_pct{0.0};  ///< runs with any spurious confirm
+  double engaged_pct{0.0};         ///< runs where failover engaged at all
+  double success_pct{0.0};         ///< of engaged runs, fraction completed
+  int runs{0};
+};
+
+/// Recovery table: gold row (false-positive check), per-duration rows, then
+/// per-target rows. Only meaningful when the campaign ran with the recovery
+/// axis on (MissionResult::detector_enabled); rows are all-zero otherwise.
+std::vector<RecoveryRow> BuildRecoveryTable(const CampaignResults& results);
+
 /// Aligned ASCII rendering (monospace) of the tables.
 std::string FormatSummaryTable(const std::string& title, const std::string& group_header,
                                const std::vector<SummaryRow>& rows);
 std::string FormatFailureTable(const std::string& title, const std::vector<FailureRow>& rows);
+std::string FormatRecoveryTable(const std::string& title, const std::vector<RecoveryRow>& rows);
 
 }  // namespace uavres::core

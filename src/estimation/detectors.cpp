@@ -1,0 +1,123 @@
+#include "estimation/detectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uavres::estimation {
+
+const char* ToString(DetectorState s) {
+  switch (s) {
+    case DetectorState::kNominal: return "nominal";
+    case DetectorState::kSuspect: return "suspect";
+    case DetectorState::kConfirmed: return "confirmed";
+    case DetectorState::kRecovered: return "recovered";
+  }
+  return "?";
+}
+
+ImuFaultDetector::ImuFaultDetector(const DetectorConfig& cfg) : cfg_(cfg) {}
+
+bool ImuFaultDetector::RateSampleImplausible(const sensors::ImuSample& imu, double dt) {
+  // Non-finite samples are implausible by definition (and must not poison
+  // the accumulators below, so check first).
+  if (!imu.gyro_rads.AllFinite() || !imu.accel_mps2.AllFinite()) return true;
+
+  bool implausible = false;
+
+  // Range: a sample at/near the sensor's saturation rails (kMin/kMax faults,
+  // hard kRandom draws) cannot be real flight dynamics for this airframe.
+  if (imu.gyro_rads.MaxAbs() > cfg_.gyro_range_rads) implausible = true;
+  if (imu.accel_mps2.MaxAbs() > cfg_.accel_range_mps2) implausible = true;
+
+  if (have_last_) {
+    // Jump: per-sample step discontinuity (kFixed onset, kRandom jumps).
+    if ((imu.gyro_rads - last_gyro_).MaxAbs() > cfg_.gyro_jump_rads) implausible = true;
+    if ((imu.accel_mps2 - last_accel_).MaxAbs() > cfg_.accel_jump_mps2) implausible = true;
+
+    // Stuck: the sensor models dither every axis with noise each sample, so
+    // an *exactly* repeating gyro+accel pair (kFreeze/kFixed/kZeros) is
+    // unreachable in healthy operation. Require exact equality — a
+    // tolerance would turn this into a hover detector.
+    if (imu.gyro_rads == last_gyro_ && imu.accel_mps2 == last_accel_) {
+      stuck_s_ += dt;
+      if (stuck_s_ >= cfg_.stuck_window_s) implausible = true;
+    } else {
+      stuck_s_ = 0.0;
+    }
+  }
+
+  last_gyro_ = imu.gyro_rads;
+  last_accel_ = imu.accel_mps2;
+  have_last_ = true;
+  return implausible;
+}
+
+void ImuFaultDetector::ObserveRates(const sensors::ImuSample& imu, double dt) {
+  if (RateSampleImplausible(imu, dt)) {
+    plaus_level_ += dt;
+  } else {
+    plaus_level_ -= cfg_.plaus_leak_ratio * dt;
+  }
+  plaus_level_ = std::clamp(plaus_level_, 0.0, 2.0 * cfg_.plaus_confirm_s);
+}
+
+void ImuFaultDetector::ObserveInnovations(const EkfStatus& status, double t, double dt) {
+  // Worst fused-measurement test ratio this step. Mag matters most: it
+  // observes attitude directly, so a corrupted gyro shows up in the mag
+  // innovations within a few hundred milliseconds — seconds before the
+  // integrated attitude error bleeds into the GPS velocity ratios. Benign
+  // maneuvers only spike it briefly, which the drift term absorbs.
+  double ratio = std::max({status.gps_pos_test_ratio, status.gps_vel_test_ratio,
+                           status.baro_test_ratio, status.mag_test_ratio});
+  if (!std::isfinite(ratio)) ratio = cfg_.cusum_ratio_cap;
+  ratio = std::min(ratio, cfg_.cusum_ratio_cap);
+
+  cusum_ += (ratio - cfg_.cusum_drift) * dt;
+  cusum_ = std::clamp(cusum_, 0.0, cfg_.cusum_cap);
+
+  // A numerically broken EKF is immediate corruption evidence regardless of
+  // what the (now meaningless) ratios say.
+  const bool numerics_bad = !status.numerically_healthy;
+
+  const bool plaus_hit = plaus_level_ >= cfg_.plaus_confirm_s;
+  const bool cusum_hit = cusum_ >= cfg_.cusum_threshold;
+  const bool evidence = plaus_hit || cusum_hit || numerics_bad;
+  const bool any_charge = plaus_level_ > 0.0 || cusum_ > 0.0 || numerics_bad;
+
+  switch (state_) {
+    case DetectorState::kNominal:
+    case DetectorState::kRecovered:
+    case DetectorState::kSuspect:
+      if (evidence) {
+        state_ = DetectorState::kConfirmed;
+        if (first_confirm_time_s_ < 0.0) first_confirm_time_s_ = t;
+        last_confirm_time_s_ = t;
+        ++confirm_events_;
+        quiet_s_ = 0.0;
+      } else {
+        state_ = any_charge ? DetectorState::kSuspect
+                            : (state_ == DetectorState::kRecovered ? DetectorState::kRecovered
+                                                                   : DetectorState::kNominal);
+      }
+      break;
+    case DetectorState::kConfirmed:
+      if (any_charge) {
+        quiet_s_ = 0.0;
+      } else {
+        quiet_s_ += dt;
+        if (quiet_s_ >= cfg_.clear_s) state_ = DetectorState::kRecovered;
+      }
+      break;
+  }
+}
+
+NavState ApplyAttitudeFallback(const NavState& ekf_state, const ComplementaryFilter& comp,
+                               const sensors::ImuSample& imu) {
+  NavState out = ekf_state;
+  out.att = comp.attitude();
+  out.gyro_bias = comp.gyro_bias();
+  out.body_rate = imu.gyro_rads - comp.gyro_bias();
+  return out;
+}
+
+}  // namespace uavres::estimation

@@ -24,6 +24,18 @@ const char* ToString(FailsafeReason r) {
   return "?";
 }
 
+const char* ToString(HealthState s) {
+  switch (s) {
+    case HealthState::kNominal:
+      return "nominal";
+    case HealthState::kRecovered:
+      return "recovered";
+    case HealthState::kFailsafe:
+      return "failsafe";
+  }
+  return "?";
+}
+
 HealthMonitor::HealthMonitor(const HealthMonitorConfig& cfg) : cfg_(cfg) {}
 
 bool HealthMonitor::SampleAnomalous(const sensors::ImuSample& imu, double dt) {
@@ -45,7 +57,7 @@ bool HealthMonitor::SampleAnomalous(const sensors::ImuSample& imu, double dt) {
 }
 
 void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfStatus& ekf,
-                           double tilt_est_rad, double t, double dt) {
+                           double tilt_est_rad, double t, double dt, bool failover_active) {
   if (failsafe_active()) return;  // latched
 
   // ---- Path 1: gyro anomaly -> confirm -> isolate -> persist ----
@@ -84,11 +96,18 @@ void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfS
       const double since_confirm = t - confirm_time_;
       const double isolation_total = cfg_.isolation_per_unit_s * (cfg_.redundant_units - 1);
       if (since_confirm >= isolation_total + cfg_.post_isolation_persistence_s) {
-        reason_ = FailsafeReason::kSensorFault;
-        failsafe_time_ = t;
-        UAVRES_COUNT("hm.failsafe.sensor-fault");
-        UAVRES_TRACE_INSTANT("hm/failsafe");
-        return;
+        if (failover_active) {
+          // The detector already confirmed this fault and the estimator is
+          // on the fallback path: ride it out instead of landing.
+          recovered_ = true;
+          UAVRES_COUNT("hm.recovered.sensor-fault");
+        } else {
+          reason_ = FailsafeReason::kSensorFault;
+          failsafe_time_ = t;
+          UAVRES_COUNT("hm.failsafe.sensor-fault");
+          UAVRES_TRACE_INSTANT("hm/failsafe");
+          return;
+        }
       }
     }
   }
@@ -113,11 +132,16 @@ void HealthMonitor::Update(const sensors::ImuSample& imu, const estimation::EkfS
     last_large_reset_count_ = ekf.gps_large_reset_count;
     if (resets_in_window_ >= cfg_.ekf_large_reset_limit &&
         t - reset_window_start_ <= cfg_.ekf_reset_window_s) {
-      reason_ = FailsafeReason::kEstimatorFailure;
-      failsafe_time_ = t;
-      UAVRES_COUNT("hm.failsafe.estimator-failure");
-      UAVRES_TRACE_INSTANT("hm/failsafe");
-      return;
+      if (failover_active) {
+        recovered_ = true;
+        UAVRES_COUNT("hm.recovered.estimator-failure");
+      } else {
+        reason_ = FailsafeReason::kEstimatorFailure;
+        failsafe_time_ = t;
+        UAVRES_COUNT("hm.failsafe.estimator-failure");
+        UAVRES_TRACE_INSTANT("hm/failsafe");
+        return;
+      }
     }
   }
 

@@ -81,6 +81,19 @@ enum class FailsafeReason {
 
 const char* ToString(FailsafeReason r);
 
+/// Coarse vehicle health for the recovery campaign (DESIGN.md §15): nominal,
+/// riding out a detected IMU fault on the estimator-failover path
+/// (kRecovered), or failsafe-landed (kFailsafe). kRecovered is sticky for
+/// the rest of the flight — the vehicle flew through a condition that would
+/// otherwise have tripped a failsafe.
+enum class HealthState {
+  kNominal,
+  kRecovered,
+  kFailsafe,
+};
+
+const char* ToString(HealthState s);
+
 /// Health monitor state machine.
 class HealthMonitor {
  public:
@@ -88,12 +101,28 @@ class HealthMonitor {
 
   /// Feed one control-period sample set. `imu` is the currently selected
   /// unit's (possibly faulty) output; `tilt_est_rad` the EKF tilt estimate.
+  ///
+  /// While `failover_active` (the IMU-fault detector confirmed corruption
+  /// and attitude estimation is on the fallback filter), the IMU-driven
+  /// failsafe paths — gyro anomaly (1) and repeated large resets (3) — latch
+  /// kRecovered instead of declaring failsafe: the stack is *handling* the
+  /// fault, so landing on it would make recovery pointless. The paths whose
+  /// evidence failover cannot explain away stay armed: attitude failure (2),
+  /// baro rejection (4) and a numerically broken filter.
   void Update(const sensors::ImuSample& imu, const estimation::EkfStatus& ekf,
-              double tilt_est_rad, double t, double dt);
+              double tilt_est_rad, double t, double dt, bool failover_active = false);
 
   bool failsafe_active() const { return reason_ != FailsafeReason::kNone; }
   FailsafeReason reason() const { return reason_; }
   double failsafe_time() const { return failsafe_time_; }
+
+  /// True once a failsafe-grade condition was ridden out under failover.
+  bool recovered() const { return recovered_; }
+
+  HealthState health_state() const {
+    if (failsafe_active()) return HealthState::kFailsafe;
+    return recovered_ ? HealthState::kRecovered : HealthState::kNominal;
+  }
 
   /// Index of the IMU unit the monitor currently trusts (isolation cycling).
   int active_imu_unit() const { return active_unit_; }
@@ -110,6 +139,7 @@ class HealthMonitor {
   HealthMonitorConfig cfg_;
   FailsafeReason reason_{FailsafeReason::kNone};
   double failsafe_time_{0.0};
+  bool recovered_{false};
 
   // Gyro-anomaly pipeline.
   double anomaly_level_{0.0};

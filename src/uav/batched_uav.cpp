@@ -29,6 +29,8 @@ struct BatchedUav::Lane {
   PhysicsModule physics;
   BatteryModule battery_mod;
   FaultInterceptorStage faults;
+  // After faults: same registration-order requirement as the scalar Uav.
+  DetectorStage detectors;
 
   // The scalar schedule split at the estimator: `pre` ends with the bridge
   // staging this lane's samples, `post` starts with the module that follows
@@ -56,11 +58,13 @@ struct BatchedUav::Lane {
                     &bus),
         physics(cfg, seed, &bus, &log),
         battery_mod(cfg.battery, &bus),
-        faults(cfg, fault, seed, &bus, &log) {
+        faults(cfg, fault, seed, &bus, &log),
+        detectors(cfg.detector, cfg.control_rate_hz, &bus, &log) {
     const math::Vec3 start = plan.home;
     const double yaw0 = InitialMissionYaw(plan);
     physics.Reset(start, yaw0, 0.0);
     estimator.Init(start, yaw0);
+    if (detectors.enabled()) estimator.AttachFailover(&detectors.detector());
     battery_mod.PublishState(0.0);
     bus.imu_select.Publish({health_mod.monitor().active_imu_unit()}, 0.0);
 
@@ -153,6 +157,14 @@ bool BatchedUav::airborne_seen(int lane) const {
 
 double BatchedUav::last_thrust_cmd(int lane) const {
   return lanes_[static_cast<std::size_t>(lane)]->bus.actuator.Latest().collective;
+}
+
+const estimation::ImuFaultDetector& BatchedUav::detector(int lane) const {
+  return lanes_[static_cast<std::size_t>(lane)]->detectors.detector();
+}
+
+bool BatchedUav::detector_enabled(int lane) const {
+  return lanes_[static_cast<std::size_t>(lane)]->detectors.enabled();
 }
 
 }  // namespace uavres::uav

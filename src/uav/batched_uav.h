@@ -68,6 +68,8 @@ class BatchedUav {
   bool fault_active(int lane) const;
   bool airborne_seen(int lane) const;
   double last_thrust_cmd(int lane) const;
+  const estimation::ImuFaultDetector& detector(int lane) const;
+  bool detector_enabled(int lane) const;
 
  private:
   struct Lane;

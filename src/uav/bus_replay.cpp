@@ -5,14 +5,17 @@
 #include <ostream>
 
 #include "estimation/complementary_filter.h"
+#include "estimation/detectors.h"
 #include "estimation/ekf.h"
 #include "uav/modules.h"
 #include "uav/uav.h"
 
 namespace uavres::uav {
 
-std::optional<BusRecordStats> RecordBusLog(const ExperimentSpec& spec, std::ostream& os) {
-  const UavConfig cfg = MakeUavConfig(spec.drone);
+std::optional<BusRecordStats> RecordBusLog(const ExperimentSpec& spec, std::ostream& os,
+                                           bool recovery) {
+  UavConfig cfg = MakeUavConfig(spec.drone);
+  cfg.detector.enabled = recovery;
 
   bus::BusLogHeader header;
   header.mission_index = spec.mission_index;
@@ -25,6 +28,7 @@ std::optional<BusRecordStats> RecordBusLog(const ExperimentSpec& spec, std::ostr
     header.fault_start_s = spec.fault->start_time_s;
     header.fault_duration_s = spec.fault->duration_s;
   }
+  header.recovery = recovery;
   if (!bus::WriteBusLogHeader(os, header)) return std::nullopt;
 
   Uav uav(cfg, spec.drone.plan, spec.fault, spec.Seed());
@@ -62,6 +66,12 @@ std::optional<BusReplayStats> ReplayEstimator(std::istream& is, const core::Dron
   ekf.InitAtRest(spec.plan.home, yaw0);
   estimation::ComplementaryFilter comp;
   comp.InitAtRest(yaw0);
+  // Offline detector: re-run from the recorded sensor/status frames alone,
+  // at the exact points the online interceptors fired (rates at the IMU
+  // frame, innovations at the status frame), and verified bit-for-bit
+  // against the recorded kDetector frames.
+  const bool recovery = stats.header.recovery;
+  estimation::ImuFaultDetector detector(cfg.detector);
 
   // Streaming state. A step's frames arrive in TopicId order: the sensor
   // topics first, then the estimate, then (via the health monitor) the IMU
@@ -81,6 +91,14 @@ std::optional<BusReplayStats> ReplayEstimator(std::istream& is, const core::Dron
     switch (frame.id) {
       case bus::TopicId::kImu:
         imu = frame.imu;
+        // Online the detector's IMU interceptor runs at publish time, with
+        // the selection still holding the previous step's health verdict —
+        // which is exactly what `selection` holds here (the kImuSelect frame
+        // for this step arrives later in the stream).
+        if (recovery) {
+          detector.ObserveRates(
+              imu.units[static_cast<std::size_t>(selection % bus::ImuSignal::kUnits)], dt);
+        }
         break;
       case bus::TopicId::kGps:
         pending_gps = frame.gps;
@@ -98,14 +116,30 @@ std::optional<BusReplayStats> ReplayEstimator(std::istream& is, const core::Dron
             imu.units[static_cast<std::size_t>(selection % bus::ImuSignal::kUnits)];
         if (kind == ReplayEstimatorKind::kEkf) {
           ekf.PredictImu(unit, dt);
+          // A recovery-enabled vehicle keeps the complementary filter warm
+          // on every step; the published estimate switches to it while the
+          // detector's failover verdict (from the *previous* step's status
+          // interceptor) is active.
+          if (recovery) comp.Update(unit, dt);
           if (pending_gps) ekf.FuseGps(*pending_gps);
           if (pending_baro) ekf.FuseBaro(*pending_baro);
-          if (pending_mag) ekf.FuseMag(*pending_mag);
-          const double pos_err = (ekf.state().pos - frame.estimate.pos).Norm();
+          if (pending_mag) {
+            ekf.FuseMag(*pending_mag);
+            if (recovery) {
+              comp.UpdateMag(*pending_mag, mag_seen ? pending_mag->t - last_mag_t : dt);
+              last_mag_t = pending_mag->t;
+              mag_seen = true;
+            }
+          }
+          const estimation::NavState replayed =
+              recovery && detector.failover_active()
+                  ? estimation::ApplyAttitudeFallback(ekf.state(), comp, unit)
+                  : ekf.state();
+          const double pos_err = (replayed.pos - frame.estimate.pos).Norm();
           stats.max_pos_err_m = std::max(stats.max_pos_err_m, pos_err);
           stats.final_pos_err_m = pos_err;
           stats.max_att_err_rad =
-              std::max(stats.max_att_err_rad, ekf.state().att.AngleTo(frame.estimate.att));
+              std::max(stats.max_att_err_rad, replayed.att.AngleTo(frame.estimate.att));
         } else {
           comp.Update(unit, dt);
           if (pending_mag) {
@@ -129,10 +163,29 @@ std::optional<BusReplayStats> ReplayEstimator(std::istream& is, const core::Dron
         // next step, reproducing the online selection latency.
         selection = frame.imu_select.unit;
         break;
+      case bus::TopicId::kEstimatorStatus:
+        // Online the detector's state machine advances exactly here, inside
+        // the status publish — after the estimate was published, so the
+        // failover verdict has one-step latency in replay too.
+        if (recovery) detector.ObserveInnovations(frame.estimator_status, frame.t, dt);
+        break;
+      case bus::TopicId::kDetector: {
+        ++stats.detector_frames;
+        const bus::DetectorSignal& rec = frame.detector;
+        const bool match = rec.state == static_cast<std::uint8_t>(detector.state()) &&
+                           rec.failover == detector.failover_active() &&
+                           rec.cusum == detector.cusum() &&
+                           rec.plausibility == detector.plausibility_level() &&
+                           rec.first_confirm_time_s == detector.first_confirm_time_s();
+        if (!match) ++stats.detector_mismatches;
+        break;
+      }
       default:
-        break;  // status/health/setpoint/actuator/truth/battery: not needed
+        break;  // health/setpoint/actuator/truth/battery: not needed
     }
   }
+  stats.detection_time_s = detector.first_confirm_time_s();
+  stats.final_detector_state = static_cast<std::uint8_t>(detector.state());
   return stats;
 }
 

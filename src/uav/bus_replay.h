@@ -31,9 +31,13 @@ struct BusRecordStats {
 };
 
 /// Fly `spec`'s experiment (same config derivation, seeding and termination
-/// rules as SimulationRunner) and mirror all bus traffic into `os`. Returns
-/// nullopt when the stream fails.
-std::optional<BusRecordStats> RecordBusLog(const ExperimentSpec& spec, std::ostream& os);
+/// rules as SimulationRunner) and mirror all bus traffic into `os`. With
+/// `recovery` the vehicle flies with the IMU-fault detector + estimator
+/// failover enabled (RunConfig::recovery semantics) and the log carries the
+/// detector topic plus a header flag, so replay can verify the detector's
+/// decisions offline. Returns nullopt when the stream fails.
+std::optional<BusRecordStats> RecordBusLog(const ExperimentSpec& spec, std::ostream& os,
+                                           bool recovery = false);
 
 /// Which estimator to re-run offline.
 enum class ReplayEstimatorKind {
@@ -54,6 +58,14 @@ struct BusReplayStats {
   /// Worst attitude divergence vs the recorded online estimate [rad]. For
   /// kEkf this is 0; for kComplementary it measures the alternative filter.
   double max_att_err_rad{0.0};
+  /// Detector verification (populated only when header.recovery): an offline
+  /// ImuFaultDetector is re-run from the recorded sensor and status frames
+  /// and compared field-for-field (bit-for-bit) against each recorded
+  /// kDetector frame. A healthy log replays with zero mismatches.
+  std::uint64_t detector_frames{0};
+  std::uint64_t detector_mismatches{0};
+  double detection_time_s{-1.0};  ///< offline detector's first confirm (-1: none)
+  std::uint8_t final_detector_state{0};  ///< estimation::DetectorState (raw)
 };
 
 /// Re-run an estimator from the recorded stream. `spec` must describe the

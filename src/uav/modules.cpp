@@ -81,6 +81,7 @@ void EstimatorModule::Step(const bus::StepInfo& info) {
   const auto unit = static_cast<std::size_t>(bus_->imu_select.Latest().unit %
                                              bus::ImuSignal::kUnits);
   ekf_.PredictImu(sig.units[unit], info.dt);
+  if (detector_ != nullptr) comp_.Update(sig.units[unit], info.dt);
   if (bus_->gps.generation() != gps_gen_) {
     gps_gen_ = bus_->gps.generation();
     ekf_.FuseGps(bus_->gps.Latest());
@@ -91,9 +92,25 @@ void EstimatorModule::Step(const bus::StepInfo& info) {
   }
   if (bus_->mag.generation() != mag_gen_) {
     mag_gen_ = bus_->mag.generation();
-    ekf_.FuseMag(bus_->mag.Latest());
+    const sensors::MagSample& mag = bus_->mag.Latest();
+    ekf_.FuseMag(mag);
+    if (detector_ != nullptr) {
+      // The shadow filter integrates the mag over its true sampling period
+      // (first sample: one control period) — the same formula the offline
+      // replay uses, so the two stay bit-identical.
+      comp_.UpdateMag(mag, mag_seen_ ? mag.t - last_mag_t_ : info.dt);
+      mag_seen_ = true;
+      last_mag_t_ = mag.t;
+    }
   }
-  bus_->estimate.Publish(ekf_.state(), info.t);
+  // failover_active() is the *previous* step's verdict: the detector's state
+  // machine advances inside the estimator_status publish below.
+  if (detector_ != nullptr && detector_->failover_active()) {
+    bus_->estimate.Publish(
+        estimation::ApplyAttitudeFallback(ekf_.state(), comp_, sig.units[unit]), info.t);
+  } else {
+    bus_->estimate.Publish(ekf_.state(), info.t);
+  }
   bus_->estimator_status.Publish(ekf_.status(), info.t);
 }
 
@@ -110,6 +127,7 @@ void BatchEstimatorBridge::Step(const bus::StepInfo& info) {
   const auto unit = static_cast<std::size_t>(bus_->imu_select.Latest().unit %
                                              bus::ImuSignal::kUnits);
   batch_->StageImu(lane_, sig.units[unit], info.dt);
+  if (detector_ != nullptr) comp_.Update(sig.units[unit], info.dt);
   if (bus_->gps.generation() != gps_gen_) {
     gps_gen_ = bus_->gps.generation();
     batch_->StageGps(lane_, bus_->gps.Latest());
@@ -120,13 +138,29 @@ void BatchEstimatorBridge::Step(const bus::StepInfo& info) {
   }
   if (bus_->mag.generation() != mag_gen_) {
     mag_gen_ = bus_->mag.generation();
-    batch_->StageMag(lane_, bus_->mag.Latest());
+    const sensors::MagSample& mag = bus_->mag.Latest();
+    batch_->StageMag(lane_, mag);
+    if (detector_ != nullptr) {
+      comp_.UpdateMag(mag, mag_seen_ ? mag.t - last_mag_t_ : info.dt);
+      mag_seen_ = true;
+      last_mag_t_ = mag.t;
+    }
   }
 }
 
 void BatchEstimatorBridge::PublishEstimate(const bus::StepInfo& info) {
   const estimation::Ekf& e = batch_->lane(lane_);
-  bus_->estimate.Publish(e.state(), info.t);
+  // Safe to re-read imu/imu_select here: health (which republishes the
+  // selection) runs in the post schedule, after this call.
+  if (detector_ != nullptr && detector_->failover_active()) {
+    const bus::ImuSignal& sig = bus_->imu.Latest();
+    const auto unit = static_cast<std::size_t>(bus_->imu_select.Latest().unit %
+                                               bus::ImuSignal::kUnits);
+    bus_->estimate.Publish(
+        estimation::ApplyAttitudeFallback(e.state(), comp_, sig.units[unit]), info.t);
+  } else {
+    bus_->estimate.Publish(e.state(), info.t);
+  }
   bus_->estimator_status.Publish(e.status(), info.t);
 }
 
@@ -143,11 +177,19 @@ void HealthModule::Step(const bus::StepInfo& info) {
   const auto unit =
       static_cast<std::size_t>(monitor_.active_imu_unit() % bus::ImuSignal::kUnits);
   const bool was_failsafe = monitor_.failsafe_active();
+  // The detector topic carries this step's verdict (published during the
+  // estimator's status publish); generation 0 (detector disabled) reads the
+  // default signal, so the extra argument is always false there.
   monitor_.Update(sig.units[unit], bus_->estimator_status.Latest(),
-                  bus_->estimate.Latest().att.Tilt(), info.t, info.dt);
+                  bus_->estimate.Latest().att.Tilt(), info.t, info.dt,
+                  bus_->detector.Latest().failover);
   if (!was_failsafe && monitor_.failsafe_active()) {
     log_->Critical(info.t, std::string("health monitor: failsafe (") +
                                nav::ToString(monitor_.reason()) + ")");
+  }
+  if (!recovered_logged_ && monitor_.recovered()) {
+    recovered_logged_ = true;
+    log_->Warn(info.t, "health monitor: failsafe suppressed, riding failover (recovered)");
   }
   bus_->health.Publish(
       {monitor_.failsafe_active(), static_cast<std::uint8_t>(monitor_.reason())}, info.t);
@@ -332,6 +374,43 @@ void FaultInterceptorStage::ApplyBaro(void* ctx, sensors::BaroSample& sample, do
 
 void FaultInterceptorStage::ApplyMag(void* ctx, sensors::MagSample& sample, double t) {
   sample = static_cast<core::MagFaultInjector*>(ctx)->Apply(sample, t);
+}
+
+// --- DetectorStage ---
+
+DetectorStage::DetectorStage(const estimation::DetectorConfig& cfg, double control_rate_hz,
+                             bus::FlightBus* bus, telemetry::FlightLog* log)
+    : detector_(cfg), bus_(bus), log_(log), dt_(1.0 / control_rate_hz), enabled_(cfg.enabled) {
+  if (!enabled_) return;
+  // Registered after the fault injectors (the stage is constructed after
+  // FaultInterceptorStage), so the detector observes exactly the corrupted
+  // samples the estimator consumes.
+  bus_->imu.AddInterceptor(&ObserveImu, this);
+  bus_->estimator_status.AddInterceptor(&ObserveStatus, this);
+}
+
+void DetectorStage::ObserveImu(void* ctx, bus::ImuSignal& sig, double t) {
+  (void)t;
+  auto* self = static_cast<DetectorStage*>(ctx);
+  const auto unit = static_cast<std::size_t>(self->bus_->imu_select.Latest().unit %
+                                             bus::ImuSignal::kUnits);
+  self->detector_.ObserveRates(sig.units[unit], self->dt_);
+}
+
+void DetectorStage::ObserveStatus(void* ctx, estimation::EkfStatus& status, double t) {
+  auto* self = static_cast<DetectorStage*>(ctx);
+  self->detector_.ObserveInnovations(status, t, self->dt_);
+  if (!self->confirm_logged_ && self->detector_.confirm_events() > 0) {
+    self->confirm_logged_ = true;
+    self->log_->Warn(t, "detector: IMU corruption confirmed, failover engaged");
+  }
+  // Re-entrant publish on a different topic: legal, and it lands the verdict
+  // on the bus before the health module (the next scheduled module) reads it.
+  const estimation::ImuFaultDetector& d = self->detector_;
+  self->bus_->detector.Publish({static_cast<std::uint8_t>(d.state()), d.failover_active(),
+                                d.cusum(), d.plausibility_level(),
+                                d.first_confirm_time_s()},
+                               t);
 }
 
 }  // namespace uavres::uav

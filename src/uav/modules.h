@@ -23,6 +23,8 @@
 
 #include "bus/schedule.h"
 #include "bus/topics.h"
+#include "estimation/complementary_filter.h"
+#include "estimation/detectors.h"
 #include "estimation/ekf_batch.h"
 #include "nav/mission.h"
 #include "telemetry/flight_log.h"
@@ -82,20 +84,38 @@ class MagModule final : public bus::Module {
 /// The EKF: predicts from the selected IMU unit every step and fuses each
 /// aiding topic whose generation advanced (generation checks replace the
 /// monolith's divider checks — same instants, by construction).
+///
+/// With a detector attached (AttachFailover), the module also runs a shadow
+/// ComplementaryFilter on the same selected samples and, while the detector
+/// holds kConfirmed, publishes the fallback attitude mix instead of the raw
+/// EKF state. The detector's state machine advances inside the
+/// estimator-status publish (DetectorStage), i.e. *after* this module reads
+/// it, so the failover verdict carries the same one-step latency as every
+/// other bus signal — online, batched and offline replay agree exactly.
 class EstimatorModule final : public bus::Module {
  public:
   EstimatorModule(const estimation::EkfConfig& cfg, bus::FlightBus* bus);
-  void Init(const math::Vec3& pos, double yaw_rad) { ekf_.InitAtRest(pos, yaw_rad); }
+  void Init(const math::Vec3& pos, double yaw_rad) {
+    ekf_.InitAtRest(pos, yaw_rad);
+    comp_.InitAtRest(yaw_rad);
+  }
   void Step(const bus::StepInfo& info) override;
+
+  /// Enable failover: run the shadow filter and honor `detector` verdicts.
+  void AttachFailover(const estimation::ImuFaultDetector* detector) { detector_ = detector; }
 
   const estimation::Ekf& ekf() const { return ekf_; }
 
  private:
   estimation::Ekf ekf_;
+  estimation::ComplementaryFilter comp_;
+  const estimation::ImuFaultDetector* detector_{nullptr};  // not owned
   bus::FlightBus* bus_;
   std::uint64_t gps_gen_{0};
   std::uint64_t baro_gen_{0};
   std::uint64_t mag_gen_{0};
+  bool mag_seen_{false};
+  double last_mag_t_{0.0};
 };
 
 /// One lane's bus adapter for the batched estimator (DESIGN.md §14): the
@@ -110,19 +130,30 @@ class BatchEstimatorBridge final : public bus::Module {
   BatchEstimatorBridge(estimation::EkfBatch* batch, int lane, bus::FlightBus* bus);
   void Init(const math::Vec3& pos, double yaw_rad) {
     batch_->InitLane(lane_, pos, yaw_rad);
+    comp_.InitAtRest(yaw_rad);
   }
   void Step(const bus::StepInfo& info) override;
   void PublishEstimate(const bus::StepInfo& info);
+
+  /// Enable failover, mirroring EstimatorModule::AttachFailover. The shadow
+  /// filter is per-lane scalar state: it never touches the batch kernel, so
+  /// lane bit-identity with the scalar path holds by the same same-inputs/
+  /// same-order argument as the rest of the bridge.
+  void AttachFailover(const estimation::ImuFaultDetector* detector) { detector_ = detector; }
 
   const estimation::Ekf& ekf() const { return batch_->lane(lane_); }
 
  private:
   estimation::EkfBatch* batch_;
   int lane_;
+  estimation::ComplementaryFilter comp_;
+  const estimation::ImuFaultDetector* detector_{nullptr};  // not owned
   bus::FlightBus* bus_;
   std::uint64_t gps_gen_{0};
   std::uint64_t baro_gen_{0};
   std::uint64_t mag_gen_{0};
+  bool mag_seen_{false};
+  double last_mag_t_{0.0};
 };
 
 /// Health monitor: consumes the selected IMU unit (its own previous-step
@@ -140,6 +171,7 @@ class HealthModule final : public bus::Module {
   nav::HealthMonitor monitor_;
   bus::FlightBus* bus_;
   telemetry::FlightLog* log_;
+  bool recovered_logged_{false};
 };
 
 /// Mode logic: merges the health failsafe with the low-battery failsafe and
@@ -253,6 +285,37 @@ class FaultInterceptorStage {
   std::optional<core::GpsFaultInjector> gps_injector_;
   std::optional<core::BaroFaultInjector> baro_injector_;
   std::optional<core::MagFaultInjector> mag_injector_;
+};
+
+/// Online IMU-fault detection at the bus boundary (DESIGN.md §15): wraps an
+/// estimation::ImuFaultDetector as two publish-time interceptors. The imu
+/// interceptor — registered after the fault injectors, so it observes what
+/// the estimator observes — feeds the selected unit's rate-domain checks;
+/// the estimator-status interceptor feeds the innovation CUSUM, advances the
+/// decision state machine (once per step, at end of estimator step) and
+/// publishes the verdict to the `detector` topic from inside the status
+/// publish (re-entrant publish on a *different* topic, which the bus
+/// permits). When the config is disabled nothing registers and the detector
+/// topic stays at generation 0: a detector-off vehicle is byte-identical to
+/// a pre-detector build.
+class DetectorStage {
+ public:
+  DetectorStage(const estimation::DetectorConfig& cfg, double control_rate_hz,
+                bus::FlightBus* bus, telemetry::FlightLog* log);
+
+  bool enabled() const { return enabled_; }
+  const estimation::ImuFaultDetector& detector() const { return detector_; }
+
+ private:
+  static void ObserveImu(void* ctx, bus::ImuSignal& sig, double t);
+  static void ObserveStatus(void* ctx, estimation::EkfStatus& status, double t);
+
+  estimation::ImuFaultDetector detector_;
+  bus::FlightBus* bus_;
+  telemetry::FlightLog* log_;
+  double dt_;
+  bool enabled_;
+  bool confirm_logged_{false};
 };
 
 /// Rounded rate divider between the control loop and a sensor rate.

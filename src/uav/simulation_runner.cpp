@@ -93,6 +93,8 @@ struct VehicleView {
   const nav::Commander* commander{nullptr};
   const nav::CrashDetector* crash{nullptr};
   const telemetry::FlightLog* log{nullptr};
+  /// Non-null only when the online IMU-fault detector is enabled.
+  const estimation::ImuFaultDetector* detector{nullptr};
   double thrust_cmd{0.0};
   bool fault_active{false};
   bool airborne_seen{false};
@@ -111,6 +113,7 @@ VehicleView ViewOf(const Uav& uav) {
   v.thrust_cmd = uav.last_thrust_cmd();
   v.fault_active = uav.fault_active();
   v.airborne_seen = uav.airborne_seen();
+  if (uav.detector_enabled()) v.detector = &uav.detector();
   return v;
 }
 
@@ -127,6 +130,7 @@ VehicleView ViewOf(const BatchedUav& fleet, int lane) {
   v.thrust_cmd = fleet.last_thrust_cmd(lane);
   v.fault_active = fleet.fault_active(lane);
   v.airborne_seen = fleet.airborne_seen(lane);
+  if (fleet.detector_enabled(lane)) v.detector = &fleet.detector(lane);
   return v;
 }
 
@@ -270,6 +274,27 @@ class StepBookkeeper {
     out_.result.failsafe_time_s = v.health->failsafe_time();
     out_.result.crash_reason = v.crash->reason();
     out_.result.crash_time_s = v.crash->crash_time();
+    if (v.detector != nullptr) {
+      const estimation::ImuFaultDetector& d = *v.detector;
+      out_.result.detector_enabled = true;
+      out_.result.detection_time_s = d.first_confirm_time_s();
+      out_.result.recovery_engaged = d.confirm_events() > 0;
+      out_.result.recovery_success =
+          out_.result.recovery_engaged && outcome_ == MissionOutcome::kCompleted;
+      if (espec_.fault) {
+        // Latency counts only confirmations at/after onset; an earlier one
+        // is a false positive (the fault cannot have caused it).
+        if (d.first_confirm_time_s() >= espec_.fault->start_time_s) {
+          out_.result.detection_latency_s =
+              d.first_confirm_time_s() - espec_.fault->start_time_s;
+        } else if (d.first_confirm_time_s() >= 0.0) {
+          out_.result.false_positives = 1;
+        }
+      } else {
+        // Fault-free run: every confirmation is a false positive.
+        out_.result.false_positives = d.confirm_events();
+      }
+    }
     out_.log = *v.log;
 
     if (checker_.enabled()) {
@@ -360,6 +385,7 @@ void SimulationRunner::RunInto(const ExperimentSpec& espec, RunOutput& out) cons
   UAVRES_TRACE_SCOPE("sim/run");
   UavConfig uav_cfg = MakeUavConfig(espec.drone);
   if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
+  if (cfg_.recovery) uav_cfg.detector.enabled = true;
   StepBookkeeper bk(cfg_, espec, uav_cfg, out);
   if (bk.checker_enabled()) uav_cfg.ekf.strict_invariant_checks = true;
   Uav uav(uav_cfg, espec.drone.plan, espec.fault, espec.Seed());
@@ -386,6 +412,7 @@ void SimulationRunner::RunBatchInto(const ExperimentSpec* specs, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     UavConfig uav_cfg = MakeUavConfig(specs[i].drone);
     if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
+    if (cfg_.recovery) uav_cfg.detector.enabled = true;
     bks[i].emplace(cfg_, specs[i], uav_cfg, *outs[i]);
     if (bks[i]->checker_enabled()) uav_cfg.ekf.strict_invariant_checks = true;
     fleet->AddLane(uav_cfg, specs[i].drone.plan, specs[i].fault, specs[i].Seed());

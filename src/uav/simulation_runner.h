@@ -24,6 +24,12 @@ struct RunConfig {
   double record_rate_hz{2.0};       ///< trajectory recording rate
   double extra_time_s{180.0};       ///< grace beyond the expected duration
   bool record_trajectory{true};
+  /// Online IMU-fault detection + estimator failover (DESIGN.md §15): sets
+  /// UavConfig::detector.enabled on every vehicle (after the mutator runs)
+  /// and populates the MissionResult detection/recovery fields. Off by
+  /// default — results and store keys are then byte-identical to a build
+  /// without the detector.
+  bool recovery{false};
   /// Optional hook applied to the derived UavConfig before each run; the
   /// ablation benches use it to vary failsafe/EKF parameters.
   std::function<void(UavConfig&)> uav_config_mutator;

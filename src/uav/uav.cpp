@@ -26,12 +26,14 @@ Uav::Uav(const UavConfig& cfg, const nav::MissionPlan& plan,
                    control::MixerConfigFromQuadrotor(cfg.airframe), &bus_),
       physics_(cfg, seed, &bus_, &log_),
       battery_mod_(cfg.battery, &bus_),
-      faults_(cfg, fault, seed, &bus_, &log_) {
+      faults_(cfg, fault, seed, &bus_, &log_),
+      detectors_(cfg.detector, cfg.control_rate_hz, &bus_, &log_) {
   // Initial pose: at home, yawed along the first mission leg.
   const Vec3 start = plan.home;
   const double yaw0 = InitialMissionYaw(plan);
   physics_.Reset(start, yaw0, 0.0);
   estimator_.Init(start, yaw0);
+  if (detectors_.enabled()) estimator_.AttachFailover(&detectors_.detector());
   // Seed the step-0 inputs that carry one-step latencies: the sensors read
   // the initial truth, the estimator reads the monitor's initial selection,
   // and the commander reads the fresh battery state.

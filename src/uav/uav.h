@@ -47,6 +47,10 @@ class Uav {
   bool fault_active() const { return faults_.AnyImuActiveAt(time_); }
   bool airborne_seen() const { return physics_.airborne_seen(); }
 
+  /// The online IMU-fault detector (meaningful only with cfg.detector.enabled).
+  const estimation::ImuFaultDetector& detector() const { return detectors_.detector(); }
+  bool detector_enabled() const { return detectors_.enabled(); }
+
   /// Last normalized collective thrust command (telemetry/tests).
   double last_thrust_cmd() const { return bus_.actuator.Latest().collective; }
 
@@ -85,6 +89,9 @@ class Uav {
   PhysicsModule physics_;
   BatteryModule battery_mod_;
   FaultInterceptorStage faults_;
+  // After faults_: the detector's imu interceptor must register after the
+  // injectors so it observes post-fault samples.
+  DetectorStage detectors_;
 
   bus::Schedule schedule_;
   std::optional<bus::BusTap> tap_;

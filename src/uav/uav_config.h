@@ -12,6 +12,7 @@
 #include "core/fault_injector.h"
 #include "core/gps_fault_injector.h"
 #include "core/sensor_fault_injector.h"
+#include "estimation/detectors.h"
 #include "estimation/ekf.h"
 #include "nav/commander.h"
 #include "nav/crash_detector.h"
@@ -36,6 +37,10 @@ struct UavConfig {
   sensors::BaroConfig baro;
   sensors::MagConfig mag;
   estimation::EkfConfig ekf;
+  /// Online IMU-fault detection + estimator failover (DESIGN.md §15). Off by
+  /// default — the paper-baseline campaign and every recorded golden stay
+  /// byte-identical; `RunConfig::recovery` / `--recovery on` enables it.
+  estimation::DetectorConfig detector;
   control::PositionControlConfig position_control;
   control::AttitudeControlConfig attitude_control;
   control::RateControlConfig rate_control;

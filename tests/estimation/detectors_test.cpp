@@ -1,0 +1,279 @@
+// Unit tests for the online IMU-fault detector (estimation/detectors.h):
+// rate-domain plausibility (range / jump / frozen / non-finite), the
+// innovation-gate CUSUM, the confirm -> recovered state machine, and the
+// attitude-failover mixer. The detector is pure (no bus, no clock), so every
+// decision here is driven sample-by-sample and asserted exactly.
+#include "estimation/detectors.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "estimation/complementary_filter.h"
+#include "math/rng.h"
+#include "sensors/samples.h"
+
+namespace uavres::estimation {
+namespace {
+
+constexpr double kDt = 1.0 / 250.0;
+
+sensors::ImuSample CruiseImu(math::Rng& rng, double t) {
+  sensors::ImuSample s;
+  s.t = t;
+  s.accel_mps2 = math::Vec3{0.0, 0.0, -9.81} + rng.GaussianVec3(0.05);
+  s.gyro_rads = rng.GaussianVec3(0.01);
+  return s;
+}
+
+EkfStatus StatusWithRatio(double r) {
+  EkfStatus s;
+  s.gps_vel_test_ratio = r;
+  return s;
+}
+
+/// One detector step exactly as the online interceptors drive it: rates at
+/// the IMU publish, innovations at the estimator-status publish.
+void Step(ImuFaultDetector& d, const sensors::ImuSample& imu, const EkfStatus& status,
+          double t) {
+  d.ObserveRates(imu, kDt);
+  d.ObserveInnovations(status, t, kDt);
+}
+
+TEST(ImuFaultDetector, StaysNominalOnHealthyStreams) {
+  ImuFaultDetector d;
+  math::Rng rng{1};
+  double t = 0.0;
+  for (int i = 0; i < 2500; ++i, t += kDt) {
+    Step(d, CruiseImu(rng, t), StatusWithRatio(0.3), t);
+  }
+  EXPECT_EQ(d.state(), DetectorState::kNominal);
+  EXPECT_FALSE(d.failover_active());
+  EXPECT_EQ(d.confirm_events(), 0);
+  EXPECT_EQ(d.cusum(), 0.0);
+  EXPECT_EQ(d.plausibility_level(), 0.0);
+  EXPECT_LT(d.first_confirm_time_s(), 0.0);
+}
+
+TEST(ImuFaultDetector, OutOfRangeGyroConfirmsViaPlausibility) {
+  ImuFaultDetector d;
+  math::Rng rng{2};
+  double t = 0.0;
+  for (int i = 0; i < 250 && !d.failover_active(); ++i, t += kDt) {
+    auto s = CruiseImu(rng, t);
+    s.gyro_rads = {35.0, 0.0, 0.0};  // past the 30 rad/s rail
+    Step(d, s, StatusWithRatio(0.1), t);
+  }
+  ASSERT_EQ(d.state(), DetectorState::kConfirmed);
+  // Confirmation requires plaus_confirm_s of accumulated implausibility, at
+  // dt per implausible sample — no faster, no slower.
+  EXPECT_NEAR(d.first_confirm_time_s(), d.config().plaus_confirm_s, 2.5 * kDt);
+}
+
+TEST(ImuFaultDetector, NonFiniteSampleIsImplausible) {
+  ImuFaultDetector d;
+  math::Rng rng{3};
+  double t = 0.0;
+  for (int i = 0; i < 250 && !d.failover_active(); ++i, t += kDt) {
+    auto s = CruiseImu(rng, t);
+    s.accel_mps2.y = std::numeric_limits<double>::quiet_NaN();
+    Step(d, s, StatusWithRatio(0.1), t);
+  }
+  EXPECT_EQ(d.state(), DetectorState::kConfirmed);
+}
+
+TEST(ImuFaultDetector, PerSampleJumpsConfirm) {
+  ImuFaultDetector d;
+  math::Rng rng{4};
+  double t = 0.0;
+  // Alternating +-4 rad/s: every in-range sample jumps by 8 rad/s, past the
+  // 6 rad/s per-sample discontinuity limit.
+  for (int i = 0; i < 250 && !d.failover_active(); ++i, t += kDt) {
+    auto s = CruiseImu(rng, t);
+    s.gyro_rads = {i % 2 == 0 ? 4.0 : -4.0, 0.0, 0.0};
+    Step(d, s, StatusWithRatio(0.1), t);
+  }
+  EXPECT_EQ(d.state(), DetectorState::kConfirmed);
+}
+
+TEST(ImuFaultDetector, FrozenSampleConfirmsAfterStuckWindow) {
+  ImuFaultDetector d;
+  sensors::ImuSample frozen;
+  frozen.accel_mps2 = {0.1, -0.05, -9.8};
+  frozen.gyro_rads = {0.001, 0.002, -0.001};  // plausible values, but frozen
+  double t = 0.0;
+  for (int i = 0; i < 500 && !d.failover_active(); ++i, t += kDt) {
+    Step(d, frozen, StatusWithRatio(0.1), t);
+  }
+  ASSERT_EQ(d.state(), DetectorState::kConfirmed);
+  // Latency: the stuck window must elapse before samples count as
+  // implausible, then the plausibility accumulator must fill.
+  const double expected = d.config().stuck_window_s + d.config().plaus_confirm_s;
+  EXPECT_NEAR(d.first_confirm_time_s(), expected, 3.0 * kDt);
+}
+
+TEST(ImuFaultDetector, HealthyDitherNeverLooksStuck) {
+  // The sensor models dither every axis each sample; near-identical (but not
+  // exactly equal) pairs must not accumulate stuck time.
+  ImuFaultDetector d;
+  sensors::ImuSample s;
+  s.accel_mps2 = {0.1, -0.05, -9.8};
+  s.gyro_rads = {0.001, 0.002, -0.001};
+  double t = 0.0;
+  for (int i = 0; i < 2500; ++i, t += kDt) {
+    s.gyro_rads.x = 0.001 + 1e-12 * (i % 2);  // one ulp-scale wiggle
+    Step(d, s, StatusWithRatio(0.1), t);
+  }
+  EXPECT_EQ(d.state(), DetectorState::kNominal);
+}
+
+TEST(ImuFaultDetector, SustainedInnovationRatiosConfirmViaCusum) {
+  ImuFaultDetector d;
+  math::Rng rng{5};
+  double t = 0.0;
+  for (int i = 0; i < 2500 && !d.failover_active(); ++i, t += kDt) {
+    Step(d, CruiseImu(rng, t), StatusWithRatio(10.0), t);
+  }
+  ASSERT_EQ(d.state(), DetectorState::kConfirmed);
+  // g += (ratio - drift) * dt up to the threshold.
+  const double expected =
+      d.config().cusum_threshold / (10.0 - d.config().cusum_drift);
+  EXPECT_NEAR(d.first_confirm_time_s(), expected, 3.0 * kDt);
+}
+
+TEST(ImuFaultDetector, BriefInnovationSpikeDoesNotConfirm) {
+  ImuFaultDetector d;
+  math::Rng rng{6};
+  double t = 0.0;
+  // 0.2 s at ratio 10 charges ~1.75 of the 6.0 threshold...
+  for (int i = 0; i < 50; ++i, t += kDt) {
+    Step(d, CruiseImu(rng, t), StatusWithRatio(10.0), t);
+  }
+  EXPECT_EQ(d.state(), DetectorState::kSuspect);
+  EXPECT_FALSE(d.failover_active());
+  // ...and sub-drift ratios afterwards drain it back to nominal.
+  for (int i = 0; i < 2500; ++i, t += kDt) {
+    Step(d, CruiseImu(rng, t), StatusWithRatio(0.2), t);
+  }
+  EXPECT_EQ(d.state(), DetectorState::kNominal);
+  EXPECT_EQ(d.cusum(), 0.0);
+  EXPECT_EQ(d.confirm_events(), 0);
+}
+
+TEST(ImuFaultDetector, NonFiniteRatioChargesAtTheCap) {
+  ImuFaultDetector d;
+  math::Rng rng{7};
+  double t = 0.0;
+  for (int i = 0; i < 250 && !d.failover_active(); ++i, t += kDt) {
+    Step(d, CruiseImu(rng, t), StatusWithRatio(std::numeric_limits<double>::infinity()), t);
+  }
+  ASSERT_EQ(d.state(), DetectorState::kConfirmed);
+  const double expected =
+      d.config().cusum_threshold / (d.config().cusum_ratio_cap - d.config().cusum_drift);
+  EXPECT_NEAR(d.first_confirm_time_s(), expected, 3.0 * kDt);
+}
+
+TEST(ImuFaultDetector, NumericalBreakdownConfirmsImmediately) {
+  ImuFaultDetector d;
+  math::Rng rng{8};
+  EkfStatus broken;
+  broken.numerically_healthy = false;
+  d.ObserveRates(CruiseImu(rng, 1.0), kDt);
+  d.ObserveInnovations(broken, 1.0, kDt);
+  EXPECT_EQ(d.state(), DetectorState::kConfirmed);
+  EXPECT_TRUE(d.failover_active());
+  EXPECT_EQ(d.first_confirm_time_s(), 1.0);
+}
+
+TEST(ImuFaultDetector, StandsDownToRecoveredAndRearms) {
+  ImuFaultDetector d;
+  math::Rng rng{9};
+  double t = 0.0;
+  // Confirm via a hard innovation fault.
+  for (int i = 0; i < 2500 && !d.failover_active(); ++i, t += kDt) {
+    Step(d, CruiseImu(rng, t), StatusWithRatio(30.0), t);
+  }
+  ASSERT_TRUE(d.failover_active());
+  const double first = d.first_confirm_time_s();
+  ASSERT_EQ(d.confirm_events(), 1);
+
+  // Fault clears: the CUSUM must fully drain, then clear_s of quiet must
+  // elapse, before the detector stands down and hands estimation back.
+  for (int i = 0; i < 30000 && d.failover_active(); ++i, t += kDt) {
+    Step(d, CruiseImu(rng, t), StatusWithRatio(0.0), t);
+  }
+  EXPECT_EQ(d.state(), DetectorState::kRecovered);
+  EXPECT_FALSE(d.failover_active());
+
+  // A second fault re-arms: a fresh confirm event, first confirm unchanged.
+  for (int i = 0; i < 2500 && !d.failover_active(); ++i, t += kDt) {
+    Step(d, CruiseImu(rng, t), StatusWithRatio(30.0), t);
+  }
+  EXPECT_EQ(d.state(), DetectorState::kConfirmed);
+  EXPECT_EQ(d.confirm_events(), 2);
+  EXPECT_EQ(d.first_confirm_time_s(), first);
+  EXPECT_GT(d.last_confirm_time_s(), first);
+}
+
+// Metamorphic (the fuzzer's axis-permutation oracle, detector-level): every
+// rate-domain check is axis-symmetric (MaxAbs ranges/jumps, exact-equality
+// freeze), so permuting the axes of every sample must reproduce the decision
+// sequence exactly — same states, same confirm times, bit-for-bit levels.
+TEST(ImuFaultDetector, DecisionsAreAxisPermutationInvariant) {
+  ImuFaultDetector a, b;
+  math::Rng rng{10};
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i, t += kDt) {
+    auto s = CruiseImu(rng, t);
+    if (i > 1000 && i < 1500) s.gyro_rads.x = 33.0;    // out-of-range burst
+    if (i > 3000 && i < 3200) s.accel_mps2.z = 200.0;  // second burst
+    sensors::ImuSample p = s;  // axes rotated (x,y,z) -> (z,x,y)
+    p.gyro_rads = {s.gyro_rads.z, s.gyro_rads.x, s.gyro_rads.y};
+    p.accel_mps2 = {s.accel_mps2.z, s.accel_mps2.x, s.accel_mps2.y};
+    const EkfStatus status = StatusWithRatio(i % 700 < 80 ? 3.0 : 0.2);
+    Step(a, s, status, t);
+    Step(b, p, status, t);
+    ASSERT_EQ(a.state(), b.state()) << "diverged at step " << i;
+    ASSERT_EQ(a.plausibility_level(), b.plausibility_level()) << "step " << i;
+    ASSERT_EQ(a.cusum(), b.cusum()) << "step " << i;
+  }
+  EXPECT_EQ(a.first_confirm_time_s(), b.first_confirm_time_s());
+  EXPECT_EQ(a.confirm_events(), b.confirm_events());
+}
+
+TEST(ApplyAttitudeFallback, SwapsAttitudeKeepsTranslationalState) {
+  ComplementaryFilter comp;
+  comp.InitAtRest(0.7);
+  sensors::ImuSample imu;
+  imu.accel_mps2 = {0.3, -0.2, -9.7};
+  imu.gyro_rads = {0.02, -0.01, 0.005};
+  for (int i = 0; i < 100; ++i) comp.Update(imu, kDt);
+
+  NavState ekf_state;
+  ekf_state.pos = {10.0, 20.0, -30.0};
+  ekf_state.vel = {1.0, 2.0, -0.5};
+  ekf_state.att = math::Quat{0.0, 1.0, 0.0, 0.0};  // clearly not comp's
+  ekf_state.accel_bias = {0.01, 0.02, 0.03};
+
+  const NavState out = ApplyAttitudeFallback(ekf_state, comp, imu);
+  EXPECT_EQ(out.pos, ekf_state.pos);
+  EXPECT_EQ(out.vel, ekf_state.vel);
+  EXPECT_EQ(out.accel_bias, ekf_state.accel_bias);
+  EXPECT_EQ(out.att.w, comp.attitude().w);
+  EXPECT_EQ(out.att.x, comp.attitude().x);
+  EXPECT_EQ(out.att.y, comp.attitude().y);
+  EXPECT_EQ(out.att.z, comp.attitude().z);
+  EXPECT_EQ(out.gyro_bias, comp.gyro_bias());
+  EXPECT_EQ(out.body_rate, imu.gyro_rads - comp.gyro_bias());
+}
+
+TEST(ToStringDetectorState, AllValuesNamed) {
+  EXPECT_STREQ(ToString(DetectorState::kNominal), "nominal");
+  EXPECT_STREQ(ToString(DetectorState::kSuspect), "suspect");
+  EXPECT_STREQ(ToString(DetectorState::kConfirmed), "confirmed");
+  EXPECT_STREQ(ToString(DetectorState::kRecovered), "recovered");
+}
+
+}  // namespace
+}  // namespace uavres::estimation

@@ -318,6 +318,141 @@ TEST(HealthMonitor, IntermittentBaroRejectionDoesNotAccumulate) {
   EXPECT_FALSE(mon.failsafe_active());
 }
 
+// ---- Failover interplay (DESIGN.md §15) ----
+// While the IMU-fault detector has failover active, the IMU-driven failsafe
+// paths latch kRecovered instead of landing; everything whose evidence the
+// failover cannot explain away stays armed.
+
+TEST(HealthMonitorFailover, GyroAnomalyLatchesRecoveredInsteadOfFailsafe) {
+  HealthMonitor mon;
+  math::Rng rng{30};
+  double t = 10.0;
+  // Long past the 2.6 s failsafe floor: would have landed without failover.
+  for (int i = 0; i < 3000; ++i, t += kDt) {
+    auto s = HealthyImu(rng);
+    s.gyro_rads = {DegToRad(500.0), 0.0, 0.0};
+    mon.Update(s, HealthyEkf(), 0.05, t, kDt, /*failover_active=*/true);
+  }
+  EXPECT_FALSE(mon.failsafe_active());
+  EXPECT_TRUE(mon.recovered());
+  EXPECT_EQ(mon.health_state(), HealthState::kRecovered);
+  // Isolation still ran its course before the suppressed declaration.
+  EXPECT_EQ(mon.isolation_switches(), sensors::RedundantImu::kNumUnits - 1);
+}
+
+TEST(HealthMonitorFailover, RecoveredIsStickyAfterFailoverEnds) {
+  HealthMonitor mon;
+  math::Rng rng{31};
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i, t += kDt) {
+    auto s = HealthyImu(rng);
+    s.gyro_rads = {5.0, 5.0, 5.0};
+    mon.Update(s, HealthyEkf(), 0.05, t, kDt, /*failover_active=*/true);
+  }
+  ASSERT_TRUE(mon.recovered());
+  // Fault clears. The detector keeps failover up through its own clear
+  // window (which outlasts the monitor's anomaly drain), then stands down.
+  for (int i = 0; i < 1000; ++i, t += kDt) {
+    mon.Update(HealthyImu(rng), HealthyEkf(), 0.05, t, kDt, /*failover_active=*/true);
+  }
+  EXPECT_NEAR(mon.anomaly_level(), 0.0, 1e-9);
+  // Failover inactive again: the flight is still marked recovered.
+  for (int i = 0; i < 3000; ++i, t += kDt) {
+    mon.Update(HealthyImu(rng), HealthyEkf(), 0.05, t, kDt, /*failover_active=*/false);
+  }
+  EXPECT_TRUE(mon.recovered());
+  EXPECT_EQ(mon.health_state(), HealthState::kRecovered);
+  EXPECT_FALSE(mon.failsafe_active());
+}
+
+TEST(HealthMonitorFailover, LargeResetStormLatchesRecovered) {
+  HealthMonitor mon;
+  math::Rng rng{32};
+  estimation::EkfStatus ekf;
+  double t = 0.0;
+  // Large resets at 10 Hz for 10 s: far beyond the estimator-failure limit.
+  for (int i = 0; i < 2500; ++i, t += kDt) {
+    ekf.gps_large_reset_count = static_cast<int>(t * 10.0);
+    mon.Update(HealthyImu(rng), ekf, 0.05, t, kDt, /*failover_active=*/true);
+  }
+  EXPECT_FALSE(mon.failsafe_active());
+  EXPECT_TRUE(mon.recovered());
+  EXPECT_EQ(mon.health_state(), HealthState::kRecovered);
+}
+
+TEST(HealthMonitorFailover, NumericalBreakdownStillFailsafes) {
+  // A numerically broken filter cannot be ridden out on the fallback path —
+  // the fallback attitude feeds the same navigation stack.
+  HealthMonitor mon;
+  math::Rng rng{33};
+  estimation::EkfStatus ekf;
+  ekf.numerically_healthy = false;
+  mon.Update(HealthyImu(rng), ekf, 0.05, 1.0, kDt, /*failover_active=*/true);
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kEstimatorFailure);
+  EXPECT_EQ(mon.health_state(), HealthState::kFailsafe);
+}
+
+TEST(HealthMonitorFailover, AttitudeFailureStillFailsafes) {
+  // Attitude FD judges the *estimate the vehicle is flying on* — if that
+  // estimate says the vehicle is past the tilt limit, failover is not
+  // helping and the failsafe must fire.
+  HealthMonitorConfig cfg;
+  cfg.enable_attitude_fd = true;
+  HealthMonitor mon(cfg);
+  math::Rng rng{34};
+  double t = 0.0;
+  while (t < 5.0 && !mon.failsafe_active()) {
+    mon.Update(HealthyImu(rng), HealthyEkf(), DegToRad(80.0), t, kDt,
+               /*failover_active=*/true);
+    t += kDt;
+  }
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kAttitudeFailure);
+}
+
+TEST(HealthMonitorFailover, BaroRejectionStillFailsafes) {
+  // The fallback filter replaces attitude, not altitude: a barometer whose
+  // every fusion is rejected stays a failsafe-grade fault under failover.
+  HealthMonitorConfig cfg;
+  cfg.baro_reject_fail_s = 1.0;
+  HealthMonitor mon(cfg);
+  math::Rng rng{35};
+  estimation::EkfStatus ekf;
+  ekf.baro_test_ratio = 5.0;
+  double t = 0.0;
+  while (t < 5.0 && !mon.failsafe_active()) {
+    mon.Update(HealthyImu(rng), ekf, 0.05, t, kDt, /*failover_active=*/true);
+    t += kDt;
+  }
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_EQ(mon.reason(), FailsafeReason::kSensorFault);
+}
+
+TEST(HealthMonitorFailover, FailsafeOutranksRecoveredInHealthState) {
+  HealthMonitor mon;
+  math::Rng rng{36};
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i, t += kDt) {
+    auto s = HealthyImu(rng);
+    s.gyro_rads = {5.0, 0.0, 0.0};
+    mon.Update(s, HealthyEkf(), 0.05, t, kDt, /*failover_active=*/true);
+  }
+  ASSERT_TRUE(mon.recovered());
+  estimation::EkfStatus broken;
+  broken.numerically_healthy = false;
+  mon.Update(HealthyImu(rng), broken, 0.05, t, kDt, /*failover_active=*/true);
+  ASSERT_TRUE(mon.failsafe_active());
+  EXPECT_TRUE(mon.recovered());  // history is kept...
+  EXPECT_EQ(mon.health_state(), HealthState::kFailsafe);  // ...but failsafe wins
+}
+
+TEST(ToStringHealthState, AllValuesNamed) {
+  EXPECT_STREQ(ToString(HealthState::kNominal), "nominal");
+  EXPECT_STREQ(ToString(HealthState::kRecovered), "recovered");
+  EXPECT_STREQ(ToString(HealthState::kFailsafe), "failsafe");
+}
+
 TEST(ToStringFailsafeReason, AllValuesNamed) {
   EXPECT_STREQ(ToString(FailsafeReason::kNone), "none");
   EXPECT_STREQ(ToString(FailsafeReason::kSensorFault), "sensor-fault");

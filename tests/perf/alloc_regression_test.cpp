@@ -148,5 +148,53 @@ TEST(AllocRegression, FleetPoolCruiseStepPerformsZeroHeapAllocations) {
   EXPECT_EQ(fleet.pool().ekf.fallback_lane_steps(), 0u);
 }
 
+// The detector + failover layer rides the same hot path (two bus
+// interceptors per step, a complementary filter update, the CUSUM state
+// machine), so the zero-allocation contract extends to it verbatim.
+TEST(AllocRegression, DetectorEnabledCruiseStepPerformsZeroHeapAllocations) {
+  const auto& spec = core::SharedValenciaScenario()[0];
+  uav::UavConfig cfg = uav::MakeUavConfig(spec);
+  cfg.detector.enabled = true;
+  uav::Uav uav(cfg, spec.plan, std::nullopt, 2024);
+
+  for (int i = 0; i < 5000; ++i) uav.Step();
+  ASSERT_TRUE(uav.airborne_seen());
+
+  const std::uint64_t before = Allocs();
+  for (int i = 0; i < 5000; ++i) uav.Step();
+  const std::uint64_t allocs = Allocs() - before;
+
+  EXPECT_EQ(allocs, 0u) << "detector-enabled Uav::Step performed " << allocs
+                        << " heap allocations over 5000 cruise steps";
+  EXPECT_TRUE(uav.ekf().status().numerically_healthy);
+  EXPECT_EQ(uav.detector().state(), estimation::DetectorState::kNominal);
+}
+
+TEST(AllocRegression, DetectorEnabledFleetPoolCruiseStepPerformsZeroHeapAllocations) {
+  const auto& fleet_specs = core::SharedValenciaScenario();
+  uav::BatchedUav fleet;
+  for (int lane = 0; lane < 4; ++lane) {
+    const auto& spec = fleet_specs[static_cast<std::size_t>(lane)];
+    uav::UavConfig cfg = uav::MakeUavConfig(spec);
+    cfg.detector.enabled = true;
+    fleet.AddLane(cfg, spec.plan, std::nullopt,
+                  2024 + static_cast<std::uint64_t>(lane));
+  }
+
+  for (int i = 0; i < 5000; ++i) fleet.Step();
+  for (int lane = 0; lane < 4; ++lane) {
+    ASSERT_TRUE(fleet.airborne_seen(lane)) << "lane " << lane;
+  }
+
+  const std::uint64_t before = Allocs();
+  for (int i = 0; i < 5000; ++i) fleet.Step();
+  const std::uint64_t allocs = Allocs() - before;
+
+  EXPECT_EQ(allocs, 0u) << "detector-enabled BatchedUav::Step performed " << allocs
+                        << " heap allocations over 5000 cruise steps x 4 lanes";
+  EXPECT_GT(fleet.pool().ekf.kernel_lane_steps(), 0u);
+  EXPECT_EQ(fleet.pool().ekf.fallback_lane_steps(), 0u);
+}
+
 }  // namespace
 }  // namespace uavres::estimation

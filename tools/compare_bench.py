@@ -21,6 +21,13 @@ Comparison policy:
     bench_throughput builds) is gated with the same --max-regress threshold
     whenever BOTH files carry it with matching batch sizes; files from before
     the batched bench simply skip that gate.
+
+    The detector-enabled step measurement ("step_latency_detector", newer
+    builds still) carries two gates: its steady state must be allocation-free
+    (always enforced), and its overhead over the plain flight loop must stay
+    under --max-detector-overhead percent (enforced whenever the block is
+    present — the overhead is a ratio of two same-process measurements, so it
+    is meaningful even on unmatched hardware).
 """
 
 import argparse
@@ -48,6 +55,9 @@ def main() -> int:
     ap.add_argument("baseline")
     ap.add_argument("--max-regress", type=float, default=0.20,
                     help="maximum tolerated fractional runs/sec drop (default 0.20)")
+    ap.add_argument("--max-detector-overhead", type=float, default=25.0,
+                    help="maximum tolerated detector-enabled step overhead in "
+                         "percent over the plain flight loop (default 25)")
     args = ap.parse_args()
 
     cur = load(args.current)
@@ -65,6 +75,19 @@ def main() -> int:
         print(f"compare_bench: FAIL — batched steady state performed "
               f"{steady_batched.get('heap_allocs')} heap allocations (expected 0)")
         return 1
+    detector = cur.get("step_latency_detector")
+    if detector is not None:
+        if detector.get("heap_allocs", 0) != 0:
+            print(f"compare_bench: FAIL — detector-enabled steady state performed "
+                  f"{detector.get('heap_allocs')} heap allocations (expected 0)")
+            return 1
+        overhead = detector.get("overhead_pct", 0.0)
+        print(f"detector overhead: {overhead:+.1f}% "
+              f"(limit {args.max_detector_overhead:.0f}%)")
+        if overhead > args.max_detector_overhead:
+            print(f"compare_bench: FAIL — detector step overhead exceeds "
+                  f"{args.max_detector_overhead:.0f}%")
+            return 1
 
     cur_env, base_env = cur.get("environment", {}), base.get("environment", {})
     if cur_env != base_env:
