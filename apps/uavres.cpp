@@ -11,6 +11,9 @@
 //   uavres replay [file.uvrl]
 //   uavres replay [file.uvbs] [--estimator ekf|comp]
 //   uavres fuzz [--runs N] [--seed N] [--out DIR] [--replay file.repro]
+//   uavres fuzz --fork-from file.uvsnap [--runs N] [--seed N]
+//   uavres snapshot [mission] [target] [type] [duration] [--at T] [--out f.uvsnap]
+//   uavres bisect [mission] [target] [type] [duration] [--tol X] [--duration-axis]
 //   uavres list
 //   uavres help
 #include <chrono>
@@ -21,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "app/bisect.h"
 #include "app/command_line.h"
 #include "app/fuzzer.h"
 #include "core/campaign.h"
@@ -28,6 +32,7 @@
 #include "core/tables.h"
 #include "telemetry/csv_writer.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/snapshot_codec.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/trace.h"
 #include "uav/bus_replay.h"
@@ -79,6 +84,19 @@ int Usage() {
       "                                     invariants + metamorphic oracles;\n"
       "                                     failures shrunk to DIR/*.repro\n"
       "  fuzz --replay file.repro           re-execute a minimized repro\n"
+      "  fuzz --fork-from file.uvsnap       snapshot-fork fuzzing: vary fault\n"
+      "       [--runs N] [--seed N]         magnitude/duration off one checkpoint\n"
+      "                                     (fork-determinism + invariant oracles)\n"
+      "  snapshot [mission] [acc|gyro|imu] [type] [duration] [--at T] [--seed N]\n"
+      "           [--out file.uvsnap]       checkpoint the run at fault onset\n"
+      "                                     (or --at T) into a .uvsnap file\n"
+      "  bisect [mission] [acc|gyro|imu] [type] [duration] [--seed N] [--tol X]\n"
+      "         [--settle S] [--probes N] [--duration-axis]\n"
+      "                                     checkpoint at fault onset, then\n"
+      "                                     binary-search the minimal crashing\n"
+      "                                     magnitude (and, with\n"
+      "                                     --duration-axis, duration) by\n"
+      "                                     forking probes off the snapshot\n"
       "\n"
       "observability (any command; see DESIGN.md §10):\n"
       "  --trace-out FILE                   write a Chrome-trace/Perfetto JSON\n"
@@ -159,6 +177,7 @@ int CmdInject(const app::CommandLine& cl) {
   fault.target = ParseTarget(cl.Positional(1, "imu"));
   fault.type = ParseType(cl.Positional(2, "random"));
   fault.duration_s = std::atof(cl.Positional(3, "10").c_str());
+  fault.magnitude = cl.FlagDouble("magnitude", 1.0);
   const auto seed = static_cast<std::uint64_t>(cl.FlagInt("seed", 2024));
 
   const auto& spec = fleet[static_cast<std::size_t>(mission)];
@@ -170,6 +189,92 @@ int CmdInject(const app::CommandLine& cl) {
               core::FaultLabel(fault.target, fault.type).c_str(), fault.duration_s,
               fault.start_time_s);
   PrintResult(out.result);
+  return 0;
+}
+
+/// Shared by `snapshot` and `bisect`: inject-style positionals -> spec.
+uav::ExperimentSpec ParseFaultedSpec(const app::CommandLine& cl) {
+  const auto& fleet = core::SharedValenciaScenario();
+  const int mission = MissionIndex(cl, 0);
+  core::FaultSpec fault;
+  fault.target = ParseTarget(cl.Positional(1, "imu"));
+  fault.type = ParseType(cl.Positional(2, "random"));
+  fault.duration_s = std::atof(cl.Positional(3, "10").c_str());
+  return {fleet[static_cast<std::size_t>(mission)], mission, fault,
+          static_cast<std::uint64_t>(cl.FlagInt("seed", 2024))};
+}
+
+int CmdSnapshot(const app::CommandLine& cl) {
+  uav::ExperimentSpec spec = ParseFaultedSpec(cl);
+  const double t_snap = cl.FlagDouble("at", spec.fault->start_time_s);
+  const std::string path = cl.Flag("out").value_or("checkpoint.uvsnap");
+  const uav::SimulationRunner runner;
+  sim::Snapshot snap;
+  if (!runner.CaptureSnapshot(spec, t_snap, snap)) {
+    std::fprintf(stderr, "run terminated before t=%.1f s; no snapshot\n", t_snap);
+    return 1;
+  }
+  if (!telemetry::SaveSnapshotFile(path, snap)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::size_t bytes = 0;
+  for (const auto& s : snap.sections) bytes += s.bytes.size();
+  std::printf("snapshot   : step %lld (t=%.3f s), %zu sections, %zu state bytes -> %s\n",
+              static_cast<long long>(snap.step_count), snap.time_s,
+              snap.sections.size(), bytes, path.c_str());
+  std::printf("fault      : %s for %.0f s at t=%.0f s (not yet applied at capture)\n",
+              core::FaultLabel(spec.fault->target, spec.fault->type).c_str(),
+              spec.fault->duration_s, spec.fault->start_time_s);
+  return 0;
+}
+
+void PrintBisectAxis(const char* axis, const std::vector<app::BisectProbe>& probes) {
+  std::printf("%-9s %10s %-10s %12s\n", axis, "value", "outcome", "fork steps");
+  for (const auto& p : probes) {
+    std::printf("%-9s %10.4f %-10s %12llu\n", "", p.value, core::ToString(p.outcome),
+                static_cast<unsigned long long>(p.fork_steps));
+  }
+}
+
+int CmdBisect(const app::CommandLine& cl) {
+  uav::ExperimentSpec spec = ParseFaultedSpec(cl);
+  app::BisectOptions opts;
+  opts.magnitude_tol = cl.FlagDouble("tol", opts.magnitude_tol);
+  opts.settle_s = cl.FlagDouble("settle", opts.settle_s);
+  opts.max_probes = cl.FlagInt("probes", opts.max_probes);
+  opts.bisect_duration = cl.HasFlag("duration-axis");
+  const auto rep = app::RunBisect({}, spec, opts);
+  if (!rep.ok) {
+    std::fprintf(stderr, "bisect: %s\n", rep.error.c_str());
+    return 1;
+  }
+  std::printf("mission    : %s\n", spec.drone.name.c_str());
+  std::printf("fault      : %s for %.0f s at t=%.0f s\n",
+              core::FaultLabel(spec.fault->target, spec.fault->type).c_str(),
+              spec.fault->duration_s, spec.fault->start_time_s);
+  std::printf("full run   : %s (%llu steps; snapshot at step %lld)\n",
+              core::ToString(rep.full_outcome),
+              static_cast<unsigned long long>(rep.full_run_steps),
+              static_cast<long long>(rep.snapshot_step));
+  if (!rep.full_strength_crashes) {
+    std::printf("no crash at full strength — no magnitude boundary to bisect\n");
+    return 0;
+  }
+  PrintBisectAxis("magnitude", rep.magnitude_probes);
+  std::printf("boundary   : magnitude in (%.4f, %.4f]\n", rep.magnitude_lo,
+              rep.magnitude_hi);
+  if (rep.duration_bisected) {
+    PrintBisectAxis("duration", rep.duration_probes);
+    std::printf("boundary   : duration in (%.2f, %.2f] s\n", rep.duration_lo_s,
+                rep.duration_hi_s);
+  }
+  std::printf("cost       : %d probes, %llu fork steps vs %llu from-scratch steps"
+              " (%.1fx fewer)\n",
+              rep.total_probes(),
+              static_cast<unsigned long long>(rep.fork_steps_total),
+              static_cast<unsigned long long>(rep.scratch_equiv_steps),
+              rep.savings_factor);
   return 0;
 }
 
@@ -465,6 +570,28 @@ int CmdReplay(const app::CommandLine& cl) {
 }
 
 int CmdFuzz(const app::CommandLine& cl) {
+  if (const auto file = cl.Flag("fork-from")) {
+    const auto snap = telemetry::LoadSnapshotFile(*file);
+    if (!snap) {
+      std::fprintf(stderr, "fuzz: cannot read %s (missing or corrupt snapshot)\n",
+                   file->c_str());
+      return 2;
+    }
+    const int runs = cl.FlagInt("runs", 16);
+    const auto seed = static_cast<std::uint64_t>(cl.FlagInt("seed", 1));
+    const auto rep = app::RunForkFuzz(*snap, runs, seed);
+    if (!rep.ok) {
+      std::fprintf(stderr, "fuzz: %s\n", rep.error.c_str());
+      return 2;
+    }
+    std::printf("fork fuzz  : %d probes off %s\n", rep.probes, file->c_str());
+    std::printf("oracles    : %d determinism failures, %d invariant failures\n",
+                rep.determinism_failures, rep.invariant_failures);
+    for (const auto& d : rep.failure_details) {
+      std::printf("FAILURE    : %s\n", d.c_str());
+    }
+    return rep.determinism_failures == 0 && rep.invariant_failures == 0 ? 0 : 1;
+  }
   if (const auto file = cl.Flag("replay")) {
     std::string err;
     const auto c = app::LoadRepro(*file, &err);
@@ -514,6 +641,8 @@ int Dispatch(const uavres::app::CommandLine& cl) {
   if (cl.command == "list") return CmdList();
   if (cl.command == "fly") return CmdFly(cl);
   if (cl.command == "inject") return CmdInject(cl);
+  if (cl.command == "snapshot") return CmdSnapshot(cl);
+  if (cl.command == "bisect") return CmdBisect(cl);
   if (cl.command == "campaign") return CmdCampaign(cl);
   if (cl.command == "convoy") return CmdConvoy(cl);
   if (cl.command == "export") return CmdExport(cl);

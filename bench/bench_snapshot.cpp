@@ -1,0 +1,93 @@
+// Micro-benchmark: snapshot capture/restore cost and fork-vs-scratch
+// speedup (DESIGN.md §16).
+//
+// Reports (a) the wall cost of capturing and restoring a full-vehicle
+// checkpoint relative to one control step, (b) the serialized snapshot size,
+// and (c) the measured speedup of probing a fault boundary by forking off an
+// onset snapshot instead of re-simulating each probe from scratch — the
+// number `uavres bisect` banks on (its report claims >= 5x on the stock
+// scenarios).
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "app/bisect.h"
+#include "core/fault_model.h"
+#include "core/scenario.h"
+#include "telemetry/snapshot_codec.h"
+#include "uav/simulation_runner.h"
+
+int main() {
+  using namespace uavres;
+  using Clock = std::chrono::steady_clock;
+  const auto ms = [](Clock::duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  };
+
+  uav::ExperimentSpec spec;
+  spec.drone = core::SharedValenciaScenario()[0];
+  spec.mission_index = 0;
+  core::FaultSpec fault;
+  fault.type = core::FaultType::kZeros;
+  fault.target = core::FaultTarget::kGyrometer;
+  fault.start_time_s = core::kInjectionStartS;
+  fault.duration_s = 10.0;
+  spec.fault = fault;
+
+  const uav::SimulationRunner runner{uav::RunConfig{}};
+
+  std::puts("Snapshot capture/restore cost and fork-vs-scratch speedup");
+
+  // Capture: full run with checkpoint vs plain full run.
+  uav::RunOutput out;
+  sim::Snapshot snap;
+  auto t0 = Clock::now();
+  runner.RunInto(spec, out);
+  const double plain_ms = ms(Clock::now() - t0);
+  t0 = Clock::now();
+  if (!runner.RunWithCheckpoint(spec, fault.start_time_s, snap, out)) {
+    std::puts("checkpoint capture failed");
+    return 1;
+  }
+  const double with_capture_ms = ms(Clock::now() - t0);
+
+  std::ostringstream encoded(std::ios::binary);
+  telemetry::WriteSnapshot(encoded, snap);
+  std::printf("  full run              %8.2f ms (%llu steps)\n", plain_ms,
+              static_cast<unsigned long long>(out.steps));
+  std::printf("  full run + capture    %8.2f ms (overhead %+.2f ms)\n",
+              with_capture_ms, with_capture_ms - plain_ms);
+  std::printf("  snapshot size         %8zu bytes (%zu sections)\n",
+              encoded.str().size(), snap.sections.size());
+
+  // Restore + fork: incremental probe cost vs a from-scratch probe.
+  uav::RunOutput fork_out;
+  t0 = Clock::now();
+  if (!runner.RunFromSnapshot(spec, snap, fork_out)) {
+    std::puts("fork failed");
+    return 1;
+  }
+  const double fork_ms = ms(Clock::now() - t0);
+  std::printf("  fork to termination   %8.2f ms (%llu incremental steps, %.1fx vs scratch)\n",
+              fork_ms,
+              static_cast<unsigned long long>(fork_out.steps - snap.step_count),
+              fork_ms > 0 ? plain_ms / fork_ms : 0.0);
+
+  // The composite number: one real bisection session.
+  t0 = Clock::now();
+  const app::BisectReport rep = app::RunBisect({}, spec, {});
+  const double bisect_ms = ms(Clock::now() - t0);
+  if (!rep.ok) {
+    std::printf("bisect failed: %s\n", rep.error.c_str());
+    return 1;
+  }
+  std::printf("\nBisection (%d probes, boundary m in (%.4f, %.4f]):\n",
+              rep.total_probes(), rep.magnitude_lo, rep.magnitude_hi);
+  std::printf("  fork steps            %12llu\n",
+              static_cast<unsigned long long>(rep.fork_steps_total));
+  std::printf("  scratch-equivalent    %12llu\n",
+              static_cast<unsigned long long>(rep.scratch_equiv_steps));
+  std::printf("  savings               %12.1fx   (%.1f ms wall)\n",
+              rep.savings_factor, bisect_ms);
+  return 0;
+}

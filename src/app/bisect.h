@@ -1,0 +1,111 @@
+// Fault-boundary bisection and snapshot-fork fuzzing (`uavres bisect`,
+// `uavres fuzz --fork-from`; DESIGN.md §16).
+//
+// A bisection session runs the full-strength experiment ONCE with a
+// checkpoint captured at fault onset (SimulationRunner::RunWithCheckpoint),
+// then binary-searches the minimal crashing fault magnitude — and optionally
+// the minimal crashing duration — by forking probes off that snapshot. Each
+// probe re-simulates only the post-onset window (capped by a settle horizon
+// past the fault end), so the session costs a small fraction of what a grid
+// of from-scratch re-simulations would: the report carries both step counts
+// and the resulting savings factor.
+//
+// The probe predicate is a physical crash (MissionOutcome::kCrashed). A
+// probe that survives its horizon classifies as kTimeout and counts as
+// surviving; a crash that would only develop after the horizon is therefore
+// read as survival — widen `settle_s` if the boundary looks suspicious.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "sim/snapshot.h"
+#include "uav/simulation_runner.h"
+
+namespace uavres::app {
+
+struct BisectOptions {
+  /// Interval width at which the magnitude search stops.
+  double magnitude_tol{1.0 / 64.0};
+  /// Additionally bisect the minimal crashing duration at full magnitude.
+  bool bisect_duration{false};
+  double duration_tol_s{0.25};
+  /// Probe horizon beyond the fault window's end [s].
+  double settle_s{20.0};
+  /// Hard cap on probes per axis (the tolerance normally stops earlier).
+  int max_probes{16};
+};
+
+/// One probe: the varied value (magnitude or duration), its verdict, and the
+/// incremental simulation cost of the fork.
+struct BisectProbe {
+  double value{0.0};
+  core::MissionOutcome outcome{core::MissionOutcome::kTimeout};
+  bool crashed{false};
+  std::uint64_t fork_steps{0};  ///< post-snapshot steps this probe simulated
+};
+
+struct BisectReport {
+  bool ok{false};
+  std::string error;
+
+  /// Verdict of the donor full-strength, full-duration run.
+  core::MissionOutcome full_outcome{core::MissionOutcome::kTimeout};
+  bool full_strength_crashes{false};
+
+  /// Magnitude boundary: highest probed surviving magnitude and lowest
+  /// probed crashing magnitude (bracket width <= magnitude_tol on success).
+  double magnitude_lo{0.0};
+  double magnitude_hi{1.0};
+  std::vector<BisectProbe> magnitude_probes;
+
+  /// Duration boundary (only when BisectOptions::bisect_duration).
+  bool duration_bisected{false};
+  double duration_lo_s{0.0};
+  double duration_hi_s{0.0};
+  std::vector<BisectProbe> duration_probes;
+
+  /// Step accounting: the donor run's full-mission cost, the summed
+  /// incremental fork cost, and what the same probes would have cost as
+  /// from-scratch re-simulations (probes x full run).
+  std::int64_t snapshot_step{0};
+  std::uint64_t full_run_steps{0};
+  std::uint64_t fork_steps_total{0};
+  std::uint64_t scratch_equiv_steps{0};
+  double savings_factor{0.0};
+
+  int total_probes() const {
+    return static_cast<int>(magnitude_probes.size() + duration_probes.size());
+  }
+};
+
+/// Run one bisection session. `spec` must carry a fault; its magnitude is
+/// forced to 1.0 for the donor run. `run_cfg` is the harness configuration
+/// shared by the donor and every probe.
+BisectReport RunBisect(const uav::RunConfig& run_cfg, uav::ExperimentSpec spec,
+                       const BisectOptions& opts = {});
+
+/// Rebuild the donor ExperimentSpec a snapshot was captured from (scenario
+/// drone by mission index + the stored fault identity). Returns false when
+/// the snapshot names an unknown mission or an out-of-range fault enum.
+bool SpecFromSnapshot(const sim::Snapshot& snap, uav::ExperimentSpec& out);
+
+/// Snapshot-fork fuzzing: `runs` probes off one snapshot, each with a
+/// magnitude (and, alternating, duration) drawn deterministically from
+/// `seed`. Every probe runs TWICE from the same snapshot and the serialized
+/// (result, trajectory) bytes must match — the fork-determinism oracle — and
+/// runs under the runtime invariant checker in kRecord mode.
+struct ForkFuzzReport {
+  bool ok{false};
+  std::string error;
+  int probes{0};
+  int determinism_failures{0};
+  int invariant_failures{0};
+  std::vector<std::string> failure_details;
+};
+
+ForkFuzzReport RunForkFuzz(const sim::Snapshot& snap, int runs, std::uint64_t seed);
+
+}  // namespace uavres::app

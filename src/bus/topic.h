@@ -73,6 +73,13 @@ class Topic {
   /// Time of the latest publication.
   double stamp() const { return stamp_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(value_, stamp_, generation_);
+  }
+
  private:
   struct Slot {
     Interceptor fn{nullptr};

@@ -123,6 +123,15 @@ struct FlightBus {
   Topic<TruthSignal> truth;
   Topic<BatterySignal> battery;
   Topic<DetectorSignal> detector;
+
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): every topic's latest
+  /// value, stamp and generation, in TopicId order. Interceptor registrations
+  /// are wiring, not state — a restored vehicle re-registers its own.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(imu, gps, baro, mag, estimate, estimator_status, imu_select, health, setpoint,
+      actuator, truth, battery, detector);
+  }
 };
 
 }  // namespace uavres::bus

@@ -67,6 +67,13 @@ class Pid {
 
   double integral() const { return integral_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(integral_, last_error_, d_state_, initialized_);
+  }
+
  private:
   PidConfig cfg_;
   double integral_{0.0};
@@ -89,6 +96,13 @@ class PidVec3 {
 
   math::Vec3 Update(const math::Vec3& error, double dt) {
     return {x_.Update(error.x, dt), y_.Update(error.y, dt), z_.Update(error.z, dt)};
+  }
+
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(x_, y_, z_);
   }
 
  private:

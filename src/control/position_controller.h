@@ -57,6 +57,13 @@ class PositionController {
   /// Last velocity setpoint (for telemetry/tests).
   const math::Vec3& velocity_setpoint() const { return vel_sp_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(vel_pid_, vel_sp_);
+  }
+
  private:
   PositionControlConfig cfg_;
   PidVec3 vel_pid_;

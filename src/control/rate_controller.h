@@ -39,6 +39,13 @@ class RateController {
             yaw_.Update(rate_sp.z - rate_meas.z, dt)};
   }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(roll_, pitch_, yaw_);
+  }
+
  private:
   RateControlConfig cfg_;
   Pid roll_, pitch_, yaw_;

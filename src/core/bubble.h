@@ -42,6 +42,13 @@ class OuterBubble {
   double radius() const { return radius_; }
   double inner_radius() const { return inner_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(radius_, prev_airspeed_, prev_distance_, initialized_);
+  }
+
  private:
   BubbleParams params_;
   double inner_;
@@ -68,6 +75,13 @@ class BubbleMonitor {
   double inner_radius() const { return inner_; }
   double last_outer_radius() const { return outer_.radius(); }
   double max_deviation() const { return max_deviation_; }
+
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(outer_, inner_violations_, outer_violations_, instants_, max_deviation_);
+  }
 
  private:
   double inner_;

@@ -83,7 +83,19 @@ ImuSample FaultInjector::Apply(const ImuSample& truth, int unit, double t) {
     frozen_[unit].reset();
     return truth;
   }
+  ImuSample out = ApplyFull(truth, unit, t);
+  if (spec_.magnitude == 1.0) return out;  // exact: the legacy full-strength path
+  // Partial-magnitude blend toward truth. The fully-faulted sample above
+  // consumed exactly the RNG draws a magnitude-1.0 run consumes, so the
+  // stream stays magnitude-independent and a bisection probe forked from a
+  // snapshot is bit-identical to the same spec run from t = 0.
+  const double m = spec_.magnitude;
+  out.accel_mps2 = truth.accel_mps2 + (out.accel_mps2 - truth.accel_mps2) * m;
+  out.gyro_rads = truth.gyro_rads + (out.gyro_rads - truth.gyro_rads) * m;
+  return out;
+}
 
+ImuSample FaultInjector::ApplyFull(const ImuSample& truth, int unit, double t) {
   ImuSample out = truth;
 
   if (spec_.type == FaultType::kFreeze) {

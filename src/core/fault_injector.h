@@ -68,7 +68,18 @@ class FaultInjector {
   const math::Vec3& fixed_accel() const { return fixed_accel_; }
   const math::Vec3& fixed_gyro() const { return fixed_gyro_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(axis_rng_, fixed_accel_, fixed_gyro_, frozen_);
+  }
+
  private:
+  /// The full-strength (magnitude-1.0) corrupted sample; Apply blends it
+  /// toward truth when the spec carries a partial magnitude.
+  sensors::ImuSample ApplyFull(const sensors::ImuSample& truth, int unit, double t);
+
   math::Vec3 CorruptAxis(const math::Vec3& truth, bool is_accel, int unit, double t);
 
   /// Per-axis stream: sensor 0 = accelerometer, 1 = gyrometer.

@@ -89,6 +89,14 @@ struct FaultSpec {
   FaultTarget target{FaultTarget::kImu};
   double start_time_s{kInjectionStartS};
   double duration_s{10.0};
+  /// Fault intensity in [0, 1]: the injected sample is
+  /// `truth + magnitude * (faulted - truth)` per axis, so 1.0 is the paper's
+  /// full-strength fault and 0.0 degenerates to no corruption. The boundary
+  /// bisection driver (`uavres bisect`) sweeps this axis. At exactly 1.0 the
+  /// blend is skipped entirely, which keeps every pre-magnitude run — and its
+  /// store key — bit-identical; the injector's RNG draws never depend on it,
+  /// which is what makes magnitude forks of a snapshot exact (DESIGN.md §16).
+  double magnitude{1.0};
 
   bool ActiveAt(double t) const {
     return t >= start_time_s && t < start_time_s + duration_s;

@@ -69,6 +69,13 @@ class GpsFaultInjector {
   /// The jump direction drawn for this experiment (unit vector, horizontal).
   const math::Vec3& offset_direction() const { return direction_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(rng_, direction_, frozen_);
+  }
+
  private:
   GpsFaultSpec spec_;
   math::Rng rng_;

@@ -63,6 +63,11 @@ struct InvariantViolation {
   double value{0.0};
   double bound{0.0};
   std::string detail;
+
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(id, t, value, bound, detail);
+  }
 };
 
 /// Checker behaviour.
@@ -159,6 +164,13 @@ class InvariantChecker {
 
   /// Per-id tally over the flight.
   std::size_t CountFor(InvariantId id) const;
+
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(violations_, total_, per_id_, prev_energy_j_, have_prev_energy_, last_cov_asym_events_, last_cov_neg_var_events_);
+  }
 
  private:
   void Report(InvariantId id, double t, double value, double bound, std::string detail);

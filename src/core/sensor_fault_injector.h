@@ -50,6 +50,13 @@ class BaroFaultInjector {
   /// kFixed's constant (drawn once per experiment), for logging and tests.
   double fixed_alt_m() const { return fixed_alt_m_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(rng_, fixed_alt_m_, frozen_alt_m_);
+  }
+
  private:
   FaultSpec spec_;
   BaroFaultConfig cfg_;
@@ -71,6 +78,13 @@ class MagFaultInjector {
 
   /// kFixed's constant (drawn once per experiment), for logging and tests.
   const math::Vec3& fixed_field() const { return fixed_field_; }
+
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(rng_, fixed_field_, frozen_field_);
+  }
 
  private:
   FaultSpec spec_;

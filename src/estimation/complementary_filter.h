@@ -39,6 +39,13 @@ class ComplementaryFilter {
   const math::Quat& attitude() const { return att_; }
   const math::Vec3& gyro_bias() const { return gyro_bias_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(att_, gyro_bias_);
+  }
+
  private:
   ComplementaryConfig cfg_;
   math::Quat att_{};

@@ -104,6 +104,13 @@ class ImuFaultDetector {
   double plausibility_level() const { return plaus_level_; }
   const DetectorConfig& config() const { return cfg_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(state_, plaus_level_, last_gyro_, last_accel_, have_last_, stuck_s_, cusum_, quiet_s_, first_confirm_time_s_, last_confirm_time_s_, confirm_events_);
+  }
+
  private:
   bool RateSampleImplausible(const sensors::ImuSample& imu, double dt);
 

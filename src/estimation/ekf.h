@@ -146,6 +146,13 @@ class Ekf {
   /// 1-sigma horizontal position uncertainty [m].
   double HorizontalPosStd() const;
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(nav_, P_, status_, last_accel_corrected_, cov_step_counter_, time_, last_gps_accept_time_, last_pos_axis_accept_, last_vel_axis_accept_, gravity_disagreement_s_);
+  }
+
  private:
   // The prediction seams below decompose PredictImu so the batched driver
   // (EkfBatch) can interleave the per-lane scalar pieces with its own SoA

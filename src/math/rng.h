@@ -52,6 +52,13 @@ class Rng {
   /// own stream so adding noise to one sensor does not perturb another.
   Rng Fork();
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(s_, cached_gauss_, has_cached_gauss_);
+  }
+
  private:
   std::uint64_t s_[4]{};
   double cached_gauss_{0.0};

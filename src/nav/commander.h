@@ -72,6 +72,13 @@ class Commander {
 
   const TrajectoryGenerator& trajectory() const { return traj_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(traj_, mode_, failsafe_engaged_, landed_from_land_, landed_time_, hold_pos_, descent_z_, low_and_slow_s_, mission_yaw_);
+  }
+
  private:
   void SwitchMode(FlightMode m, double t);
 

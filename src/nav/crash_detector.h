@@ -35,6 +35,13 @@ class CrashDetector {
   double crash_time() const { return crash_time_; }
   const std::string& reason() const { return reason_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(crashed_, crash_time_, reason_, seen_touchdowns_);
+  }
+
  private:
   void Declare(double t, std::string reason) {
     if (crashed_) return;

@@ -133,6 +133,13 @@ class HealthMonitor {
   /// Diagnostic: current anomaly accumulation [s-equivalent].
   double anomaly_level() const { return anomaly_level_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(reason_, failsafe_time_, recovered_, anomaly_level_, confirmed_, confirm_time_, active_unit_, isolation_switches_, next_switch_time_, last_gyro_, have_last_, stuck_accum_, tilt_consecutive_s_, last_large_reset_count_, reset_window_start_, resets_in_window_, baro_reject_s_);
+  }
+
  private:
   bool SampleAnomalous(const sensors::ImuSample& imu, double dt);
 

@@ -31,6 +31,13 @@ class TrajectoryGenerator {
 
   double TotalLength() const { return total_length_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(s_, last_yaw_);
+  }
+
  private:
   /// Point on the polyline at arc length s.
   math::Vec3 PointAt(double s) const;

@@ -31,6 +31,13 @@ class Barometer {
     return out;
   }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(rng_, drift_);
+  }
+
  private:
   BaroConfig cfg_;
   math::Rng rng_;

@@ -33,6 +33,13 @@ class Gps {
     return out;
   }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(rng_);
+  }
+
  private:
   GpsConfig cfg_;
   math::Rng rng_;

@@ -39,6 +39,13 @@ class ImuUnit {
 
   const ImuRanges& ranges() const { return ranges_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(accel_noise_, gyro_noise_);
+  }
+
  private:
   TriaxialNoise accel_noise_;
   TriaxialNoise gyro_noise_;
@@ -59,6 +66,13 @@ class RedundantImu {
   std::array<ImuSample, kNumUnits> SampleAll(const sim::RigidBodyState& s, double t, double dt);
 
   const ImuRanges& ranges() const { return ranges_; }
+
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(units_);
+  }
 
  private:
   std::array<ImuUnit, kNumUnits> units_;

@@ -36,6 +36,13 @@ class Magnetometer {
     return out;
   }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(rng_);
+  }
+
  private:
   MagConfig cfg_;
   math::Rng rng_;

@@ -33,6 +33,13 @@ class TriaxialNoise {
     return truth + bias_ + rng_.GaussianVec3(params_.white_stddev);
   }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(rng_, bias_);
+  }
+
  private:
   NoiseParams params_;
   math::Rng rng_;

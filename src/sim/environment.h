@@ -37,6 +37,13 @@ class Environment {
   /// Wind velocity at the current instant [m/s, NED].
   math::Vec3 Wind() const { return params_.mean_wind_ned + gust_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(rng_, gust_);
+  }
+
  private:
   WindParams params_;
   math::Rng rng_;

@@ -46,6 +46,13 @@ class Rotor {
     return -params_.spin_direction * params_.torque_coefficient * Thrust();
   }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(level_);
+  }
+
  private:
   RotorParams params_;
   double level_{0.0};

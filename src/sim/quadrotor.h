@@ -81,6 +81,13 @@ class Quadrotor {
   /// Number of air->ground transitions since reset.
   int touchdown_count() const { return touchdown_count_; }
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(body_, rotors_, on_ground_, last_impact_speed_, touchdown_count_, failed_);
+  }
+
  private:
   math::Vec3 RotorPosition(int i) const;
   void HandleGroundContact(double dt);

@@ -40,6 +40,13 @@ class RigidBody {
   /// torque [N m]. Gravity must be included in `force_world` by the caller.
   void Step(const math::Vec3& force_world, const math::Vec3& torque_body, double dt);
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(state_);
+  }
+
  private:
   double mass_;
   math::Mat3 inertia_;

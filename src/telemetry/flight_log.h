@@ -15,6 +15,11 @@ struct FlightEvent {
   double t{0.0};
   LogLevel level{LogLevel::kInfo};
   std::string message;
+
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(t, level, message);
+  }
 };
 
 /// Append-only in-memory event log.
@@ -50,6 +55,13 @@ class FlightLog {
     for (const auto& e : events_)
       if (e.message.find(needle) != std::string::npos) return true;
     return false;
+  }
+
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(events_);
   }
 
  private:

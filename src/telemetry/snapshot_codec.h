@@ -1,0 +1,41 @@
+// Binary (de)serialization of sim::Snapshot — the `.uvsnap` on-disk format.
+//
+// Layout (little-endian, see telemetry/binary_io.h):
+//   magic "UVSN" | u32 version | u64 seed | u64 step_count | f64 time_s
+//   | i32 mission_index | string mission_name | u64 config_digest
+//   | u32 section_count | { u32 id | u64 len | bytes } * | u32 footer | EOF
+//
+// The section payloads are the opaque byte blobs sim::Snapshot carries
+// (math/state_io.h serialization of each subsystem); the codec frames them
+// but never interprets them. Readers reject bad magic, versions newer than
+// this build, implausible counts/lengths and any truncation — a corrupt or
+// hostile file yields nullopt, never partial data or UB.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "sim/snapshot.h"
+
+namespace uavres::telemetry {
+
+/// Sanity bounds applied by the reader: a full-vehicle snapshot is a few
+/// dozen sections of at most a few MiB (the recorded trajectory prefix);
+/// anything beyond these is a corrupt length field, not a real snapshot.
+inline constexpr std::uint32_t kMaxSnapshotSections = 1024;
+inline constexpr std::uint64_t kMaxSnapshotSectionBytes = 256ULL << 20;  // 256 MiB
+inline constexpr std::uint32_t kMaxSnapshotNameLen = 4096;
+
+void WriteSnapshot(std::ostream& os, const sim::Snapshot& snap);
+
+/// Reads one framed snapshot; nullopt on any framing failure (bad magic,
+/// future version, bad counts, truncation, missing footer).
+std::optional<sim::Snapshot> ReadSnapshot(std::istream& is);
+
+/// File convenience wrappers (binary mode, whole-file framing).
+bool SaveSnapshotFile(const std::string& path, const sim::Snapshot& snap);
+std::optional<sim::Snapshot> LoadSnapshotFile(const std::string& path);
+
+}  // namespace uavres::telemetry

@@ -51,6 +51,13 @@ class Trajectory {
   /// Returns +inf for an empty trajectory.
   double DistanceToTruePath(const math::Vec3& p) const;
 
+  /// Snapshot seam (math/state_io.h, DESIGN.md §16): visits the run-mutable
+  /// state; configuration is reconstructed, not serialized.
+  template <class Visitor>
+  void VisitState(Visitor&& v) {
+    v(samples_);
+  }
+
  private:
   std::vector<TrajectorySample> samples_;
 };

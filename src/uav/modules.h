@@ -23,6 +23,7 @@
 
 #include "bus/schedule.h"
 #include "bus/topics.h"
+#include "math/state_io.h"
 #include "estimation/complementary_filter.h"
 #include "estimation/detectors.h"
 #include "estimation/ekf_batch.h"
@@ -40,6 +41,11 @@ class ImuModule final : public bus::Module {
             std::uint64_t seed, bus::FlightBus* bus);
   void Step(const bus::StepInfo& info) override;
 
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
+
  private:
   sensors::RedundantImu imu_;
   bus::FlightBus* bus_;
@@ -50,6 +56,11 @@ class GpsModule final : public bus::Module {
  public:
   GpsModule(const sensors::GpsConfig& cfg, std::uint64_t seed, bus::FlightBus* bus);
   void Step(const bus::StepInfo& info) override;
+
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
 
  private:
   sensors::Gps gps_;
@@ -64,6 +75,11 @@ class BaroModule final : public bus::Module {
              bus::FlightBus* bus);
   void Step(const bus::StepInfo& info) override;
 
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
+
  private:
   sensors::Barometer baro_;
   int divider_;
@@ -75,6 +91,11 @@ class MagModule final : public bus::Module {
  public:
   MagModule(const sensors::MagConfig& cfg, std::uint64_t seed, bus::FlightBus* bus);
   void Step(const bus::StepInfo& info) override;
+
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
 
  private:
   sensors::Magnetometer mag_;
@@ -105,6 +126,11 @@ class EstimatorModule final : public bus::Module {
   void AttachFailover(const estimation::ImuFaultDetector* detector) { detector_ = detector; }
 
   const estimation::Ekf& ekf() const { return ekf_; }
+
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
 
  private:
   estimation::Ekf ekf_;
@@ -167,6 +193,11 @@ class HealthModule final : public bus::Module {
 
   const nav::HealthMonitor& monitor() const { return monitor_; }
 
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
+
  private:
   nav::HealthMonitor monitor_;
   bus::FlightBus* bus_;
@@ -184,6 +215,11 @@ class CommanderModule final : public bus::Module {
 
   const nav::Commander& commander() const { return commander_; }
 
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
+
  private:
   nav::Commander commander_;
   bus::FlightBus* bus_;
@@ -200,6 +236,11 @@ class ControlCascadeModule final : public bus::Module {
                        const control::RateControlConfig& rate_cfg,
                        const control::MixerConfig& mixer_cfg, bus::FlightBus* bus);
   void Step(const bus::StepInfo& info) override;
+
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
 
  private:
   control::PositionController pos_ctrl_;
@@ -224,6 +265,11 @@ class PhysicsModule final : public bus::Module {
   const sim::Quadrotor& quad() const { return *quad_; }
   const nav::CrashDetector& crash_detector() const { return crash_; }
   bool airborne_seen() const { return airborne_seen_; }
+
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
 
  private:
   void PublishTruth(double t);
@@ -252,6 +298,11 @@ class BatteryModule final : public bus::Module {
 
   const sim::Battery& battery() const { return battery_; }
 
+  /// Checkpoint seam (DESIGN.md §16): serialize / overwrite the module's
+  /// run-mutable state (math/state_io.h byte streams).
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
+
  private:
   sim::Battery battery_;
   bus::FlightBus* bus_;
@@ -268,6 +319,14 @@ class FaultInterceptorStage {
 
   /// True while any IMU fault window is open (the façade's fault_active()).
   bool AnyImuActiveAt(double t) const;
+
+  /// Checkpoint seam: injector RNG streams, frozen samples and the per-window
+  /// logged flags — never the fault specs themselves, so a fork restored into
+  /// a vehicle built with a *modified* spec (bisection probes) keeps the
+  /// donor's streams. Restore fails on a structural mismatch (different
+  /// window count or optional-injector wiring).
+  void SaveState(math::StateWriter& w);
+  bool RestoreState(math::StateReader& r);
 
  private:
   struct ImuSlot {
@@ -305,6 +364,10 @@ class DetectorStage {
 
   bool enabled() const { return enabled_; }
   const estimation::ImuFaultDetector& detector() const { return detector_; }
+
+  /// Checkpoint seam: detector state machine + the confirm-log latch.
+  void SaveState(math::StateWriter& w);
+  void RestoreState(math::StateReader& r);
 
  private:
   static void ObserveImu(void* ctx, bus::ImuSignal& sig, double t);

@@ -49,6 +49,7 @@ std::ostream& operator<<(std::ostream& os, const ExperimentSpec& spec) {
     os << "fault=" << core::ToString(spec.fault->type) << '@'
        << core::ToString(spec.fault->target) << " t=[" << spec.fault->start_time_s
        << ',' << spec.fault->start_time_s + spec.fault->duration_s << ')';
+    if (spec.fault->magnitude != 1.0) os << " m=" << spec.fault->magnitude;
   } else {
     os << "gold";
   }
@@ -167,6 +168,7 @@ class StepBookkeeper {
     out_.trajectory.Clear();
     out_.violations.clear();
     out_.total_violations = 0;
+    out_.steps = 0;
 
     out_.result.mission_index = espec.mission_index;
     out_.result.mission_name = espec.drone.name;
@@ -181,6 +183,21 @@ class StepBookkeeper {
   bool checker_enabled() const { return checker_.enabled(); }
   double max_time() const { return max_time_; }
   bool ended() const { return ended_; }
+
+  /// Serialize the run-mutable bookkeeping into the snapshot's harness
+  /// section (wall_start_ is profiling-only and deliberately excluded; the
+  /// config-derived members are rebuilt by the constructor).
+  void SaveState(sim::Snapshot& snap) {
+    math::StateWriter w(&snap.Add(kHarnessSection).bytes);
+    VisitHarnessState(w);
+  }
+  bool RestoreState(const sim::Snapshot& snap) {
+    const sim::SnapshotSection* s = snap.Find(kHarnessSection);
+    if (s == nullptr) return false;
+    math::StateReader r(s->bytes);
+    VisitHarnessState(r);
+    return r.ok() && r.fully_consumed();
+  }
 
   // Runs after each Step() at post-step time `t` — the exact per-step block
   // of the old scalar loop, against the view instead of the façade.
@@ -313,6 +330,8 @@ class StepBookkeeper {
       out_.total_violations = checker_.total_violations();
     }
 
+    out_.steps = steps_;
+
     // Per-run accounting: the step count and outcome tallies are
     // deterministic oracles (the golden-trace test asserts on them); the
     // wall-clock histogram is the profiling signal.
@@ -340,6 +359,16 @@ class StepBookkeeper {
   }
 
  private:
+  static constexpr std::uint32_t kHarnessSection =
+      static_cast<std::uint32_t>(SnapshotSectionId::kHarness);
+
+  template <class Visitor>
+  void VisitHarnessState(Visitor&& v) {
+    v(next_record_, next_track_, last_check_t_, last_est_pos_, distance_est_,
+      end_time_, outcome_, steps_, anomaly_at_onset_, ended_, bubbles_, checker_,
+      out_.trajectory);
+  }
+
   static core::BubbleParams MakeBubbleParams(const RunConfig& cfg,
                                              const ExperimentSpec& espec) {
     core::BubbleParams p = espec.drone.MakeBubbleParams();
@@ -373,7 +402,60 @@ class StepBookkeeper {
   std::chrono::steady_clock::time_point wall_start_;
 };
 
+// The capture point for `t_snap`, in the exact integer step domain: the
+// snapshot is taken after the step with this count, i.e. after the last
+// control step whose in-step time is strictly below t_snap (so a fault with
+// onset t_snap has not yet corrupted a sample). Never compares accumulated
+// float time against t_snap — 90.0 / (1/250.0) style drift cannot move the
+// boundary.
+std::int64_t CaptureStep(double t_snap, double dt) {
+  const auto s = static_cast<std::int64_t>(std::ceil(t_snap / dt - 1e-9));
+  return std::max<std::int64_t>(s, 1);
+}
+
+void FillSnapshotMeta(const RunConfig& cfg, const ExperimentSpec& espec, const Uav& uav,
+                      sim::Snapshot& snap) {
+  snap.version = sim::kSnapshotVersion;
+  snap.seed = espec.Seed();
+  snap.step_count = uav.step_count();
+  snap.time_s = uav.time();
+  snap.mission_index = espec.mission_index;
+  snap.config_digest = SnapshotConfigDigest(cfg, espec);
+  snap.mission_name = espec.drone.name;
+  snap.seed_base = espec.seed_base;
+  snap.has_fault = espec.fault.has_value();
+  if (espec.fault) {
+    snap.fault_type = static_cast<std::int32_t>(espec.fault->type);
+    snap.fault_target = static_cast<std::int32_t>(espec.fault->target);
+    snap.fault_start_s = espec.fault->start_time_s;
+    snap.fault_duration_s = espec.fault->duration_s;
+    snap.fault_magnitude = espec.fault->magnitude;
+  }
+  snap.sections.clear();
+}
+
 }  // namespace
+
+std::uint64_t SnapshotConfigDigest(const RunConfig& run, const ExperimentSpec& spec) {
+  // Plain FNV-1a over typed fields (the cache-key hasher lives a layer above
+  // this library, so the digest keeps its own copy of the fold).
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xFF)) * 1099511628211ULL;
+    }
+  };
+  mix(1);  // digest schema
+  for (const char c : spec.drone.name) mix(static_cast<std::uint8_t>(c));
+  mix(static_cast<std::uint64_t>(spec.mission_index));
+  mix(static_cast<std::uint64_t>(spec.drone.plan.waypoints.size()));
+  mix(spec.seed_base);
+  mix(static_cast<std::uint64_t>(run.recovery ? 1 : 0));
+  mix(static_cast<std::uint64_t>(run.record_trajectory ? 1 : 0));
+  mix(static_cast<std::uint64_t>(run.invariants.mode));
+  mix(static_cast<std::uint64_t>(spec.fault.has_value() ? 1 : 0));
+  return h;
+}
 
 RunOutput SimulationRunner::Run(const ExperimentSpec& espec) const {
   RunOutput out;
@@ -396,6 +478,79 @@ void SimulationRunner::RunInto(const ExperimentSpec& espec, RunOutput& out) cons
     if (bk.ended()) break;
   }
   bk.Finish(ViewOf(uav));
+}
+
+bool SimulationRunner::RunCheckpointedImpl(const ExperimentSpec& espec, double t_snap,
+                                           sim::Snapshot& snap, RunOutput& out,
+                                           bool stop_at_capture) const {
+  UAVRES_TRACE_SCOPE("sim/run_checkpoint");
+  UavConfig uav_cfg = MakeUavConfig(espec.drone);
+  if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
+  if (cfg_.recovery) uav_cfg.detector.enabled = true;
+  StepBookkeeper bk(cfg_, espec, uav_cfg, out);
+  if (bk.checker_enabled()) uav_cfg.ekf.strict_invariant_checks = true;
+  Uav uav(uav_cfg, espec.drone.plan, espec.fault, espec.Seed());
+
+  const std::int64_t capture_step = CaptureStep(t_snap, uav.dt());
+  bool captured = false;
+  while (uav.time() < bk.max_time()) {
+    uav.Step();
+    bk.AfterStep(uav.time(), ViewOf(uav));
+    if (!captured && uav.step_count() == capture_step) {
+      // Capture after this step's bookkeeping so the restored harness resumes
+      // mid-run exactly where the donor's left off (even if the run also
+      // terminated on this very step — the fork then finalizes immediately).
+      FillSnapshotMeta(cfg_, espec, uav, snap);
+      uav.SaveState(snap);
+      bk.SaveState(snap);
+      captured = true;
+      if (stop_at_capture) return true;
+    }
+    if (bk.ended()) break;
+  }
+  bk.Finish(ViewOf(uav));
+  return captured;
+}
+
+bool SimulationRunner::CaptureSnapshot(const ExperimentSpec& spec, double t_snap,
+                                       sim::Snapshot& snap) const {
+  RunOutput scratch;  // discarded: the run stops at the capture point
+  return RunCheckpointedImpl(spec, t_snap, snap, scratch, /*stop_at_capture=*/true);
+}
+
+bool SimulationRunner::RunWithCheckpoint(const ExperimentSpec& spec, double t_snap,
+                                         sim::Snapshot& snap, RunOutput& out) const {
+  return RunCheckpointedImpl(spec, t_snap, snap, out, /*stop_at_capture=*/false);
+}
+
+bool SimulationRunner::RunFromSnapshot(const ExperimentSpec& espec,
+                                       const sim::Snapshot& snap, RunOutput& out,
+                                       double deadline_s) const {
+  UAVRES_TRACE_SCOPE("sim/run_fork");
+  if (snap.version != sim::kSnapshotVersion) return false;
+  if (snap.config_digest != SnapshotConfigDigest(cfg_, espec)) return false;
+  UavConfig uav_cfg = MakeUavConfig(espec.drone);
+  if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(uav_cfg);
+  if (cfg_.recovery) uav_cfg.detector.enabled = true;
+  StepBookkeeper bk(cfg_, espec, uav_cfg, out);
+  if (bk.checker_enabled()) uav_cfg.ekf.strict_invariant_checks = true;
+  // The vehicle re-derives its RNG streams from the donor's stored seed: a
+  // magnitude fork is seed-identical by construction (ExperimentSeed ignores
+  // magnitude); a duration fork keeps the donor's sensor/fault noise streams
+  // — a controlled experiment along the duration axis, not a replay of what
+  // a from-scratch run of the modified spec (different derived seed) does.
+  Uav uav(uav_cfg, espec.drone.plan, espec.fault, snap.seed);
+  if (!uav.RestoreState(snap)) return false;
+  if (!bk.RestoreState(snap)) return false;
+
+  const double deadline =
+      deadline_s > 0.0 ? std::min(deadline_s, bk.max_time()) : bk.max_time();
+  while (!bk.ended() && uav.time() < deadline) {
+    uav.Step();
+    bk.AfterStep(uav.time(), ViewOf(uav));
+  }
+  bk.Finish(ViewOf(uav));
+  return true;
 }
 
 void SimulationRunner::RunBatchInto(const ExperimentSpec* specs, std::size_t n,

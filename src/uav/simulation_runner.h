@@ -11,6 +11,7 @@
 #include "core/invariants.h"
 #include "core/metrics.h"
 #include "core/scenario.h"
+#include "sim/snapshot.h"
 #include "telemetry/flight_log.h"
 #include "telemetry/trajectory.h"
 #include "uav/uav.h"
@@ -53,6 +54,11 @@ struct RunOutput {
   /// recording capped at InvariantConfig::max_recorded).
   std::vector<core::InvariantViolation> violations;
   std::size_t total_violations{0};
+  /// Control steps this run executed. For a RunFromSnapshot resume the count
+  /// includes the donor's pre-capture prefix (it is part of the restored
+  /// bookkeeping), so it equals the full-run count for the same spec; the
+  /// *incremental* cost of a fork is `steps - snapshot.step_count`.
+  std::uint64_t steps{0};
 };
 
 /// Default flight-stack configuration derived from a scenario drone spec.
@@ -123,9 +129,48 @@ class SimulationRunner {
   void RunBatchInto(const ExperimentSpec* specs, std::size_t n,
                     RunOutput* const* outs) const;
 
+  // --- Snapshot / fork checkpointing (DESIGN.md §16) ---
+  //
+  // CaptureSnapshot runs the experiment up to `t_snap` and stops;
+  // RunWithCheckpoint runs it to termination (producing the exact RunInto
+  // output — the bisection driver gets its magnitude-1.0 datapoint and the
+  // full-run step count from the same pass) while capturing en route. The
+  // capture point is the last control step whose in-step time is < t_snap,
+  // computed in the integer step domain so a fault with onset t_snap has not
+  // yet produced its first corrupted sample. Both return false — with `snap`
+  // unusable — if the run terminates before reaching the capture step.
+  //
+  // RunFromSnapshot resumes `snap` on a freshly built vehicle for `spec` and
+  // runs to termination; the result is bit-identical to an uncheckpointed
+  // run of the same spec when the spec matches the donor's (fault magnitude
+  // may differ freely: injector RNG draws are magnitude-independent). A
+  // duration fork reuses the donor's RNG streams via snap.seed — a
+  // controlled experiment, not a replay of what a from-scratch run of the
+  // modified spec would do. Returns false on a version/config/structure
+  // mismatch (outputs are then meaningless). `deadline_s` > 0 caps simulated
+  // time (bisection probes stop shortly after the fault window instead of
+  // flying the rest of the mission); hitting it classifies as kTimeout.
+  bool CaptureSnapshot(const ExperimentSpec& spec, double t_snap,
+                       sim::Snapshot& snap) const;
+  bool RunWithCheckpoint(const ExperimentSpec& spec, double t_snap,
+                         sim::Snapshot& snap, RunOutput& out) const;
+  bool RunFromSnapshot(const ExperimentSpec& spec, const sim::Snapshot& snap,
+                       RunOutput& out, double deadline_s = -1.0) const;
+
  private:
+  bool RunCheckpointedImpl(const ExperimentSpec& spec, double t_snap,
+                           sim::Snapshot& snap, RunOutput& out,
+                           bool stop_at_capture) const;
+
   RunConfig cfg_;
 };
+
+/// Structural digest of (harness config, experiment spec) stamped into every
+/// snapshot and re-derived before a resume: drone identity, mission, seed
+/// base and harness shape (recovery, trajectory recording, invariant mode).
+/// Deliberately excludes fault magnitude, start time and duration — those
+/// are exactly the axes a fork varies.
+std::uint64_t SnapshotConfigDigest(const RunConfig& run, const ExperimentSpec& spec);
 
 /// Terminal verdict on one stepping vehicle, shared by SimulationRunner and
 /// uspace::MultiUavRunner so single- and multi-vehicle experiments classify

@@ -17,11 +17,35 @@
 #include "bus/schedule.h"
 #include "bus/topics.h"
 #include "nav/mission.h"
+#include "sim/snapshot.h"
 #include "telemetry/flight_log.h"
 #include "uav/modules.h"
 #include "uav/uav_config.h"
 
 namespace uavres::uav {
+
+/// Section ids in a sim::Snapshot produced by Uav::SaveState. One section per
+/// stateful subsystem, in schedule order, so a structural mismatch between
+/// the snapshot and the reconstructed vehicle surfaces as a missing or
+/// short-read section rather than silent corruption.
+enum class SnapshotSectionId : std::uint32_t {
+  kVehicleCore = 1,  ///< time, step count, flight log
+  kBus = 2,          ///< every FlightBus topic (value, stamp, generation)
+  kImu = 3,
+  kGps = 4,
+  kBaro = 5,
+  kMag = 6,
+  kEstimator = 7,
+  kHealth = 8,
+  kCommander = 9,
+  kControl = 10,
+  kPhysics = 11,
+  kBattery = 12,
+  kFaults = 13,    ///< injector RNG/freeze state (never the specs)
+  kDetector = 14,  ///< present only when the online detector is enabled
+  // 15..31 reserved for future vehicle sections.
+  kHarness = 32,  ///< StepBookkeeper (simulation_runner.cpp), not written here
+};
 
 /// One simulated vehicle flying one mission, optionally under fault injection.
 class Uav {
@@ -34,6 +58,20 @@ class Uav {
 
   double time() const { return time_; }
   double dt() const { return dt_; }
+  /// Control steps completed so far (snapshot capture points are expressed in
+  /// this exact integer domain, never in float time).
+  std::int64_t step_count() const { return step_count_; }
+
+  /// Serialize the full run-mutable vehicle state into `snap` (one section
+  /// per subsystem; see SnapshotSectionId). Configuration is not serialized:
+  /// restore targets a freshly constructed Uav built from the same config,
+  /// plan and seed. The caller fills the snapshot's meta fields.
+  void SaveState(sim::Snapshot& snap);
+
+  /// Restore from a snapshot taken by SaveState on a structurally identical
+  /// vehicle. Returns false (vehicle state undefined — discard it) on any
+  /// missing/truncated/over-long section or detector-presence mismatch.
+  bool RestoreState(const sim::Snapshot& snap);
 
   const sim::Quadrotor& quad() const { return physics_.quad(); }
   const estimation::Ekf& ekf() const { return estimator_.ekf(); }

@@ -1,0 +1,122 @@
+// Bisection driver tests (DESIGN.md §16): a real bisection session on a
+// crashing fault must converge to a tight, monotone magnitude bracket while
+// simulating at least 5x fewer steps than the equivalent from-scratch probe
+// grid — the PR's headline efficiency claim, asserted here so CI pins it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "app/bisect.h"
+#include "core/fault_model.h"
+#include "core/scenario.h"
+#include "uav/simulation_runner.h"
+
+namespace uavres {
+namespace {
+
+uav::ExperimentSpec CrashingSpec() {
+  // Mission 0 with mid-flight gyro zeros long enough to crash at m=1.0.
+  uav::ExperimentSpec spec;
+  spec.drone = core::SharedValenciaScenario()[0];
+  spec.mission_index = 0;
+  spec.seed_base = 2024;
+  core::FaultSpec fault;
+  fault.type = core::FaultType::kZeros;
+  fault.target = core::FaultTarget::kGyrometer;
+  fault.start_time_s = core::kInjectionStartS;
+  fault.duration_s = 10.0;
+  spec.fault = fault;
+  return spec;
+}
+
+TEST(Bisect, ConvergesMonotonicallyWithAtLeastFiveFoldSavings) {
+  app::BisectReport rep = app::RunBisect({}, CrashingSpec(), {});
+  ASSERT_TRUE(rep.ok) << rep.error;
+  ASSERT_TRUE(rep.full_strength_crashes)
+      << "donor spec no longer crashes; pick a harsher fault";
+
+  // Bracket: converged to tolerance, inside [0,1], lo survives / hi crashes.
+  EXPECT_LE(rep.magnitude_hi - rep.magnitude_lo, 1.0 / 64.0 + 1e-12);
+  EXPECT_GE(rep.magnitude_lo, 0.0);
+  EXPECT_LE(rep.magnitude_hi, 1.0);
+  EXPECT_LT(rep.magnitude_lo, rep.magnitude_hi);
+
+  // Monotone verdicts: every surviving probe sits below every crashing one.
+  double max_survive = 0.0;
+  double min_crash = 1.0;
+  ASSERT_FALSE(rep.magnitude_probes.empty());
+  for (const app::BisectProbe& p : rep.magnitude_probes) {
+    EXPECT_GT(p.fork_steps, 0u);
+    if (p.crashed) {
+      min_crash = std::min(min_crash, p.value);
+    } else {
+      max_survive = std::max(max_survive, p.value);
+    }
+  }
+  EXPECT_LT(max_survive, min_crash)
+      << "non-monotone crash boundary: a weaker fault crashed while a "
+         "stronger one survived";
+  EXPECT_EQ(max_survive, rep.magnitude_lo);
+  EXPECT_EQ(min_crash, rep.magnitude_hi);
+
+  // Step accounting and the headline claim.
+  EXPECT_EQ(rep.scratch_equiv_steps,
+            static_cast<std::uint64_t>(rep.total_probes()) * rep.full_run_steps);
+  EXPECT_LT(rep.fork_steps_total, rep.scratch_equiv_steps);
+  EXPECT_GE(rep.savings_factor, 5.0)
+      << "bisection no longer saves 5x over from-scratch probes";
+}
+
+TEST(Bisect, GoldSpecIsRejected) {
+  uav::ExperimentSpec spec = CrashingSpec();
+  spec.fault.reset();
+  const app::BisectReport rep = app::RunBisect({}, spec, {});
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.error.empty());
+}
+
+TEST(Bisect, SpecRoundTripsThroughSnapshotMeta) {
+  const uav::ExperimentSpec spec = CrashingSpec();
+  const uav::SimulationRunner runner{uav::RunConfig{}};
+  sim::Snapshot snap;
+  ASSERT_TRUE(runner.CaptureSnapshot(spec, spec.fault->start_time_s, snap));
+
+  uav::ExperimentSpec rebuilt;
+  ASSERT_TRUE(app::SpecFromSnapshot(snap, rebuilt));
+  EXPECT_EQ(rebuilt.mission_index, spec.mission_index);
+  EXPECT_EQ(rebuilt.seed_base, spec.seed_base);
+  EXPECT_EQ(rebuilt.drone.name, spec.drone.name);
+  ASSERT_TRUE(rebuilt.fault.has_value());
+  EXPECT_EQ(rebuilt.fault->type, spec.fault->type);
+  EXPECT_EQ(rebuilt.fault->target, spec.fault->target);
+  EXPECT_EQ(rebuilt.fault->start_time_s, spec.fault->start_time_s);
+  EXPECT_EQ(rebuilt.fault->duration_s, spec.fault->duration_s);
+  EXPECT_EQ(rebuilt.fault->magnitude, spec.fault->magnitude);
+  EXPECT_EQ(rebuilt.Seed(), spec.Seed());
+
+  // Hostile meta is rejected, not cast blindly into enums.
+  sim::Snapshot bad = snap;
+  bad.fault_type = 999;
+  EXPECT_FALSE(app::SpecFromSnapshot(bad, rebuilt));
+  bad = snap;
+  bad.mission_index = -7;
+  EXPECT_FALSE(app::SpecFromSnapshot(bad, rebuilt));
+}
+
+TEST(Bisect, ForkFuzzIsDeterministicAndInvariantClean) {
+  const uav::ExperimentSpec spec = CrashingSpec();
+  const uav::SimulationRunner runner{uav::RunConfig{}};
+  sim::Snapshot snap;
+  ASSERT_TRUE(runner.CaptureSnapshot(spec, spec.fault->start_time_s, snap));
+
+  const app::ForkFuzzReport rep = app::RunForkFuzz(snap, 4, 7);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.probes, 4);
+  EXPECT_EQ(rep.determinism_failures, 0)
+      << (rep.failure_details.empty() ? "" : rep.failure_details[0]);
+  EXPECT_EQ(rep.invariant_failures, 0)
+      << (rep.failure_details.empty() ? "" : rep.failure_details[0]);
+}
+
+}  // namespace
+}  // namespace uavres
