@@ -14,8 +14,15 @@
 //   uavres fuzz --fork-from file.uvsnap [--runs N] [--seed N]
 //   uavres snapshot [mission] [target] [type] [duration] [--at T] [--out f.uvsnap]
 //   uavres bisect [mission] [target] [type] [duration] [--tol X] [--duration-axis]
+//   uavres serve [--port N] [--threads N] [--queue N] [--cache-dir DIR]
+//   uavres loadgen [--port N] [--clients N] [--specs N] [--verify] [--shutdown]
 //   uavres list
-//   uavres help
+//   uavres help [command]
+//
+// Every subcommand lives in the registry table (kCommands) below: one row
+// binds its name, synopsis, help text, and handler, and both the dispatch
+// and the generated `uavres help [command]` output derive from that single
+// table — adding a command is adding a row.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -27,9 +34,11 @@
 #include "app/bisect.h"
 #include "app/command_line.h"
 #include "app/fuzzer.h"
-#include "core/campaign.h"
+#include "core/api.h"
 #include "core/scenario.h"
 #include "core/tables.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "telemetry/csv_writer.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/snapshot_codec.h"
@@ -42,68 +51,6 @@
 namespace {
 
 using namespace uavres;
-
-int Usage() {
-  std::puts(
-      "uavres — drone resilience under IMU faults (DSN'24 reproduction)\n"
-      "\n"
-      "commands:\n"
-      "  list                               show the ten-mission scenario\n"
-      "  fly [mission] [--seed N]           fly one fault-free mission\n"
-      "  inject [mission] [acc|gyro|imu] [fixed|zeros|freeze|random|min|max|noise]\n"
-      "         [duration_s] [--seed N]     inject one fault\n"
-      "  campaign [--missions N] [--durations 2,5,10,30] [--threads N]\n"
-      "           [--batch N] [--cache-dir DIR] [--no-cache] [--cache-stats]\n"
-      "           [--recovery on|off]        run the grid, print Tables II-IV;\n"
-      "                                     completed runs persist to the cache\n"
-      "                                     (also via UAVRES_CACHE_DIR) so an\n"
-      "                                     interrupted campaign resumes;\n"
-      "                                     --recovery on adds the IMU-fault\n"
-      "                                     detector + estimator failover and\n"
-      "                                     prints the recovery table\n"
-      "  convoy [--spacing M] [--drones N]  multi-UAV U-space conflict demo\n"
-      "  export [mission] [file.csv] [--rate HZ]\n"
-      "                                     dump a gold trajectory as CSV\n"
-      "  record [mission] [file.uvrl] [--target acc|gyro|imu --type random\n"
-      "         --duration S] [--rate HZ]   record a flight (binary log)\n"
-      "  record [mission] [file.uvbs]       record the full bus-topic stream\n"
-      "         [--bus] [--seed N]          (a .uvbs path implies --bus);\n"
-      "         [--recovery]                --recovery flies with the IMU-fault\n"
-      "                                     detector + failover enabled\n"
-      "  replay [file.uvrl]                 summarize a recorded flight\n"
-      "  replay [file.uvbs] [--estimator ekf|comp]\n"
-      "                                     re-run an estimator offline from\n"
-      "                                     the recorded sensor topics; `ekf`\n"
-      "                                     must match the online run exactly,\n"
-      "                                     and a --recovery log must replay\n"
-      "                                     its detector decisions bit-for-bit\n"
-      "  fuzz [--runs N] [--seed N] [--out DIR] [--shrink-budget N] [--threads N]\n"
-      "       [--determinism-every N] [--verbose]\n"
-      "                                     randomized fault-campaign fuzzing:\n"
-      "                                     every run checked against runtime\n"
-      "                                     invariants + metamorphic oracles;\n"
-      "                                     failures shrunk to DIR/*.repro\n"
-      "  fuzz --replay file.repro           re-execute a minimized repro\n"
-      "  fuzz --fork-from file.uvsnap       snapshot-fork fuzzing: vary fault\n"
-      "       [--runs N] [--seed N]         magnitude/duration off one checkpoint\n"
-      "                                     (fork-determinism + invariant oracles)\n"
-      "  snapshot [mission] [acc|gyro|imu] [type] [duration] [--at T] [--seed N]\n"
-      "           [--out file.uvsnap]       checkpoint the run at fault onset\n"
-      "                                     (or --at T) into a .uvsnap file\n"
-      "  bisect [mission] [acc|gyro|imu] [type] [duration] [--seed N] [--tol X]\n"
-      "         [--settle S] [--probes N] [--duration-axis]\n"
-      "                                     checkpoint at fault onset, then\n"
-      "                                     binary-search the minimal crashing\n"
-      "                                     magnitude (and, with\n"
-      "                                     --duration-axis, duration) by\n"
-      "                                     forking probes off the snapshot\n"
-      "\n"
-      "observability (any command; see DESIGN.md §10):\n"
-      "  --trace-out FILE                   write a Chrome-trace/Perfetto JSON\n"
-      "  --metrics-out FILE                 write the metrics registry as JSON\n"
-      "  --progress                         live per-run campaign progress line\n");
-  return 1;
-}
 
 core::FaultTarget ParseTarget(const std::string& s) {
   if (s == "acc") return core::FaultTarget::kAccelerometer;
@@ -283,8 +230,8 @@ int CmdCampaign(const app::CommandLine& cl) {
   // src/app/command_line.cpp). FromEnvironment() layers the env values over
   // the defaults; explicit flags are applied on top via the validating
   // builder, which rejects ill-formed combinations before any run starts.
-  const core::CampaignConfig env = core::CampaignConfig::FromEnvironment();
-  core::CampaignConfig::Builder builder(env);
+  const api::CampaignConfig env = api::CampaignConfig::FromEnvironment();
+  api::CampaignConfig::Builder builder(env);
   builder.Missions(cl.FlagInt("missions", env.mission_limit))
       .Threads(cl.FlagInt("threads", env.num_threads))
       .Batch(cl.FlagInt("batch", env.batch_size));
@@ -299,14 +246,14 @@ int CmdCampaign(const app::CommandLine& cl) {
     // (overriding UAVRES_RECOVERY).
     builder.Recovery(*rec != "off" && *rec != "0");
   }
-  core::CampaignConfig cfg;
+  api::CampaignConfig cfg;
   try {
     cfg = builder.Build();
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "campaign: %s\n", e.what());
     return 2;
   }
-  const core::Campaign campaign(cfg);
+  const api::Campaign campaign(cfg);
 
   // Progress reporting: `--progress` updates a live line on every completed
   // run (percentage + wall-clock ETA); the default only prints milestones.
@@ -633,23 +580,207 @@ int CmdFuzz(const app::CommandLine& cl) {
   return rep.failed_cases == 0 ? 0 : 1;
 }
 
+int CmdServe(const app::CommandLine& cl) {
+  serve::ServerConfig cfg;
+  cfg.host = cl.Flag("host").value_or(cfg.host);
+  cfg.port = static_cast<std::uint16_t>(cl.FlagInt("port", cfg.port));
+  cfg.num_threads = cl.FlagInt("threads", 0);
+  cfg.queue_capacity =
+      static_cast<std::size_t>(cl.FlagInt("queue", static_cast<int>(cfg.queue_capacity)));
+  cfg.cache_dir = cl.Flag("cache-dir").value_or("");
+  if (cl.HasFlag("no-remote-shutdown")) cfg.allow_remote_shutdown = false;
+
+  serve::Server server(cfg);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::fprintf(stderr, "serve: %s\n", err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serve: listening on %s:%u (spec schema v%u, queue %zu, cache %s)\n",
+               cfg.host.c_str(), server.port(), api::kSpecSchemaVersion,
+               cfg.queue_capacity,
+               cfg.cache_dir.empty() ? "disabled" : cfg.cache_dir.c_str());
+  server.Run();
+  const auto s = server.stats();
+  std::fprintf(stderr,
+               "serve: done — %llu accepted, %llu rejected, %llu completed "
+               "(%llu computed, %llu gold, %llu store hits, %llu single-flight)\n",
+               static_cast<unsigned long long>(s.accepted),
+               static_cast<unsigned long long>(s.rejected),
+               static_cast<unsigned long long>(s.completed),
+               static_cast<unsigned long long>(s.computed),
+               static_cast<unsigned long long>(s.gold_computed),
+               static_cast<unsigned long long>(s.store_hits),
+               static_cast<unsigned long long>(s.singleflight));
+  return 0;
+}
+
+int CmdLoadgen(const app::CommandLine& cl) {
+  serve::LoadgenConfig cfg;
+  cfg.host = cl.Flag("host").value_or(cfg.host);
+  cfg.port = static_cast<std::uint16_t>(cl.FlagInt("port", cfg.port));
+  cfg.clients = cl.FlagInt("clients", cfg.clients);
+  cfg.specs = cl.FlagInt("specs", cfg.specs);
+  cfg.batch = cl.FlagInt("batch", cfg.batch);
+  cfg.unique = cl.FlagInt("unique", cfg.unique);
+  cfg.missions = cl.FlagInt("missions", cfg.missions);
+  if (const auto d = cl.Flag("durations")) {
+    const auto list = app::ParseDoubleList(*d);
+    if (!list.empty()) cfg.durations = list;
+  }
+  if (const auto rec = cl.Flag("recovery")) {
+    cfg.recovery = *rec != "off" && *rec != "0";
+  }
+  cfg.seed_base = static_cast<std::uint64_t>(cl.FlagInt("seed", 2024));
+  cfg.verify = cl.HasFlag("verify");
+  cfg.shutdown = cl.HasFlag("shutdown");
+  cfg.out_path = cl.Flag("out").value_or(cfg.out_path);
+  return serve::RunLoadgen(cfg);
+}
+
 }  // namespace
 
 namespace {
 
+/// One registry row per subcommand: dispatch, the command index, and
+/// `uavres help <cmd>` all read from this table.
+struct Command {
+  const char* name;
+  const char* args;     ///< synopsis after `uavres <name>`
+  const char* summary;  ///< one line for the command index
+  const char* details;  ///< extra paragraph for `help <cmd>` ("" = none)
+  int (*run)(const uavres::app::CommandLine&);
+};
+
+const Command kCommands[] = {
+    {"list", "", "show the ten-mission scenario", "",
+     [](const uavres::app::CommandLine&) { return CmdList(); }},
+    {"fly", "[mission] [--seed N]", "fly one fault-free mission", "", CmdFly},
+    {"inject",
+     "[mission] [acc|gyro|imu] [fixed|zeros|freeze|random|min|max|noise]\n"
+     "       [duration_s] [--seed N] [--magnitude X]",
+     "inject one fault against its gold reference", "", CmdInject},
+    {"campaign",
+     "[--missions N] [--durations 2,5,10,30] [--threads N] [--batch N]\n"
+     "       [--cache-dir DIR] [--no-cache] [--cache-stats] [--recovery on|off]",
+     "run the grid, print Tables II-IV",
+     "Completed runs persist to the cache (also via UAVRES_CACHE_DIR) so an\n"
+     "interrupted campaign resumes. --recovery on adds the IMU-fault detector\n"
+     "+ estimator failover and prints the recovery table.",
+     CmdCampaign},
+    {"serve",
+     "[--host H] [--port N] [--threads N] [--queue N] [--cache-dir DIR]\n"
+     "       [--no-remote-shutdown]",
+     "campaign-as-a-service daemon over the spec wire API",
+     "Accepts batches of ExperimentSpecs from concurrent clients over local\n"
+     "TCP (versioned wire protocol, telemetry/spec_codec.h), dedupes\n"
+     "identical specs through the shared result store with single-flight\n"
+     "semantics, schedules across a bounded worker pool with per-client\n"
+     "round-robin fairness (full queue => overload reject), and streams\n"
+     "progress + MissionResults back. --queue bounds admitted work;\n"
+     "--cache-dir shares entries with offline campaigns. See DESIGN.md §17.",
+     CmdServe},
+    {"loadgen",
+     "[--host H] [--port N] [--clients N] [--specs N] [--batch N] [--unique N]\n"
+     "       [--missions N] [--durations LIST] [--recovery on|off] [--seed N]\n"
+     "       [--verify] [--shutdown] [--out FILE]",
+     "multi-client load/latency bench against a running serve daemon",
+     "Deals a cycling spec stream across N client connections so distinct\n"
+     "clients submit overlapping specs (exercising dedup), then reports\n"
+     "p50/p99 request latency and the daemon's dedup accounting into\n"
+     "BENCH_serve.json. --verify recomputes the grid offline through\n"
+     "Campaign::Run and byte-compares every received MissionResult;\n"
+     "--shutdown stops the daemon afterwards (CI teardown).",
+     CmdLoadgen},
+    {"convoy", "[--spacing M] [--drones N]", "multi-UAV U-space conflict demo", "",
+     CmdConvoy},
+    {"export", "[mission] [file.csv] [--rate HZ]", "dump a gold trajectory as CSV", "",
+     CmdExport},
+    {"record",
+     "[mission] [file.uvrl|file.uvbs] [--bus] [--rate HZ] [--seed N]\n"
+     "       [--target acc|gyro|imu --type random --duration S] [--recovery]",
+     "record a flight (binary log) or the full bus-topic stream",
+     "A .uvbs path implies --bus (every topic the modules publish, replayable\n"
+     "offline). --recovery flies with the IMU-fault detector + failover\n"
+     "enabled.",
+     CmdRecord},
+    {"replay", "[file.uvrl | file.uvbs] [--estimator ekf|comp]",
+     "summarize a recorded flight or re-run an estimator offline",
+     "For a .uvbs log the chosen estimator re-runs from the recorded sensor\n"
+     "topics; `ekf` must match the online run exactly, and a --recovery log\n"
+     "must replay its detector decisions bit-for-bit.",
+     CmdReplay},
+    {"fuzz",
+     "[--runs N] [--seed N] [--out DIR] [--shrink-budget N] [--threads N]\n"
+     "       [--determinism-every N] [--verbose] | --replay file.repro |\n"
+     "       --fork-from file.uvsnap [--runs N]",
+     "randomized fault-campaign fuzzing with invariant + metamorphic oracles",
+     "Failures shrink to DIR/*.repro; --replay re-executes a minimized repro;\n"
+     "--fork-from varies fault magnitude/duration off one checkpoint\n"
+     "(fork-determinism + invariant oracles).",
+     CmdFuzz},
+    {"snapshot",
+     "[mission] [acc|gyro|imu] [type] [duration] [--at T] [--seed N]\n"
+     "       [--out file.uvsnap]",
+     "checkpoint a run at fault onset (or --at T) into a .uvsnap file", "",
+     CmdSnapshot},
+    {"bisect",
+     "[mission] [acc|gyro|imu] [type] [duration] [--seed N] [--tol X]\n"
+     "       [--settle S] [--probes N] [--duration-axis]",
+     "binary-search the minimal crashing fault magnitude via snapshot forks",
+     "Checkpoints at fault onset, then bisects magnitude (and, with\n"
+     "--duration-axis, duration) by forking probes off the snapshot.",
+     CmdBisect},
+};
+
+const Command* FindCommand(const std::string& name) {
+  for (const Command& c : kCommands) {
+    if (name == c.name) return &c;
+  }
+  return nullptr;
+}
+
+int PrintCommandIndex() {
+  std::puts("uavres — drone resilience under IMU faults (DSN'24 reproduction)\n");
+  std::puts("commands (`uavres help <command>` for flags and details):");
+  for (const Command& c : kCommands) {
+    std::printf("  %-10s %s\n", c.name, c.summary);
+  }
+  std::puts(
+      "\nobservability (any command; see DESIGN.md §10):\n"
+      "  --trace-out FILE    write a Chrome-trace/Perfetto JSON\n"
+      "  --metrics-out FILE  write the metrics registry as JSON\n"
+      "  --progress          live per-run campaign progress line");
+  return 1;
+}
+
+int CmdHelp(const uavres::app::CommandLine& cl) {
+  const std::string topic = cl.Positional(0, "");
+  if (topic.empty()) {
+    PrintCommandIndex();
+    return 0;
+  }
+  const Command* c = FindCommand(topic);
+  if (!c) {
+    std::fprintf(stderr, "uavres: unknown command '%s'\n\n", topic.c_str());
+    return PrintCommandIndex();
+  }
+  std::printf("usage: uavres %s%s%s\n\n%s\n", c->name, *c->args ? " " : "", c->args,
+              c->summary);
+  if (*c->details) std::printf("\n%s\n", c->details);
+  return 0;
+}
+
 int Dispatch(const uavres::app::CommandLine& cl) {
-  if (cl.command == "list") return CmdList();
-  if (cl.command == "fly") return CmdFly(cl);
-  if (cl.command == "inject") return CmdInject(cl);
-  if (cl.command == "snapshot") return CmdSnapshot(cl);
-  if (cl.command == "bisect") return CmdBisect(cl);
-  if (cl.command == "campaign") return CmdCampaign(cl);
-  if (cl.command == "convoy") return CmdConvoy(cl);
-  if (cl.command == "export") return CmdExport(cl);
-  if (cl.command == "record") return CmdRecord(cl);
-  if (cl.command == "replay") return CmdReplay(cl);
-  if (cl.command == "fuzz") return CmdFuzz(cl);
-  return Usage();
+  if (cl.command == "help" || cl.command == "--help" || cl.command == "-h") {
+    return CmdHelp(cl);
+  }
+  if (const Command* c = FindCommand(cl.command)) return c->run(cl);
+  if (!cl.command.empty()) {
+    std::fprintf(stderr, "uavres: unknown command '%s'\n\n", cl.command.c_str());
+  }
+  return PrintCommandIndex();
 }
 
 /// Writes `text_fn(os)` to `path`; downgrades failures to a warning so a

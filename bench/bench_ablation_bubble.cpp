@@ -20,11 +20,16 @@ int main() {
 
   for (double interval : {0.5, 1.0, 2.0}) {
     for (double risk : {1.0, 1.5, 2.0}) {
-      core::CampaignConfig cfg = core::CampaignConfig::FromEnvironment();
-      if (cfg.mission_limit == 0) cfg.mission_limit = 3;
-      cfg.durations = {10.0};
-      cfg.run.tracking_interval_s = interval;
-      cfg.run.bubble_risk_factor = risk;
+      const core::CampaignConfig env = core::CampaignConfig::FromEnvironment();
+      uav::RunConfig run = env.run;
+      run.tracking_interval_s = interval;
+      run.bubble_risk_factor = risk;
+      const core::CampaignConfig cfg =
+          core::CampaignConfig::Builder(env)
+              .Missions(env.mission_limit == 0 ? 3 : env.mission_limit)
+              .Durations({10.0})
+              .Run(run)
+              .Build();
       const core::Campaign campaign(cfg);
       const auto results = campaign.Run();
 

@@ -23,12 +23,17 @@ int main() {
               "crashed%", "failsafe%");
 
   for (bool mitigation : {false, true}) {
-    core::CampaignConfig cfg = core::CampaignConfig::FromEnvironment();
-    if (cfg.mission_limit == 0) cfg.mission_limit = 3;
-    cfg.durations = {5.0, 30.0};
-    cfg.run.uav_config_mutator = [mitigation](uav::UavConfig& u) {
+    const core::CampaignConfig env = core::CampaignConfig::FromEnvironment();
+    uav::RunConfig run = env.run;
+    run.uav_config_mutator = [mitigation](uav::UavConfig& u) {
       u.ekf.enable_attitude_reset = mitigation;
     };
+    const core::CampaignConfig cfg =
+        core::CampaignConfig::Builder(env)
+            .Missions(env.mission_limit == 0 ? 3 : env.mission_limit)
+            .Durations({5.0, 30.0})
+            .Run(run)
+            .Build();
     const core::Campaign campaign(cfg);
     const auto results = campaign.Run();
 

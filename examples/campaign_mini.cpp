@@ -9,17 +9,19 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/campaign.h"
+#include "core/api.h"
 #include "core/tables.h"
 
 int main(int argc, char** argv) {
   using namespace uavres;
 
-  core::CampaignConfig cfg;
-  cfg.mission_limit = argc > 1 ? std::atoi(argv[1]) : 2;
-  cfg.durations = {argc > 2 ? std::atof(argv[2]) : 10.0};
+  const api::CampaignConfig cfg =
+      api::CampaignConfig::Builder()
+          .Missions(argc > 1 ? std::atoi(argv[1]) : 2)
+          .Durations({argc > 2 ? std::atof(argv[2]) : 10.0})
+          .Build();
 
-  const core::Campaign campaign(cfg);
+  const api::Campaign campaign(cfg);
   std::printf("Running %zu missions x %zu faults (+%zu gold runs)...\n",
               campaign.fleet().size(), campaign.GridFaults().size(),
               campaign.fleet().size());

@@ -1,5 +1,7 @@
 #include "core/result_store.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <bit>
 #include <cstdio>
@@ -22,12 +24,16 @@ constexpr char kMagic[4] = {'U', 'V', 'R', 'S'};
 constexpr std::uint32_t kFooter = 0x5AFEC0DE;
 constexpr std::uint32_t kMaxNameLen = 4096;
 
-/// Process-unique-ish token for temp-file names: distinct campaign processes
-/// writing the same directory must not collide on the temp path.
+/// Process-unique token for temp-file names: two writers — threads of one
+/// process or distinct processes sharing the directory — must never collide
+/// on a temp path, or one could rename the other's half-written file into
+/// place. pid disambiguates processes deterministically (the previous
+/// ASLR-address salt could collide); the monotone counter disambiguates
+/// threads within a process.
 std::uint64_t TempToken() {
   static std::atomic<std::uint64_t> counter{0};
-  const auto salt = reinterpret_cast<std::uintptr_t>(&counter);  // per-process (ASLR)
-  return static_cast<std::uint64_t>(salt) ^ (counter.fetch_add(1) << 48);
+  const auto pid = static_cast<std::uint64_t>(::getpid());
+  return (pid << 40) ^ counter.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::string KeyHex(std::uint64_t key) {
@@ -232,7 +238,25 @@ ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
 }
 
 std::string ResultStore::EntryPath(std::uint64_t key) const {
-  return dir_ + "/" + KeyHex(key) + ".uvrs";
+  // Shard by the top byte: FNV-1a output is uniform, so 256 subdirectories
+  // split a million-entry store into ~4k files each and spread same-instant
+  // commits from many serve clients across distinct directory inodes.
+  char shard[3];
+  std::snprintf(shard, sizeof shard, "%02x",
+                static_cast<unsigned>((key >> 56) & 0xFF));
+  return dir_ + "/" + shard + "/" + KeyHex(key) + ".uvrs";
+}
+
+bool ResultStore::EnsureShard(std::uint64_t key) {
+  const std::size_t shard = static_cast<std::size_t>((key >> 56) & 0xFF);
+  if (shard_ready_[shard].load(std::memory_order_acquire)) return true;
+  char name[3];
+  std::snprintf(name, sizeof name, "%02x", static_cast<unsigned>(shard));
+  std::error_code ec;
+  fs::create_directories(dir_ + "/" + name, ec);
+  if (ec) return false;
+  shard_ready_[shard].store(true, std::memory_order_release);
+  return true;
 }
 
 std::optional<StoredRun> ResultStore::Load(std::uint64_t key, bool require_trajectory) {
@@ -269,7 +293,10 @@ std::optional<StoredRun> ResultStore::Load(std::uint64_t key, bool require_traje
 bool ResultStore::Store(std::uint64_t key, const StoredRun& run) {
   if (!enabled()) return false;
   UAVRES_TRACE_SCOPE("cache/store");
-  const std::string tmp = dir_ + "/tmp-" + KeyHex(key) + "-" + KeyHex(TempToken());
+  if (!EnsureShard(key)) return false;
+  // The temp lives in the destination shard so the final rename never
+  // crosses a directory (and stays atomic on every POSIX filesystem).
+  const std::string tmp = EntryPath(key) + ".tmp-" + KeyHex(TempToken());
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) return false;
@@ -296,6 +323,26 @@ bool ResultStore::Store(std::uint64_t key, const StoredRun& run) {
 CacheStats ResultStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+SingleFlight::Role SingleFlight::Begin(std::uint64_t key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) {
+    in_flight_.emplace(key, 0);
+    return Role::kLeader;
+  }
+  ++it->second;
+  cv_.wait(lock, [&] { return !in_flight_.contains(key); });
+  return Role::kWaited;
+}
+
+void SingleFlight::Finish(std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(key);
+  }
+  cv_.notify_all();
 }
 
 }  // namespace uavres::core

@@ -7,8 +7,15 @@
 // the recorded Trajectory) to one file per key in a cache directory.
 //
 // Properties:
-//   * Writes are atomic (temp file + rename), so a campaign killed mid-run
-//     leaves only complete entries behind and simply resumes on restart.
+//   * Writes are atomic (unique temp file + rename), so a campaign killed
+//     mid-run leaves only complete entries behind and simply resumes on
+//     restart, and two writers — threads OR processes — committing the same
+//     key can never expose a partial file: each writes its own temp and the
+//     final rename is all-or-nothing (last committer wins with identical
+//     deterministic content).
+//   * Entries are sharded across 256 subdirectories by the top byte of the
+//     key (v3 layout), so a serve daemon fed by many clients never funnels
+//     every commit through one directory inode.
 //   * Corrupt, truncated or schema-mismatched entries are detected via
 //     framing checks, deleted, counted, and reported as misses — the run is
 //     recomputed rather than trusted.
@@ -16,34 +23,43 @@
 //     UAVRES_CACHE_DIR) share a single cache instead of re-simulating.
 //
 // Entry layout (little-endian, see telemetry/binary_io.h):
+//   <dir>/<hh>/<16-hex-key>.uvrs, hh = top byte of the key:
 //   magic "UVRS" | u32 schema | u64 key | MissionResult | u8 has_trajectory
 //   | [Trajectory] | u32 footer 0x5AFEC0DE | EOF
 //
-// Schema-version bump rules: bump kResultStoreSchemaVersion whenever the
-// serialized layout changes OR any simulation-affecting semantics change
-// that the key inputs cannot express (physics step, controller constants,
-// fault injection semantics, ...). Old entries then read as mismatched and
-// are recomputed; mixing schema versions in one directory is safe.
+// Schema-version bump rules: the store's version IS the experiment-identity
+// schema telemetry::kSpecSchemaVersion (core/api.h documents the contract).
+// Bump that constant whenever the serialized layout changes OR any
+// simulation-affecting semantics change that the key inputs cannot express
+// (physics step, controller constants, fault injection semantics, ...). Old
+// entries then read as mismatched and are recomputed; mixing schema
+// versions in one directory is safe (v2 flat-layout files are simply never
+// looked up by the v3 sharded paths).
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <istream>
 #include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 
 #include "core/metrics.h"
 #include "core/scenario.h"
+#include "telemetry/spec_codec.h"
 #include "telemetry/trajectory.h"
 #include "uav/simulation_runner.h"
 
 namespace uavres::core {
 
-// v2: fault injection draws from one RNG stream per sensor axis (axis-
-// independent randomized faults), changing every kFixed/kRandom/kNoise/
-// kIntermittent trajectory.
-inline constexpr std::uint32_t kResultStoreSchemaVersion = 2;
+// v3: the serve wire API + sharded store layout. Aliases the spec schema so
+// the wire protocol, the cache keys and the on-disk entries can never skew
+// (history in telemetry/spec_codec.h).
+inline constexpr std::uint32_t kResultStoreSchemaVersion = telemetry::kSpecSchemaVersion;
 
 /// Streaming FNV-1a over typed fields. Stable across platforms and builds
 /// (doubles are mixed by IEEE-754 bit pattern, strings byte-wise).
@@ -98,9 +114,12 @@ struct StoredRun {
 };
 
 /// Thread-safe persistent store. All methods may be called concurrently
-/// from campaign worker threads; distinct keys map to distinct files and
-/// same-key writers race benignly (rename is last-writer-wins with
-/// identical deterministic content).
+/// from campaign worker threads AND from several processes sharing the
+/// directory (the serve daemon plus offline campaigns): distinct keys map
+/// to distinct files inside 256 key-sharded subdirectories, and same-key
+/// writers each commit a uniquely named temp file with an atomic rename, so
+/// a reader can never observe a partially written entry (last committer
+/// wins with identical deterministic content).
 class ResultStore {
  public:
   /// Opens the store over `dir`, creating the directory if needed. An empty
@@ -116,18 +135,51 @@ class ResultStore {
   /// entries are deleted so the recomputed run can replace them.
   std::optional<StoredRun> Load(std::uint64_t key, bool require_trajectory = false);
 
-  /// Atomically persists the entry (temp file in `dir` + rename). Returns
-  /// false — never throws — on IO failure; the campaign still completes.
+  /// Atomically persists the entry (unique temp file in the key's shard +
+  /// rename). Returns false — never throws — on IO failure; the campaign
+  /// still completes.
   bool Store(std::uint64_t key, const StoredRun& run);
 
   CacheStats stats() const;
 
- private:
+  /// Sharded entry path `<dir>/<hh>/<16-hex>.uvrs` (exposed for tests).
   std::string EntryPath(std::uint64_t key) const;
+
+ private:
+  bool EnsureShard(std::uint64_t key);
 
   std::string dir_;
   mutable std::mutex mutex_;
   CacheStats stats_;
+  /// Lazily created shard directories (one syscall per shard lifetime, not
+  /// per store).
+  std::array<std::atomic<bool>, 256> shard_ready_{};
+};
+
+/// In-process single-flight guard keyed by cache key: the first caller to
+/// Begin() a key becomes its LEADER and must eventually Finish() it; every
+/// caller that arrives while the key is in flight blocks in Begin() until
+/// the leader finishes, then returns kWaited. Pair with a ResultStore:
+/// leaders compute-and-Store, waiters re-Load — N concurrent identical
+/// requests cost exactly one simulation (the serve daemon's asynchronous
+/// flight table builds on the same store contract but notifies waiters via
+/// callbacks instead of blocking; see serve/server.cpp).
+class SingleFlight {
+ public:
+  enum class Role { kLeader, kWaited };
+
+  /// Blocks while `key` is held by another leader. Returns kLeader when the
+  /// caller must produce the value (and later call Finish), kWaited when a
+  /// leader completed the key while we waited.
+  Role Begin(std::uint64_t key);
+
+  /// Releases `key` and wakes every waiter. Only the leader may call it.
+  void Finish(std::uint64_t key);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, int> in_flight_;  ///< key -> waiter count
 };
 
 /// Serialization of one MissionResult (exposed for tests and for comparing

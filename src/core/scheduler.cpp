@@ -123,6 +123,90 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
   ParallelFor(n, costs, fn, opts);
 }
 
+TaskPool::TaskPool(const Options& opts)
+    : num_threads_(opts.num_threads > 0
+                       ? opts.num_threads
+                       : static_cast<int>(std::max(2u, std::thread::hardware_concurrency()))),
+      capacity_(std::max<std::size_t>(1, opts.queue_capacity)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int t = 0; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool TaskPool::TrySubmit(std::uint64_t client, std::function<void()> fn, int priority) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queued_ + running_ >= capacity_) return false;
+    auto& q = queues_[client];
+    // Priority is a per-client ordering hint: insert after the last task of
+    // >= priority, so equal priorities stay FIFO and the common priority-0
+    // case is a plain push_back.
+    auto pos = q.end();
+    while (pos != q.begin() && std::prev(pos)->priority < priority) --pos;
+    q.insert(pos, Task{std::move(fn), priority});
+    ++queued_;
+  }
+  cv_work_.notify_one();
+  return true;
+}
+
+bool TaskPool::PopNext(Task& out) {
+  // Round-robin across client tags: resume the scan strictly after the
+  // client served last, wrapping — the data-structure form of "every client
+  // gets the next free worker in turn".
+  auto it = queues_.upper_bound(rr_cursor_);
+  for (std::size_t scanned = 0; scanned <= queues_.size(); ++scanned) {
+    if (it == queues_.end()) it = queues_.begin();
+    if (it == queues_.end()) return false;  // no clients at all
+    if (!it->second.empty()) {
+      out = std::move(it->second.front());
+      it->second.pop_front();
+      rr_cursor_ = it->first;
+      if (it->second.empty()) queues_.erase(it);  // keep the map to live clients
+      return true;
+    }
+    ++it;
+  }
+  return false;
+}
+
+void TaskPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return queued_ > 0 || stopping_; });
+    if (queued_ == 0 && stopping_) return;
+    Task task;
+    if (!PopNext(task)) continue;
+    --queued_;
+    ++running_;
+    lock.unlock();
+    task.fn();
+    lock.lock();
+    --running_;
+    if (queued_ == 0 && running_ == 0) cv_idle_.notify_all();
+  }
+}
+
+void TaskPool::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+}
+
+std::size_t TaskPool::InFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_ + running_;
+}
+
 void ParallelFor(std::size_t n, const std::vector<double>& costs,
                  const std::function<void(std::size_t)>& fn,
                  const SchedulerOptions& opts) {

@@ -1,0 +1,85 @@
+// Blocking client for the `uavres serve` wire API.
+//
+// One Client wraps one TCP connection: Connect() performs the versioned
+// Hello handshake, SubmitAndWait() ships a batch of WireSpecs and reads the
+// interleaved Progress/Result/Reject stream until every request reached a
+// terminal state. Single-threaded by design — the loadgen harness gets
+// concurrency by running one Client per thread, which is also the shape a
+// real embedder would use.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "telemetry/spec_codec.h"
+
+namespace uavres::serve {
+
+class Client {
+ public:
+  struct Options {
+    std::string host{"127.0.0.1"};
+    std::uint16_t port{0};
+    /// Advertised in the Hello frame; shows up in server diagnostics.
+    std::string name{"uavres-client"};
+  };
+
+  /// Terminal outcome of one submitted request.
+  struct Outcome {
+    std::uint64_t request_id{0};
+    bool ok{false};  ///< true => `result` holds the MissionResult
+    telemetry::ResultSource source{telemetry::ResultSource::kComputed};
+    api::MissionResult result;
+    telemetry::RejectReason reject{telemetry::RejectReason::kNone};
+    std::string reject_detail;
+    /// Raw serialized MissionResult bytes as received — byte-comparable
+    /// against a core::WriteMissionResult of an offline run.
+    std::string result_bytes;
+    /// Submit-to-terminal request latency.
+    double latency_ms{0.0};
+    /// True once the server reported kAttached (single-flight ride-along).
+    bool attached{false};
+  };
+
+  explicit Client(Options opts) : opts_(std::move(opts)) {}
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and completes the Hello handshake. False (with `*error`) on
+  /// socket failure or schema-version rejection.
+  bool Connect(std::string* error = nullptr);
+
+  /// Submits `specs` as one batch and blocks until each request is terminal
+  /// (Result or Reject). Outcomes are returned in submission order. False on
+  /// a transport/protocol failure (partial outcomes may be populated).
+  bool SubmitAndWait(const std::vector<telemetry::WireSpec>& specs,
+                     std::vector<Outcome>& out, std::string* error = nullptr);
+
+  /// Round-trips a kStats request.
+  bool QueryStats(telemetry::ServeStats& stats, std::string& metrics_json,
+                  std::string* error = nullptr);
+
+  /// Sends kShutdown (fire-and-forget; the daemon drains and exits).
+  bool Shutdown(std::string* error = nullptr);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  bool SendFrame(telemetry::SpecMsgType type, const std::string& payload,
+                 std::string* error);
+  /// Reads until one complete frame is available. False on EOF/corruption.
+  bool ReadFrame(telemetry::SpecFrame& frame, std::string* error);
+
+  Options opts_;
+  int fd_{-1};
+  telemetry::FrameReader reader_;
+  std::uint64_t next_request_id_{1};
+};
+
+}  // namespace uavres::serve

@@ -1,0 +1,494 @@
+#include "serve/server.h"
+
+#include <sstream>
+#include <utility>
+
+#include "serve/net.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
+
+namespace uavres::serve {
+
+using telemetry::RejectReason;
+using telemetry::RequestState;
+using telemetry::ResultSource;
+using telemetry::SpecFrame;
+using telemetry::SpecMsgType;
+using telemetry::WireRequest;
+using telemetry::WireSpec;
+
+/// One client connection. The reader thread owns the receive side; result
+/// fan-out happens from worker threads, so every send serializes on
+/// `write_mutex`. The fd is closed by the last shared_ptr owner — a waiter
+/// completing after the peer hung up writes into a shut-down socket (a
+/// benign error) rather than a recycled descriptor.
+struct Server::Connection {
+  std::uint64_t id{0};
+  int fd{-1};
+  std::mutex write_mutex;
+  std::atomic<bool> alive{true};
+  bool hello_done{false};  ///< reader-thread only
+  std::string peer_name;   ///< from Hello, for diagnostics
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One in-flight experiment: the spec identity being simulated plus every
+/// (connection, request) waiting on it. waiters[0] is the originator that
+/// admitted the run; later entries attached via single-flight dedup.
+struct Server::Flight {
+  struct Waiter {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t request_id{0};
+  };
+
+  std::uint64_t key{0};
+  int mission_index{0};
+  std::uint64_t seed_base{2024};
+  bool recovery{false};
+  std::optional<core::FaultSpec> fault;
+  std::vector<Waiter> waiters;
+
+  bool IsGold() const { return !fault.has_value(); }
+};
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      fleet_(core::SharedValenciaScenario()),
+      store_(cfg_.cache_dir) {}
+
+Server::~Server() {
+  Stop();
+  // Unblock any reader still waiting on its peer, then join.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    // conn_threads_ joined below; fds are shut down by Run()/Stop() paths.
+  }
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool Server::Start(std::string* error) {
+  listen_fd_ = net::Listen(cfg_.host, cfg_.port, &port_, error);
+  if (listen_fd_ < 0) return false;
+  core::TaskPool::Options pool_opts;
+  pool_opts.num_threads = cfg_.num_threads;
+  pool_opts.queue_capacity = cfg_.queue_capacity;
+  pool_ = std::make_unique<core::TaskPool>(pool_opts);
+  return true;
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::Run() {
+  std::vector<std::shared_ptr<Connection>> conns;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept failure (EINTR, peer gone mid-handshake)
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      conn->id = next_conn_id_++;
+      conns.push_back(conn);
+      conn_threads_.emplace_back([this, conn] { HandleConnection(conn); });
+    }
+    UAVRES_COUNT("serve.connections");
+  }
+  // Drain: admitted work completes and its results reach still-open
+  // connections before the daemon exits.
+  if (pool_) pool_->Drain();
+  for (const auto& conn : conns) {
+    if (conn->alive.load()) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
+    conn_threads_.clear();
+  }
+}
+
+void Server::SendFrame(const std::shared_ptr<Connection>& conn, SpecMsgType type,
+                       const std::string& payload) {
+  if (!conn->alive.load(std::memory_order_acquire)) return;
+  const std::string frame = telemetry::EncodeFrame(type, payload);
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!net::SendAll(conn->fd, frame.data(), frame.size())) {
+    conn->alive.store(false, std::memory_order_release);
+  }
+}
+
+void Server::HandleConnection(const std::shared_ptr<Connection>& conn) {
+  telemetry::FrameReader reader;
+  char buf[16 * 1024];
+  while (conn->alive.load(std::memory_order_acquire)) {
+    const ssize_t got = net::RecvSome(conn->fd, buf, sizeof buf);
+    if (got <= 0) break;
+    if (!reader.Feed(buf, static_cast<std::size_t>(got))) break;
+    while (auto frame = reader.Next()) {
+      HandleFrame(conn, *frame);
+      if (!conn->alive.load(std::memory_order_acquire)) break;
+    }
+    if (reader.corrupt()) {
+      SendFrame(conn, SpecMsgType::kReject,
+                telemetry::EncodeReject(0, RejectReason::kMalformed,
+                                        "oversized or corrupt frame"));
+      break;
+    }
+  }
+  conn->alive.store(false, std::memory_order_release);
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void Server::HandleFrame(const std::shared_ptr<Connection>& conn, const SpecFrame& frame) {
+  // The handshake must come first: it pins the schema version before any
+  // spec can be (mis)interpreted.
+  if (!conn->hello_done) {
+    std::uint32_t version = 0;
+    std::string name;
+    if (frame.type != SpecMsgType::kHello ||
+        !telemetry::DecodeHello(frame.payload, version, name)) {
+      SendFrame(conn, SpecMsgType::kReject,
+                telemetry::EncodeReject(0, RejectReason::kMalformed,
+                                        "expected Hello first"));
+      conn->alive.store(false, std::memory_order_release);
+      return;
+    }
+    if (version != telemetry::kSpecSchemaVersion) {
+      SendFrame(conn, SpecMsgType::kReject,
+                telemetry::EncodeReject(
+                    0, RejectReason::kVersionMismatch,
+                    "server speaks spec schema v" +
+                        std::to_string(telemetry::kSpecSchemaVersion)));
+      conn->alive.store(false, std::memory_order_release);
+      return;
+    }
+    conn->hello_done = true;
+    conn->peer_name = std::move(name);
+    SendFrame(conn, SpecMsgType::kHelloAck,
+              telemetry::EncodeHelloAck(telemetry::kSpecSchemaVersion));
+    return;
+  }
+
+  switch (frame.type) {
+    case SpecMsgType::kSubmitBatch:
+      HandleSubmit(conn, frame.payload);
+      return;
+    case SpecMsgType::kStats:
+      SendStats(conn);
+      return;
+    case SpecMsgType::kShutdown:
+      if (cfg_.allow_remote_shutdown) {
+        UAVRES_COUNT("serve.shutdown-requests");
+        Stop();
+      } else {
+        SendFrame(conn, SpecMsgType::kReject,
+                  telemetry::EncodeReject(0, RejectReason::kBadSpec,
+                                          "remote shutdown disabled"));
+      }
+      return;
+    default:
+      SendFrame(conn, SpecMsgType::kReject,
+                telemetry::EncodeReject(0, RejectReason::kMalformed,
+                                        "unexpected message type"));
+      conn->alive.store(false, std::memory_order_release);
+      return;
+  }
+}
+
+void Server::HandleSubmit(const std::shared_ptr<Connection>& conn,
+                          const std::string& payload) {
+  std::vector<WireRequest> batch;
+  if (!telemetry::DecodeSubmitBatch(payload, batch)) {
+    SendFrame(conn, SpecMsgType::kReject,
+              telemetry::EncodeReject(0, RejectReason::kMalformed,
+                                      "undecodable submit batch"));
+    conn->alive.store(false, std::memory_order_release);
+    return;
+  }
+  for (const auto& req : batch) SubmitOne(conn, req);
+}
+
+namespace {
+
+/// Wire-spec validation: every enum in range, every number meaningful. The
+/// server owns the scenario fleet, so a spec can only name missions by
+/// index.
+std::string ValidateSpec(const WireSpec& s, std::size_t fleet_size) {
+  if (s.mission_index < 0 || static_cast<std::size_t>(s.mission_index) >= fleet_size) {
+    return "mission_index out of range";
+  }
+  if (s.has_fault) {
+    if (s.fault_type > static_cast<std::uint8_t>(core::FaultType::kDrift)) {
+      return "unknown fault_type";
+    }
+    if (s.fault_target > static_cast<std::uint8_t>(core::FaultTarget::kImu)) {
+      return "unknown fault_target";
+    }
+    if (!(s.duration_s > 0.0)) return "fault duration must be positive";
+    if (!(s.start_time_s >= 0.0)) return "fault start must be >= 0";
+    if (!(s.magnitude >= 0.0 && s.magnitude <= 1.0)) {
+      return "fault magnitude must be in [0, 1]";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void Server::SubmitOne(const std::shared_ptr<Connection>& conn, const WireRequest& req) {
+  UAVRES_COUNT("serve.requests");
+  if (const std::string why = ValidateSpec(req.spec, fleet_.size()); !why.empty()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    UAVRES_COUNT("serve.rejected.bad-spec");
+    SendFrame(conn, SpecMsgType::kReject,
+              telemetry::EncodeReject(req.request_id, RejectReason::kBadSpec, why));
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    SendFrame(conn, SpecMsgType::kReject,
+              telemetry::EncodeReject(req.request_id, RejectReason::kShuttingDown,
+                                      "daemon is draining"));
+    return;
+  }
+
+  // Resolve the spec's identity key under the exact harness recipe the
+  // offline campaign uses (gold runs record their trajectory, faulty runs
+  // do not), so server and campaign hit the same store entries.
+  api::RunConfig run_cfg = cfg_.run;
+  run_cfg.recovery = req.spec.recovery;
+  std::optional<core::FaultSpec> fault;
+  if (req.spec.has_fault) {
+    core::FaultSpec f;
+    f.type = static_cast<core::FaultType>(req.spec.fault_type);
+    f.target = static_cast<core::FaultTarget>(req.spec.fault_target);
+    f.start_time_s = req.spec.start_time_s;
+    f.duration_s = req.spec.duration_s;
+    f.magnitude = req.spec.magnitude;
+    fault = f;
+    run_cfg.record_trajectory = false;
+  }
+  const std::size_t mission = static_cast<std::size_t>(req.spec.mission_index);
+  const api::ExperimentSpec espec{fleet_[mission], req.spec.mission_index, fault,
+                                  req.spec.seed_base};
+  const std::uint64_t key = core::ExperimentCacheKey(run_cfg, espec);
+
+  bool attached = false;
+  bool overloaded = false;
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      // Single-flight dedup: one run per key; this request rides along.
+      it->second->waiters.push_back({conn, req.request_id});
+      attached = true;
+    } else {
+      auto flight = std::make_shared<Flight>();
+      flight->key = key;
+      flight->mission_index = req.spec.mission_index;
+      flight->seed_base = req.spec.seed_base;
+      flight->recovery = req.spec.recovery;
+      flight->fault = fault;
+      flight->waiters.push_back({conn, req.request_id});
+      flights_.emplace(key, flight);
+      // Admission control happens while the flight table is locked so a
+      // rejected key is gone before any other client could attach to it.
+      if (!pool_->TrySubmit(conn->id, [this, key] { RunFlight(key); })) {
+        flights_.erase(key);
+        overloaded = true;
+      }
+    }
+  }
+  if (overloaded) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    UAVRES_COUNT("serve.rejected.overload");
+    SendFrame(conn, SpecMsgType::kReject,
+              telemetry::EncodeReject(req.request_id, RejectReason::kRejectedOverload,
+                                      "admission queue full"));
+    return;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (attached) {
+    singleflight_.fetch_add(1, std::memory_order_relaxed);
+    UAVRES_COUNT("serve.dedup.singleflight");
+    SendFrame(conn, SpecMsgType::kProgress,
+              telemetry::EncodeProgress(req.request_id, RequestState::kAttached));
+  } else {
+    UAVRES_COUNT("serve.admitted");
+    SendFrame(conn, SpecMsgType::kProgress,
+              telemetry::EncodeProgress(req.request_id, RequestState::kQueued));
+  }
+}
+
+std::shared_ptr<const telemetry::Trajectory> Server::GoldTrajectory(
+    int mission_index, std::uint64_t seed_base, bool recovery,
+    core::MissionResult* result_out) {
+  api::RunConfig run_cfg = cfg_.run;
+  run_cfg.recovery = recovery;
+  const std::size_t mission = static_cast<std::size_t>(mission_index);
+  const api::ExperimentSpec espec{fleet_[mission], mission_index, std::nullopt,
+                                  seed_base};
+  const std::uint64_t key = core::ExperimentCacheKey(run_cfg, espec);
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(gold_mutex_);
+      auto it = gold_cache_.find(key);
+      if (it != gold_cache_.end()) {
+        if (result_out) *result_out = it->second.result;
+        return it->second.trajectory;
+      }
+    }
+    if (gold_flight_.Begin(key) == core::SingleFlight::Role::kWaited) {
+      continue;  // the leader populated (or failed to populate) the cache
+    }
+    // Leader: fill from the persistent store or simulate the reference run.
+    GoldEntry entry;
+    if (auto cached = store_.Load(key, /*require_trajectory=*/true)) {
+      entry.result = cached->result;
+      entry.trajectory = std::make_shared<const telemetry::Trajectory>(
+          std::move(*cached->trajectory));
+      UAVRES_COUNT("serve.gold.store-hits");
+    } else {
+      UAVRES_TRACE_SCOPE("serve/gold-run");
+      const api::SimulationRunner runner(run_cfg);
+      auto out = runner.Run(espec);
+      entry.result = out.result;
+      if (store_.enabled()) store_.Store(key, {out.result, out.trajectory});
+      entry.trajectory =
+          std::make_shared<const telemetry::Trajectory>(std::move(out.trajectory));
+      gold_computed_.fetch_add(1, std::memory_order_relaxed);
+      UAVRES_COUNT("serve.gold.computed");
+    }
+    {
+      std::lock_guard<std::mutex> lock(gold_mutex_);
+      gold_cache_.emplace(key, entry);
+    }
+    gold_flight_.Finish(key);
+    if (result_out) *result_out = entry.result;
+    return entry.trajectory;
+  }
+}
+
+void Server::RunFlight(std::uint64_t key) {
+  UAVRES_TRACE_SCOPE("serve/flight");
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return;  // cannot happen; defensive
+    flight = it->second;
+  }
+  // Announce the state transition to everyone attached so far; later
+  // attachers already know they are riding along.
+  {
+    std::vector<Flight::Waiter> now;
+    {
+      std::lock_guard<std::mutex> lock(flight_mutex_);
+      now = flight->waiters;
+    }
+    for (const auto& w : now) {
+      SendFrame(w.conn, SpecMsgType::kProgress,
+                telemetry::EncodeProgress(w.request_id, RequestState::kRunning));
+    }
+  }
+
+  api::RunConfig run_cfg = cfg_.run;
+  run_cfg.recovery = flight->recovery;
+  ResultSource lead_source = ResultSource::kComputed;
+  core::MissionResult result;
+
+  if (flight->IsGold()) {
+    const std::uint64_t before = gold_computed_.load(std::memory_order_relaxed);
+    GoldTrajectory(flight->mission_index, flight->seed_base, flight->recovery, &result);
+    lead_source = gold_computed_.load(std::memory_order_relaxed) > before
+                      ? ResultSource::kComputed
+                      : ResultSource::kStoreHit;
+    if (lead_source == ResultSource::kStoreHit) {
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      UAVRES_COUNT("serve.dedup.store-hits");
+    }
+  } else {
+    run_cfg.record_trajectory = false;
+    const std::size_t mission = static_cast<std::size_t>(flight->mission_index);
+    api::ExperimentSpec espec{fleet_[mission], flight->mission_index, flight->fault,
+                              flight->seed_base};
+    if (auto cached = store_.Load(key)) {
+      result = cached->result;
+      lead_source = ResultSource::kStoreHit;
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      UAVRES_COUNT("serve.dedup.store-hits");
+    } else {
+      // Bubble violations are counted against the mission's gold reference —
+      // resolved through the gold cache so N dependent faulty runs trigger
+      // at most one reference simulation.
+      const auto gold = GoldTrajectory(flight->mission_index, flight->seed_base,
+                                       flight->recovery, nullptr);
+      espec.gold = gold.get();
+      UAVRES_TRACE_SCOPE("serve/faulty-run");
+      const api::SimulationRunner runner(run_cfg);
+      thread_local uav::RunOutput scratch;
+      runner.RunInto(espec, scratch);
+      result = scratch.result;
+      if (store_.enabled()) store_.Store(key, {result, std::nullopt});
+      computed_.fetch_add(1, std::memory_order_relaxed);
+      UAVRES_COUNT("serve.computed");
+    }
+  }
+
+  std::ostringstream bytes;
+  core::WriteMissionResult(bytes, result);
+  const std::string result_bytes = bytes.str();
+
+  // Retire the flight first, then fan out: a submit that misses the table
+  // after this point re-runs through the store (a guaranteed hit).
+  std::vector<Flight::Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    flights_.erase(key);
+    waiters = std::move(flight->waiters);
+  }
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    const ResultSource source = i == 0 ? lead_source : ResultSource::kSingleFlight;
+    // Count before the send: a client that receives this result and
+    // immediately queries stats must see it reflected.
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    UAVRES_COUNT("serve.completed");
+    SendFrame(waiters[i].conn, SpecMsgType::kResult,
+              telemetry::EncodeResult(waiters[i].request_id, source, result_bytes));
+  }
+}
+
+void Server::SendStats(const std::shared_ptr<Connection>& conn) {
+  std::ostringstream json;
+  telemetry::MetricsRegistry::Global().WriteJson(json);
+  SendFrame(conn, SpecMsgType::kStatsReply,
+            telemetry::EncodeStatsReply(stats(), json.str()));
+}
+
+telemetry::ServeStats Server::stats() const {
+  telemetry::ServeStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.computed = computed_.load(std::memory_order_relaxed);
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
+  s.singleflight = singleflight_.load(std::memory_order_relaxed);
+  s.gold_computed = gold_computed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace uavres::serve

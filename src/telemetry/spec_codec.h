@@ -1,0 +1,197 @@
+// Versioned wire codec for the `uavres serve` ExperimentSpec API.
+//
+// The daemon (src/serve) and its clients exchange length-prefixed frames
+// over a local TCP stream:
+//
+//   u32 payload_len | u8 msg_type | payload (payload_len bytes)
+//
+// with all integers little-endian (telemetry/binary_io.h). Payloads are
+// themselves composed of the same primitives; the codec never interprets
+// simulation types — it speaks only the flat wire structs defined here
+// (WireSpec mirrors uav::ExperimentSpec's identity fields; the serve layer
+// converts). MissionResult payloads reuse the result store's serialization
+// verbatim (core::WriteMissionResult), so a result byte-compared over the
+// wire is byte-compared against the store and the offline campaign.
+//
+// Versioning: kSpecSchemaVersion is THE experiment-identity schema number,
+// shared verbatim by
+//   * this wire protocol (exchanged in Hello/HelloAck; mismatch rejects the
+//     connection with kVersionMismatch before any spec is accepted),
+//   * core::ExperimentCacheKey (mixed into every store key), and
+//   * the result store's on-disk entries (kResultStoreSchemaVersion aliases
+//     it — see core/result_store.h).
+// Bump it whenever the WireSpec layout, the cache-key recipe, or any
+// simulation-affecting semantics change that the spec fields cannot
+// express. Client and server must agree exactly: there is no negotiation,
+// because a version-skewed spec would silently key a different experiment.
+//
+// Robustness: every decoder returns false/nullopt on framing failure (bad
+// magic, short payload, trailing bytes, implausible counts) — hostile or
+// truncated input never yields partial data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uavres::telemetry {
+
+/// Experiment-identity schema, v3: the serve wire API, the sharded result
+/// store and the cache-key recipe all stamp this number (history: v1 seed
+/// PR 1, v2 per-axis fault RNG streams in PR 3, v3 serve/sharded store).
+inline constexpr std::uint32_t kSpecSchemaVersion = 3;
+
+/// Hello magic ("UVSP"): rejects non-uavres peers before anything else.
+inline constexpr std::uint32_t kSpecWireMagic = 0x50535655;
+
+/// Frame sanity bound. The largest legitimate payload is a submit batch of
+/// kMaxSpecsPerBatch specs (~64 B each) or a stats JSON dump — both far
+/// below this; anything bigger is a corrupt length field.
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 16u << 20;  // 16 MiB
+inline constexpr std::uint32_t kMaxSpecsPerBatch = 4096;
+inline constexpr std::uint32_t kMaxWireStringLen = 1u << 16;
+
+enum class SpecMsgType : std::uint8_t {
+  kHello = 1,        ///< client -> server: magic, schema version, client name
+  kHelloAck = 2,     ///< server -> client: magic, schema version
+  kSubmitBatch = 3,  ///< client -> server: N x (request_id, WireSpec)
+  kProgress = 4,     ///< server -> client: request_id, RequestState
+  kResult = 5,       ///< server -> client: request_id, source, MissionResult bytes
+  kReject = 6,       ///< server -> client: request_id, reason, detail
+  kStats = 7,        ///< client -> server: snapshot request
+  kStatsReply = 8,   ///< server -> client: ServeStats + metrics JSON
+  kShutdown = 9,     ///< client -> server: drain and stop the daemon
+};
+
+/// Why a request (or the whole connection, request_id 0) was refused.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kRejectedOverload = 1,  ///< admission queue full — resubmit later
+  kBadSpec = 2,           ///< spec failed validation (unknown mission, ...)
+  kVersionMismatch = 3,   ///< client schema != kSpecSchemaVersion
+  kMalformed = 4,         ///< undecodable frame; connection is closed
+  kShuttingDown = 5,      ///< daemon is draining; no new work accepted
+};
+
+/// Lifecycle milestones streamed back per request.
+enum class RequestState : std::uint8_t {
+  kQueued = 1,    ///< admitted to the scheduler queue
+  kRunning = 2,   ///< a worker started simulating this spec
+  kAttached = 3,  ///< deduped onto an identical in-flight spec (single-flight)
+};
+
+/// Where a request's result came from (dedup accounting on the wire).
+enum class ResultSource : std::uint8_t {
+  kComputed = 1,      ///< this request's own simulation produced it
+  kStoreHit = 2,      ///< served from the persistent result store
+  kSingleFlight = 3,  ///< attached to another request's in-flight run
+};
+
+/// Flat wire form of one experiment: exactly the identity tuple that
+/// core::ExperimentCacheKey hashes, with the drone spec referenced by
+/// mission index (the server owns the scenario fleet — clients cannot
+/// submit arbitrary vehicle geometry). Field-by-field little-endian layout;
+/// extending it requires a kSpecSchemaVersion bump.
+struct WireSpec {
+  std::int32_t mission_index{0};
+  std::uint64_t seed_base{2024};
+  bool recovery{false};  ///< RunConfig::recovery axis
+  bool has_fault{false};
+  std::uint8_t fault_type{0};    ///< core::FaultType
+  std::uint8_t fault_target{0};  ///< core::FaultTarget
+  double start_time_s{0.0};
+  double duration_s{0.0};
+  double magnitude{1.0};
+
+  friend bool operator==(const WireSpec&, const WireSpec&) = default;
+};
+
+struct WireRequest {
+  std::uint64_t request_id{0};
+  WireSpec spec;
+};
+
+/// Server-side dedup/throughput counters carried in a kStatsReply (ahead of
+/// the free-form metrics JSON, so load generators need no JSON parser).
+struct ServeStats {
+  std::uint64_t accepted{0};       ///< specs admitted (queued or attached)
+  std::uint64_t rejected{0};       ///< kReject frames sent
+  std::uint64_t completed{0};      ///< kResult frames sent
+  std::uint64_t computed{0};       ///< simulations actually run
+  std::uint64_t store_hits{0};     ///< served from the persistent store
+  std::uint64_t singleflight{0};   ///< attached to an in-flight identical spec
+  std::uint64_t gold_computed{0};  ///< reference runs simulated for dependents
+
+  friend bool operator==(const ServeStats&, const ServeStats&) = default;
+};
+
+/// One decoded frame: type + raw payload bytes (decode with the matching
+/// Decode* function below).
+struct SpecFrame {
+  SpecMsgType type{SpecMsgType::kHello};
+  std::string payload;
+};
+
+// --- Frame layer -----------------------------------------------------------
+
+/// `u32 len | u8 type | payload` as a contiguous byte string ready to send.
+std::string EncodeFrame(SpecMsgType type, const std::string& payload);
+
+/// Incremental reassembly for a byte stream: feed arbitrary chunks, pop
+/// complete frames. Rejects oversized length fields by entering a sticky
+/// error state (the connection should be dropped).
+class FrameReader {
+ public:
+  /// Appends raw bytes from the stream. Returns false once corrupt.
+  bool Feed(const char* data, std::size_t n);
+
+  /// Pops the next complete frame, or nullopt if more bytes are needed.
+  std::optional<SpecFrame> Next();
+
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buf_;
+  std::size_t consumed_{0};
+  bool corrupt_{false};
+};
+
+// --- Payload encoders / decoders ------------------------------------------
+// Every Decode* consumes the WHOLE payload: trailing bytes are a framing
+// error (the strict mirror of the result store's EOF check).
+
+std::string EncodeHello(std::uint32_t schema_version, const std::string& client_name);
+bool DecodeHello(const std::string& payload, std::uint32_t& schema_version,
+                 std::string& client_name);
+
+std::string EncodeHelloAck(std::uint32_t schema_version);
+bool DecodeHelloAck(const std::string& payload, std::uint32_t& schema_version);
+
+std::string EncodeSubmitBatch(const std::vector<WireRequest>& batch);
+bool DecodeSubmitBatch(const std::string& payload, std::vector<WireRequest>& batch);
+
+std::string EncodeProgress(std::uint64_t request_id, RequestState state);
+bool DecodeProgress(const std::string& payload, std::uint64_t& request_id,
+                    RequestState& state);
+
+/// `result_bytes` is an opaque serialized MissionResult (the serve layer
+/// produces it with core::WriteMissionResult); the codec frames it only.
+std::string EncodeResult(std::uint64_t request_id, ResultSource source,
+                         const std::string& result_bytes);
+bool DecodeResult(const std::string& payload, std::uint64_t& request_id,
+                  ResultSource& source, std::string& result_bytes);
+
+std::string EncodeReject(std::uint64_t request_id, RejectReason reason,
+                         const std::string& detail);
+bool DecodeReject(const std::string& payload, std::uint64_t& request_id,
+                  RejectReason& reason, std::string& detail);
+
+std::string EncodeStatsReply(const ServeStats& stats, const std::string& metrics_json);
+bool DecodeStatsReply(const std::string& payload, ServeStats& stats,
+                      std::string& metrics_json);
+
+const char* ToString(RejectReason r);
+const char* ToString(ResultSource s);
+
+}  // namespace uavres::telemetry

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "core/scenario.h"
 #include "telemetry/trajectory_codec.h"
@@ -184,9 +187,8 @@ TEST(ResultStore, TruncatedEntryIsCorruptMissAndRecomputable) {
 
   // Truncate the entry to half its size (simulates a crash mid-write of a
   // non-atomic writer, or disk corruption).
-  fs::directory_iterator it(dir);
-  ASSERT_NE(it, fs::directory_iterator{});
-  const fs::path entry = it->path();
+  const fs::path entry = store.EntryPath(42);
+  ASSERT_TRUE(fs::exists(entry));
   const auto full_size = fs::file_size(entry);
   fs::resize_file(entry, full_size / 2);
 
@@ -207,7 +209,9 @@ TEST(ResultStore, GarbageEntryIsCorruptMiss) {
   const std::string dir = MakeCacheDir("garbage");
   ResultStore store(dir);
   {
-    std::ofstream os(dir + "/00000000000000ff.uvrs", std::ios::binary);
+    const fs::path entry = store.EntryPath(0xFF);
+    fs::create_directories(entry.parent_path());
+    std::ofstream os(entry, std::ios::binary);
     os << "this is not a result store entry at all, but it is long enough "
           "to exercise the framing checks past the magic comparison";
   }
@@ -221,8 +225,7 @@ TEST(ResultStore, TrailingJunkIsCorrupt) {
   ResultStore store(dir);
   ASSERT_TRUE(store.Store(9, {SampleResult(), std::nullopt}));
   {
-    std::ofstream os(store.dir() + "/0000000000000009.uvrs",
-                     std::ios::binary | std::ios::app);
+    std::ofstream os(store.EntryPath(9), std::ios::binary | std::ios::app);
     os << "junk";
   }
   EXPECT_FALSE(store.Load(9).has_value());
@@ -233,8 +236,9 @@ TEST(ResultStore, KeyMismatchedEntryIsCorrupt) {
   const std::string dir = MakeCacheDir("keymismatch");
   ResultStore store(dir);
   ASSERT_TRUE(store.Store(0xA, {SampleResult(), std::nullopt}));
-  // Simulate a renamed/moved file: content for key 0xA under key 0xB's name.
-  fs::rename(dir + "/000000000000000a.uvrs", dir + "/000000000000000b.uvrs");
+  // Simulate a renamed/moved file: content for key 0xA under key 0xB's name
+  // (both land in shard 00 — the shard byte is the key's TOP byte).
+  fs::rename(store.EntryPath(0xA), store.EntryPath(0xB));
   EXPECT_FALSE(store.Load(0xB).has_value());
   EXPECT_EQ(store.stats().corrupt, 1u);
 }
@@ -246,11 +250,102 @@ TEST(ResultStore, MetricsOnlyEntryMissesWhenTrajectoryRequired) {
   EXPECT_FALSE(store.Load(5, /*require_trajectory=*/true).has_value());
 }
 
+TEST(ResultStore, EntriesShardByTopKeyByte) {
+  ResultStore store(MakeCacheDir("shards"));
+  const std::uint64_t low = 0x0000000000000001ULL;   // shard 00
+  const std::uint64_t high = 0xAB00000000000001ULL;  // shard ab
+  ASSERT_TRUE(store.Store(low, {SampleResult(), std::nullopt}));
+  ASSERT_TRUE(store.Store(high, {SampleResult(), std::nullopt}));
+  EXPECT_EQ(fs::path(store.EntryPath(low)).parent_path().filename(), "00");
+  EXPECT_EQ(fs::path(store.EntryPath(high)).parent_path().filename(), "ab");
+  EXPECT_TRUE(fs::exists(store.EntryPath(low)));
+  EXPECT_TRUE(fs::exists(store.EntryPath(high)));
+  EXPECT_TRUE(store.Load(low).has_value());
+  EXPECT_TRUE(store.Load(high).has_value());
+}
+
+TEST(ResultStore, ConcurrentWritersSameKeyCommitAtomically) {
+  // Two-writer stress for the rename-on-commit contract: many threads
+  // hammer the SAME key through separate ResultStore instances (as the
+  // serve daemon and an offline campaign would) while readers poll. Every
+  // observed load must be a fully formed entry — never a torn write, never
+  // a leftover temp file visible as the entry.
+  const std::string dir = MakeCacheDir("twowriter");
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 50;
+  std::atomic<bool> start{false};
+  std::atomic<int> torn{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      ResultStore store(dir);
+      while (!start.load()) {
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        ASSERT_TRUE(store.Store(7, {SampleResult(), SampleTrajectory()}));
+        if (auto loaded = store.Load(7)) {
+          if (Serialize(loaded->result) != Serialize(SampleResult())) {
+            torn.fetch_add(1);
+          }
+        } else if (store.stats().corrupt > 0) {
+          torn.fetch_add(1);  // a committed entry must never read corrupt
+        }
+        (void)w;
+      }
+    });
+  }
+  start.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(torn.load(), 0);
+
+  // Commit left exactly the entry behind — no stray temp files.
+  ResultStore store(dir);
+  EXPECT_TRUE(store.Load(7).has_value());
+  int files = 0;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    files += e.is_regular_file() ? 1 : 0;
+  }
+  EXPECT_EQ(files, 1);
+}
+
+TEST(SingleFlight, SecondCallerWaitsForLeader) {
+  SingleFlight flight;
+  ASSERT_EQ(flight.Begin(1), SingleFlight::Role::kLeader);
+
+  std::atomic<bool> leader_done{false};
+  std::atomic<bool> waiter_returned{false};
+  std::thread waiter([&] {
+    EXPECT_EQ(flight.Begin(1), SingleFlight::Role::kWaited);
+    // Begin must not return to a waiter before the leader finished.
+    EXPECT_TRUE(leader_done.load());
+    waiter_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(waiter_returned.load());
+  leader_done.store(true);
+  flight.Finish(1);
+  waiter.join();
+  EXPECT_TRUE(waiter_returned.load());
+
+  // The key is free again: the next caller leads.
+  EXPECT_EQ(flight.Begin(1), SingleFlight::Role::kLeader);
+  flight.Finish(1);
+}
+
+TEST(SingleFlight, DistinctKeysDoNotBlockEachOther) {
+  SingleFlight flight;
+  EXPECT_EQ(flight.Begin(1), SingleFlight::Role::kLeader);
+  EXPECT_EQ(flight.Begin(2), SingleFlight::Role::kLeader);
+  flight.Finish(2);
+  flight.Finish(1);
+}
+
 TEST(ResultStore, SchemaMismatchIsCorruptMiss) {
   const std::string dir = MakeCacheDir("schema");
   ResultStore store(dir);
   ASSERT_TRUE(store.Store(3, {SampleResult(), std::nullopt}));
-  const std::string path = dir + "/0000000000000003.uvrs";
+  const std::string path = store.EntryPath(3);
   // Bump the on-disk schema version field (bytes 4..7, little-endian).
   std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
   f.seekp(4);

@@ -2,9 +2,11 @@
 // the starvation property (one huge job must not serialize the grid).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -122,6 +124,137 @@ TEST(Scheduler, StarvationBoundHoldsForBatchedCampaignCosts) {
   // Critical path: the 100-unit batch; the cheap batches (50 units total)
   // run on the second worker in parallel. Allow 1.2x for overhead.
   EXPECT_LE(wall_ms, 1.2 * 100.0) << "expensive batch was starved behind cheap batches";
+}
+
+TEST(TaskPool, RunsEverySubmittedTask) {
+  TaskPool::Options opts;
+  opts.num_threads = 4;
+  opts.queue_capacity = 1000;
+  TaskPool pool(opts);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.TrySubmit(static_cast<std::uint64_t>(i % 5),
+                               [&] { done.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 200);
+  EXPECT_EQ(pool.InFlight(), 0u);
+}
+
+TEST(TaskPool, RejectsBeyondCapacityWithoutDeadlock) {
+  // One worker, capacity 2 (queued + running): block the worker, fill the
+  // queue, and every further submit must be refused immediately — the
+  // admission-control contract behind the daemon's kRejectedOverload.
+  TaskPool::Options opts;
+  opts.num_threads = 1;
+  opts.queue_capacity = 2;
+  TaskPool pool(opts);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  ASSERT_TRUE(pool.TrySubmit(1, [&] {
+    while (!release.load()) std::this_thread::yield();
+    done.fetch_add(1);
+  }));
+  // Wait until the blocker actually occupies the worker.
+  while (pool.InFlight() == 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.TrySubmit(1, [&] { done.fetch_add(1); }));  // fills the queue
+
+  int rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (!pool.TrySubmit(2, [&] { done.fetch_add(1); })) ++rejected;
+  }
+  EXPECT_EQ(rejected, 16) << "overloaded pool must refuse, not queue or block";
+
+  release.store(true);
+  pool.Drain();
+  EXPECT_EQ(done.load(), 2);
+
+  // Capacity freed: admission works again.
+  EXPECT_TRUE(pool.TrySubmit(3, [&] { done.fetch_add(1); }));
+  pool.Drain();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(TaskPool, RoundRobinInterleavesClients) {
+  // One worker so execution order is the pop order. Client A floods 8 tasks
+  // before client B's single task arrives; fairness means B is served after
+  // at most one more A task, not behind A's whole backlog.
+  TaskPool::Options opts;
+  opts.num_threads = 1;
+  opts.queue_capacity = 100;
+  TaskPool pool(opts);
+
+  std::atomic<bool> release{false};
+  std::mutex order_mutex;
+  std::vector<std::uint64_t> order;
+  auto task = [&](std::uint64_t client) {
+    return [&, client] {
+      while (!release.load()) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(client);
+    };
+  };
+  // A blocker pins the worker so the queue fills deterministically.
+  std::atomic<bool> start{false};
+  ASSERT_TRUE(pool.TrySubmit(99, [&] {
+    while (!start.load()) std::this_thread::yield();
+  }));
+  while (pool.InFlight() == 0) std::this_thread::yield();
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(pool.TrySubmit(1, task(1)));
+  ASSERT_TRUE(pool.TrySubmit(2, task(2)));
+  release.store(true);
+  start.store(true);
+  pool.Drain();
+
+  ASSERT_EQ(order.size(), 9u);
+  const auto b_pos = static_cast<std::size_t>(
+      std::find(order.begin(), order.end(), 2u) - order.begin());
+  EXPECT_LE(b_pos, 1u) << "client 2 starved behind client 1's backlog";
+}
+
+TEST(TaskPool, PriorityOrdersWithinClient) {
+  TaskPool::Options opts;
+  opts.num_threads = 1;
+  opts.queue_capacity = 100;
+  TaskPool pool(opts);
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::atomic<bool> start{false};
+  ASSERT_TRUE(pool.TrySubmit(1, [&] {
+    while (!start.load()) std::this_thread::yield();
+  }));
+  while (pool.InFlight() == 0) std::this_thread::yield();
+  auto tagged = [&](int tag) {
+    return [&, tag] {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(tag);
+    };
+  };
+  ASSERT_TRUE(pool.TrySubmit(1, tagged(0), /*priority=*/0));
+  ASSERT_TRUE(pool.TrySubmit(1, tagged(1), /*priority=*/0));
+  ASSERT_TRUE(pool.TrySubmit(1, tagged(9), /*priority=*/5));  // jumps the queue
+  start.store(true);
+  pool.Drain();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 9);  // high priority first
+  EXPECT_EQ(order[1], 0);  // then FIFO among equals
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(TaskPool, DestructorDrainsAdmittedWork) {
+  std::atomic<int> done{0};
+  {
+    TaskPool::Options opts;
+    opts.num_threads = 2;
+    opts.queue_capacity = 100;
+    TaskPool pool(opts);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.TrySubmit(0, [&] { done.fetch_add(1); }));
+    }
+  }  // destructor joins; admitted tasks must not be dropped
+  EXPECT_EQ(done.load(), 50);
 }
 
 }  // namespace

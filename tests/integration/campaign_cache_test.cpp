@@ -101,10 +101,17 @@ TEST(CampaignCache, CorruptEntryIsRecomputed) {
   cfg.cache_dir = MakeCacheDir("corrupt");
   const auto cold = Campaign(cfg).Run();
 
-  // Truncate one arbitrary entry.
-  fs::directory_iterator it(cfg.cache_dir);
-  ASSERT_NE(it, fs::directory_iterator{});
-  fs::resize_file(it->path(), fs::file_size(it->path()) / 3);
+  // Truncate one arbitrary entry (entries live inside key shards now, so
+  // walk recursively for a regular .uvrs file).
+  fs::path victim;
+  for (const auto& e : fs::recursive_directory_iterator(cfg.cache_dir)) {
+    if (e.is_regular_file()) {
+      victim = e.path();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  fs::resize_file(victim, fs::file_size(victim) / 3);
 
   const auto warm = Campaign(cfg).Run();
   EXPECT_EQ(warm.cache.corrupt, 1u);

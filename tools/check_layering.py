@@ -33,8 +33,12 @@ ALLOWED = {
             "nav", "core"},
     "uspace": {"math", "telemetry", "sim", "sensors", "estimation", "control",
                "bus", "nav", "core", "uav"},
+    # The campaign-as-a-service daemon: speaks the telemetry wire codec and
+    # drives campaigns through core/api.h. It sits beside uspace, above core.
+    "serve": {"math", "telemetry", "sim", "sensors", "estimation", "control",
+              "bus", "nav", "core", "uav"},
     "app": {"math", "telemetry", "sim", "sensors", "estimation", "control", "bus",
-            "nav", "core", "uav", "uspace"},
+            "nav", "core", "uav", "uspace", "serve"},
 }
 
 # File-scoped exceptions for edges outside the map. The campaign drivers in

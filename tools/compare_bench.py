@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Gate campaign throughput against the committed BENCH_campaign.json baseline.
+"""Gate benchmark results against their committed baselines.
+
+Two schema-1 bench families are understood, dispatched on the "bench" field
+(both files must carry the same one):
+
+  campaign_throughput — BENCH_campaign.json, from bench_throughput
+  serve_latency       — BENCH_serve.json, from `uavres loadgen`
 
 Usage:
     compare_bench.py CURRENT.json BASELINE.json [--max-regress 0.20]
 
 Exit codes:
-    0 — throughput within tolerance (or comparison skipped, see below)
-    1 — runs/sec regressed more than --max-regress vs the baseline
+    0 — within tolerance (or comparison skipped, see below)
+    1 — regressed more than --max-regress vs the baseline, or a
+        structural invariant failed (allocations, dedup, verification)
     2 — bad input (missing file, malformed JSON, wrong schema)
 
 Comparison policy:
@@ -35,6 +42,9 @@ import json
 import sys
 
 
+KNOWN_BENCHES = {"campaign_throughput", "serve_latency"}
+
+
 def load(path: str) -> dict:
     try:
         with open(path) as f:
@@ -42,11 +52,67 @@ def load(path: str) -> dict:
     except (OSError, json.JSONDecodeError) as e:
         print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    if doc.get("bench") != "campaign_throughput" or doc.get("schema") != 1:
-        print(f"compare_bench: {path} is not a schema-1 campaign_throughput file",
-              file=sys.stderr)
+    if doc.get("bench") not in KNOWN_BENCHES or doc.get("schema") != 1:
+        print(f"compare_bench: {path} is not a schema-1 bench file "
+              f"(known: {', '.join(sorted(KNOWN_BENCHES))})", file=sys.stderr)
         sys.exit(2)
     return doc
+
+
+def compare_serve(cur: dict, base: dict, max_regress: float) -> int:
+    """Gate `uavres loadgen` output (BENCH_serve.json).
+
+    Structural invariants are environment-independent and always enforced:
+    the latency quantiles and the dedup hit rate must be present, every
+    request must have completed, and any byte-identity verification the run
+    performed must have zero mismatches. The p99 latency itself is only
+    compared when the recorded environments match.
+    """
+    lat = cur.get("latency_ms", {})
+    for field in ("p50", "p99"):
+        if not isinstance(lat.get(field), (int, float)):
+            print(f"compare_bench: FAIL — latency_ms.{field} missing")
+            return 1
+    dedup = cur.get("dedup", {})
+    if not isinstance(dedup.get("hit_rate"), (int, float)):
+        print("compare_bench: FAIL — dedup.hit_rate missing")
+        return 1
+    reqs = cur.get("requests", {})
+    if reqs.get("ok", 0) <= 0:
+        print("compare_bench: FAIL — no request completed successfully")
+        return 1
+    verified = cur.get("verified")
+    if verified is not None and verified.get("mismatches", 0) != 0:
+        print(f"compare_bench: FAIL — {verified.get('mismatches')} served "
+              f"result(s) differ from the offline campaign")
+        return 1
+    print(f"serve: ok={reqs.get('ok')} overloaded={reqs.get('overloaded', 0)} "
+          f"p50={lat['p50']:.1f}ms p99={lat['p99']:.1f}ms "
+          f"dedup_hit_rate={dedup['hit_rate']:.3f}")
+
+    if cur.get("environment", {}) != base.get("environment", {}):
+        print("compare_bench: environments differ, skipping latency comparison")
+        print(f"  current : {cur.get('environment', {})}")
+        print(f"  baseline: {base.get('environment', {})}")
+        print("  (structural serve invariants still passed)")
+        return 0
+
+    base_p99 = base.get("latency_ms", {}).get("p99", 0.0)
+    if base_p99 > 0.0:
+        change = (lat["p99"] - base_p99) / base_p99
+        print(f"p99 latency: current {lat['p99']:.1f}ms vs baseline "
+              f"{base_p99:.1f}ms ({change:+.1%})")
+        if change > max_regress:
+            print(f"compare_bench: FAIL — p99 latency regressed more than "
+                  f"{max_regress:.0%}")
+            return 1
+    base_hit = base.get("dedup", {}).get("hit_rate", 0.0)
+    if base_hit > 0.0 and dedup["hit_rate"] <= 0.0:
+        print("compare_bench: FAIL — dedup hit rate fell to zero "
+              f"(baseline {base_hit:.3f})")
+        return 1
+    print("compare_bench: OK")
+    return 0
 
 
 def main() -> int:
@@ -62,6 +128,12 @@ def main() -> int:
 
     cur = load(args.current)
     base = load(args.baseline)
+    if cur.get("bench") != base.get("bench"):
+        print(f"compare_bench: bench kinds differ ({cur.get('bench')} vs "
+              f"{base.get('bench')})", file=sys.stderr)
+        return 2
+    if cur.get("bench") == "serve_latency":
+        return compare_serve(cur, base, args.max_regress)
 
     # Environment-independent gates first: the hot paths must stay
     # allocation-free — the scalar cruise and, when measured, the batched one.
