@@ -3,6 +3,9 @@
 //   uavres fly [mission] [--seed N]
 //   uavres inject [mission] [target] [type] [duration] [--seed N]
 //   uavres campaign [--missions N] [--durations 2,5,10,30] [--threads N] [--batch N]
+//   uavres fleet [--scenario convoy|valencia] [--drones N] [--fault tgt:type:dur]
+//                [--faulted-drone K] [--recovery on] [--relaunch-horizon S]
+//                [--threads N] [--batch N] [--oracle] [--cache-dir DIR]
 //   uavres convoy [--spacing M] [--drones N]
 //   uavres export [mission] [file.csv] [--rate HZ]
 //   uavres record [mission] [file.uvrl] [--rate HZ] [--target acc|gyro|imu
@@ -25,6 +28,7 @@
 // table — adding a command is adding a row.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
@@ -46,6 +50,7 @@
 #include "telemetry/trace.h"
 #include "uav/bus_replay.h"
 #include "uav/simulation_runner.h"
+#include "uspace/fleet_experiment.h"
 #include "uspace/multi_runner.h"
 
 namespace {
@@ -580,6 +585,186 @@ int CmdFuzz(const app::CommandLine& cl) {
   return rep.failed_cases == 0 ? 0 : 1;
 }
 
+/// `--fault target:type:duration` (e.g. `acc:fixed:30`); any tail part may
+/// be omitted and defaults to imu:random:30.
+core::FaultSpec ParseFleetFault(const std::string& s) {
+  core::FaultSpec fault;
+  fault.target = core::FaultTarget::kImu;
+  fault.type = core::FaultType::kRandom;
+  fault.duration_s = 30.0;
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    const std::size_t colon = s.find(':', begin);
+    parts.push_back(s.substr(begin, colon == std::string::npos ? colon : colon - begin));
+    if (colon == std::string::npos) break;
+    begin = colon + 1;
+  }
+  if (!parts.empty() && !parts[0].empty()) fault.target = ParseTarget(parts[0]);
+  if (parts.size() > 1 && !parts[1].empty()) fault.type = ParseType(parts[1]);
+  if (parts.size() > 2 && !parts[2].empty()) fault.duration_s = std::atof(parts[2].c_str());
+  return fault;
+}
+
+void PrintFleetRecord(const char* label, const telemetry::FleetRecord& r) {
+  std::printf("%s\n", label);
+  std::printf("  conflicts           : %d (%d alerts, %d instants in conflict)\n",
+              r.conflicts, r.alerts, r.instants_in_conflict);
+  std::printf("  cascade             : largest component %d drones, %d secondary conflicts\n",
+              r.cascade_size, r.secondary_conflicts);
+  if (r.separation_samples > 0) {
+    std::printf("  min separation      : %.1f m (p5 %.1f m, p50 %.1f m over %d instants)\n",
+                r.min_separation_m, r.separation_p5_m, r.separation_p50_m,
+                r.separation_samples);
+  } else {
+    std::printf("  min separation      : %.1f m\n", r.min_separation_m);
+  }
+  std::printf("  tracking            : %d published, %d dropped, %d quarantined\n",
+              r.reports_published, r.reports_dropped, r.reports_quarantined);
+  std::printf("  throughput          : %d missions in %.0f s (%.1f missions/sim-hour"
+              ", %d relaunches)\n",
+              r.missions_completed, r.sim_time_s, r.throughput_missions_per_hour,
+              r.relaunches);
+}
+
+int CmdFleet(const app::CommandLine& cl) {
+  core::FleetExperimentSpec spec;
+  const std::string scenario = cl.Flag("scenario").value_or("convoy");
+  spec.scenario = scenario == "valencia" ? core::FleetScenario::kValencia
+                                         : core::FleetScenario::kConvoy;
+  spec.num_drones = cl.FlagInt("drones", 10);
+  spec.lane_spacing_m = cl.FlagDouble("spacing", spec.lane_spacing_m);
+  spec.speed_kmh = cl.FlagDouble("speed", spec.speed_kmh);
+  spec.leg_length_m = cl.FlagDouble("leg", spec.leg_length_m);
+  spec.tracking_interval_s = cl.FlagDouble("interval", spec.tracking_interval_s);
+  spec.drop_probability = cl.FlagDouble("drop", 0.0);
+  spec.link_delay_s = cl.FlagDouble("delay", 0.0);
+  spec.relaunch_horizon_s = cl.FlagDouble("relaunch-horizon", 0.0);
+  spec.seed_base = static_cast<std::uint64_t>(cl.FlagInt("seed", 2024));
+  if (const auto f = cl.Flag("fault")) spec.fault = ParseFleetFault(*f);
+  spec.faulted_drone = cl.FlagInt("faulted-drone", spec.num_drones / 2);
+  if (const auto rec = cl.Flag("recovery")) {
+    spec.recovery = *rec != "off" && *rec != "0";
+  }
+  if (spec.num_drones <= 0) {
+    std::fprintf(stderr, "fleet: --drones must be positive\n");
+    return 2;
+  }
+  if (spec.fault &&
+      (spec.faulted_drone < 0 || spec.faulted_drone >= spec.num_drones)) {
+    std::fprintf(stderr, "fleet: --faulted-drone %d outside fleet of %d\n",
+                 spec.faulted_drone, spec.num_drones);
+    return 2;
+  }
+
+  uspace::FleetCampaignConfig cfg;
+  cfg.knobs.num_threads = cl.FlagInt("threads", 0);
+  cfg.knobs.batch_size = cl.FlagInt("batch", cfg.knobs.batch_size);
+  if (cl.Flag("broadphase").value_or("grid") == "brute") {
+    cfg.knobs.broadphase = uspace::BroadphaseMode::kBruteForce;
+  }
+  if (const char* env = std::getenv("UAVRES_CACHE_DIR")) cfg.cache_dir = env;
+  if (const auto dir = cl.Flag("cache-dir")) cfg.cache_dir = *dir;
+  if (cl.HasFlag("no-cache")) cfg.cache_dir.clear();
+
+  // The faulted run is always compared against its fault-free twin — the
+  // systemic-impact delta is the experiment.
+  std::vector<core::FleetExperimentSpec> specs;
+  if (spec.fault && !cl.HasFlag("no-baseline")) {
+    core::FleetExperimentSpec baseline = spec;
+    baseline.fault.reset();
+    specs.push_back(baseline);
+  }
+  specs.push_back(spec);
+
+  uspace::FleetCampaign campaign(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = campaign.Run(specs);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const telemetry::FleetRecord& rec = results.back().record;
+
+  std::printf("fleet      : %s, %d drones, seed %llu (%.1fs wall%s)\n",
+              core::ToString(spec.scenario), spec.num_drones,
+              static_cast<unsigned long long>(spec.seed_base), wall,
+              results.back().from_cache ? ", cached" : "");
+  if (spec.fault) {
+    std::printf("fault      : %s for %.0f s on drone %d%s\n",
+                core::FaultLabel(spec.fault->target, spec.fault->type).c_str(),
+                spec.fault->duration_s, spec.faulted_drone,
+                spec.recovery ? " (recovery on)" : "");
+  }
+
+  // Per-drone outcomes: full table for small fleets, histogram + the
+  // interesting rows (faulted or non-completed) for big ones.
+  const bool small = rec.drones.size() <= 24;
+  int completed = 0;
+  for (const auto& d : rec.drones) {
+    const auto outcome = static_cast<core::MissionOutcome>(d.outcome);
+    completed += outcome == core::MissionOutcome::kCompleted;
+    const bool interesting =
+        outcome != core::MissionOutcome::kCompleted ||
+        (spec.fault && d.drone_id == spec.faulted_drone);
+    if (small || interesting) {
+      std::printf("  #%-4d %-14s %-10s %7.1f s%s\n", d.drone_id, d.name.c_str(),
+                  core::ToString(outcome), d.flight_duration_s,
+                  d.launch_time_s > 0.0 ? " (relaunched)" : "");
+    }
+  }
+  if (!small) {
+    std::printf("  (%d of %zu flights completed; non-completed rows shown)\n",
+                completed, rec.drones.size());
+  }
+
+  PrintFleetRecord(spec.fault ? "systemic impact (faulted)" : "systemic metrics", rec);
+  if (specs.size() > 1) {
+    PrintFleetRecord("fault-free baseline", results.front().record);
+  }
+
+  if (campaign.store().enabled()) {
+    const auto cs = campaign.cache_stats();
+    std::fprintf(stderr, "cache [%s]: %llu hits, %llu misses (%llu corrupt), %llu stored\n",
+                 cfg.cache_dir.c_str(), static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.corrupt),
+                 static_cast<unsigned long long>(cs.stores));
+  }
+
+  // --oracle: cross-check the batched engine against the scalar runner and
+  // the grid broadphase against brute force on this exact experiment.
+  if (cl.HasFlag("oracle")) {
+    if (spec.relaunch_horizon_s > 0.0) {
+      std::fprintf(stderr, "fleet: --oracle requires relaunch off "
+                           "(the scalar runner has no traffic model)\n");
+      return 2;
+    }
+    const auto fleet_specs = uspace::BuildFleetScenario(spec);
+    uspace::MultiRunConfig mcfg;
+    mcfg.tracking_interval_s = spec.tracking_interval_s;
+    mcfg.extra_time_s = spec.extra_time_s;
+    mcfg.link.drop_probability = spec.drop_probability;
+    mcfg.link.delay_s = spec.link_delay_s;
+    mcfg.fault = spec.fault;
+    mcfg.faulted_drone = spec.faulted_drone;
+    mcfg.recovery = spec.recovery;
+    const auto scalar = uspace::MultiUavRunner(mcfg).Run(fleet_specs, spec.seed_base);
+    bool ok = scalar.drones.size() == rec.drones.size() &&
+              scalar.conflicts.conflicts == rec.conflicts &&
+              scalar.conflicts.alerts == rec.alerts &&
+              scalar.conflicts.instants_in_conflict == rec.instants_in_conflict &&
+              scalar.reports_published == rec.reports_published &&
+              scalar.reports_dropped == rec.reports_dropped;
+    for (std::size_t i = 0; ok && i < scalar.drones.size(); ++i) {
+      ok = static_cast<int>(scalar.drones[i].outcome) == rec.drones[i].outcome &&
+           scalar.drones[i].flight_duration_s == rec.drones[i].flight_duration_s;
+    }
+    std::printf("oracle     : scalar MultiUavRunner %s\n",
+                ok ? "MATCH (outcomes, durations, conflict stats)" : "MISMATCH");
+    if (!ok) return 1;
+  }
+  return 0;
+}
+
 int CmdServe(const app::CommandLine& cl) {
   serve::ServerConfig cfg;
   cfg.host = cl.Flag("host").value_or(cfg.host);
@@ -693,6 +878,22 @@ const Command kCommands[] = {
      "Campaign::Run and byte-compares every received MissionResult;\n"
      "--shutdown stops the daemon afterwards (CI teardown).",
      CmdLoadgen},
+    {"fleet",
+     "[--scenario convoy|valencia] [--drones N] [--spacing M] [--speed KMH]\n"
+     "       [--leg M] [--fault acc|gyro|imu:type:duration] [--faulted-drone K]\n"
+     "       [--recovery on|off] [--drop P] [--delay S] [--relaunch-horizon S]\n"
+     "       [--seed N] [--threads N] [--batch N] [--broadphase grid|brute]\n"
+     "       [--oracle] [--no-baseline] [--cache-dir DIR] [--no-cache]",
+     "fleet-scale airspace experiment on the batched engine",
+     "Runs N drones through the batched fleet engine (grouped SoA stepping on\n"
+     "the work-stealing scheduler, uniform-grid conflict broadphase) and\n"
+     "reports systemic impact vs the fault-free baseline: conflict/alert\n"
+     "counts, cascade size, min-separation distribution and airspace\n"
+     "throughput. --relaunch-horizon S keeps the airspace full by refilling\n"
+     "ended flights until T=S (continuous traffic). Results are cached by\n"
+     "fleet spec (also via UAVRES_CACHE_DIR). --oracle cross-checks the run\n"
+     "against the scalar MultiUavRunner bit-for-bit. See DESIGN.md §18.",
+     CmdFleet},
     {"convoy", "[--spacing M] [--drones N]", "multi-UAV U-space conflict demo", "",
      CmdConvoy},
     {"export", "[mission] [file.csv] [--rate HZ]", "dump a gold trajectory as CSV", "",

@@ -43,6 +43,7 @@
 #pragma once
 
 #include "core/campaign.h"
+#include "core/fleet.h"
 #include "core/result_store.h"
 
 namespace uavres::api {
@@ -60,6 +61,14 @@ using CampaignResults = core::CampaignResults;
 using MissionResult = core::MissionResult;
 using FaultSpec = core::FaultSpec;
 using DroneSpec = core::DroneSpec;
+
+// Fleet-scale experiments (DESIGN.md §18): the airspace-level identity
+// tuple, its cache key, and the serialized result form fleet runs dedupe
+// through the ResultStore with.
+using FleetExperimentSpec = core::FleetExperimentSpec;
+using FleetScenario = core::FleetScenario;
+using FleetRecord = telemetry::FleetRecord;
+using core::FleetCacheKey;
 
 /// Stable 64-bit key of one experiment's identity under a given harness
 /// config (core/result_store.h).

@@ -1,0 +1,55 @@
+#include "core/fleet.h"
+
+#include "core/result_store.h"
+
+namespace uavres::core {
+
+const char* ToString(FleetScenario s) {
+  switch (s) {
+    case FleetScenario::kConvoy:
+      return "convoy";
+    case FleetScenario::kValencia:
+      return "valencia";
+  }
+  return "?";
+}
+
+std::uint64_t FleetCacheKey(const FleetExperimentSpec& spec) {
+  CacheKeyHasher h;
+  h.Mix(static_cast<std::uint64_t>(kResultStoreSchemaVersion));
+  // Domain tag: fleet keys can never collide with mission-experiment keys
+  // sharing a store directory.
+  h.Mix(static_cast<std::uint64_t>(0xF1EE7A15F1EE7A15ULL));
+
+  h.Mix(static_cast<std::uint64_t>(spec.scenario))
+      .Mix(static_cast<std::uint64_t>(spec.num_drones))
+      .Mix(spec.lane_spacing_m)
+      .Mix(spec.speed_kmh)
+      .Mix(spec.leg_length_m)
+      .Mix(spec.tracking_interval_s)
+      .Mix(spec.extra_time_s)
+      .Mix(spec.drop_probability)
+      .Mix(spec.link_delay_s)
+      .Mix(static_cast<std::uint64_t>(spec.recovery))
+      .Mix(spec.relaunch_horizon_s)
+      .Mix(spec.seed_base);
+
+  h.Mix(static_cast<std::uint64_t>(spec.fault.has_value()));
+  if (spec.fault) {
+    // faulted_drone only influences the run when a fault exists, so a
+    // fault-free baseline keyed here is shared across faulted-drone choices.
+    h.Mix(static_cast<std::uint64_t>(spec.faulted_drone))
+        .Mix(static_cast<std::uint64_t>(spec.fault->type))
+        .Mix(static_cast<std::uint64_t>(spec.fault->target))
+        .Mix(spec.fault->start_time_s)
+        .Mix(spec.fault->duration_s);
+    // Like mission keys: magnitude 1.0 (the paper's full-strength fault)
+    // is the unmixed default.
+    if (spec.fault->magnitude != 1.0) {
+      h.Mix(static_cast<std::uint64_t>(0xB15EC7B15EC7ULL)).Mix(spec.fault->magnitude);
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace uavres::core

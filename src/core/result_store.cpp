@@ -320,6 +320,78 @@ bool ResultStore::Store(std::uint64_t key, const StoredRun& run) {
   return true;
 }
 
+std::string ResultStore::FleetEntryPath(std::uint64_t key) const {
+  char shard[3];
+  std::snprintf(shard, sizeof shard, "%02x",
+                static_cast<unsigned>((key >> 56) & 0xFF));
+  return dir_ + "/" + shard + "/" + KeyHex(key) + ".uvfl";
+}
+
+std::optional<telemetry::FleetRecord> ResultStore::LoadFleet(std::uint64_t key) {
+  if (!enabled()) return std::nullopt;
+  UAVRES_TRACE_SCOPE("cache/load_fleet");
+  const std::string path = FleetEntryPath(key);
+  std::optional<telemetry::FleetRecord> record;
+  bool existed = false;
+  {
+    std::ifstream is(path, std::ios::binary);
+    existed = static_cast<bool>(is);
+    if (existed) {
+      std::uint64_t stored_key = 0;
+      telemetry::FleetRecord r;
+      if (telemetry::GetU64(is, stored_key) && stored_key == key &&
+          telemetry::ReadFleetRecord(is, r) &&
+          is.peek() == std::istream::traits_type::eof()) {
+        record = std::move(r);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (record) {
+    ++stats_.hits;
+    UAVRES_COUNT("cache.hits");
+    return record;
+  }
+  ++stats_.misses;
+  UAVRES_COUNT("cache.misses");
+  if (existed) {
+    ++stats_.corrupt;
+    UAVRES_COUNT("cache.corrupt");
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  return std::nullopt;
+}
+
+bool ResultStore::StoreFleet(std::uint64_t key, const telemetry::FleetRecord& record) {
+  if (!enabled()) return false;
+  UAVRES_TRACE_SCOPE("cache/store_fleet");
+  if (!EnsureShard(key)) return false;
+  const std::string tmp = FleetEntryPath(key) + ".tmp-" + KeyHex(TempToken());
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    telemetry::PutU64(os, key);
+    telemetry::WriteFleetRecord(os, record);
+    if (!os) {
+      os.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, FleetEntryPath(key), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  UAVRES_COUNT("cache.stores");
+  return true;
+}
+
 CacheStats ResultStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

@@ -50,6 +50,7 @@
 
 #include "core/metrics.h"
 #include "core/scenario.h"
+#include "telemetry/fleet_codec.h"
 #include "telemetry/spec_codec.h"
 #include "telemetry/trajectory.h"
 #include "uav/simulation_runner.h"
@@ -140,10 +141,26 @@ class ResultStore {
   /// still completes.
   bool Store(std::uint64_t key, const StoredRun& run);
 
+  // --- Fleet entries (DESIGN.md §18) -------------------------------------
+  // Fleet experiments share the directory, sharding and atomic-commit
+  // machinery but serialize a telemetry::FleetRecord under the `.uvfl`
+  // extension, keyed by core::FleetCacheKey (a disjoint key domain).
+
+  /// Loads the fleet entry for `key`; nullopt on absence or corruption
+  /// (corrupt entries are deleted and recomputed, as for Load).
+  std::optional<telemetry::FleetRecord> LoadFleet(std::uint64_t key);
+
+  /// Atomically persists one fleet record. False — never throws — on IO
+  /// failure.
+  bool StoreFleet(std::uint64_t key, const telemetry::FleetRecord& record);
+
   CacheStats stats() const;
 
   /// Sharded entry path `<dir>/<hh>/<16-hex>.uvrs` (exposed for tests).
   std::string EntryPath(std::uint64_t key) const;
+
+  /// Fleet twin of EntryPath: `<dir>/<hh>/<16-hex>.uvfl`.
+  std::string FleetEntryPath(std::uint64_t key) const;
 
  private:
   bool EnsureShard(std::uint64_t key);

@@ -130,6 +130,11 @@ int EkfBatch::AddLane(const EkfConfig& cfg) {
   return lane;
 }
 
+void EkfBatch::ResetLane(int lane, const EkfConfig& cfg) {
+  lanes_ekf_[static_cast<std::size_t>(lane)] = Ekf(cfg);
+  staged_[static_cast<std::size_t>(lane)] = Staged{};
+}
+
 void EkfBatch::InitLane(int lane, const math::Vec3& pos, double yaw_rad) {
   lanes_ekf_[static_cast<std::size_t>(lane)].InitAtRest(pos, yaw_rad);
 }

@@ -57,6 +57,11 @@ class EkfBatch {
   /// staging samples for lanes they retire.
   int AddLane(const EkfConfig& cfg);
 
+  /// Rebuilds a retired lane in place as a fresh scalar Ekf(cfg), clearing
+  /// any staged samples — the fleet runner's lane-refill path. The slot
+  /// keeps its index; the caller re-inits and resumes staging for it.
+  void ResetLane(int lane, const EkfConfig& cfg);
+
   /// Re-initializes one lane at a known pose at rest (Ekf::InitAtRest).
   void InitLane(int lane, const math::Vec3& pos, double yaw_rad);
 

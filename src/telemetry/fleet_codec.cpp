@@ -1,0 +1,109 @@
+#include "telemetry/fleet_codec.h"
+
+#include "telemetry/binary_io.h"
+
+namespace uavres::telemetry {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C465655;   // "UVFL" little-endian
+constexpr std::uint32_t kFooter = 0x5AFEC0DE;  // shared artifact footer
+constexpr std::uint32_t kMaxName = 256;
+constexpr std::uint32_t kMaxDrones = 1u << 20;
+constexpr std::uint32_t kMaxEvents = 1u << 24;
+
+}  // namespace
+
+void WriteFleetRecord(std::ostream& os, const FleetRecord& r) {
+  PutU32(os, kMagic);
+  PutU32(os, kFleetRecordSchemaVersion);
+
+  PutI32(os, r.num_drones);
+  PutF64(os, r.sim_time_s);
+
+  PutU32(os, static_cast<std::uint32_t>(r.drones.size()));
+  for (const auto& d : r.drones) {
+    PutI32(os, d.drone_id);
+    PutString(os, d.name);
+    PutI32(os, d.outcome);
+    PutF64(os, d.flight_duration_s);
+    PutF64(os, d.launch_time_s);
+  }
+
+  PutU32(os, static_cast<std::uint32_t>(r.events.size()));
+  for (const auto& e : r.events) {
+    PutI32(os, e.drone_a);
+    PutI32(os, e.drone_b);
+    PutF64(os, e.start_time);
+    PutF64(os, e.end_time);
+    PutF64(os, e.min_separation_m);
+    PutI32(os, e.severity);
+  }
+
+  PutI32(os, r.conflicts);
+  PutI32(os, r.alerts);
+  PutI32(os, r.instants_in_conflict);
+  PutF64(os, r.min_separation_m);
+  PutF64(os, r.broadphase_horizon_m);
+  PutI32(os, r.cascade_size);
+  PutI32(os, r.secondary_conflicts);
+  PutI32(os, r.separation_samples);
+  PutF64(os, r.separation_p5_m);
+  PutF64(os, r.separation_p50_m);
+  PutI32(os, r.reports_published);
+  PutI32(os, r.reports_dropped);
+  PutI32(os, r.reports_quarantined);
+  PutI32(os, r.missions_completed);
+  PutI32(os, r.relaunches);
+  PutF64(os, r.throughput_missions_per_hour);
+
+  PutU32(os, kFooter);
+}
+
+bool ReadFleetRecord(std::istream& is, FleetRecord& r) {
+  std::uint32_t magic = 0, version = 0;
+  if (!GetU32(is, magic) || magic != kMagic) return false;
+  if (!GetU32(is, version) || version != kFleetRecordSchemaVersion) return false;
+
+  if (!GetI32(is, r.num_drones) || !GetF64(is, r.sim_time_s)) return false;
+
+  std::uint32_t n = 0;
+  if (!GetU32(is, n) || n > kMaxDrones) return false;
+  r.drones.resize(n);
+  for (auto& d : r.drones) {
+    if (!GetI32(is, d.drone_id) || !GetString(is, d.name, kMaxName) ||
+        !GetI32(is, d.outcome) || !GetF64(is, d.flight_duration_s) ||
+        !GetF64(is, d.launch_time_s)) {
+      return false;
+    }
+  }
+
+  if (!GetU32(is, n) || n > kMaxEvents) return false;
+  r.events.resize(n);
+  for (auto& e : r.events) {
+    if (!GetI32(is, e.drone_a) || !GetI32(is, e.drone_b) ||
+        !GetF64(is, e.start_time) || !GetF64(is, e.end_time) ||
+        !GetF64(is, e.min_separation_m) || !GetI32(is, e.severity)) {
+      return false;
+    }
+  }
+
+  std::uint32_t footer = 0;
+  const bool ok = GetI32(is, r.conflicts) && GetI32(is, r.alerts) &&
+                  GetI32(is, r.instants_in_conflict) &&
+                  GetF64(is, r.min_separation_m) &&
+                  GetF64(is, r.broadphase_horizon_m) &&
+                  GetI32(is, r.cascade_size) &&
+                  GetI32(is, r.secondary_conflicts) &&
+                  GetI32(is, r.separation_samples) &&
+                  GetF64(is, r.separation_p5_m) &&
+                  GetF64(is, r.separation_p50_m) &&
+                  GetI32(is, r.reports_published) &&
+                  GetI32(is, r.reports_dropped) &&
+                  GetI32(is, r.reports_quarantined) &&
+                  GetI32(is, r.missions_completed) && GetI32(is, r.relaunches) &&
+                  GetF64(is, r.throughput_missions_per_hour);
+  return ok && GetU32(is, footer) && footer == kFooter;
+}
+
+}  // namespace uavres::telemetry

@@ -1,0 +1,88 @@
+// Versioned binary codec for fleet-experiment results (DESIGN.md §18).
+//
+// FleetRecord is the serialized, cacheable form of one fleet run: per-drone
+// outcomes plus the systemic airspace metrics (conflicts, alert cascades,
+// separation margins, throughput). Like spec_codec.h, the structs here are
+// FLAT — plain ints/doubles/strings with no dependency above math/ — so the
+// telemetry layer can own the on-disk format while core's ResultStore and
+// the uspace fleet runner both speak it.
+//
+// Frame layout (little-endian, binary_io.h conventions):
+//   magic "UVFL" | u32 kFleetRecordSchemaVersion | body | u32 0x5AFEC0DE
+// Readers return false on any framing, bound or version mismatch; callers
+// treat that as a cache miss and recompute.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uavres::telemetry {
+
+/// Bump on any layout OR fleet-semantics change the spec key cannot
+/// express. v1: initial fleet engine (PR 10).
+inline constexpr std::uint32_t kFleetRecordSchemaVersion = 1;
+
+/// One drone's outcome within a fleet run. `outcome` carries the
+/// core::MissionOutcome enum value as a raw int (flat-struct rule).
+struct FleetDroneRecord {
+  std::int32_t drone_id{0};
+  std::string name;
+  std::int32_t outcome{0};
+  double flight_duration_s{0.0};
+  double launch_time_s{0.0};  ///< > 0 for relaunched (continuous-traffic) flights
+};
+
+/// One separation event; severity carries uspace::ConflictSeverity raw.
+struct FleetConflictRecord {
+  std::int32_t drone_a{0};
+  std::int32_t drone_b{0};
+  double start_time{0.0};
+  double end_time{0.0};
+  double min_separation_m{0.0};
+  std::int32_t severity{0};
+};
+
+/// Full serialized result of one fleet experiment.
+struct FleetRecord {
+  std::int32_t num_drones{0};       ///< initially launched fleet size
+  double sim_time_s{0.0};           ///< simulated span of the run
+
+  // Per-drone outcomes (relaunched flights included) and events.
+  std::vector<FleetDroneRecord> drones;
+  std::vector<FleetConflictRecord> events;
+
+  // Systemic metrics.
+  std::int32_t conflicts{0};
+  std::int32_t alerts{0};
+  std::int32_t instants_in_conflict{0};
+  double min_separation_m{0.0};
+  double broadphase_horizon_m{0.0};
+  /// Separation-event cascade: conflict-graph components and secondary
+  /// (neither-drone-faulted) events — how far one bad flight spreads.
+  std::int32_t cascade_size{0};      ///< largest connected conflict-graph component
+  std::int32_t secondary_conflicts{0};
+  /// Min-separation distribution over tracking instants (quantiles of the
+  /// per-instant closest pair; 0 count when no pair was ever evaluated).
+  std::int32_t separation_samples{0};
+  double separation_p5_m{0.0};
+  double separation_p50_m{0.0};
+  // Link/tracker accounting.
+  std::int32_t reports_published{0};
+  std::int32_t reports_dropped{0};
+  std::int32_t reports_quarantined{0};
+  // Airspace throughput.
+  std::int32_t missions_completed{0};
+  std::int32_t relaunches{0};
+  double throughput_missions_per_hour{0.0};
+};
+
+/// Serialize one record (framed, versioned).
+void WriteFleetRecord(std::ostream& os, const FleetRecord& r);
+
+/// Parse one record; false on framing/version/bound mismatch.
+bool ReadFleetRecord(std::istream& is, FleetRecord& r);
+
+}  // namespace uavres::telemetry

@@ -104,6 +104,24 @@ int BatchedUav::AddLane(const UavConfig& cfg, const nav::MissionPlan& plan,
   return lane;
 }
 
+void BatchedUav::RefillLane(int lane, const UavConfig& cfg,
+                            const nav::MissionPlan& plan,
+                            std::optional<core::FaultSpec> fault,
+                            std::uint64_t seed) {
+  assert(lane >= 0 && lane < pool_.lanes);
+  assert(!pool_.active[static_cast<std::size_t>(lane)] &&
+         "refill requires a retired lane");
+  const double lane_dt = 1.0 / cfg.control_rate_hz;
+  assert(lane_dt == dt_ && "all lanes in a batch share one control clock");
+  (void)lane_dt;
+  pool_.ekf.ResetLane(lane, cfg.ekf);
+  lanes_[static_cast<std::size_t>(lane)] =
+      std::make_unique<Lane>(&pool_.ekf, lane, cfg, plan, fault, seed);
+  pool_.active[static_cast<std::size_t>(lane)] = true;
+  pool_.truth[static_cast<std::size_t>(lane)] =
+      lanes_[static_cast<std::size_t>(lane)]->physics.quad().state();
+}
+
 void BatchedUav::Step() {
   time_ = static_cast<double>(step_count_) * dt_;
   pool_.ekf.BeginStep();

@@ -43,6 +43,15 @@ class BatchedUav {
   int AddLane(const UavConfig& cfg, const nav::MissionPlan& plan,
               std::optional<core::FaultSpec> fault, std::uint64_t seed);
 
+  /// Rebuilds a retired lane with a fresh vehicle and reactivates it — the
+  /// fleet runner's relaunch path, closing the lane-occupancy gap left when
+  /// drones end mid-batch. The new vehicle's modules join the shared clock
+  /// at the current step count (its sensors keep the batch's rate-divider
+  /// phase), so a refilled lane is a new flight on the running clock, not a
+  /// rewind. Requires `!lane_active(lane)` and the batch's control rate.
+  void RefillLane(int lane, const UavConfig& cfg, const nav::MissionPlan& plan,
+                  std::optional<core::FaultSpec> fault, std::uint64_t seed);
+
   /// Advance every active lane one control period.
   void Step();
 
@@ -61,6 +70,17 @@ class BatchedUav {
   // Per-lane views mirroring the scalar Uav façade.
   const sim::Quadrotor& quad(int lane) const;
   const estimation::Ekf& ekf(int lane) const { return pool_.ekf.lane(lane); }
+
+  /// Estimated-state tap for tracking reports: the lane's self-reported
+  /// (EKF) position/velocity straight off the batch, no allocation, no
+  /// scalar façade — what a fleet run publishes to U-space each tracking
+  /// instant (faults corrupt these, and therefore the airspace picture).
+  const math::Vec3& estimated_pos(int lane) const {
+    return pool_.ekf.lane(lane).state().pos;
+  }
+  const math::Vec3& estimated_vel(int lane) const {
+    return pool_.ekf.lane(lane).state().vel;
+  }
   const nav::Commander& commander(int lane) const;
   const nav::HealthMonitor& health(int lane) const;
   const nav::CrashDetector& crash_detector(int lane) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "math/geo.h"
 #include "uav/simulation_runner.h"
@@ -13,9 +15,6 @@ using core::DroneSpec;
 using core::MissionOutcome;
 using math::Vec3;
 
-namespace {
-
-/// Translate a spec's local mission plan into the shared scenario frame.
 nav::MissionPlan PlanInSharedFrame(const DroneSpec& spec, const Vec3& shared_home) {
   nav::MissionPlan plan = spec.plan;
   plan.home = shared_home;
@@ -25,8 +24,6 @@ nav::MissionPlan PlanInSharedFrame(const DroneSpec& spec, const Vec3& shared_hom
   }
   return plan;
 }
-
-}  // namespace
 
 MultiRunOutput MultiUavRunner::Run(const std::vector<DroneSpec>& fleet,
                                    std::uint64_t seed_base) const {
@@ -57,8 +54,11 @@ MultiRunOutput MultiUavRunner::Run(const std::vector<DroneSpec>& fleet,
     const std::uint64_t seed =
         uav::ExperimentSeed(math::HashCombine(seed_base, i + 0x517EULL),
                             static_cast<int>(i), fault);
+    uav::UavConfig uav_cfg = uav::MakeUavConfig(spec);
+    if (cfg_.uav_config_mutator) cfg_.uav_config_mutator(i, uav_cfg);
+    if (cfg_.recovery) uav_cfg.detector.enabled = true;
     Vehicle v;
-    v.uav = std::make_unique<uav::Uav>(uav::MakeUavConfig(spec), plan, fault, seed);
+    v.uav = std::make_unique<uav::Uav>(uav_cfg, plan, fault, seed);
     v.result.drone_id = static_cast<int>(i);
     v.result.name = spec.name;
     vehicles.push_back(std::move(v));
@@ -74,7 +74,18 @@ MultiRunOutput MultiUavRunner::Run(const std::vector<DroneSpec>& fleet,
   }
 
   const double max_time = max_expected + cfg_.extra_time_s;
+  // The lockstep loop advances one shared clock, so a fleet mixing control
+  // rates would silently mis-step every drone after the first. Fail fast.
   const double dt = vehicles.empty() ? 0.004 : vehicles[0].uav->dt();
+  for (std::size_t i = 1; i < vehicles.size(); ++i) {
+    if (vehicles[i].uav->dt() != dt) {
+      throw std::invalid_argument(
+          "MultiUavRunner: fleet mixes control clocks (drone 0 dt=" +
+          std::to_string(dt) + "s, drone " + std::to_string(i) +
+          " dt=" + std::to_string(vehicles[i].uav->dt()) +
+          "s); all drones in a shared-frame run must share one dt");
+    }
+  }
   double next_track = cfg_.tracking_interval_s;
 
   auto all_ended = [&] {
@@ -135,7 +146,7 @@ std::vector<DroneSpec> BuildConvoyScenario(int num_drones, double lane_spacing_m
                                            double speed_kmh, double leg_length_m) {
   std::vector<DroneSpec> fleet;
   fleet.reserve(static_cast<std::size_t>(num_drones));
-  const auto origin = core::ScenarioOrigin();
+  const math::LocalProjection proj(core::ScenarioOrigin());
   for (int i = 0; i < num_drones; ++i) {
     DroneSpec s;
     s.name = "CONVOY-" + std::to_string(i + 1);
@@ -145,10 +156,11 @@ std::vector<DroneSpec> BuildConvoyScenario(int num_drones, double lane_spacing_m
     s.safety_distance_m = 1.5;
     s.has_turning_points = false;
     // Lanes offset east, staggered 25 m along track so nobody flies abreast.
+    // Place pads through the projection's own inverse so home positions
+    // round-trip exactly: proj.ToNed(s.home_geo) == (north0, east, 0).
     const double east = i * lane_spacing_m;
     const double north0 = -i * 25.0;
-    s.home_geo = {origin.lat_deg + north0 / 111000.0,
-                  origin.lon_deg + east / (111000.0 * 0.7716), 0.0};
+    s.home_geo = proj.ToGeo({north0, east, 0.0});
     s.plan.name = s.name;
     s.plan.home = math::Vec3::Zero();
     s.plan.cruise_speed_ms = math::KmhToMs(speed_kmh);

@@ -8,12 +8,14 @@
 // SAFECOMP'22 work measured drone conflict rates under faulty conditions).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "core/fault_model.h"
 #include "core/metrics.h"
 #include "core/scenario.h"
+#include "uav/uav_config.h"
 #include "uspace/broker.h"
 #include "uspace/conflict.h"
 #include "uspace/tracking.h"
@@ -27,6 +29,12 @@ struct MultiRunConfig {
   LinkQuality link;                       ///< drone -> tracker impairments
   std::optional<core::FaultSpec> fault;   ///< injected into one drone
   int faulted_drone{0};                   ///< index into the fleet
+  /// Enable the online IMU-fault detector + estimator failover on every
+  /// drone (the scalar twin of FleetRunConfig::recovery).
+  bool recovery{false};
+  /// Optional per-drone config hook (fleet index, config). Applied after
+  /// the defaults, before recovery; test-only knobs live here.
+  std::function<void(std::size_t, uav::UavConfig&)> uav_config_mutator;
 };
 
 /// Per-drone outcome of a multi-vehicle run.
@@ -59,6 +67,11 @@ class MultiUavRunner {
  private:
   MultiRunConfig cfg_;
 };
+
+/// Translate a spec's local mission plan into the shared scenario frame
+/// (waypoints and home shifted by the spec's projected pad position).
+nav::MissionPlan PlanInSharedFrame(const core::DroneSpec& spec,
+                                   const math::Vec3& shared_home);
 
 /// A scenario purpose-built for conflict studies: drones flying parallel
 /// corridors `lane_spacing_m` apart at the same speed, staggered along

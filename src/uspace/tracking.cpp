@@ -58,6 +58,16 @@ const TrackedDrone* Tracker::InfoOf(int drone_id) const {
   return it == drones_.end() ? nullptr : &it->second;
 }
 
+void Tracker::SnapshotActive(std::vector<ActiveTrack>& out) const {
+  out.clear();
+  for (const auto& [id, state] : states_) {
+    if (!state.active) continue;
+    const auto info = drones_.find(id);
+    if (info == drones_.end()) continue;
+    out.push_back({id, &info->second, &state});
+  }
+}
+
 std::vector<int> Tracker::ActiveDrones() const {
   std::vector<int> ids;
   for (const auto& [id, state] : states_) {

@@ -44,6 +44,14 @@ struct TrackState {
   bool active{true};  ///< false once the drone deregisters (landed/crashed)
 };
 
+/// One row of the dense active-track snapshot (Tracker::SnapshotActive):
+/// borrowed views into the tracker's registration and state tables.
+struct ActiveTrack {
+  int drone_id{0};
+  const TrackedDrone* info{nullptr};
+  const TrackState* state{nullptr};
+};
+
 /// Central tracking service.
 class Tracker {
  public:
@@ -64,6 +72,13 @@ class Tracker {
 
   /// Ids of all currently active drones.
   std::vector<int> ActiveDrones() const;
+
+  /// Fills `out` with every active drone in ascending id order, borrowing
+  /// the tracker-owned registration/state rows (valid until the next
+  /// mutating call). Clears `out` first and reuses its capacity, so a
+  /// caller-owned scratch vector makes the per-instant scan allocation-free
+  /// in steady state — the conflict detector's fleet-scale fast path.
+  void SnapshotActive(std::vector<ActiveTrack>& out) const;
 
   int total_quarantined() const { return total_quarantined_; }
 

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Gate benchmark results against their committed baselines.
 
-Two schema-1 bench families are understood, dispatched on the "bench" field
-(both files must carry the same one):
+Three schema-1 bench families are understood, dispatched on the "bench"
+field (both files must carry the same one):
 
   campaign_throughput — BENCH_campaign.json, from bench_throughput
   serve_latency       — BENCH_serve.json, from `uavres loadgen`
+  fleet               — BENCH_fleet.json, from bench_fleet
 
 Usage:
     compare_bench.py CURRENT.json BASELINE.json [--max-regress 0.20]
@@ -42,7 +43,14 @@ import json
 import sys
 
 
-KNOWN_BENCHES = {"campaign_throughput", "serve_latency"}
+KNOWN_BENCHES = {"campaign_throughput", "serve_latency", "fleet"}
+
+# The fleet engine's headline batched-vs-scalar speedup needs cores to show;
+# below this many hardware threads the gate degenerates to the structural
+# checks (bit-identical oracle + broadphase event equality), mirroring the
+# environment-mismatch policy of the throughput gates.
+FLEET_SPEEDUP_MIN_CORES = 8
+FLEET_SPEEDUP_FLOOR = 5.0
 
 
 def load(path: str) -> dict:
@@ -115,6 +123,71 @@ def compare_serve(cur: dict, base: dict, max_regress: float) -> int:
     return 0
 
 
+def compare_fleet(cur: dict, base: dict, max_regress: float) -> int:
+    """Gate bench_fleet output (BENCH_fleet.json).
+
+    Structural invariants are environment-independent and always enforced:
+    the batched fleet run must reproduce the scalar oracle bit-for-bit
+    (fleet.oracle_ok) and the uniform-grid broadphase must emit the same
+    event stream as the exhaustive detector (broadphase.events_match).
+
+    The >=5x drone-steps/sec speedup over the scalar runner is the engine's
+    multi-core headline: it is enforced only when the measuring machine
+    actually has the cores (hardware_concurrency >= FLEET_SPEEDUP_MIN_CORES);
+    a single-core runner can only demonstrate the oracle, not the speedup.
+    Absolute throughputs are compared against the baseline only on matching
+    environments, like the campaign gates.
+    """
+    fleet = cur.get("fleet", {})
+    bp = cur.get("broadphase", {})
+    if fleet.get("oracle_ok") is not True:
+        print("compare_bench: FAIL — fleet run does not match the scalar oracle")
+        return 1
+    if bp.get("events_match") is not True:
+        print("compare_bench: FAIL — grid broadphase event stream differs "
+              "from brute force")
+        return 1
+    speedup = fleet.get("speedup", 0.0)
+    cores = cur.get("environment", {}).get("hardware_concurrency", 0)
+    print(f"fleet: speedup {speedup:.2f}x over scalar at "
+          f"{cur.get('environment', {}).get('drones', '?')} drones "
+          f"({cores} hw threads), grid broadphase "
+          f"{bp.get('grid_speedup', 0.0):.2f}x, oracle MATCH")
+    if cores >= FLEET_SPEEDUP_MIN_CORES:
+        if speedup < FLEET_SPEEDUP_FLOOR:
+            print(f"compare_bench: FAIL — fleet speedup {speedup:.2f}x below "
+                  f"the {FLEET_SPEEDUP_FLOOR:.0f}x floor on a {cores}-thread "
+                  f"machine")
+            return 1
+    else:
+        print(f"compare_bench: {cores} hardware thread(s) < "
+              f"{FLEET_SPEEDUP_MIN_CORES}, skipping the "
+              f"{FLEET_SPEEDUP_FLOOR:.0f}x speedup gate "
+              "(structural oracle gates still passed)")
+
+    if cur.get("environment", {}) != base.get("environment", {}):
+        print("compare_bench: environments differ, skipping throughput comparison")
+        print(f"  current : {cur.get('environment', {})}")
+        print(f"  baseline: {base.get('environment', {})}")
+        return 0
+
+    for block, field in (("fleet", "fleet_steps_per_sec"),
+                         ("broadphase", "grid_pairs_per_sec")):
+        cur_v = cur.get(block, {}).get(field, 0.0)
+        base_v = base.get(block, {}).get(field, 0.0)
+        if base_v <= 0.0:
+            continue
+        change = (cur_v - base_v) / base_v
+        print(f"{field}: current {cur_v:.0f} vs baseline {base_v:.0f} "
+              f"({change:+.1%})")
+        if change < -max_regress:
+            print(f"compare_bench: FAIL — {field} regressed more than "
+                  f"{max_regress:.0%}")
+            return 1
+    print("compare_bench: OK")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
@@ -134,6 +207,8 @@ def main() -> int:
         return 2
     if cur.get("bench") == "serve_latency":
         return compare_serve(cur, base, args.max_regress)
+    if cur.get("bench") == "fleet":
+        return compare_fleet(cur, base, args.max_regress)
 
     # Environment-independent gates first: the hot paths must stay
     # allocation-free — the scalar cruise and, when measured, the batched one.
